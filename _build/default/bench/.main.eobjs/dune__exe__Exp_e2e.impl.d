@@ -1,0 +1,1 @@
+bench/exp_e2e.ml: An2 Fun List Netsim Printf Topo Util

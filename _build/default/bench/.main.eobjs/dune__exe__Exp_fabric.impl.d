@@ -1,0 +1,1 @@
+bench/exp_fabric.ml: Fabric Hashtbl List Matching Netsim Option Printf Util

@@ -1,0 +1,1 @@
+bench/exp_figures.ml: Flow Format Frame Fun List Netsim Printf Topo Util

@@ -1,0 +1,1 @@
+bench/exp_flow.ml: Array Flow Hashtbl List Netsim Printf Topo Util

@@ -1,0 +1,1 @@
+bench/exp_frame.ml: Frame Hashtbl List Netsim Printf Util

@@ -1,0 +1,1 @@
+bench/exp_hybrid.ml: Fabric Frame Hashtbl List Netsim Printf Util

@@ -1,0 +1,1 @@
+bench/exp_multicast.ml: An2 List Netsim Printf Topo Util

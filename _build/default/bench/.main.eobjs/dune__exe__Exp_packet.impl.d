@@ -1,0 +1,1 @@
+bench/exp_packet.ml: Fabric Hashtbl List Netsim Printf Queue Util

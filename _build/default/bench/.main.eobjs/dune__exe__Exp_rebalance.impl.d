@@ -1,0 +1,1 @@
+bench/exp_rebalance.ml: An2 List Netsim Printf Topo Util

@@ -1,0 +1,1 @@
+bench/exp_reconfig.ml: Format List Netsim Printf Reconfig Topo Util

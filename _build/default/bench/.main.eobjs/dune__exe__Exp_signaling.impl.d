@@ -1,0 +1,1 @@
+bench/exp_signaling.ml: An2 List Netsim Printf Topo Util

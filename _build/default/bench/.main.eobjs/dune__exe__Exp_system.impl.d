@@ -1,0 +1,1 @@
+bench/exp_system.ml: An2 Array Format List Netsim Printf Reconfig Topo Util

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_e2e Exp_fabric Exp_figures Exp_flow Exp_frame Exp_hybrid Exp_multicast Exp_packet Exp_rebalance Exp_reconfig Exp_signaling Exp_system List Micro Printf Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Flow Frame Hashtbl Instance List Matching Measure Netsim Printf Reconfig Staged String Test Time Toolkit Topo

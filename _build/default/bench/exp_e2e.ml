@@ -1,0 +1,101 @@
+(* E6-E7: end-to-end guaranteed-traffic experiments (paper section 4). *)
+
+let cells_per_frame = 8
+
+let build_chain hops ~frame =
+  let g = Topo.Build.linear hops in
+  let h1, h2 = Topo.Build.with_host_pair g in
+  let net = An2.Network.create ~frame g in
+  let bwc = An2.Bandwidth_central.create net in
+  (net, bwc, h1, h2)
+
+let e6 () =
+  Util.header "E6" ~paper:"section 4 (latency bound)"
+    ~claim:
+      "a guaranteed cell reaches its destination within p*(2f+l) for a \
+       p-switch path, frame time f and link latency l, even in an \
+       unsynchronized network and with competing traffic; per-switch \
+       latency/jitter stays below a millisecond";
+  let frame = 128 in
+  let p = { An2.Netrun.default_params with synchronized = false; skew_ppm = 200 } in
+  let f_us = Netsim.Time.to_us (frame * p.cell_time) in
+  Printf.printf "frame time f = %.1fus, link latency l = 1us\n" f_us;
+  Printf.printf "%-8s %10s %12s %12s %12s %10s\n" "p" "max-lat" "bound"
+    "jitter" "jitter/sw" "drops";
+  let ok_bound = ref true and ok_jitter = ref true in
+  List.iter
+    (fun hops ->
+      let net, bwc, h1, h2 = build_chain hops ~frame in
+      (* The measured stream plus competitors on the same links. *)
+      let request () =
+        match
+          An2.Bandwidth_central.request bwc ~src_host:h1 ~dst_host:h2
+            ~cells:cells_per_frame
+        with
+        | Ok vc -> vc
+        | Error _ -> failwith "admission failed"
+      in
+      let main = request () in
+      let sources =
+        An2.Netrun.Cbr main
+        :: List.map (fun _ -> An2.Netrun.Cbr (request ())) [ 1; 2; 3 ]
+      in
+      let r = An2.Netrun.run net p ~sources ~duration:(Netsim.Time.ms 15) () in
+      let s = List.assoc main.An2.Network.vc_id r.per_vc in
+      let bound = float_of_int hops *. ((2.0 *. f_us) +. 1.0) in
+      let jitter_per_switch = s.jitter_us /. float_of_int hops in
+      if s.max_latency_us > bound || s.dropped > 0 then ok_bound := false;
+      if jitter_per_switch > 1000.0 then ok_jitter := false;
+      Printf.printf "%-8d %10.1f %12.1f %12.1f %12.1f %10d\n" hops
+        s.max_latency_us bound s.jitter_us jitter_per_switch s.dropped)
+    [ 1; 2; 3; 4; 6 ];
+  Util.shape "max latency <= p*(2f+l), no drops" !ok_bound;
+  Util.shape "jitter below 1ms per switch" !ok_jitter
+
+let e7 () =
+  Util.header "E7" ~paper:"section 4 (buffer requirements)"
+    ~claim:
+      "guaranteed traffic needs at most ~2 frames of cell buffers per line \
+       card when switches share a clock rate, and ~4 frames when clocks \
+       drift (typical LAN parameters)";
+  let frame = 32 in
+  Printf.printf "%-16s %-10s %16s %16s\n" "clocking" "load" "max-backlog"
+    "(frames)";
+  let ok_sync = ref true and ok_async = ref true in
+  let measure ~synchronized ~skew_ppm ~nvcs =
+    let net, bwc, h1, h2 = build_chain 2 ~frame in
+    let sources =
+      List.filter_map
+        (fun _ ->
+          match
+            An2.Bandwidth_central.request bwc ~src_host:h1 ~dst_host:h2 ~cells:4
+          with
+          | Ok vc -> Some (An2.Netrun.Cbr vc)
+          | Error _ -> None)
+        (List.init nvcs Fun.id)
+    in
+    let p =
+      { An2.Netrun.default_params with synchronized; skew_ppm; seed = 3 }
+    in
+    let r = An2.Netrun.run net p ~sources ~duration:(Netsim.Time.ms 10) () in
+    (List.length sources, r.guaranteed_backlog_frames)
+  in
+  List.iter
+    (fun nvcs ->
+      let n1, sync = measure ~synchronized:true ~skew_ppm:0 ~nvcs in
+      let n2, async = measure ~synchronized:false ~skew_ppm:500 ~nvcs in
+      if sync > 2.0 then ok_sync := false;
+      if async > 4.0 then ok_async := false;
+      Printf.printf "%-16s %-10s %16.0f %16.2f\n" "synchronized"
+        (Printf.sprintf "%d/%d cells" (4 * n1) frame)
+        (sync *. float_of_int frame) sync;
+      Printf.printf "%-16s %-10s %16.0f %16.2f\n" "500ppm skew"
+        (Printf.sprintf "%d/%d cells" (4 * n2) frame)
+        (async *. float_of_int frame) async)
+    [ 2; 4; 7 ];
+  Util.shape "synchronized backlog within 2 frames" !ok_sync;
+  Util.shape "unsynchronized backlog within 4 frames" !ok_async
+
+let run () =
+  e6 ();
+  e7 ()

@@ -1,0 +1,97 @@
+(* F1-F4: the paper's four figures. *)
+
+let f1 () =
+  Util.header "F1" ~paper:"Figure 1: a sample AN1 installation"
+    ~claim:
+      "hosts are dual-homed to two switches; redundant paths keep the \
+       network connected through any single switch failure";
+  let g = Topo.Build.src_lan () in
+  Printf.printf "%s\n" (Format.asprintf "%a" Topo.Graph.pp g);
+  let dual =
+    List.for_all
+      (fun h -> List.length (Topo.Graph.host_links g h) = 2)
+      (List.init (Topo.Graph.host_count g) Fun.id)
+  in
+  Util.shape "every host dual-homed" dual;
+  let survives = ref true in
+  for s = 0 to Topo.Graph.switch_count g - 1 do
+    Topo.Graph.fail_switch g s;
+    let other = if s = 0 then 1 else 0 in
+    if Topo.Graph.reachable_switches g other <> Topo.Graph.switch_count g - 1 then
+      survives := false;
+    (* Hosts keep an attachment through their alternate link. *)
+    for h = 0 to Topo.Graph.host_count g - 1 do
+      if Topo.Graph.host_links g h = [] then survives := false
+    done;
+    Topo.Graph.restore_switch g s
+  done;
+  Util.shape "survives any single switch failure" !survives
+
+let f2_f3 () =
+  Util.header "F2+F3"
+    ~paper:"Figures 2 and 3: guaranteed-traffic schedule and Slepian-Duguid insertion"
+    ~claim:
+      "the 4x4 reservation matrix fits a 3-slot frame; inserting 4->3 by \
+       swap chain between slots p and q terminates after 3 steps";
+  Frame.Figures.report Format.std_formatter;
+  let _, outcome = Frame.Figures.run_figure3 () in
+  Util.shape "chain is 3 paper steps" (Frame.Figures.paper_steps outcome = 3)
+
+(* F4: a literal trace of the credit protocol on one link. *)
+let f4 () =
+  Util.header "F4" ~paper:"Figure 4: flow control for best-effort traffic"
+    ~claim:
+      "the upstream balance falls with each cell sent and is replenished by \
+       a credit when the downstream frees the buffer; transmission stops at \
+       zero balance";
+  let engine = Netsim.Engine.create () in
+  let credits = 3 in
+  let up = Flow.Credit.Upstream.create ~total:credits in
+  let ds = Flow.Credit.Downstream.create ~capacity:credits ~cumulative:false in
+  let latency = Netsim.Time.us 5 in
+  let cell_time = Netsim.Time.ns 681 in
+  let service = Netsim.Time.us 3 in
+  (* Slow downstream service *)
+  let stalled = ref 0 in
+  let log what =
+    Printf.printf "  t=%-10s %-28s balance=%d occupancy=%d\n"
+      (Format.asprintf "%a" Netsim.Time.pp (Netsim.Engine.now engine))
+      what
+      (Flow.Credit.Upstream.balance up)
+      (Flow.Credit.Downstream.occupancy ds)
+  in
+  let sent = ref 0 in
+  let rec try_send () =
+    if !sent < 8 then
+      if Flow.Credit.Upstream.can_send up then begin
+        Flow.Credit.Upstream.on_send up;
+        incr sent;
+        log (Printf.sprintf "cell %d sent (uses a credit)" !sent);
+        ignore
+          (Netsim.Engine.schedule engine ~delay:(cell_time + latency) (fun () ->
+               Flow.Credit.Downstream.on_arrival ds;
+               log "  cell arrived downstream";
+               ignore
+                 (Netsim.Engine.schedule engine ~delay:service (fun () ->
+                      let msg = Flow.Credit.Downstream.on_forward ds in
+                      log "  cell forwarded, buffer freed";
+                      ignore
+                        (Netsim.Engine.schedule engine ~delay:latency (fun () ->
+                             Flow.Credit.Upstream.on_credit up msg;
+                             log "credit returned";
+                             try_send ()))))));
+        ignore (Netsim.Engine.schedule engine ~delay:cell_time try_send)
+      end
+      else incr stalled
+  in
+  try_send ();
+  Netsim.Engine.run engine;
+  Util.shape "stalls at zero balance occurred" (!stalled > 0);
+  Util.shape "all cells eventually delivered"
+    (Flow.Credit.Downstream.freed_total ds = 8);
+  Util.shape "no buffer overflow" (not (Flow.Credit.Downstream.overflowed ds))
+
+let run () =
+  f1 ();
+  f2_f3 ();
+  f4 ()

@@ -1,0 +1,289 @@
+(* E12-E15: flow control and deadlock experiments (paper section 5). *)
+
+let e12 () =
+  Util.header "E12" ~paper:"section 5"
+    ~claim:
+      "a circuit sustains the full link rate iff its credit allotment \
+       covers a link round-trip; buffers never overflow regardless of the \
+       allotment (losslessness)";
+  let base = Flow.Chain.default_params in
+  let need = Flow.Chain.round_trip_credits base in
+  Printf.printf "round-trip credit requirement at 10us links: %d cells\n" need;
+  Printf.printf "%-10s %12s %12s %14s %10s\n" "credits" "thpt" "expected"
+    "mean-lat(us)" "overflow";
+  let ok = ref true in
+  List.iter
+    (fun credits ->
+      let r = Flow.Chain.run { base with credits } in
+      let expected = min 1.0 (float_of_int credits /. float_of_int need) in
+      if abs_float (r.throughput -. expected) > 0.08 then ok := false;
+      if r.overflowed then ok := false;
+      Printf.printf "%-10d %12.3f %12.3f %14.1f %10b\n" credits r.throughput
+        expected r.mean_latency r.overflowed)
+    [ 1; 4; 8; 17; 25; 34; 48; 64; 128 ];
+  Util.shape "throughput = min(1, credits/RTT), lossless" !ok;
+  Util.section "link-length sweep (credits fixed at 64)";
+  Printf.printf "%-12s %8s %12s %12s\n" "link" "RTT-need" "thpt" "expected";
+  let ok2 = ref true in
+  List.iter
+    (fun km ->
+      (* ~5 us/km of fibre. *)
+      let latency = Netsim.Time.ns (km * 5000) in
+      let p = { base with latency; credits = 64 } in
+      let need = Flow.Chain.round_trip_credits p in
+      let r = Flow.Chain.run p in
+      let expected = min 1.0 (64.0 /. float_of_int need) in
+      if abs_float (r.throughput -. expected) > 0.08 then ok2 := false;
+      Printf.printf "%-12s %8d %12.3f %12.3f\n"
+        (Printf.sprintf "%dkm" km)
+        need r.throughput expected)
+    [ 1; 2; 4; 10 ];
+  Util.shape "10km links need proportionally more credits" !ok2
+
+let e13 () =
+  Util.header "E13" ~paper:"section 5 (robustness)"
+    ~claim:
+      "a lost credit message can only reduce performance, never overflow a \
+       buffer; periodic resynchronization (or cumulative credit counters) \
+       restores full rate after the loss episode ends";
+  let base = Flow.Chain.default_params in
+  let lossy =
+    { base with
+      credits = 40;
+      credit_loss_prob = 0.02;
+      loss_until = Netsim.Time.ms 5;
+      duration = Netsim.Time.ms 20 }
+  in
+  let show name (r : Flow.Chain.result) =
+    Printf.printf "%-24s thpt=%.3f overflow=%b windows:" name r.throughput
+      r.overflowed;
+    Array.iter (fun w -> Printf.printf " %.2f" w) r.window_throughput;
+    print_newline ();
+    r
+  in
+  Printf.printf "(credit messages dropped with p=0.02 for the first 25%% of the run)\n";
+  let plain = show "increment" (Flow.Chain.run { lossy with credit_loss_prob = 0.0 }) in
+  let leak = show "increment+loss" (Flow.Chain.run lossy) in
+  let resync =
+    show "increment+loss+resync"
+      (Flow.Chain.run { lossy with resync_interval = Some (Netsim.Time.ms 1) })
+  in
+  let cumulative =
+    show "cumulative+loss" (Flow.Chain.run { lossy with cumulative_credits = true })
+  in
+  Util.shape "no scheme ever overflows"
+    (not (plain.overflowed || leak.overflowed || resync.overflowed
+          || cumulative.overflowed));
+  Util.shape "unrepaired loss decays to a crawl" (leak.window_throughput.(9) < 0.2);
+  Util.shape "resynchronization restores full rate"
+    (resync.window_throughput.(9) > 0.9);
+  Util.shape "cumulative credits are self-healing"
+    (cumulative.window_throughput.(9) > 0.9)
+
+let e14 () =
+  Util.header "E14" ~paper:"section 5 (deadlock)"
+    ~claim:
+      "shared FIFO buffers plus unrestricted routes deadlock on a cyclic \
+       topology; up*/down* routes (AN1) and per-circuit buffers (AN2) are \
+       both deadlock-free";
+  let dl = Flow.Deadlock.default_params in
+  Printf.printf "%-12s %-22s %12s %12s %10s\n" "topology" "discipline"
+    "deadlocked" "delivered" "stranded";
+  let cases =
+    [
+      ("ring(12)", (fun () -> Topo.Build.ring 12), 12);
+      ("ring(24)", (fun () -> Topo.Build.ring 24), 24);
+      ("torus(4x4)", (fun () -> Topo.Build.torus 4 4), 16);
+    ]
+  in
+  let outcomes = Hashtbl.create 16 in
+  List.iter
+    (fun (tname, g, circuits) ->
+      List.iter
+        (fun (dname, buffering, routing) ->
+          let r =
+            Flow.Deadlock.run (g ())
+              { dl with buffering; routing; circuits; slots = 3000 }
+          in
+          Hashtbl.replace outcomes (tname, dname) r;
+          Printf.printf "%-12s %-22s %12b %12d %10d\n" tname dname r.deadlocked
+            r.delivered r.stranded)
+        [
+          ("shared-fifo+shortest", Flow.Deadlock.Shared_fifo 2, Flow.Deadlock.Shortest);
+          ("shared-fifo+up*/down*", Flow.Deadlock.Shared_fifo 2, Flow.Deadlock.Updown);
+          ("per-vc+shortest (AN2)", Flow.Deadlock.Per_vc 2, Flow.Deadlock.Shortest);
+        ];
+      print_newline ())
+    cases;
+  let get t d = (Hashtbl.find outcomes (t, d) : Flow.Deadlock.result) in
+  Util.shape "rings deadlock under shared FIFO + shortest"
+    ((get "ring(12)" "shared-fifo+shortest").deadlocked
+     && (get "ring(24)" "shared-fifo+shortest").deadlocked);
+  Util.shape "up*/down* never deadlocks"
+    (List.for_all
+       (fun (t, _, _) -> not (get t "shared-fifo+up*/down*").deadlocked)
+       cases);
+  Util.shape "per-circuit buffers never deadlock"
+    (List.for_all
+       (fun (t, _, _) -> not (get t "per-vc+shortest (AN2)").deadlocked)
+       cases)
+
+let e15 () =
+  Util.header "E15" ~paper:"section 5"
+    ~claim:
+      "up*/down* routing may lengthen routes; the penalty depends on the \
+       topology (zero on trees, visible on rings and meshes)";
+  Printf.printf "%-16s %14s %16s %16s\n" "topology" "mean-stretch"
+    "mean-dist(free)" "mean-dist(u*/d*)";
+  let stretch_of g =
+    let tree = Topo.Spanning.bfs g ~root:0 in
+    let o = Topo.Updown.orient g tree in
+    let s = Topo.Updown.mean_stretch g o in
+    let free = Topo.Paths.mean_distance g in
+    let restricted =
+      let n = Topo.Graph.switch_count g in
+      let total = ref 0 and count = ref 0 in
+      for src = 0 to n - 1 do
+        Array.iteri
+          (fun dst d ->
+            if dst <> src && d > 0 then begin
+              total := !total + d;
+              incr count
+            end)
+          (Topo.Updown.distances g o ~src)
+      done;
+      float_of_int !total /. float_of_int (max 1 !count)
+    in
+    (s, free, restricted)
+  in
+  let results =
+    List.map
+      (fun (name, g) ->
+        let s, free, restricted = stretch_of g in
+        Printf.printf "%-16s %14.3f %16.2f %16.2f\n" name s free restricted;
+        (name, s))
+      [
+        ("tree(2,4)", Topo.Build.tree ~arity:2 ~depth:4);
+        ("src_lan", Topo.Build.src_lan ());
+        ("ring(16)", Topo.Build.ring 16);
+        ("torus(4x4)", Topo.Build.torus 4 4);
+        ("grid(5x5)", Topo.Build.grid 5 5);
+        ("hypercube(4)", Topo.Build.hypercube 4);
+        ("leaf-spine", Topo.Build.leaf_spine ~spines:2 ~leaves:6);
+        ( "random(24)",
+          let rng = Netsim.Rng.create 12 in
+          Topo.Build.random_connected ~rng ~switches:24 ~extra_links:20 );
+      ]
+  in
+  Util.shape "trees pay no penalty" (List.assoc "tree(2,4)" results = 1.0);
+  Util.shape "rings pay a visible penalty" (List.assoc "ring(16)" results > 1.1)
+
+let e18 () =
+  Util.header "E18" ~paper:"section 5 (dynamic buffer allocation, future work)"
+    ~claim:
+      "static per-circuit buffers cap a link at pool/RTT active circuits; \
+       dynamically moving quota from idle circuits to busy ones restores \
+       full link utilization without ever risking overflow";
+  let base = Flow.Adaptive.default_params in
+  let need = Flow.Adaptive.round_trip_cells base in
+  Printf.printf
+    "one 10us link, %d-cell pool, RTT-worth = %d cells per circuit\n"
+    base.total_buffers need;
+  Printf.printf "%-10s %-8s %-10s %12s %12s %10s %10s\n" "circuits" "active"
+    "policy" "aggregate" "per-active" "overflow" "realloc";
+  let ok = ref true in
+  List.iter
+    (fun (circuits, active) ->
+      List.iter
+        (fun (pname, policy) ->
+          let r =
+            Flow.Adaptive.run { base with circuits; active; policy }
+          in
+          if r.overflowed then ok := false;
+          let per =
+            Array.fold_left ( +. ) 0.0 r.per_active_throughput
+            /. float_of_int active
+          in
+          Printf.printf "%-10d %-8d %-10s %12.3f %12.3f %10b %10d\n" circuits
+            active pname r.aggregate_throughput per r.overflowed
+            r.reallocations)
+        [
+          ("static", Flow.Adaptive.Static);
+          ( "adaptive",
+            Flow.Adaptive.Adaptive { window = Netsim.Time.us 500; floor = 2 } );
+          ( "adapt/f1",
+            Flow.Adaptive.Adaptive { window = Netsim.Time.us 500; floor = 1 } );
+        ])
+    [ (8, 2); (32, 2); (32, 4); (64, 3) ];
+  Printf.printf
+    "(note: at 64 circuits a floor of 2 commits the whole 128-cell pool to \
+     floors,\n so only floor=1 leaves quota to harvest - the floor is a real \
+     trade-off)\n";
+  let sta = Flow.Adaptive.run { base with circuits = 32; active = 2 } in
+  let ada =
+    Flow.Adaptive.run
+      { base with circuits = 32; active = 2;
+        policy = Flow.Adaptive.Adaptive { window = Netsim.Time.us 500; floor = 2 } }
+  in
+  Util.shape "no overflow under any policy" !ok;
+  Util.shape "adaptive >3x static aggregate at 32 circuits / 2 active"
+    (ada.aggregate_throughput > 3.0 *. sta.aggregate_throughput)
+
+let e25 () =
+  Util.header "E25"
+    ~paper:"section 5 (and Owicki & Karlin 92, cited in section 6)"
+    ~claim:
+      "up*/down* routing's cost is not just longer paths but lost \
+       throughput, and 'the impact depends on both the topology and the \
+       workload': rings pay, trees and well-connected meshes do not";
+  let dl = Flow.Deadlock.default_params in
+  Printf.printf "%-14s %16s %16s %12s\n" "topology" "shortest-deliv"
+    "updown-deliv" "penalty";
+  let penalties =
+    List.map
+      (fun (name, make, circuits) ->
+        (* Per-circuit buffers: both routings are deadlock-free, so the
+           delivered-cell count is a clean throughput measure. *)
+        let run routing =
+          (Flow.Deadlock.run (make ())
+             { dl with buffering = Per_vc 4; routing; circuits; slots = 4000 })
+            .delivered
+        in
+        let s = run Flow.Deadlock.Shortest and u = run Flow.Deadlock.Updown in
+        let penalty = 1.0 -. (float_of_int u /. float_of_int s) in
+        Printf.printf "%-14s %16d %16d %11.1f%%\n" name s u (100.0 *. penalty);
+        (name, penalty))
+      [
+        ("ring(12)", (fun () -> Topo.Build.ring 12), 12);
+        ("ring(24)", (fun () -> Topo.Build.ring 24), 24);
+        ("torus(4x4)", (fun () -> Topo.Build.torus 4 4), 16);
+        ("hypercube(4)", (fun () -> Topo.Build.hypercube 4), 16);
+        ("tree(2,3)", (fun () -> Topo.Build.tree ~arity:2 ~depth:3), 15);
+        ( "random(24)",
+          (fun () ->
+            let rng = Netsim.Rng.create 5 in
+            Topo.Build.random_connected ~rng ~switches:24 ~extra_links:20),
+          24 );
+      ]
+  in
+  Printf.printf
+    "(the ring's negative penalty is real: the all-clockwise workload \
+     saturates\n one direction, and up*/down*'s forced detours spread it \
+     over both - the\n impact really does 'depend on both the topology and \
+     the workload')\n";
+  Util.shape "trees pay nothing (all routes already legal)"
+    (abs_float (List.assoc "tree(2,3)" penalties) < 0.01);
+  Util.shape "some topology/workload pays a real penalty"
+    (List.assoc "random(24)" penalties > 0.05);
+  Util.shape "the sign itself is workload-dependent (ring gains)"
+    (List.assoc "ring(12)" penalties < 0.0);
+  Util.shape "well-connected topologies pay little"
+    (List.assoc "torus(4x4)" penalties < 0.10)
+
+let run () =
+  e12 ();
+  e13 ();
+  e14 ();
+  e15 ();
+  e18 ();
+  e25 ()

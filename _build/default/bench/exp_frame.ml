@@ -1,0 +1,159 @@
+(* E5, E16: guaranteed-traffic scheduling experiments (paper section 4). *)
+
+let e5 () =
+  Util.header "E5" ~paper:"section 4 (Slepian-Duguid)"
+    ~claim:
+      "any reservation set that does not over-commit a link can be \
+       scheduled; adding one cell moves at most N existing connections \
+       (time linear in switch size, independent of frame size)";
+  Printf.printf "%-6s %-8s %-8s %-12s %-12s %-14s %-10s\n" "N" "frame" "fill"
+    "insertions" "avg-steps" "max-paper-steps" "failures";
+  let all_ok = ref true in
+  List.iter
+    (fun (size, frame, fill) ->
+      let rng = Netsim.Rng.create 3 in
+      let failures = ref 0 and inserts = ref 0 in
+      let step_sum = ref 0 and worst_pairs = ref 0 in
+      for _ = 1 to 40 do
+        let r = Frame.Reservation.random_admissible ~rng ~n:size ~frame ~fill in
+        let s = Frame.Schedule.create ~n:size ~frame in
+        for i = 0 to size - 1 do
+          for o = 0 to size - 1 do
+            for _ = 1 to Frame.Reservation.get r i o do
+              incr inserts;
+              match Frame.Schedule.add_cell s ~input:i ~output:o with
+              | Ok outcome ->
+                step_sum := !step_sum + outcome.steps;
+                let pairs = Frame.Figures.paper_steps outcome in
+                if pairs > !worst_pairs then worst_pairs := pairs
+              | Error _ -> incr failures
+            done
+          done
+        done;
+        if not (Frame.Schedule.valid s) then incr failures
+      done;
+      if !failures > 0 || !worst_pairs > size then all_ok := false;
+      Printf.printf "%-6d %-8d %-8.2f %-12d %-12.2f %-14d %-10d\n" size frame
+        fill !inserts
+        (float_of_int !step_sum /. float_of_int (max 1 !inserts))
+        !worst_pairs !failures)
+    [
+      (4, 8, 0.5); (4, 8, 0.95); (8, 16, 0.5); (8, 16, 0.95);
+      (16, 64, 0.5); (16, 64, 0.95); (16, 1024, 0.9);
+    ];
+  Util.shape "no admissible insertion ever fails, chains within N steps" !all_ok;
+  (* Independence of frame size: time is linear in N, not frame. *)
+  let timed size frame =
+    let rng = Netsim.Rng.create 4 in
+    let r = Frame.Reservation.random_admissible ~rng ~n:size ~frame ~fill:0.9 in
+    let s = Frame.Schedule.create ~n:size ~frame in
+    let steps = ref 0 in
+    for i = 0 to size - 1 do
+      for o = 0 to size - 1 do
+        for _ = 1 to Frame.Reservation.get r i o do
+          match Frame.Schedule.add_cell s ~input:i ~output:o with
+          | Ok { steps = k; _ } -> steps := !steps + k
+          | Error _ -> ()
+        done
+      done
+    done;
+    float_of_int !steps /. float_of_int (Frame.Reservation.total r)
+  in
+  let small = timed 16 64 and large = timed 16 1024 in
+  Printf.printf "avg steps/cell: frame=64 -> %.2f, frame=1024 -> %.2f\n" small large;
+  Util.shape "insertion cost independent of frame size" (large < small *. 2.0 +. 1.0)
+
+let e16 () =
+  Util.header "E16" ~paper:"section 4 (later versions)"
+    ~claim:
+      "packing reserved traffic into few slots frees whole slots for \
+       best-effort cells; distributing the free slots through the frame \
+       shortens the worst wait for a transmission opportunity";
+  let frame = 64 and size = 16 in
+  Printf.printf "%-8s %-10s %16s %16s %16s\n" "fill" "builder" "free-slots"
+    "free/pair" "worst-wait";
+  let results = Hashtbl.create 16 in
+  List.iter
+    (fun fill ->
+      let rng = Netsim.Rng.create 8 in
+      let r = Frame.Reservation.random_admissible ~rng ~n:size ~frame ~fill in
+      List.iter
+        (fun (name, build) ->
+          let m = Frame.Packing.measure (build r ~frame) in
+          Hashtbl.replace results (fill, name) m;
+          Printf.printf "%-8.2f %-10s %16d %16.1f %16.1f\n" fill name
+            m.Frame.Packing.fully_free_slots m.mean_free_per_pair
+            m.mean_worst_wait)
+        [
+          ("packed", Frame.Packing.build_packed);
+          ("spread", Frame.Packing.build_spread);
+          ("sd", Frame.Packing.build_sd);
+        ];
+      print_newline ())
+    [ 0.1; 0.3; 0.5; 0.7 ];
+  let ok_free =
+    List.for_all
+      (fun fill ->
+        let p = Hashtbl.find results (fill, "packed") in
+        let s = Hashtbl.find results (fill, "spread") in
+        p.Frame.Packing.fully_free_slots >= s.Frame.Packing.fully_free_slots)
+      [ 0.1; 0.3; 0.5; 0.7 ]
+  in
+  let ok_wait =
+    List.for_all
+      (fun fill ->
+        let p = Hashtbl.find results (fill, "packed") in
+        let s = Hashtbl.find results (fill, "spread") in
+        s.Frame.Packing.mean_worst_wait <= p.Frame.Packing.mean_worst_wait)
+      [ 0.1; 0.3; 0.5; 0.7 ]
+  in
+  Util.shape "packing maximizes fully-free slots" ok_free;
+  Util.shape "spreading minimizes worst wait" ok_wait
+
+let e17 () =
+  Util.header "E17" ~paper:"section 4 (nested frames, future work)"
+    ~claim:
+      "nesting a large allocation frame into small reordering units keeps \
+       the fine-grained bandwidth granularity while shrinking the worst \
+       service gap (the jitter driver) toward the subframe length";
+  let n = 16 and frame = 1024 in
+  Printf.printf "frame=%d slots; circuits of 32 cells/frame each\n" frame;
+  Printf.printf "%-12s %12s %12s %16s\n" "subframes" "max-gap" "mean-gap"
+    "imbalance";
+  (* A loaded switch: each input feeds two outputs at 32 cells/frame. *)
+  let r = Frame.Reservation.create n in
+  for i = 0 to n - 1 do
+    Frame.Reservation.set r i ((i + 1) mod n) 32;
+    Frame.Reservation.set r i ((i + 5) mod n) 32
+  done;
+  let flat = Frame.Packing.build_sd r ~frame in
+  let flat_m = Frame.Nested.measure flat ~subframes:8 in
+  Printf.printf "%-12s %12d %12.1f %16d\n" "flat (SD)" flat_m.max_gap
+    flat_m.mean_gap flat_m.worst_subframe_imbalance;
+  let gaps = ref [] in
+  List.iter
+    (fun sub ->
+      match Frame.Nested.build r ~frame ~subframes:sub with
+      | Error e -> failwith e
+      | Ok s ->
+        let m = Frame.Nested.measure s ~subframes:sub in
+        gaps := (sub, m.Frame.Nested.max_gap) :: !gaps;
+        Printf.printf "%-12d %12d %12.1f %16d\n" sub m.max_gap m.mean_gap
+          m.worst_subframe_imbalance)
+    [ 2; 4; 8; 16 ];
+  Util.shape "nesting shrinks the worst gap monotonically"
+    (let sorted = List.sort compare !gaps in
+     let rec decreasing = function
+       | (_, a) :: ((_, b) :: _ as rest) -> b <= a && decreasing rest
+       | _ -> true
+     in
+     decreasing sorted);
+  Util.shape "8 subframes cut the flat worst gap by >2x"
+    (match List.assoc_opt 8 !gaps with
+     | Some g -> 2 * g < flat_m.max_gap
+     | None -> false)
+
+let run () =
+  e5 ();
+  e16 ();
+  e17 ()

@@ -1,0 +1,57 @@
+(* E19: multicast virtual circuits (paper section 1 mentions them;
+   this quantifies the tree's economy over per-destination unicast). *)
+
+let e19 () =
+  Util.header "E19" ~paper:"section 1 (multicast circuits)"
+    ~claim:
+      "a multicast circuit's distribution tree crosses every link once per \
+       cell, so its cost stays near the network diameter while k unicast \
+       circuits pay the full path k times; all destinations receive every \
+       cell";
+  Printf.printf "%-12s %-8s %12s %12s %10s %12s\n" "topology" "group"
+    "tree-cost" "unicast" "saving" "delivered";
+  let ok_econ = ref true and ok_delivery = ref true in
+  let case name g source dest_pool =
+    let net = An2.Network.create g in
+    List.iter
+      (fun k ->
+        let dests = List.filteri (fun i _ -> i < k) dest_pool in
+        match
+          ( An2.Multicast.build net ~source_host:source ~dest_hosts:dests,
+            An2.Multicast.unicast_transmissions net ~source_host:source
+              ~dest_hosts:dests )
+        with
+        | Ok mc, Ok unicast ->
+          let tree = An2.Multicast.link_transmissions mc in
+          if tree > unicast then ok_econ := false;
+          let d =
+            An2.Multicast.simulate net mc ~rate:0.2
+              ~duration:(Netsim.Time.ms 2)
+          in
+          if not d.delivered_all then ok_delivery := false;
+          Printf.printf "%-12s %-8d %12d %12d %9.0f%% %12b\n" name k tree
+            unicast
+            (100.0 *. (1.0 -. (float_of_int tree /. float_of_int unicast)))
+            d.delivered_all
+        | Error e, _ | _, Error e -> failwith e)
+      [ 2; 4; 8 ];
+    print_newline ()
+  in
+  case "src_lan" (Topo.Build.src_lan ()) 0 [ 3; 6; 9; 12; 15; 18; 21; 23 ];
+  (* A chain with the whole group at the far end: maximal sharing. *)
+  let chain = Topo.Build.linear 6 in
+  let chain_src = Topo.Graph.add_host chain in
+  ignore (Topo.Graph.connect chain (Host chain_src) (Switch 0));
+  let chain_dests =
+    List.map
+      (fun _ ->
+        let h = Topo.Graph.add_host chain in
+        ignore (Topo.Graph.connect chain (Host h) (Switch 5));
+        h)
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  case "chain(6)" chain chain_src chain_dests;
+  Util.shape "tree never costs more than unicast" !ok_econ;
+  Util.shape "every destination receives every cell" !ok_delivery
+
+let run () = e19 ()

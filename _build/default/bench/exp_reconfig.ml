@@ -1,0 +1,226 @@
+(* E8-E11: reconfiguration experiments (paper sections 1 and 2). *)
+
+let e8 () =
+  Util.header "E8" ~paper:"sections 1-2"
+    ~claim:
+      "after pulling the plug on an arbitrary switch, the network \
+       reconfigures in under 200 ms (detection dominates; the distributed \
+       protocol itself takes single-digit milliseconds), and the time \
+       scales gently with network size";
+  Printf.printf "%-22s %10s %12s %10s %8s %8s\n" "topology" "switches"
+    "elapsed" "messages" "tree" "bfs";
+  let show name g fail =
+    let o = Reconfig.Runner.run_after_failure g ~fail in
+    Printf.printf "%-22s %10d %12s %10d %8d %8d\n" name
+      (Topo.Graph.switch_count g)
+      (Format.asprintf "%a" Netsim.Time.pp o.elapsed)
+      o.messages o.tree_depth o.bfs_depth;
+    o
+  in
+  let src = show "src_lan (plug pull)" (Topo.Build.src_lan ()) (`Switch 4) in
+  List.iter
+    (fun size ->
+      let rng = Netsim.Rng.create 31 in
+      let g = Topo.Build.random_connected ~rng ~switches:size ~extra_links:size in
+      ignore (show (Printf.sprintf "random(%d)" size) g (`Switch (size / 2))))
+    [ 4; 8; 16; 32; 64 ];
+  ignore (show "linear(32) worst case" (Topo.Build.linear 32) (`Link 15));
+  Util.shape "SRC LAN reconfigures in <200ms" (src.elapsed < Netsim.Time.ms 200);
+  Util.shape "SRC LAN converged correctly" (src.converged && src.topology_correct);
+  (* Protocol-only time (instant detection), broken into the paper's
+     three phases. *)
+  Util.section "protocol time only (detection excluded), by phase";
+  Printf.printf "  %-10s %14s %14s %14s %14s\n" "switches" "propagation"
+    "collection" "distribution" "total";
+  List.iter
+    (fun size ->
+      let rng = Netsim.Rng.create 32 in
+      let g = Topo.Build.random_connected ~rng ~switches:size ~extra_links:size in
+      let o = Reconfig.Runner.run g ~triggers:[ (0, 0) ] in
+      Printf.printf "  %-10d %14s %14s %14s %14s\n" size
+        (Format.asprintf "%a" Netsim.Time.pp o.phase_propagation)
+        (Format.asprintf "%a" Netsim.Time.pp o.phase_collection)
+        (Format.asprintf "%a" Netsim.Time.pp o.phase_distribution)
+        (Format.asprintf "%a" Netsim.Time.pp o.elapsed))
+    [ 8; 16; 32; 64 ]
+
+let e9 () =
+  Util.header "E9" ~paper:"section 2 (epochs)"
+    ~claim:
+      "when reconfigurations overlap, every switch eventually joins the \
+       configuration with the largest (epoch, id) tag and all agree on one \
+       consistent topology";
+  let trials = 200 in
+  let rng = Netsim.Rng.create 77 in
+  let converged = ref 0 and agreed = ref 0 and correct = ref 0 in
+  for _ = 1 to trials do
+    let g = Topo.Build.random_connected ~rng ~switches:12 ~extra_links:8 in
+    let k = 2 + Netsim.Rng.int rng 2 in
+    let triggers =
+      List.init k (fun _ ->
+          (Netsim.Time.us (Netsim.Rng.int rng 300), Netsim.Rng.int rng 12))
+    in
+    let o = Reconfig.Runner.run g ~triggers in
+    if o.converged then incr converged;
+    if o.agreement then incr agreed;
+    if o.topology_correct then incr correct
+  done;
+  Printf.printf "trials=%d converged=%d agreement=%d correct-topology=%d\n"
+    trials !converged !agreed !correct;
+  Util.shape "all overlapping runs converge with agreement"
+    (!converged = trials && !agreed = trials && !correct = trials)
+
+let e10 () =
+  Util.header "E10" ~paper:"section 2 (skeptic)"
+    ~claim:
+      "an intermittently failing link must not trigger a reconfiguration \
+       storm: the skeptic demands exponentially longer proof of health, so \
+       declared transitions grow ~logarithmically while raw flaps grow \
+       linearly";
+  let run_case ~skeptical ~flap_period ~total =
+    let engine = Netsim.Engine.create () in
+    let up = ref true in
+    let rec flip at =
+      if at < total then
+        ignore
+          (Netsim.Engine.schedule_at engine ~at (fun () ->
+               up := not !up;
+               flip (at + flap_period)))
+    in
+    flip flap_period;
+    let transitions = ref 0 in
+    let params =
+      if skeptical then Reconfig.Monitor.default_params
+      else
+        { Reconfig.Monitor.default_params with
+          skeptic =
+            { Reconfig.Skeptic.default_params with
+              base_wait = Netsim.Time.ms 100;
+              max_level = 0 (* constant probation: no skepticism *) } }
+    in
+    let m =
+      Reconfig.Monitor.create ~engine ~params
+        ~link_up:(fun () -> !up)
+        ~on_transition:(fun ~up:_ _ -> incr transitions)
+    in
+    Reconfig.Monitor.start m;
+    Netsim.Engine.run_until engine total;
+    !transitions
+  in
+  Printf.printf "%-14s %12s %18s %18s\n" "flap-period" "raw-flaps"
+    "declared(naive)" "declared(skeptic)";
+  let ok = ref true in
+  List.iter
+    (fun period_ms ->
+      let total = Netsim.Time.s 60 in
+      let flap_period = Netsim.Time.ms period_ms in
+      let raw = total / flap_period in
+      let naive = run_case ~skeptical:false ~flap_period ~total in
+      let skeptic = run_case ~skeptical:true ~flap_period ~total in
+      if skeptic > naive || skeptic > 25 then ok := false;
+      Printf.printf "%-14s %12d %18d %18d\n"
+        (Printf.sprintf "%dms" period_ms)
+        raw naive skeptic)
+    [ 150; 300; 700; 1500 ];
+  Util.shape "skeptic damps reconfiguration-triggering transitions" !ok
+
+let e11 () =
+  Util.header "E11" ~paper:"section 2"
+    ~claim:
+      "the propagation-order spanning tree is usually close to a \
+       breadth-first tree, so the reconfiguration parallelizes well";
+  let trials = 100 in
+  let rng = Netsim.Rng.create 99 in
+  let ratios = Netsim.Stats.Summary.create () in
+  for _ = 1 to trials do
+    let g = Topo.Build.random_connected ~rng ~switches:24 ~extra_links:20 in
+    let o = Reconfig.Runner.run g ~triggers:[ (0, Netsim.Rng.int rng 24) ] in
+    if o.converged && o.bfs_depth > 0 then
+      Netsim.Stats.Summary.add ratios
+        (float_of_int o.tree_depth /. float_of_int o.bfs_depth)
+  done;
+  Printf.printf "tree/BFS depth ratio over %d random topologies: %s\n" trials
+    (Format.asprintf "%a" Netsim.Stats.Summary.pp ratios);
+  Util.shape "mean ratio below 1.35" (Netsim.Stats.Summary.mean ratios < 1.35);
+  Util.shape "never worse than 3x" (Netsim.Stats.Summary.max ratios <= 3.0)
+
+let e20 () =
+  Util.header "E20" ~paper:"section 2 (localized reconfiguration, future work)"
+    ~claim:
+      "restricting participation to switches near the failure repairs the \
+       topology with a fraction of the switches and messages of a global \
+       reconfiguration, while every participant's merged view is exact";
+  Printf.printf "%-14s %8s %14s %14s %14s %10s\n" "topology" "radius"
+    "participants" "local-msgs" "global-msgs" "correct";
+  let ok = ref true in
+  List.iter
+    (fun (name, make, fail) ->
+      let global =
+        let g = make () in
+        Reconfig.Runner.run_after_failure g ~fail:(`Link fail)
+      in
+      List.iter
+        (fun radius ->
+          let g = make () in
+          let o = Reconfig.Local.run_after_failure ~radius g ~fail in
+          if not (o.converged && o.region_correct) then ok := false;
+          Printf.printf "%-14s %8d %8d/%-5d %14d %14d %10b\n" name radius
+            o.participants o.total_switches o.messages global.messages
+            o.region_correct)
+        [ 1; 2; 3 ];
+      print_newline ())
+    [
+      ("ring(24)", (fun () -> Topo.Build.ring 24), 6);
+      ("torus(6x6)", (fun () -> Topo.Build.torus 6 6), 20);
+      ( "random(48)",
+        (fun () ->
+          let rng = Netsim.Rng.create 5 in
+          Topo.Build.random_connected ~rng ~switches:48 ~extra_links:30),
+        12 );
+    ];
+  Util.shape "all scoped repairs converge with exact views" !ok;
+  let g = Topo.Build.ring 24 in
+  let local = Reconfig.Local.run_after_failure ~radius:1 g ~fail:6 in
+  let g2 = Topo.Build.ring 24 in
+  let global = Reconfig.Runner.run_after_failure g2 ~fail:(`Link 6) in
+  Util.shape "radius-1 repair uses <20% of global messages"
+    (local.messages * 5 < global.messages)
+
+let e27 () =
+  Util.header "E27" ~paper:"section 2 (reliable control channels)"
+    ~claim:
+      "the reconfiguration algorithm assumes reliable in-order control        links; a go-back-N link layer supplies them over a lossy wire, so        the protocol converges to the exact topology even under heavy        control-cell loss, paying only retransmissions and delay";
+  Printf.printf "%-8s %12s %12s %12s %14s %10s
+" "loss" "converged" "elapsed"
+    "delivered" "transmissions" "correct";
+  let ok = ref true in
+  List.iter
+    (fun loss ->
+      let g = Topo.Build.src_lan () in
+      let params =
+        { Reconfig.Runner.default_params with control_loss = loss; seed = 3 }
+      in
+      let o = Reconfig.Runner.run_after_failure ~params g ~fail:(`Switch 4) in
+      if not (o.converged && o.topology_correct) then ok := false;
+      Printf.printf "%-8.2f %12b %12s %12d %14d %10b
+" loss o.converged
+        (Format.asprintf "%a" Netsim.Time.pp o.elapsed)
+        o.messages o.wire_transmissions o.topology_correct)
+    [ 0.0; 0.05; 0.1; 0.2; 0.3 ];
+  Util.shape "exact convergence through 30% control loss" !ok;
+  let g = Topo.Build.src_lan () in
+  let o =
+    Reconfig.Runner.run_after_failure
+      ~params:{ Reconfig.Runner.default_params with control_loss = 0.3; seed = 3 }
+      g ~fail:(`Switch 4)
+  in
+  Util.shape "even at 30% loss, still well under 200ms"
+    (o.elapsed < Netsim.Time.ms 200)
+
+let run () =
+  e8 ();
+  e9 ();
+  e10 ();
+  e11 ();
+  e20 ();
+  e27 ()

@@ -1,0 +1,57 @@
+(* E23: virtual-circuit setup signaling (paper section 2). *)
+
+let e23 () =
+  Util.header "E23" ~paper:"section 2 (circuit setup)"
+    ~claim:
+      "data may follow the setup cell immediately: cells overtaking the \
+       per-hop software processing are buffered at the line card until its \
+       table entry exists, then released in order; setup latency is the \
+       per-switch software time times the path length";
+  let p = An2.Signaling.default_params in
+  Printf.printf
+    "per-hop software %.0fus, full-rate source, %d data cells right behind \
+     the setup cell\n"
+    (Netsim.Time.to_us p.proc_delay)
+    p.data_cells;
+  Printf.printf "%-8s %12s %16s %12s %10s %12s\n" "hops" "setup(us)"
+    "first-data(us)" "delivered" "in-order" "max-backlog";
+  let ok_order = ref true and ok_scale = ref true in
+  let setup1 = ref 0.0 in
+  List.iter
+    (fun hops ->
+      let g = Topo.Build.linear hops in
+      let h1, h2 = Topo.Build.with_host_pair g in
+      let net = An2.Network.create g in
+      match An2.Signaling.setup_with_data net ~src_host:h1 ~dst_host:h2 p with
+      | Error e -> failwith e
+      | Ok r ->
+        if hops = 1 then setup1 := r.setup_time_us;
+        if not r.in_order then ok_order := false;
+        if
+          abs_float (r.setup_time_us -. (float_of_int hops *. !setup1))
+          > 10.0 *. float_of_int hops
+        then ok_scale := false;
+        Printf.printf "%-8d %12.1f %16.1f %12d %10b %12d\n" hops
+          r.setup_time_us r.first_data_latency_us r.delivered r.in_order
+          r.max_buffered_awaiting_entry)
+    [ 1; 2; 3; 4; 6; 8 ];
+  Util.shape "all cells delivered in order, none lost" !ok_order;
+  Util.shape "setup time linear in hops (software dominated)" !ok_scale;
+  (* The backlog a switch must absorb is one software delay of line-rate
+     cells - which is why section 2 leans on the credit scheme: a
+     round-trip's worth of credits covers it. *)
+  let g = Topo.Build.linear 3 in
+  let h1, h2 = Topo.Build.with_host_pair g in
+  let net = An2.Network.create g in
+  (match An2.Signaling.setup_with_data net ~src_host:h1 ~dst_host:h2 p with
+   | Ok r ->
+     let expected = p.proc_delay / p.cell_time in
+     Printf.printf
+       "worst backlog %d ~ proc_delay/cell_time = %d: the buffering the \
+        credit window must cover\n"
+       r.max_buffered_awaiting_entry expected;
+     Util.shape "backlog equals one software delay of cells"
+       (abs (r.max_buffered_awaiting_entry - expected) <= 5)
+   | Error e -> failwith e)
+
+let run () = e23 ()

@@ -1,0 +1,95 @@
+(* B1-B4: Bechamel micro-benchmarks of the algorithm kernels, sized to
+   the decisions the real hardware/firmware makes. *)
+
+open Bechamel
+open Toolkit
+
+let pim_kernel () =
+  let rng = Netsim.Rng.create 1 in
+  let req = Matching.Request.random ~rng ~n:16 ~density:0.75 in
+  Staged.stage (fun () -> ignore (Matching.Pim.run ~rng req ~iterations:3))
+
+let islip_kernel () =
+  let rng = Netsim.Rng.create 2 in
+  let req = Matching.Request.random ~rng ~n:16 ~density:0.75 in
+  let st = Matching.Islip.create 16 in
+  Staged.stage (fun () -> ignore (Matching.Islip.run st req ~iterations:3))
+
+let hopcroft_karp_kernel () =
+  let rng = Netsim.Rng.create 3 in
+  let req = Matching.Request.random ~rng ~n:16 ~density:0.75 in
+  Staged.stage (fun () -> ignore (Matching.Hopcroft_karp.run req))
+
+let sd_insert_kernel () =
+  let rng = Netsim.Rng.create 4 in
+  let frame = 1024 in
+  let s = Frame.Schedule.create ~n:16 ~frame in
+  (* Pre-fill to 90% so insertions exercise the swap chain. *)
+  let r = Frame.Reservation.random_admissible ~rng ~n:16 ~frame ~fill:0.9 in
+  for i = 0 to 15 do
+    for o = 0 to 15 do
+      ignore
+        (Frame.Schedule.add_reservation s ~input:i ~output:o
+           ~cells:(Frame.Reservation.get r i o))
+    done
+  done;
+  Staged.stage (fun () ->
+      (* Insert and remove one cell between a lightly loaded pair. *)
+      match Frame.Schedule.add_cell s ~input:0 ~output:0 with
+      | Ok _ -> ignore (Frame.Schedule.remove_cell s ~input:0 ~output:0)
+      | Error _ -> ())
+
+let reconfig_kernel () =
+  Staged.stage (fun () ->
+      let g = Topo.Build.src_lan () in
+      ignore (Reconfig.Runner.run g ~triggers:[ (0, 0) ]))
+
+let credit_kernel () =
+  let up = Flow.Credit.Upstream.create ~total:64 in
+  let ds = Flow.Credit.Downstream.create ~capacity:64 ~cumulative:false in
+  Staged.stage (fun () ->
+      Flow.Credit.Upstream.on_send up;
+      Flow.Credit.Downstream.on_arrival ds;
+      Flow.Credit.Upstream.on_credit up (Flow.Credit.Downstream.on_forward ds))
+
+let engine_kernel () =
+  Staged.stage (fun () ->
+      let e = Netsim.Engine.create () in
+      for i = 1 to 100 do
+        ignore (Netsim.Engine.schedule e ~delay:i (fun () -> ()))
+      done;
+      Netsim.Engine.run e)
+
+let benchmarks =
+  Test.make_grouped ~name:"an2-kernels"
+    [
+      Test.make ~name:"B1 pim-16x16-3iter" (pim_kernel ());
+      Test.make ~name:"B1 islip-16x16-3iter" (islip_kernel ());
+      Test.make ~name:"B1 hopcroft-karp-16x16" (hopcroft_karp_kernel ());
+      Test.make ~name:"B2 slepian-duguid-insert" (sd_insert_kernel ());
+      Test.make ~name:"B3 reconfig-src-lan" (reconfig_kernel ());
+      Test.make ~name:"B4 credit-roundtrip" (credit_kernel ());
+      Test.make ~name:"B4 engine-100-events" (engine_kernel ());
+    ]
+
+let run () =
+  Printf.printf "\n%s\n[B1-B4] Bechamel micro-benchmarks (monotonic clock)\n%s\n"
+    (String.make 78 '=') (String.make 78 '-');
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances benchmarks in
+  let results =
+    List.map (fun instance -> Analyze.all (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]) instance raw)
+      instances
+  in
+  let results = Analyze.merge (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]) instances results in
+  Hashtbl.iter
+    (fun name tbl ->
+      ignore name;
+      Hashtbl.iter
+        (fun test result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-32s %12.1f ns/run\n" test est
+          | _ -> Printf.printf "  %-32s (no estimate)\n" test)
+        tbl)
+    results

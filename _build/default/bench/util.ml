@@ -1,0 +1,20 @@
+(* Shared formatting helpers for the experiment harness. *)
+
+let header eid ~paper ~claim =
+  Printf.printf "\n%s\n" (String.make 78 '=');
+  Printf.printf "[%s] %s\n" eid paper;
+  Printf.printf "claim: %s\n" claim;
+  Printf.printf "%s\n" (String.make 78 '-')
+
+let row fmt = Printf.printf fmt
+
+let shape name ok =
+  Printf.printf "shape[%s]: %s\n" name (if ok then "HOLDS" else "VIOLATED")
+
+let section title = Printf.printf "\n-- %s --\n" title
+
+(* Replicate a measurement over several seeds; returns (mean, stddev). *)
+let replicate ~seeds f =
+  let stats = Netsim.Stats.Summary.create () in
+  List.iter (fun seed -> Netsim.Stats.Summary.add stats (f seed)) seeds;
+  (Netsim.Stats.Summary.mean stats, Netsim.Stats.Summary.stddev stats)

@@ -1,0 +1,451 @@
+(* an2sim: a command-line front end to the AN2 simulators.
+
+   Subcommands mirror the library's experiment surfaces:
+     an2sim topo      --kind ring --switches 12     # inspect a topology
+     an2sim fabric    --scheduler pim3 --load 0.9   # one-switch run
+     an2sim reconfig  --kind src-lan --fail-switch 4
+     an2sim flow      --credits 16 --hops 3
+     an2sim deadlock  --buffering shared --routing shortest
+     an2sim e2e       --hops 3 --cbr 8 --be         # end-to-end run *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let make_topology kind switches =
+  match kind with
+  | "linear" -> Topo.Build.linear switches
+  | "ring" -> Topo.Build.ring switches
+  | "star" -> Topo.Build.star switches
+  | "grid" ->
+    let side = max 2 (int_of_float (sqrt (float_of_int switches))) in
+    Topo.Build.grid side side
+  | "torus" ->
+    let side = max 3 (int_of_float (sqrt (float_of_int switches))) in
+    Topo.Build.torus side side
+  | "src-lan" -> Topo.Build.src_lan ()
+  | "hypercube" ->
+    let d = max 1 (int_of_float (Float.round (log (float_of_int switches) /. log 2.0))) in
+    Topo.Build.hypercube d
+  | "leaf-spine" -> Topo.Build.leaf_spine ~spines:2 ~leaves:(max 1 (switches - 2))
+  | "random" ->
+    let rng = Netsim.Rng.create 7 in
+    Topo.Build.random_connected ~rng ~switches ~extra_links:(switches / 2)
+  | other -> Fmt.failwith "unknown topology kind %S" other
+
+let kind_arg =
+  let doc =
+    "Topology: linear, ring, star, grid, torus, hypercube, leaf-spine, \
+     src-lan, random."
+  in
+  Arg.(value & opt string "src-lan" & info [ "kind" ] ~docv:"KIND" ~doc)
+
+let switches_arg =
+  Arg.(value & opt int 10 & info [ "switches" ] ~docv:"N" ~doc:"Switch count.")
+
+(* ------------------------------------------------------------------ *)
+(* topo *)
+
+let topo_cmd =
+  let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead.") in
+  let run kind switches dot =
+    let g = make_topology kind switches in
+    if dot then print_string (Topo.Graph.to_dot g)
+    else begin
+    Format.printf "%a@." Topo.Graph.pp g;
+    let tree = Topo.Spanning.bfs g ~root:0 in
+    let orientation = Topo.Updown.orient g tree in
+    Format.printf
+      "diameter=%d mean-distance=%.2f spanning-height=%d up*/down* stretch=%.3f@."
+      (Topo.Paths.diameter g) (Topo.Paths.mean_distance g)
+      (Topo.Spanning.height tree)
+      (Topo.Updown.mean_stretch g orientation);
+    Format.printf "wait-for dependencies acyclic under up*/down*: %b@."
+      (Topo.Updown.dependency_acyclic g ~restricted:(Some orientation))
+    end
+  in
+  let doc = "Build a topology and report its routing properties." in
+  Cmd.v (Cmd.info "topo" ~doc) Term.(const run $ kind_arg $ switches_arg $ dot_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fabric *)
+
+let fabric_cmd =
+  let scheduler_arg =
+    let doc = "Scheduler: fifo, pim1, pim3, islip3, greedy, maximum, oq." in
+    Arg.(value & opt string "pim3" & info [ "scheduler" ] ~docv:"S" ~doc)
+  in
+  let load_arg =
+    Arg.(value & opt float 0.9 & info [ "load" ] ~docv:"L" ~doc:"Offered load.")
+  in
+  let slots_arg =
+    Arg.(value & opt int 20_000 & info [ "slots" ] ~docv:"SLOTS" ~doc:"Slots.")
+  in
+  let pattern_arg =
+    let doc = "Arrival pattern: uniform, bursty, hotspot, permutation." in
+    Arg.(value & opt string "uniform" & info [ "pattern" ] ~docv:"P" ~doc)
+  in
+  let run scheduler load slots pattern seed =
+    let n = 16 in
+    let rng = Netsim.Rng.create seed in
+    let model =
+      match scheduler with
+      | "fifo" -> Fabric.Fifo_switch.create ~rng ~n
+      | "pim1" -> Fabric.Voq_switch.create ~rng ~n ~scheduler:(Pim 1)
+      | "pim3" -> Fabric.Voq_switch.create ~rng ~n ~scheduler:(Pim 3)
+      | "islip3" -> Fabric.Voq_switch.create ~rng ~n ~scheduler:(Islip 3)
+      | "greedy" -> Fabric.Voq_switch.create ~rng ~n ~scheduler:Greedy_random
+      | "maximum" -> Fabric.Voq_switch.create ~rng ~n ~scheduler:Maximum
+      | "oq" -> Fabric.Output_queued.create ~rng ~n ~k:n
+      | other -> Fmt.failwith "unknown scheduler %S" other
+    in
+    let traffic =
+      match pattern with
+      | "uniform" -> Fabric.Traffic.uniform ~rng ~n ~load
+      | "bursty" -> Fabric.Traffic.bursty ~rng ~n ~load ~mean_burst:16.0
+      | "hotspot" -> Fabric.Traffic.hotspot ~rng ~n ~load ~hot_fraction:0.2
+      | "permutation" -> Fabric.Traffic.permutation ~rng ~n ~load
+      | other -> Fmt.failwith "unknown pattern %S" other
+    in
+    let m = Fabric.Harness.run ~traffic ~model ~slots () in
+    Format.printf "%a@." (fun fmt () -> Fabric.Harness.pp_metrics fmt m) ()
+  in
+  let doc = "Simulate one 16x16 switch under a traffic pattern." in
+  Cmd.v (Cmd.info "fabric" ~doc)
+    Term.(const run $ scheduler_arg $ load_arg $ slots_arg $ pattern_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* reconfig *)
+
+let reconfig_cmd =
+  let fail_switch_arg =
+    Arg.(value & opt (some int) None
+         & info [ "fail-switch" ] ~docv:"S" ~doc:"Switch to kill.")
+  in
+  let fail_link_arg =
+    Arg.(value & opt (some int) None
+         & info [ "fail-link" ] ~docv:"L" ~doc:"Link to kill.")
+  in
+  let run kind switches fail_switch fail_link =
+    let g = make_topology kind switches in
+    let outcome =
+      match (fail_switch, fail_link) with
+      | Some s, _ -> Reconfig.Runner.run_after_failure g ~fail:(`Switch s)
+      | None, Some l -> Reconfig.Runner.run_after_failure g ~fail:(`Link l)
+      | None, None -> Reconfig.Runner.run g ~triggers:[ (0, 0) ]
+    in
+    Format.printf
+      "converged=%b elapsed=%a messages=%d agreement=%b topology-correct=%b@."
+      outcome.converged Netsim.Time.pp outcome.elapsed outcome.messages
+      outcome.agreement outcome.topology_correct;
+    Format.printf "winning tag=%a propagation-tree depth=%d (BFS %d)@."
+      Reconfig.Tag.pp outcome.final_tag outcome.tree_depth outcome.bfs_depth
+  in
+  let doc = "Run the distributed reconfiguration protocol." in
+  Cmd.v (Cmd.info "reconfig" ~doc)
+    Term.(const run $ kind_arg $ switches_arg $ fail_switch_arg $ fail_link_arg)
+
+(* ------------------------------------------------------------------ *)
+(* flow *)
+
+let flow_cmd =
+  let credits_arg =
+    Arg.(value & opt int 34 & info [ "credits" ] ~docv:"C" ~doc:"Credits per VC.")
+  in
+  let hops_arg =
+    Arg.(value & opt int 3 & info [ "hops" ] ~docv:"H" ~doc:"Links on the path.")
+  in
+  let loss_arg =
+    Arg.(value & opt float 0.0
+         & info [ "credit-loss" ] ~docv:"P" ~doc:"Credit-message drop prob.")
+  in
+  let resync_arg =
+    Arg.(value & flag & info [ "resync" ] ~doc:"Enable periodic resync.")
+  in
+  let run credits hops loss resync seed =
+    let p =
+      { Flow.Chain.default_params with
+        credits; hops; credit_loss_prob = loss; seed;
+        resync_interval = (if resync then Some (Netsim.Time.ms 1) else None) }
+    in
+    let r = Flow.Chain.run p in
+    Format.printf
+      "rtt-credits-needed=%d throughput=%.3f mean-latency=%.1fus p99=%.1fus \
+       max-occupancy=%d overflow=%b@."
+      (Flow.Chain.round_trip_credits p)
+      r.throughput r.mean_latency r.p99_latency r.max_occupancy r.overflowed;
+    Format.printf "windows:";
+    Array.iter (fun w -> Format.printf " %.2f" w) r.window_throughput;
+    Format.printf "@."
+  in
+  let doc = "Credit flow control along a chain of switches." in
+  Cmd.v (Cmd.info "flow" ~doc)
+    Term.(const run $ credits_arg $ hops_arg $ loss_arg $ resync_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* deadlock *)
+
+let deadlock_cmd =
+  let buffering_arg =
+    let doc = "Buffering: shared or per-vc." in
+    Arg.(value & opt string "shared" & info [ "buffering" ] ~docv:"B" ~doc)
+  in
+  let routing_arg =
+    let doc = "Routing: shortest or updown." in
+    Arg.(value & opt string "shortest" & info [ "routing" ] ~docv:"R" ~doc)
+  in
+  let run kind switches buffering routing seed =
+    let g = make_topology kind switches in
+    let buffering =
+      match buffering with
+      | "shared" -> Flow.Deadlock.Shared_fifo 2
+      | "per-vc" -> Flow.Deadlock.Per_vc 2
+      | other -> Fmt.failwith "unknown buffering %S" other
+    in
+    let routing =
+      match routing with
+      | "shortest" -> Flow.Deadlock.Shortest
+      | "updown" -> Flow.Deadlock.Updown
+      | other -> Fmt.failwith "unknown routing %S" other
+    in
+    let r =
+      Flow.Deadlock.run g
+        { Flow.Deadlock.default_params with
+          buffering; routing; seed;
+          circuits = Topo.Graph.switch_count g }
+    in
+    Format.printf "deadlocked=%b%s delivered=%d stranded=%d@." r.deadlocked
+      (match r.deadlock_slot with
+       | Some s -> Printf.sprintf " (at slot %d)" s
+       | None -> "")
+      r.delivered r.stranded
+  in
+  let doc = "Probe buffer-wait deadlock under a buffering/routing discipline." in
+  Cmd.v (Cmd.info "deadlock" ~doc)
+    Term.(const run $ kind_arg $ switches_arg $ buffering_arg $ routing_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* e2e *)
+
+let e2e_cmd =
+  let hops_arg =
+    Arg.(value & opt int 3 & info [ "hops" ] ~docv:"H" ~doc:"Chain length.")
+  in
+  let cbr_arg =
+    Arg.(value & opt int 8
+         & info [ "cbr" ] ~docv:"CELLS" ~doc:"Guaranteed cells/frame (0 = none).")
+  in
+  let be_arg = Arg.(value & flag & info [ "be" ] ~doc:"Add a greedy BE circuit.") in
+  let packets_arg =
+    Arg.(value & opt int 0
+         & info [ "packets" ] ~docv:"BYTES"
+             ~doc:"Add a packet source of this byte size (0 = none).")
+  in
+  let ms_arg =
+    Arg.(value & opt int 10 & info [ "duration-ms" ] ~docv:"MS" ~doc:"Run length.")
+  in
+  let run hops cbr be packets ms seed =
+    let frame = 128 in
+    let g = Topo.Build.linear hops in
+    let h1, h2 = Topo.Build.with_host_pair g in
+    let net = An2.Network.create ~frame g in
+    let bwc = An2.Bandwidth_central.create net in
+    let sources = ref [] in
+    if cbr > 0 then begin
+      match An2.Bandwidth_central.request bwc ~src_host:h1 ~dst_host:h2 ~cells:cbr with
+      | Ok vc -> sources := An2.Netrun.Cbr vc :: !sources
+      | Error d -> Fmt.failwith "admission denied: %a" An2.Bandwidth_central.pp_denial d
+    end;
+    if be then begin
+      match An2.Network.setup_best_effort net ~src_host:h1 ~dst_host:h2 with
+      | Ok vc -> sources := An2.Netrun.Saturated_be vc :: !sources
+      | Error e -> failwith e
+    end;
+    if packets > 0 then begin
+      match An2.Network.setup_best_effort net ~src_host:h1 ~dst_host:h2 with
+      | Ok vc -> sources := An2.Netrun.Packets_be (vc, 0.5, packets) :: !sources
+      | Error e -> failwith e
+    end;
+    if !sources = [] then
+      failwith "nothing to run: pass --cbr, --be and/or --packets";
+    let p = { An2.Netrun.default_params with seed } in
+    let r =
+      An2.Netrun.run net p ~sources:!sources ~duration:(Netsim.Time.ms ms) ()
+    in
+    List.iter
+      (fun (id, (s : An2.Netrun.vc_stats)) ->
+        Format.printf
+          "vc %d: sent=%d delivered=%d dropped=%d latency mean=%.1f p99=%.1f \
+           max=%.1f jitter=%.1f (us)@."
+          id s.sent s.delivered s.dropped s.mean_latency_us s.p99_latency_us
+          s.max_latency_us s.jitter_us;
+        if s.packets_sent > 0 then
+          Format.printf
+            "      packets: %d sent, %d reassembled, mean latency %.1fus@."
+            s.packets_sent s.packets_delivered s.packet_mean_latency_us)
+      r.per_vc;
+    Format.printf "worst guaranteed backlog: %d cells (%.2f frames)@."
+      r.max_guaranteed_backlog r.guaranteed_backlog_frames
+  in
+  let doc = "End-to-end run over a chain: guaranteed + best-effort traffic." in
+  Cmd.v (Cmd.info "e2e" ~doc)
+    Term.(const run $ hops_arg $ cbr_arg $ be_arg $ packets_arg $ ms_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* local-reconfig *)
+
+let local_reconfig_cmd =
+  let radius_arg =
+    Arg.(value & opt int 2 & info [ "radius" ] ~docv:"R" ~doc:"Hop radius.")
+  in
+  let fail_link_arg =
+    Arg.(value & opt int 3 & info [ "fail-link" ] ~docv:"L" ~doc:"Link to kill.")
+  in
+  let run kind switches radius fail_link =
+    let g = make_topology kind switches in
+    let o = Reconfig.Local.run_after_failure ~radius g ~fail:fail_link in
+    Format.printf
+      "converged=%b participants=%d/%d messages=%d elapsed=%a region-correct=%b@."
+      o.converged o.participants o.total_switches o.messages Netsim.Time.pp
+      o.elapsed o.region_correct
+  in
+  let doc = "Scoped (localized) reconfiguration around one failed link." in
+  Cmd.v (Cmd.info "local-reconfig" ~doc)
+    Term.(const run $ kind_arg $ switches_arg $ radius_arg $ fail_link_arg)
+
+(* ------------------------------------------------------------------ *)
+(* multicast *)
+
+let multicast_cmd =
+  let group_arg =
+    Arg.(value & opt int 4 & info [ "group" ] ~docv:"K" ~doc:"Destination count.")
+  in
+  let run group =
+    let g = Topo.Build.src_lan () in
+    let net = An2.Network.create g in
+    let dests = List.init group (fun i -> ((i + 1) * 3) mod 24) in
+    match
+      ( An2.Multicast.build net ~source_host:0 ~dest_hosts:dests,
+        An2.Multicast.unicast_transmissions net ~source_host:0 ~dest_hosts:dests )
+    with
+    | Ok mc, Ok unicast ->
+      Format.printf "group of %d: tree crosses %d links vs %d for unicasts (%.0f%% saved)@."
+        group
+        (An2.Multicast.link_transmissions mc)
+        unicast
+        (100.0
+        *. (1.0
+            -. float_of_int (An2.Multicast.link_transmissions mc)
+               /. float_of_int unicast));
+      let d = An2.Multicast.simulate net mc ~rate:0.2 ~duration:(Netsim.Time.ms 2) in
+      Format.printf "delivered all: %b; per-destination mean latency:@."
+        d.delivered_all;
+      List.iter
+        (fun (h, l) -> Format.printf "  host %d: %.1fus@." h l)
+        d.per_dest_latency_us
+    | Error e, _ | _, Error e -> failwith e
+  in
+  let doc = "Multicast tree economy and delivery on the SRC LAN." in
+  Cmd.v (Cmd.info "multicast" ~doc) Term.(const run $ group_arg)
+
+(* ------------------------------------------------------------------ *)
+(* adaptive *)
+
+let adaptive_cmd =
+  let circuits_arg =
+    Arg.(value & opt int 32 & info [ "circuits" ] ~docv:"V" ~doc:"Circuits.")
+  in
+  let active_arg =
+    Arg.(value & opt int 2 & info [ "active" ] ~docv:"A" ~doc:"Busy circuits.")
+  in
+  let run circuits active =
+    let base = { Flow.Adaptive.default_params with circuits; active } in
+    List.iter
+      (fun (name, policy) ->
+        let r = Flow.Adaptive.run { base with policy } in
+        Format.printf "%-10s aggregate=%.3f overflow=%b reallocations=%d@." name
+          r.aggregate_throughput r.overflowed r.reallocations)
+      [
+        ("static", Flow.Adaptive.Static);
+        ( "adaptive",
+          Flow.Adaptive.Adaptive { window = Netsim.Time.us 500; floor = 2 } );
+      ]
+  in
+  let doc = "Static vs adaptive per-circuit buffer allocation on one link." in
+  Cmd.v (Cmd.info "adaptive" ~doc) Term.(const run $ circuits_arg $ active_arg)
+
+(* ------------------------------------------------------------------ *)
+(* rebalance *)
+
+let rebalance_cmd =
+  let circuits_arg =
+    Arg.(value & opt int 6 & info [ "circuits" ] ~docv:"K" ~doc:"Circuits.")
+  in
+  let stretch_arg =
+    Arg.(value & opt int 1 & info [ "max-stretch" ] ~docv:"S" ~doc:"Detour bound.")
+  in
+  let run circuits max_stretch =
+    let g = Topo.Build.torus 4 4 in
+    let mk s =
+      let h = Topo.Graph.add_host g in
+      ignore (Topo.Graph.connect g (Host h) (Switch s));
+      h
+    in
+    let net = An2.Network.create g in
+    for _ = 1 to circuits do
+      match An2.Network.setup_best_effort net ~src_host:(mk 0) ~dst_host:(mk 5) with
+      | Ok _ -> ()
+      | Error e -> failwith e
+    done;
+    let before = An2.Rebalance.load_stats net in
+    let moves = An2.Rebalance.rebalance ~max_stretch net in
+    let after = An2.Rebalance.load_stats net in
+    Format.printf
+      "%d identical circuits: hottest link %d -> %d after %d moves (stddev        %.2f -> %.2f)@."
+      circuits before.max_load after.max_load moves before.stddev after.stddev
+  in
+  let doc = "Load-balance a circuit pile-up on a torus." in
+  Cmd.v (Cmd.info "rebalance" ~doc) Term.(const run $ circuits_arg $ stretch_arg)
+
+(* ------------------------------------------------------------------ *)
+(* signaling *)
+
+let signaling_cmd =
+  let hops_arg =
+    Arg.(value & opt int 3 & info [ "hops" ] ~docv:"H" ~doc:"Path length.")
+  in
+  let run hops =
+    let g = Topo.Build.linear hops in
+    let h1, h2 = Topo.Build.with_host_pair g in
+    let net = An2.Network.create g in
+    match
+      An2.Signaling.setup_with_data net ~src_host:h1 ~dst_host:h2
+        An2.Signaling.default_params
+    with
+    | Error e -> failwith e
+    | Ok r ->
+      Format.printf
+        "setup=%.1fus first-data=%.1fus delivered=%d in-order=%b max-backlog=%d@."
+        r.setup_time_us r.first_data_latency_us r.delivered r.in_order
+        r.max_buffered_awaiting_entry
+  in
+  let doc = "Circuit setup with data cells following immediately." in
+  Cmd.v (Cmd.info "signaling" ~doc) Term.(const run $ hops_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "simulators for the AN2 local area network (Owicki, PODC 1993)" in
+  let info = Cmd.info "an2sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            topo_cmd; fabric_cmd; reconfig_cmd; local_reconfig_cmd; flow_cmd;
+            deadlock_cmd; e2e_cmd; multicast_cmd; adaptive_cmd; signaling_cmd;
+            rebalance_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/failover.ml: An2 Array Format List Netsim Reconfig String Topo

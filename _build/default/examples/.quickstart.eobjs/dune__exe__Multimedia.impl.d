@@ -1,0 +1,1 @@
+examples/multimedia.ml: An2 Format List Netsim Topo

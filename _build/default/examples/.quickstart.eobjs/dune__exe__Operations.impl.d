@@ -1,0 +1,1 @@
+examples/operations.ml: An2 Format List Netsim Option Reconfig Topo

@@ -1,0 +1,1 @@
+examples/quickstart.ml: An2 Format List Netsim Reconfig String Topo

@@ -1,0 +1,1 @@
+examples/switch_fabric.ml: Array Fabric Format List Matching Netsim Printf

@@ -1,0 +1,82 @@
+(* The paper's favourite demo (section 1): "pulling the plug on an
+   arbitrary switch in SRC's main LAN. The network reconfigures in less
+   than 200 milliseconds, and users see no service interruption."
+
+   This example reproduces the whole arc on the SRC-style installation:
+   a file transfer is running between two workstations; an attacker
+   kills a switch on its path; link monitoring detects the loss, the
+   reconfiguration protocol rebuilds the topology, the circuit is
+   re-routed, and the transfer continues. We report how many cells were
+   lost and how long the outage was.
+
+   Run with: dune exec examples/failover.exe *)
+
+let () =
+  let g = Topo.Build.src_lan () in
+  let net = An2.Network.create ~frame:64 g in
+  let vc =
+    match An2.Network.setup_best_effort net ~src_host:0 ~dst_host:12 with
+    | Ok vc -> vc
+    | Error e -> failwith e
+  in
+  Format.printf "file transfer from host 0 to host 12 via switches [%s]@."
+    (String.concat "; " (List.map string_of_int vc.switches));
+
+  let victim = List.nth vc.switches (List.length vc.switches / 2) in
+  Format.printf "at t=5ms we pull the plug on switch %d@." victim;
+
+  (* How long until the network has a consistent new topology? Use the
+     real protocol on a copy of the failure scenario (detection via
+     ping monitoring is the dominant term, ~100 ms with AN1-flavoured
+     parameters; here we keep the protocol's own timing visible by
+     separating the two). *)
+  let g_probe = Topo.Build.src_lan () in
+  let reconf = Reconfig.Runner.run_after_failure g_probe ~fail:(`Switch victim) in
+  Format.printf "reconfiguration: detection + 3-phase protocol = %a (<200ms: %b)@."
+    Netsim.Time.pp reconf.elapsed
+    (reconf.elapsed < Netsim.Time.ms 200);
+
+  (* Drive the data plane through the failure: the circuit is repaired
+     as soon as the reconfiguration completes (~106 ms after the pull,
+     dominated by ping-based detection), and the run continues past the
+     repair so the recovery is visible. *)
+  let t_fail = Netsim.Time.ms 5 in
+  let t_repair = t_fail + reconf.elapsed in
+  let duration = t_repair + Netsim.Time.ms 15 in
+  let result =
+    An2.Netrun.run net An2.Netrun.default_params
+      ~sources:[ An2.Netrun.Saturated_be vc ]
+      ~events:
+        [ (t_fail, An2.Netrun.Fail_switch victim);
+          (t_repair, An2.Netrun.Reroute_be) ]
+      ~duration ()
+  in
+  let s = List.assoc vc.vc_id result.per_vc in
+  let cell_bytes = 48 in
+  Format.printf
+    "@.transfer: sent=%d delivered=%d (%.1f MB) dropped=%d (%.1f%% of sent)@."
+    s.sent s.delivered
+    (float_of_int (s.delivered * cell_bytes) /. 1e6)
+    s.dropped
+    (100.0 *. float_of_int s.dropped /. float_of_int (max 1 s.sent));
+  Format.printf "new route: [%s] (switch %d avoided: %b)@."
+    (String.concat "; " (List.map string_of_int vc.switches))
+    victim
+    (not (List.mem victim vc.switches));
+  (* The recovery curve: delivered cells per tenth of the run - the dip
+     is the outage, then service resumes at full rate. *)
+  Format.printf "recovery curve (cells per window):";
+  Array.iter (fun c -> Format.printf " %d" c) s.window_delivered;
+  Format.printf "@.";
+  (* The naive loss bound is one outage window of line-rate traffic,
+     but credit back-pressure stalls the source once the buffers along
+     the dead path fill, so the real loss is just the cells already in
+     flight plus one credit window per hop. *)
+  let outage_cells = (reconf.elapsed / 681) + 1 in
+  Format.printf
+    "loss: %d cells; naive outage-window bound %d; back-pressure kept it to a \
+     few credit windows@."
+    s.dropped outage_cells;
+  if s.dropped <= outage_cells && not (List.mem victim vc.switches) then
+    Format.printf "@.demo outcome: service resumed, users saw a sub-second blip@."
+  else Format.printf "@.demo outcome: UNEXPECTED (see numbers above)@."

@@ -1,0 +1,120 @@
+(* Day-2 operations on an AN2 network: everything the paper's section 2
+   sketches as "later versions" working together on one installation.
+
+   The scenario, on the SRC-style LAN:
+   1. a batch of circuits is set up via signaling (data following the
+      setup cell immediately);
+   2. the operator notices a hot link and rebalances circuits onto
+      equal-cost alternatives;
+   3. idle circuits are paged out to reclaim line-card resources, and
+      paged back in on demand;
+   4. a link fails: instead of a global reconfiguration, a scoped one
+      repairs the topology around the break;
+   5. a multicast group distributes one stream to several workstations
+      over a shared tree.
+
+   Run with: dune exec examples/operations.exe *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> failwith e
+
+let () =
+  let g = Topo.Build.src_lan () in
+  let net = An2.Network.create ~frame:64 g in
+
+  (* 1. Signaling: set up a circuit and start transmitting without
+     waiting for the setup cell to reach the far end. *)
+  Format.printf "== circuit setup with immediate data ==@.";
+  let* sig_result =
+    An2.Signaling.setup_with_data net ~src_host:0 ~dst_host:12
+      An2.Signaling.default_params
+  in
+  Format.printf
+    "setup crossed the path in %.0fus; %d data cells followed it, all \
+     delivered in order (worst line-card backlog %d cells)@.@."
+    sig_result.setup_time_us sig_result.delivered
+    sig_result.max_buffered_awaiting_entry;
+
+  (* 2. Load balancing: many circuits between the same racks pile onto
+     one backbone path; move some over. *)
+  Format.printf "== load balancing ==@.";
+  let circuits =
+    List.filter_map
+      (fun i ->
+        match
+          An2.Network.setup_best_effort net ~src_host:(i mod 4)
+            ~dst_host:(12 + (i mod 4))
+        with
+        | Ok vc -> Some vc
+        | Error _ -> None)
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  let before = An2.Rebalance.load_stats net in
+  let moves = An2.Rebalance.rebalance net in
+  let after = An2.Rebalance.load_stats net in
+  Format.printf
+    "%d circuits; hottest link carried %d of them; %d moved; now %d \
+     (stddev %.2f -> %.2f)@.@."
+    (List.length circuits) before.max_load moves after.max_load before.stddev
+    after.stddev;
+
+  (* 3. Paging: reclaim resources from circuits that went quiet. *)
+  Format.printf "== paging idle circuits ==@.";
+  let idle = List.filteri (fun i _ -> i < 3) circuits in
+  List.iter (fun vc -> An2.Network.page_out net vc) idle;
+  Format.printf "paged out %d idle circuits (table entries reclaimed)@."
+    (List.length idle);
+  List.iter
+    (fun vc ->
+      match An2.Network.page_in net vc with
+      | Ok () -> ()
+      | Error e -> failwith e)
+    idle;
+  Format.printf "first cells arrived again: paged all back in@.@.";
+
+  (* 4. A link fails; repair locally rather than disturbing the whole
+     network. *)
+  Format.printf "== scoped repair after a link failure ==@.";
+  let victim_link =
+    List.find_map
+      (fun (l : Topo.Graph.link) ->
+        match (l.a.node, l.b.node, l.state) with
+        | Topo.Graph.Switch _, Topo.Graph.Switch _, Topo.Graph.Working ->
+          Some l.link_id
+        | _ -> None)
+      (Topo.Graph.links g)
+    |> Option.get
+  in
+  let local = Reconfig.Local.run_after_failure ~radius:1 g ~fail:victim_link in
+  Format.printf
+    "link %d died: %d of %d switches participated, %d messages, views exact: %b@."
+    victim_link local.participants local.total_switches local.messages
+    local.region_correct;
+  (* Repair the circuits that crossed it. *)
+  let repaired = ref 0 in
+  An2.Network.iter_vcs net (fun vc ->
+      if
+        (not vc.paged_out)
+        && List.exists
+             (fun lid ->
+               (Topo.Graph.link g lid).Topo.Graph.state = Topo.Graph.Dead)
+             vc.An2.Network.links
+      then
+        match An2.Network.reroute net vc with
+        | Ok () -> incr repaired
+        | Error _ -> ());
+  Format.printf "%d circuits re-routed around the break@.@." !repaired;
+
+  (* 5. Multicast: one video source, several viewers. *)
+  Format.printf "== multicast distribution ==@.";
+  let* mc = An2.Multicast.build net ~source_host:0 ~dest_hosts:[ 5; 9; 14; 19 ] in
+  let* unicast =
+    An2.Multicast.unicast_transmissions net ~source_host:0
+      ~dest_hosts:[ 5; 9; 14; 19 ]
+  in
+  let d = An2.Multicast.simulate net mc ~rate:0.1 ~duration:(Netsim.Time.ms 2) in
+  Format.printf
+    "tree crosses %d links/cell vs %d for four unicasts; %d cells delivered \
+     to every viewer: %b@."
+    (An2.Multicast.link_transmissions mc)
+    unicast d.cells_sent d.delivered_all;
+  Format.printf "@.all day-2 operations completed.@."

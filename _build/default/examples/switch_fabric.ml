@@ -1,0 +1,62 @@
+(* Inside one AN2 switch (section 3): why random-access input buffers
+   plus parallel iterative matching were chosen over FIFO input queues
+   and over output queueing.
+
+   The example pushes identical uniform traffic through the three
+   organizations at increasing load and prints the throughput/latency
+   table, then walks one PIM slot step by step so the three-phase
+   request/grant/accept protocol is visible.
+
+   Run with: dune exec examples/switch_fabric.exe *)
+
+let n = 16
+
+let table () =
+  Format.printf "16x16 switch, uniform Bernoulli arrivals, 20k slots each:@.@.";
+  Format.printf "%-8s %18s %18s %18s@." "load" "FIFO" "VOQ+PIM(3)" "OQ(k=16)";
+  Format.printf "%-8s %18s %18s %18s@." "" "thpt / delay" "thpt / delay"
+    "thpt / delay";
+  List.iter
+    (fun load ->
+      let cell m (r : Fabric.Harness.metrics) =
+        ignore m;
+        Printf.sprintf "%.3f / %5.1f" r.throughput r.mean_delay
+      in
+      let rng = Netsim.Rng.create 7 in
+      let run model =
+        Fabric.Harness.run
+          ~traffic:(Fabric.Traffic.uniform ~rng ~n ~load)
+          ~model ~slots:20_000 ()
+      in
+      let fifo = run (Fabric.Fifo_switch.create ~rng ~n) in
+      let pim = run (Fabric.Voq_switch.create ~rng ~n ~scheduler:(Pim 3)) in
+      let oq = run (Fabric.Output_queued.create ~rng ~n ~k:n) in
+      Format.printf "%-8.2f %18s %18s %18s@." load (cell `F fifo) (cell `P pim)
+        (cell `O oq))
+    [ 0.3; 0.5; 0.58; 0.7; 0.9; 1.0 ];
+  Format.printf
+    "@.FIFO hits its head-of-line wall near 0.6; VOQ+PIM tracks the ideal.@."
+
+let walk_one_slot () =
+  Format.printf "@.One PIM slot in slow motion (4x4 switch):@.";
+  let req = Matching.Request.create 4 in
+  (* input 1 holds cells for outputs 1 and 2; inputs 2 and 3 contend
+     for output 1; input 4 wants output 4 (paper-style indices). *)
+  List.iter (fun (i, o) -> Matching.Request.set req i o true)
+    [ (0, 0); (0, 1); (1, 0); (2, 0); (3, 3) ];
+  Format.printf "  requests: input1->{1,2} input2->{1} input3->{1} input4->{4}@.";
+  let rng = Netsim.Rng.create 42 in
+  let m = Matching.Pim.run ~rng req ~iterations:3 in
+  Array.iteri
+    (fun i o ->
+      if o >= 0 then Format.printf "  matched: input%d -> output%d@." (i + 1) (o + 1))
+    m.Matching.Outcome.match_of_input;
+  Format.printf "  iterations used: %d (AN2 budget: 3 per 500ns slot)@."
+    m.Matching.Outcome.iterations_used;
+  Format.printf "  maximal: %b  legal: %b@."
+    (Matching.Outcome.is_maximal req m)
+    (Matching.Outcome.is_legal req m)
+
+let () =
+  table ();
+  walk_one_slot ()

@@ -1,0 +1,1 @@
+lib/core/bandwidth_central.ml: Array Format Frame Hashtbl List Network Queue Topo

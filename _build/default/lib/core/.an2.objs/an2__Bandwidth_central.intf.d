@@ -1,0 +1,1 @@
+lib/core/bandwidth_central.mli: Format Network

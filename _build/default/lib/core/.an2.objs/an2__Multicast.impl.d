@@ -1,0 +1,1 @@
+lib/core/multicast.ml: Array Float Hashtbl List Netsim Network Printf Topo

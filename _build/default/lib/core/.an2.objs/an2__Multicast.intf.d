@@ -1,0 +1,1 @@
+lib/core/multicast.mli: Hashtbl Netsim Network

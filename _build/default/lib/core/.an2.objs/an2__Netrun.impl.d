@@ -1,0 +1,1 @@
+lib/core/netrun.ml: Array Bandwidth_central Float Flow Frame Hashtbl Host List Matching Netsim Network Queue Topo

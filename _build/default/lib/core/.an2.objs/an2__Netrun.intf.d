@@ -1,0 +1,1 @@
+lib/core/netrun.mli: Bandwidth_central Netsim Network

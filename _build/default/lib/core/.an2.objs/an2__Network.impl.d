@@ -1,0 +1,1 @@
+lib/core/network.ml: Array Frame Hashtbl List Printf Topo

@@ -1,0 +1,1 @@
+lib/core/network.mli: Frame Topo

@@ -1,0 +1,1 @@
+lib/core/pager.ml: Hashtbl Netsim Network Option Printf

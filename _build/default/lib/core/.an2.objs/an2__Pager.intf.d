@@ -1,0 +1,1 @@
+lib/core/pager.mli: Netsim Network

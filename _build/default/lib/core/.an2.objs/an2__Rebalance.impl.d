@@ -1,0 +1,1 @@
+lib/core/rebalance.ml: Array Hashtbl List Netsim Network Option Queue Topo

@@ -1,0 +1,1 @@
+lib/core/signaling.ml: Array Float List Netsim Network Queue Topo

@@ -1,0 +1,1 @@
+lib/core/signaling.mli: Netsim Network

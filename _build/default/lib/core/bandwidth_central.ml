@@ -1,0 +1,157 @@
+type t = {
+  net : Network.t;
+  reserved : (int, int) Hashtbl.t;  (* link id -> cells per frame *)
+}
+
+type denial =
+  | No_route
+  | No_capacity
+
+let pp_denial fmt = function
+  | No_route -> Format.pp_print_string fmt "no route"
+  | No_capacity -> Format.pp_print_string fmt "insufficient capacity"
+
+let create net = { net; reserved = Hashtbl.create 64 }
+
+let reserved t lid =
+  match Hashtbl.find_opt t.reserved lid with Some c -> c | None -> 0
+
+let headroom t lid = Network.frame_length t.net - reserved t lid
+
+(* Shortest switch path where every link (host links included) has
+   [cells] of headroom. BFS with a per-link capacity filter. *)
+let capacity_route t ~src_host ~dst_host ~cells =
+  let g = Network.graph t.net in
+  match
+    (Network.host_attachment t.net src_host, Network.host_attachment t.net dst_host)
+  with
+  | Error _, _ | _, Error _ -> Error No_route
+  | Ok (a, src_link), Ok (b, dst_link) ->
+    if headroom t src_link < cells || headroom t dst_link < cells then
+      Error No_capacity
+    else begin
+      let n = Topo.Graph.switch_count g in
+      let prev = Array.make n (-1) in
+      let seen = Array.make n false in
+      seen.(a) <- true;
+      let queue = Queue.create () in
+      Queue.add a queue;
+      while not (Queue.is_empty queue) do
+        let s = Queue.pop queue in
+        List.iter
+          (fun (s', lid) ->
+            if (not seen.(s')) && headroom t lid >= cells then begin
+              seen.(s') <- true;
+              prev.(s') <- s;
+              Queue.add s' queue
+            end)
+          (Topo.Graph.switch_neighbors g s)
+      done;
+      if not seen.(b) then
+        (* Distinguish "physically disconnected" from "saturated". *)
+        if Topo.Paths.route g ~src:a ~dst:b = None then Error No_route
+        else Error No_capacity
+      else begin
+        let rec walk acc s = if s = a then a :: acc else walk (s :: acc) prev.(s) in
+        Ok (walk [] b)
+      end
+    end
+
+let add_reserved t lid cells =
+  Hashtbl.replace t.reserved lid (reserved t lid + cells)
+
+let install_schedules t vc cells =
+  List.iter
+    (fun (s, (in_link, out_link)) ->
+      let input = Network.port_at t.net s in_link
+      and output = Network.port_at t.net s out_link in
+      match
+        Frame.Schedule.add_reservation (Network.switch_schedule t.net s) ~input
+          ~output ~cells
+      with
+      | Ok _ -> ()
+      | Error e ->
+        (* Admission guarantees per-link headroom, and headroom at
+           both ports is exactly the Slepian-Duguid admissibility
+           condition, so insertion cannot fail. *)
+        failwith ("Bandwidth_central: schedule insertion failed: " ^ e))
+    (Network.table_entries vc)
+
+let request t ~src_host ~dst_host ~cells =
+  if cells < 1 || cells > Network.frame_length t.net then
+    invalid_arg "Bandwidth_central.request: bad cell count";
+  match capacity_route t ~src_host ~dst_host ~cells with
+  | Error d -> Error d
+  | Ok switches ->
+    (match
+       Network.links_of_switch_path t.net ~src_host ~dst_host switches
+     with
+     | Error _ -> Error No_route
+     | Ok links ->
+       let vc =
+         Network.register_guaranteed t.net ~src_host ~dst_host ~cells ~switches
+           ~links
+       in
+       List.iter (fun lid -> add_reserved t lid cells) links;
+       install_schedules t vc cells;
+       Ok vc)
+
+let release t vc =
+  match vc.Network.cls with
+  | Network.Best_effort -> invalid_arg "Bandwidth_central.release: not guaranteed"
+  | Network.Guaranteed cells ->
+    List.iter
+      (fun lid -> Hashtbl.replace t.reserved lid (max 0 (reserved t lid - cells)))
+      vc.Network.links;
+    Network.teardown t.net vc
+
+(* Undo a circuit's schedule slots (the reverse of install_schedules),
+   using only its current table entries. *)
+let remove_schedules t vc cells =
+  List.iter
+    (fun (s, (in_link, out_link)) ->
+      let input = Network.port_at t.net s in_link
+      and output = Network.port_at t.net s out_link in
+      for _ = 1 to cells do
+        ignore
+          (Frame.Schedule.remove_cell (Network.switch_schedule t.net s) ~input
+             ~output)
+      done)
+    (Network.table_entries vc)
+
+let reroute_after_failure t vc =
+  match vc.Network.cls with
+  | Network.Best_effort -> invalid_arg "Bandwidth_central.reroute: not guaranteed"
+  | Network.Guaranteed cells ->
+    (* Free the dead path's resources but keep the circuit's identity:
+       re-admission must rewire this record, or line cards holding it
+       (and the hosts) would keep talking into the old path. *)
+    List.iter
+      (fun lid -> Hashtbl.replace t.reserved lid (max 0 (reserved t lid - cells)))
+      vc.Network.links;
+    remove_schedules t vc cells;
+    Network.uninstall t.net vc;
+    let dissolve d =
+      (* No admissible replacement path: the circuit is gone (its
+         resources are already returned). *)
+      Network.teardown t.net vc;
+      Error d
+    in
+    (match
+       capacity_route t ~src_host:vc.Network.src_host
+         ~dst_host:vc.Network.dst_host ~cells
+     with
+     | Error d -> dissolve d
+     | Ok switches ->
+       (match
+          Network.links_of_switch_path t.net ~src_host:vc.Network.src_host
+            ~dst_host:vc.Network.dst_host switches
+        with
+        | Error _ -> dissolve No_route
+        | Ok links ->
+          vc.Network.switches <- switches;
+          vc.Network.links <- links;
+          Network.install t.net vc;
+          List.iter (fun lid -> add_reserved t lid cells) links;
+          install_schedules t vc cells;
+          Ok ()))

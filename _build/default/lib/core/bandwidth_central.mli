@@ -1,0 +1,44 @@
+(** "Bandwidth central" (paper §4): the network service that resolves
+    all guaranteed-bandwidth requests.
+
+    Because every reservation goes through it, it knows the unreserved
+    capacity of each link. A request is granted when some path between
+    the hosts has enough headroom on every link; bandwidth central
+    picks the route, then installs the reservation into the frame
+    schedule of every switch on it (Slepian–Duguid insertion). As in
+    the first AN2 release it is a centralized service, chosen at
+    reconfiguration time; nothing in this interface would change if it
+    were distributed. *)
+
+type t
+
+type denial =
+  | No_route  (** hosts disconnected *)
+  | No_capacity  (** every path has a saturated link *)
+
+val pp_denial : Format.formatter -> denial -> unit
+
+val create : Network.t -> t
+(** Link capacity is the network's frame length (cells per frame). *)
+
+val reserved : t -> int -> int
+(** Cells per frame currently reserved on a link. *)
+
+val headroom : t -> int -> int
+
+val request :
+  t -> src_host:int -> dst_host:int -> cells:int -> (Network.vc, denial) result
+(** Admit (or deny) a guaranteed circuit of [cells] cells per frame.
+    On success the circuit's routing-table entries and per-switch
+    schedule slots are installed. *)
+
+val release : t -> Network.vc -> unit
+(** Tear the circuit down and return its bandwidth. *)
+
+val reroute_after_failure : t -> Network.vc -> (unit, denial) result
+(** Re-admit a guaranteed circuit whose path died: free its old
+    reservations, then reserve along a fresh route, rewiring the same
+    circuit record so line cards and hosts keep a single identity
+    (§2's reroute-from-the-break, realized through re-admission). On
+    denial the circuit is dissolved — its resources were already
+    returned and it no longer exists. *)

@@ -1,0 +1,65 @@
+let cell_payload = 48
+
+type packet = { packet_id : int; size : int }
+
+type cell = {
+  vc : int;
+  packet_id : int;
+  seq : int;
+  eop : bool;
+}
+
+let cells_needed size =
+  if size <= 0 then invalid_arg "Host.cells_needed: empty packet";
+  (size + cell_payload - 1) / cell_payload
+
+let segment p ~vc =
+  let n = cells_needed p.size in
+  List.init n (fun seq ->
+      { vc; packet_id = p.packet_id; seq; eop = seq = n - 1 })
+
+module Reassembly = struct
+  (* Per circuit: packet under assembly and cells received so far. *)
+  type slot = { pid : int; mutable received : int }
+
+  type t = (int, slot) Hashtbl.t
+
+  let create () = Hashtbl.create 16
+
+  let push t (c : cell) =
+    let finish slot =
+      Hashtbl.remove t c.vc;
+      if slot.received = c.seq then
+        Some (Ok { packet_id = c.packet_id; size = (c.seq + 1) * cell_payload })
+      else
+        Some
+          (Error
+             (Printf.sprintf "vc %d: packet %d ended at seq %d but %d cells seen"
+                c.vc c.packet_id c.seq slot.received))
+    in
+    match Hashtbl.find_opt t c.vc with
+    | None ->
+      if c.seq <> 0 then
+        Some (Error (Printf.sprintf "vc %d: stream starts mid-packet" c.vc))
+      else if c.eop then Some (Ok { packet_id = c.packet_id; size = cell_payload })
+      else begin
+        Hashtbl.add t c.vc { pid = c.packet_id; received = 1 };
+        None
+      end
+    | Some slot ->
+      if slot.pid <> c.packet_id then begin
+        Hashtbl.remove t c.vc;
+        Some (Error (Printf.sprintf "vc %d: interleaved packets" c.vc))
+      end
+      else if c.eop then finish slot
+      else if slot.received <> c.seq then begin
+        Hashtbl.remove t c.vc;
+        Some (Error (Printf.sprintf "vc %d: gap at seq %d" c.vc c.seq))
+      end
+      else begin
+        slot.received <- slot.received + 1;
+        None
+      end
+
+  let partial_circuits t = Hashtbl.length t
+end

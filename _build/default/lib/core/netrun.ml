@@ -1,0 +1,552 @@
+type params = {
+  cell_time : Netsim.Time.t;
+  crossbar_delay : Netsim.Time.t;
+  be_credits : int;
+  synchronized : bool;
+  skew_ppm : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    cell_time = Netsim.Time.ns 681;
+    crossbar_delay = Netsim.Time.us 2;
+    be_credits = 64;
+    synchronized = false;
+    skew_ppm = 100;
+    seed = 1;
+  }
+
+type source =
+  | Cbr of Network.vc
+  | Saturated_be of Network.vc
+  | Paced_be of Network.vc * float
+  | Packets_be of Network.vc * float * int
+
+type vc_stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  mean_latency_us : float;
+  p99_latency_us : float;
+  max_latency_us : float;
+  jitter_us : float;
+  packets_sent : int;
+  packets_delivered : int;
+  packet_mean_latency_us : float;
+  window_delivered : int array;
+}
+
+type event =
+  | Fail_link of int
+  | Fail_switch of int
+  | Reroute_be
+  | Reroute_guaranteed of Bandwidth_central.t
+
+type result = {
+  per_vc : (int * vc_stats) list;
+  max_guaranteed_backlog : int;
+  guaranteed_backlog_frames : float;
+}
+
+(* Mutable per-circuit simulation state. *)
+type vc_state = {
+  vc : Network.vc;
+  mutable links : int array;  (* l_0 .. l_k; l_0 and l_k are host links *)
+  mutable switches : int array;  (* s_1 .. s_k *)
+  mutable epoch : int;
+  is_guaranteed : bool;
+  (* host-side *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable host_backlog : int;  (* paced sources queue cells at the host *)
+  latencies : Netsim.Stats.Distribution.t;
+  (* Packet sources: controller-level bookkeeping. *)
+  mutable packets_sent : int;
+  mutable packets_delivered : int;
+  packet_latencies : Netsim.Stats.Distribution.t;
+  packet_starts : (int, Netsim.Time.t) Hashtbl.t;
+  reassembly : Host.Reassembly.t;
+  window_delivered : int array;
+}
+
+type simcell = {
+  st : vc_state;
+  born : Netsim.Time.t;
+  epoch : int;
+  payload : Host.cell option;  (* set for packet sources *)
+}
+
+let vc_of_source = function
+  | Cbr vc | Saturated_be vc | Paced_be (vc, _) | Packets_be (vc, _, _) -> vc
+
+let run net p ~sources ?(events = []) ~duration () =
+  let g = Network.graph net in
+  let frame = Network.frame_length net in
+  let frame_time = frame * p.cell_time in
+  let n_switches = Topo.Graph.switch_count g in
+  let engine = Netsim.Engine.create () in
+  let rng = Netsim.Rng.create p.seed in
+  (* Circuit states. *)
+  let states =
+    List.map
+      (fun src ->
+        let vc = vc_of_source src in
+        ( vc.Network.vc_id,
+          {
+            vc;
+            links = Array.of_list vc.Network.links;
+            switches = Array.of_list vc.Network.switches;
+            epoch = 0;
+            is_guaranteed =
+              (match vc.Network.cls with
+               | Network.Guaranteed _ -> true
+               | Network.Best_effort -> false);
+            sent = 0;
+            delivered = 0;
+            dropped = 0;
+            host_backlog = 0;
+            latencies = Netsim.Stats.Distribution.create ();
+            packets_sent = 0;
+            packets_delivered = 0;
+            packet_latencies = Netsim.Stats.Distribution.create ();
+            packet_starts = Hashtbl.create 32;
+            reassembly = Host.Reassembly.create ();
+            window_delivered = Array.make 10 0;
+          } ))
+      sources
+  in
+  let state_of id = List.assoc id states in
+  (* Buffers at switches: (switch, vc) -> queued (cell, position). The
+     position j in 1..k says the cell sits at the j-th switch of its
+     path. *)
+  let buffers : (int * int, (simcell * int) Queue.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let buffer_q s vcid =
+    match Hashtbl.find_opt buffers (s, vcid) with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.add buffers (s, vcid) q;
+      q
+  in
+  (* Best-effort credits: (link, vc) -> upstream window. *)
+  let credits : (int * int, Flow.Credit.Upstream.t) Hashtbl.t = Hashtbl.create 64 in
+  let credit lid vcid =
+    match Hashtbl.find_opt credits (lid, vcid) with
+    | Some c -> c
+    | None ->
+      let c = Flow.Credit.Upstream.create ~total:p.be_credits in
+      Hashtbl.add credits (lid, vcid) c;
+      c
+  in
+  (* Guaranteed service map per switch: (in_port, out_port) -> vc ids. *)
+  let gmap : (int * int * int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let grr : (int * int * int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let rebuild_gmap () =
+    Hashtbl.reset gmap;
+    List.iter
+      (fun (_, st) ->
+        if st.is_guaranteed then
+          List.iter
+            (fun (s, (in_l, out_l)) ->
+              let key = (s, Network.port_at net s in_l, Network.port_at net s out_l) in
+              match Hashtbl.find_opt gmap key with
+              | Some r -> r := st.vc.Network.vc_id :: !r
+              | None -> Hashtbl.add gmap key (ref [ st.vc.Network.vc_id ]))
+            (Network.table_entries st.vc))
+      states
+  in
+  rebuild_gmap ();
+  (* Best-effort circuits through each switch. *)
+  let be_at = Array.make n_switches [] in
+  let rebuild_be () =
+    Array.fill be_at 0 n_switches [];
+    List.iter
+      (fun (_, st) ->
+        if not st.is_guaranteed then
+          Array.iter
+            (fun s -> be_at.(s) <- st.vc.Network.vc_id :: be_at.(s))
+          st.switches)
+      states
+  in
+  rebuild_be ();
+  (* Guaranteed backlog per (switch, in_link) line card. *)
+  let gbacklog : (int * int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let max_gbacklog = ref 0 in
+  let gbacklog_adj s in_l d =
+    let r =
+      match Hashtbl.find_opt gbacklog (s, in_l) with
+      | Some r -> r
+      | None ->
+        let r = ref 0 in
+        Hashtbl.add gbacklog (s, in_l) r;
+        r
+    in
+    r := !r + d;
+    if !r > !max_gbacklog then max_gbacklog := !r
+  in
+  let link_ok lid = (Topo.Graph.link g lid).Topo.Graph.state = Topo.Graph.Working in
+  let latency lid = (Topo.Graph.link g lid).Topo.Graph.latency in
+  let deliver st (cell : simcell) =
+    st.delivered <- st.delivered + 1;
+    let now = Netsim.Engine.now engine in
+    let w = now * 10 / max 1 duration in
+    if w >= 0 && w < 10 then
+      st.window_delivered.(w) <- st.window_delivered.(w) + 1;
+    Netsim.Stats.Distribution.add st.latencies (Netsim.Time.to_us (now - cell.born));
+    (* Destination controller: reassemble packet sources. *)
+    match cell.payload with
+    | None -> ()
+    | Some c ->
+      (match Host.Reassembly.push st.reassembly c with
+       | Some (Ok p) ->
+         st.packets_delivered <- st.packets_delivered + 1;
+         (match Hashtbl.find_opt st.packet_starts p.Host.packet_id with
+          | Some start ->
+            Hashtbl.remove st.packet_starts p.Host.packet_id;
+            Netsim.Stats.Distribution.add st.packet_latencies
+              (Netsim.Time.to_us (now - start))
+          | None -> ())
+       | Some (Error _) ->
+         (* A cell was dropped mid-packet (failure window); the rest of
+            the packet is waste, already counted as cell drops. *)
+         ()
+       | None -> ())
+  in
+  (* Transmit [cell] sitting at switch position [j] of its path (or
+     j = 0 for host injection) onto link links.(j). *)
+  let transmit st (cell : simcell) j =
+    let out_l = st.links.(j) in
+    if not st.is_guaranteed then Flow.Credit.Upstream.on_send (credit out_l cell.st.vc.Network.vc_id);
+    (* Departing switch j >= 1 frees the upstream buffer of link j-1. *)
+    if j >= 1 then begin
+      let in_l = st.links.(j - 1) in
+      if st.is_guaranteed then gbacklog_adj st.switches.(j - 1) in_l (-1)
+      else begin
+        let lat = latency in_l in
+        let vcid = st.vc.Network.vc_id in
+        let ep = cell.epoch in
+        ignore
+          (Netsim.Engine.schedule engine ~delay:lat (fun () ->
+               if ep = st.epoch then
+                 Flow.Credit.Upstream.on_credit (credit in_l vcid)
+                   Flow.Credit.Increment))
+      end
+    end;
+    let transit =
+      p.cell_time + latency out_l
+      + if j >= 1 then p.crossbar_delay else 0
+    in
+    ignore
+      (Netsim.Engine.schedule engine ~delay:transit (fun () ->
+           if cell.epoch <> st.epoch || not (link_ok out_l) then
+             st.dropped <- st.dropped + 1
+           else if j = Array.length st.links - 1 then begin
+             (* Final host link: delivery; the sink frees the buffer
+                instantly. *)
+             deliver st cell;
+             if not st.is_guaranteed then begin
+               let vcid = st.vc.Network.vc_id in
+               let ep = cell.epoch in
+               ignore
+                 (Netsim.Engine.schedule engine ~delay:(latency out_l) (fun () ->
+                      if ep = st.epoch then
+                        Flow.Credit.Upstream.on_credit (credit out_l vcid)
+                          Flow.Credit.Increment))
+             end
+           end
+           else begin
+             let s = st.switches.(j) in
+             Queue.add (cell, j + 1) (buffer_q s st.vc.Network.vc_id);
+             if st.is_guaranteed then gbacklog_adj s out_l 1
+           end))
+  in
+  (* One slot of switch [s]. *)
+  let switch_slot = Array.make n_switches 0 in
+  let do_slot s =
+    let ports = Topo.Graph.ports_per_switch g in
+    let used_in = Array.make ports false in
+    let used_out = Array.make ports false in
+    (* Guaranteed connections scheduled in this slot. *)
+    let slot_idx = switch_slot.(s) mod frame in
+    let sched = Network.switch_schedule net s in
+    for in_port = 0 to ports - 1 do
+      match Frame.Schedule.output_of sched ~slot:slot_idx ~input:in_port with
+      | None -> ()
+      | Some out_port ->
+        let key = (s, in_port, out_port) in
+        (match Hashtbl.find_opt gmap key with
+         | None -> ()
+         | Some vcs ->
+           let rrr =
+             match Hashtbl.find_opt grr key with
+             | Some r -> r
+             | None ->
+               let r = ref 0 in
+               Hashtbl.add grr key r;
+               r
+           in
+           let vl = !vcs in
+           let nvc = List.length vl in
+           let rec pick k =
+             if k = nvc then None
+             else begin
+               let vcid = List.nth vl ((!rrr + k) mod nvc) in
+               let q = buffer_q s vcid in
+               match Queue.peek_opt q with
+               | Some (_, _) -> Some (vcid, q, k)
+               | None -> pick (k + 1)
+             end
+           in
+           (match pick 0 with
+            | None -> ()  (* unused allocated slot: free for best-effort *)
+            | Some (vcid, q, k) ->
+              rrr := (!rrr + k + 1) mod nvc;
+              let cell, j = Queue.pop q in
+              let st = state_of vcid in
+              used_in.(in_port) <- true;
+              used_out.(out_port) <- true;
+              transmit st cell j))
+    done;
+    (* Best-effort fills the leftover ports by parallel iterative
+       matching, exactly as the real line cards do (§3): eligible
+       circuits (queued cell, credit available, ports not taken by
+       guaranteed traffic) raise port-level requests; PIM picks the
+       transfers; round-robin chooses among circuits sharing a matched
+       port pair. *)
+    let bes = be_at.(s) in
+    if bes <> [] then begin
+      let req = Matching.Request.create ports in
+      (* (in_port, out_port) -> eligible vc ids, in be_at order. *)
+      let by_pair : (int * int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun vcid ->
+          match Queue.peek_opt (buffer_q s vcid) with
+          | None -> ()
+          | Some (_, j) ->
+            let st = state_of vcid in
+            if j <= Array.length st.links - 1 && st.switches.(j - 1) = s then begin
+              let in_port = Network.port_at net s st.links.(j - 1) in
+              let out_port = Network.port_at net s st.links.(j) in
+              if
+                (not used_in.(in_port))
+                && (not used_out.(out_port))
+                && Flow.Credit.Upstream.can_send (credit st.links.(j) vcid)
+              then begin
+                Matching.Request.set req in_port out_port true;
+                match Hashtbl.find_opt by_pair (in_port, out_port) with
+                | Some r -> r := vcid :: !r
+                | None -> Hashtbl.add by_pair (in_port, out_port) (ref [ vcid ])
+              end
+            end)
+        bes;
+      let m = Matching.Pim.run ~rng req ~iterations:3 in
+      for in_port = 0 to ports - 1 do
+        let out_port = m.Matching.Outcome.match_of_input.(in_port) in
+        if out_port >= 0 && not used_in.(in_port) then begin
+          match Hashtbl.find_opt by_pair (in_port, out_port) with
+          | None -> ()
+          | Some vcs ->
+            let vl = List.rev !vcs in
+            let vcid = List.nth vl (switch_slot.(s) mod List.length vl) in
+            used_in.(in_port) <- true;
+            used_out.(out_port) <- true;
+            let cell, j = Queue.pop (buffer_q s vcid) in
+            transmit (state_of vcid) cell j
+        end
+      done
+    end;
+    switch_slot.(s) <- switch_slot.(s) + 1
+  in
+  (* Per-switch clocks: random phase; optional ppm-level skew realized
+     by computing each tick's absolute time in float so sub-ns drift
+     accumulates correctly. *)
+  let start_switch s =
+    let phase = Netsim.Rng.int rng frame_time in
+    let factor =
+      if p.synchronized then 1.0
+      else
+        1.0
+        +. (float_of_int p.skew_ppm *. 1e-6 *. ((Netsim.Rng.float rng 2.0) -. 1.0))
+    in
+    let rec tick k =
+      do_slot s;
+      let at =
+        phase + int_of_float (Float.round (float_of_int (k + 1) *. float_of_int p.cell_time *. factor))
+      in
+      if at <= duration then
+        ignore (Netsim.Engine.schedule_at engine ~at (fun () -> tick (k + 1)))
+    in
+    ignore (Netsim.Engine.schedule_at engine ~at:phase (fun () -> tick 0))
+  in
+  for s = 0 to n_switches - 1 do
+    start_switch s
+  done;
+  (* Host sources. *)
+  let inject ?payload st =
+    st.sent <- st.sent + 1;
+    let cell =
+      { st; born = Netsim.Engine.now engine; epoch = st.epoch; payload }
+    in
+    transmit st cell 0
+  in
+  List.iter
+    (fun src ->
+      match src with
+      | Cbr vc ->
+        let st = state_of vc.Network.vc_id in
+        let cells =
+          match vc.Network.cls with
+          | Network.Guaranteed c -> c
+          | Network.Best_effort -> invalid_arg "Netrun: Cbr on best-effort vc"
+        in
+        let gap = max 1 (frame_time / cells) in
+        let rec emit () =
+          inject st;
+          ignore (Netsim.Engine.schedule engine ~delay:gap emit)
+        in
+        ignore
+          (Netsim.Engine.schedule engine ~delay:(Netsim.Rng.int rng gap) emit)
+      | Saturated_be vc ->
+        let st = state_of vc.Network.vc_id in
+        let rec emit () =
+          if Flow.Credit.Upstream.can_send (credit st.links.(0) vc.Network.vc_id)
+          then inject st;
+          ignore (Netsim.Engine.schedule engine ~delay:p.cell_time emit)
+        in
+        ignore (Netsim.Engine.schedule engine ~delay:p.cell_time emit)
+      | Paced_be (vc, rate) ->
+        let st = state_of vc.Network.vc_id in
+        let rec emit () =
+          if Netsim.Rng.bernoulli rng rate then
+            st.host_backlog <- st.host_backlog + 1;
+          if
+            st.host_backlog > 0
+            && Flow.Credit.Upstream.can_send
+                 (credit st.links.(0) vc.Network.vc_id)
+          then begin
+            st.host_backlog <- st.host_backlog - 1;
+            inject st
+          end;
+          ignore (Netsim.Engine.schedule engine ~delay:p.cell_time emit)
+        in
+        ignore (Netsim.Engine.schedule engine ~delay:p.cell_time emit)
+      | Packets_be (vc, rate, size) ->
+        let st = state_of vc.Network.vc_id in
+        let cells_per_packet = Host.cells_needed size in
+        let start_prob = rate /. float_of_int cells_per_packet in
+        let queue : Host.cell Queue.t = Queue.create () in
+        let next_pid = ref 0 in
+        let rec emit () =
+          if Netsim.Rng.bernoulli rng start_prob then begin
+            let pid = !next_pid in
+            incr next_pid;
+            st.packets_sent <- st.packets_sent + 1;
+            Hashtbl.replace st.packet_starts pid (Netsim.Engine.now engine);
+            List.iter
+              (fun c -> Queue.add c queue)
+              (Host.segment { Host.packet_id = pid; size } ~vc:vc.Network.vc_id)
+          end;
+          (match Queue.peek_opt queue with
+           | Some c
+             when Flow.Credit.Upstream.can_send
+                    (credit st.links.(0) vc.Network.vc_id) ->
+             ignore (Queue.pop queue);
+             inject ~payload:c st
+           | _ -> ());
+          ignore (Netsim.Engine.schedule engine ~delay:p.cell_time emit)
+        in
+        ignore (Netsim.Engine.schedule engine ~delay:p.cell_time emit))
+    sources;
+  (* Scheduled control-plane events. *)
+  let flush_vc st =
+    Array.iter
+      (fun s ->
+        match Hashtbl.find_opt buffers (s, st.vc.Network.vc_id) with
+        | Some q ->
+          st.dropped <- st.dropped + Queue.length q;
+          Queue.clear q
+        | None -> ())
+      st.switches;
+    (* Fresh credit windows for the new path. *)
+    Array.iter
+      (fun lid -> Hashtbl.remove credits (lid, st.vc.Network.vc_id))
+      st.links
+  in
+  let reroute_vc st =
+    if Array.exists (fun lid -> not (link_ok lid)) st.links then begin
+      flush_vc st;
+      st.epoch <- st.epoch + 1;
+      match Network.reroute net st.vc with
+      | Ok () ->
+        st.links <- Array.of_list st.vc.Network.links;
+        st.switches <- Array.of_list st.vc.Network.switches
+      | Error _ -> ()  (* partitioned: the circuit stays dark *)
+    end
+  in
+  let reroute_guaranteed_vc bwc st =
+    if Array.exists (fun lid -> not (link_ok lid)) st.links then begin
+      flush_vc st;
+      st.epoch <- st.epoch + 1;
+      match Bandwidth_central.reroute_after_failure bwc st.vc with
+      | Ok () ->
+        st.links <- Array.of_list st.vc.Network.links;
+        st.switches <- Array.of_list st.vc.Network.switches
+      | Error _ -> ()
+    end
+  in
+  List.iter
+    (fun (at, ev) ->
+      ignore
+        (Netsim.Engine.schedule_at engine ~at (fun () ->
+             match ev with
+             | Fail_link lid -> Topo.Graph.fail_link g lid
+             | Fail_switch s -> Topo.Graph.fail_switch g s
+             | Reroute_be ->
+               List.iter
+                 (fun (_, st) -> if not st.is_guaranteed then reroute_vc st)
+                 states;
+               rebuild_be ()
+             | Reroute_guaranteed bwc ->
+               List.iter
+                 (fun (_, st) ->
+                   if st.is_guaranteed then reroute_guaranteed_vc bwc st)
+                 states;
+               rebuild_gmap ())))
+    events;
+  Netsim.Engine.run_until engine duration;
+  let per_vc =
+    List.map
+      (fun (id, st) ->
+        let d = st.latencies in
+        let stats =
+          {
+            sent = st.sent;
+            delivered = st.delivered;
+            dropped = st.dropped;
+            mean_latency_us = Netsim.Stats.Distribution.mean d;
+            p99_latency_us = Netsim.Stats.Distribution.percentile d 99.0;
+            max_latency_us = Netsim.Stats.Distribution.max d;
+            jitter_us =
+              (if Netsim.Stats.Distribution.count d = 0 then nan
+               else
+                 Netsim.Stats.Distribution.max d
+                 -. Netsim.Stats.Distribution.percentile d 0.0);
+            packets_sent = st.packets_sent;
+            packets_delivered = st.packets_delivered;
+            packet_mean_latency_us =
+              Netsim.Stats.Distribution.mean st.packet_latencies;
+            window_delivered = st.window_delivered;
+          }
+        in
+        (id, stats))
+      states
+  in
+  {
+    per_vc;
+    max_guaranteed_backlog = !max_gbacklog;
+    guaranteed_backlog_frames = float_of_int !max_gbacklog /. float_of_int frame;
+  }

@@ -1,0 +1,90 @@
+(** End-to-end data-plane simulation of an AN2 network.
+
+    Each switch is modelled as a cut-through element driven by its own
+    cell-slot clock: in every slot it first serves the guaranteed
+    connections its frame schedule assigns to that slot (§4), then
+    gives leftover input/output ports to best-effort circuits gated by
+    per-link per-VC credits (§5). Intra-switch crossbar contention
+    among best-effort cells is resolved greedily here; its fidelity is
+    studied slot-accurately in the {!Fabric} library (§3), as the
+    paper itself separates the two levels.
+
+    Used for the guaranteed latency/jitter bound (E6), guaranteed
+    buffer occupancy under clock skew (E7), and the failover and
+    multimedia examples. *)
+
+type params = {
+  cell_time : Netsim.Time.t;  (** slot length, 681 ns at 622 Mb/s *)
+  crossbar_delay : Netsim.Time.t;  (** 2 us cut-through *)
+  be_credits : int;  (** per-VC buffers per link for best-effort *)
+  synchronized : bool;
+      (** true: all switch clocks run at exactly the same rate
+          (telephone-network style); false: each switch's clock is
+          skewed by up to [skew_ppm] *)
+  skew_ppm : int;
+  seed : int;
+}
+
+val default_params : params
+
+(** Traffic sources attached to circuits. *)
+type source =
+  | Cbr of Network.vc
+      (** emits exactly the circuit's reserved cells per frame, evenly
+          spaced — the network controller's rate enforcement (§5) *)
+  | Saturated_be of Network.vc  (** always has a cell to send *)
+  | Paced_be of Network.vc * float
+      (** Bernoulli arrivals at this fraction of link rate *)
+  | Packets_be of Network.vc * float * int
+      (** the host controller path (§1): packets of the given byte
+          size arrive at the given fraction of link rate, are
+          segmented into cells by {!Host.segment}, carried best
+          effort, and reassembled at the destination controller;
+          packet latency spans first-cell emission to last-cell
+          delivery *)
+
+type vc_stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;  (** cells lost to link/switch failures *)
+  mean_latency_us : float;
+  p99_latency_us : float;
+  max_latency_us : float;
+  jitter_us : float;  (** max minus min end-to-end latency *)
+  packets_sent : int;  (** packet sources only; 0 otherwise *)
+  packets_delivered : int;
+      (** packets fully reassembled at the destination controller *)
+  packet_mean_latency_us : float;
+  window_delivered : int array;
+      (** cells delivered per tenth of the run — the recovery curve
+          around a failure *)
+}
+
+type event =
+  | Fail_link of int
+  | Fail_switch of int
+  | Reroute_be
+      (** reroute every best-effort circuit whose path crosses a dead
+          link; schedule it at failure time + reconfiguration time to
+          model the outage window *)
+  | Reroute_guaranteed of Bandwidth_central.t
+      (** re-admit broken guaranteed circuits through bandwidth
+          central *)
+
+type result = {
+  per_vc : (int * vc_stats) list;  (** keyed by vc id *)
+  max_guaranteed_backlog : int;
+      (** worst per-line-card guaranteed-cell occupancy observed, in
+          cells (the paper bounds it by 2 frames synchronized, ~4
+          unsynchronized) *)
+  guaranteed_backlog_frames : float;  (** same, in frames *)
+}
+
+val run :
+  Network.t ->
+  params ->
+  sources:source list ->
+  ?events:(Netsim.Time.t * event) list ->
+  duration:Netsim.Time.t ->
+  unit ->
+  result

@@ -1,0 +1,246 @@
+type traffic_class =
+  | Best_effort
+  | Guaranteed of int
+
+type vc = {
+  vc_id : int;
+  src_host : int;
+  dst_host : int;
+  cls : traffic_class;
+  mutable switches : int list;
+  mutable links : int list;
+  mutable paged_out : bool;
+}
+
+type t = {
+  graph : Topo.Graph.t;
+  frame : int;
+  mutable next_vc : int;
+  vcs : (int, vc) Hashtbl.t;
+  (* tables.(s): vc_id -> (in_link, out_link) at switch s *)
+  tables : (int, int * int) Hashtbl.t array;
+  schedules : Frame.Schedule.t array;
+}
+
+let create ?(frame = 1024) graph =
+  let n = Topo.Graph.switch_count graph in
+  {
+    graph;
+    frame;
+    next_vc = 1;
+    vcs = Hashtbl.create 64;
+    tables = Array.init n (fun _ -> Hashtbl.create 16);
+    schedules =
+      Array.init n (fun _ ->
+          Frame.Schedule.create ~n:(Topo.Graph.ports_per_switch graph) ~frame);
+  }
+
+let graph t = t.graph
+let frame_length t = t.frame
+let switch_schedule t s = t.schedules.(s)
+
+let host_attachment t h =
+  match Topo.Graph.host_links t.graph h with
+  | (s, lid) :: _ -> Ok (s, lid)
+  | [] -> Error (Printf.sprintf "host %d has no working attachment" h)
+
+(* Link id connecting two adjacent switches (lowest id wins when the
+   pair is multiply connected). *)
+let switch_link t a b =
+  match
+    List.find_opt (fun (s', _) -> s' = b) (Topo.Graph.switch_neighbors t.graph a)
+  with
+  | Some (_, lid) -> Some lid
+  | None -> None
+
+let links_of_switch_path t ~src_host ~dst_host switches =
+  match (host_attachment t src_host, host_attachment t dst_host) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (first, src_link), Ok (last, dst_link) ->
+    let rec expand acc = function
+      | a :: (b :: _ as rest) ->
+        (match switch_link t a b with
+         | Some lid -> expand (lid :: acc) rest
+         | None -> Error (Printf.sprintf "switches %d and %d not adjacent" a b))
+      | _ -> Ok (List.rev acc)
+    in
+    (match switches with
+     | [] -> Error "empty switch path"
+     | s0 :: _ ->
+       if s0 <> first then Error "path does not start at source attachment"
+       else if List.nth switches (List.length switches - 1) <> last then
+         Error "path does not end at destination attachment"
+       else
+         (match expand [] switches with
+          | Error e -> Error e
+          | Ok mids -> Ok ((src_link :: mids) @ [ dst_link ])))
+
+let find_route t ~src_host ~dst_host =
+  match (host_attachment t src_host, host_attachment t dst_host) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (a, _), Ok (b, _) ->
+    (match Topo.Paths.route t.graph ~src:a ~dst:b with
+     | Some path -> Ok path
+     | None -> Error (Printf.sprintf "switches %d and %d are partitioned" a b))
+
+(* Pair each switch on the path with its incoming and outgoing link. *)
+let table_entries vc =
+  let rec walk links switches acc =
+    match (links, switches) with
+    | in_link :: (out_link :: _ as rest_links), s :: rest_switches ->
+      walk rest_links rest_switches ((s, (in_link, out_link)) :: acc)
+    | _ -> List.rev acc
+  in
+  walk vc.links vc.switches []
+
+let install t vc =
+  List.iter
+    (fun (s, entry) -> Hashtbl.replace t.tables.(s) vc.vc_id entry)
+    (table_entries vc)
+
+let uninstall t vc =
+  List.iter
+    (fun (s, _) -> Hashtbl.remove t.tables.(s) vc.vc_id)
+    (table_entries vc)
+
+let setup_best_effort t ~src_host ~dst_host =
+  match find_route t ~src_host ~dst_host with
+  | Error e -> Error e
+  | Ok switches ->
+    (match links_of_switch_path t ~src_host ~dst_host switches with
+     | Error e -> Error e
+     | Ok links ->
+       let vc =
+         {
+           vc_id = t.next_vc;
+           src_host;
+           dst_host;
+           cls = Best_effort;
+           switches;
+           links;
+           paged_out = false;
+         }
+       in
+       t.next_vc <- t.next_vc + 1;
+       Hashtbl.add t.vcs vc.vc_id vc;
+       install t vc;
+       Ok vc)
+
+let register_guaranteed t ~src_host ~dst_host ~cells ~switches ~links =
+  let vc =
+    {
+      vc_id = t.next_vc;
+      src_host;
+      dst_host;
+      cls = Guaranteed cells;
+      switches;
+      links;
+      paged_out = false;
+    }
+  in
+  t.next_vc <- t.next_vc + 1;
+  Hashtbl.add t.vcs vc.vc_id vc;
+  install t vc;
+  vc
+
+(* Port on switch [s] at which link [lid] terminates. *)
+let port_at t s lid =
+  let l = Topo.Graph.link t.graph lid in
+  if l.Topo.Graph.a.node = Topo.Graph.Switch s then l.Topo.Graph.a.port
+  else if l.Topo.Graph.b.node = Topo.Graph.Switch s then l.Topo.Graph.b.port
+  else invalid_arg "Network.port_at: link not at switch"
+
+let remove_schedule_entries t vc cells =
+  List.iter
+    (fun (s, (in_link, out_link)) ->
+      let input = port_at t s in_link and output = port_at t s out_link in
+      for _ = 1 to cells do
+        ignore (Frame.Schedule.remove_cell t.schedules.(s) ~input ~output)
+      done)
+    (table_entries vc)
+
+let teardown t vc =
+  uninstall t vc;
+  (match vc.cls with
+   | Guaranteed cells -> remove_schedule_entries t vc cells
+   | Best_effort -> ());
+  Hashtbl.remove t.vcs vc.vc_id
+
+let vc_count t = Hashtbl.length t.vcs
+let find_vc t id = Hashtbl.find_opt t.vcs id
+
+let iter_vcs t f = Hashtbl.iter (fun _ vc -> f vc) t.vcs
+
+let set_route t vc ~switches =
+  match vc.cls with
+  | Guaranteed _ -> Error "guaranteed circuits are moved by bandwidth central"
+  | Best_effort ->
+    (match
+       links_of_switch_path t ~src_host:vc.src_host ~dst_host:vc.dst_host
+         switches
+     with
+     | Error e -> Error e
+     | Ok links ->
+       if List.exists (fun lid -> (Topo.Graph.link t.graph lid).Topo.Graph.state <> Topo.Graph.Working) links
+       then Error "path crosses a dead link"
+       else begin
+         uninstall t vc;
+         vc.switches <- switches;
+         vc.links <- links;
+         install t vc;
+         Ok ()
+       end)
+
+let next_hop t ~switch ~vc_id =
+  match Hashtbl.find_opt t.tables.(switch) vc_id with
+  | Some (in_link, out_link) -> Some (out_link, in_link)
+  | None -> None
+
+let reroute t vc =
+  match vc.cls with
+  | Guaranteed _ -> Error "guaranteed circuits must be rerouted by bandwidth central"
+  | Best_effort ->
+    (match find_route t ~src_host:vc.src_host ~dst_host:vc.dst_host with
+     | Error e -> Error e
+     | Ok switches ->
+       (match
+          links_of_switch_path t ~src_host:vc.src_host ~dst_host:vc.dst_host
+            switches
+        with
+        | Error e -> Error e
+        | Ok links ->
+          uninstall t vc;
+          vc.switches <- switches;
+          vc.links <- links;
+          install t vc;
+          Ok ()))
+
+let page_out t vc =
+  (match vc.cls with
+   | Guaranteed _ ->
+     invalid_arg "Network.page_out: guaranteed circuits hold schedule slots"
+   | Best_effort -> ());
+  if not vc.paged_out then begin
+    uninstall t vc;
+    vc.paged_out <- true
+  end
+
+let page_in t vc =
+  if not vc.paged_out then Ok ()
+  else
+    (* Recreating the circuit may pick a fresh route, exactly as a new
+       setup cell would. *)
+    match find_route t ~src_host:vc.src_host ~dst_host:vc.dst_host with
+    | Error e -> Error e
+    | Ok switches ->
+      (match
+         links_of_switch_path t ~src_host:vc.src_host ~dst_host:vc.dst_host
+           switches
+       with
+       | Error e -> Error e
+       | Ok links ->
+         vc.switches <- switches;
+         vc.links <- links;
+         vc.paged_out <- false;
+         install t vc;
+         Ok ())

@@ -1,0 +1,118 @@
+(** The integrated AN2 network: switches with per-line-card routing
+    tables, virtual circuits, and per-switch frame schedules.
+
+    This module owns the control-plane state (paper §2): which
+    circuits exist, the path and routing-table entries of each, and
+    each switch's guaranteed-traffic schedule. The data plane is
+    driven by {!Netrun}; admission for guaranteed circuits is
+    {!Bandwidth_central}. *)
+
+type traffic_class =
+  | Best_effort
+  | Guaranteed of int  (** reserved cells per frame *)
+
+type vc = {
+  vc_id : int;
+  src_host : int;
+  dst_host : int;
+  cls : traffic_class;
+  mutable switches : int list;  (** switch path, source side first *)
+  mutable links : int list;
+      (** link ids: host link, inter-switch links, host link *)
+  mutable paged_out : bool;
+}
+
+type t
+
+val create : ?frame:int -> Topo.Graph.t -> t
+(** [frame] is the guaranteed-traffic frame length in cell slots
+    (paper: 1024; tests use smaller). The graph is shared, not
+    copied: failures applied to it are visible here. *)
+
+val graph : t -> Topo.Graph.t
+val frame_length : t -> int
+
+val switch_schedule : t -> int -> Frame.Schedule.t
+(** The guaranteed-traffic frame schedule of a switch, indexed by
+    crossbar port. *)
+
+val find_route : t -> src_host:int -> dst_host:int -> (int list, string) result
+(** Shortest switch path between the hosts' working attachments. AN2
+    needs no up*/down* restriction for best-effort circuits because
+    per-VC buffers already prevent deadlock (paper §5). *)
+
+val setup_best_effort : t -> src_host:int -> dst_host:int -> (vc, string) result
+(** Create a best-effort circuit: chooses the route and installs a
+    routing-table entry at every switch on it (the signaling-cell
+    processing of §2). *)
+
+val register_guaranteed :
+  t ->
+  src_host:int ->
+  dst_host:int ->
+  cells:int ->
+  switches:int list ->
+  links:int list ->
+  vc
+(** Record a guaranteed circuit whose route was chosen by
+    {!Bandwidth_central} and install its table entries. The caller is
+    responsible for capacity and schedule bookkeeping. *)
+
+val teardown : t -> vc -> unit
+(** Remove the circuit's table entries (and schedule reservations, for
+    a guaranteed circuit). *)
+
+val vc_count : t -> int
+val find_vc : t -> int -> vc option
+
+val iter_vcs : t -> (vc -> unit) -> unit
+(** Iterate over all live circuits (order unspecified). *)
+
+val set_route : t -> vc -> switches:int list -> (unit, string) result
+(** Move a best-effort circuit onto an explicit switch path (validated
+    against the current topology): the mechanics behind both failure
+    re-routing and load-balancing moves (§2). *)
+
+val next_hop : t -> switch:int -> vc_id:int -> (int * int) option
+(** [(out_link, in_link)] table entry at a switch, if the circuit is
+    routed through it. *)
+
+val reroute : t -> vc -> (unit, string) result
+(** Recompute the circuit's path on the current (post-failure)
+    topology and reinstall table entries — the §2 optimization that
+    repairs circuits without a global disruption. Only for
+    best-effort circuits; guaranteed circuits must go back through
+    bandwidth central. *)
+
+val page_out : t -> vc -> unit
+(** Reclaim the idle circuit's switch resources; its table entries are
+    dropped but the circuit identity survives (§2). Best-effort
+    only: a guaranteed circuit's schedule slots belong to bandwidth
+    central (raises [Invalid_argument]). *)
+
+val page_in : t -> vc -> (unit, string) result
+(** Re-establish a paged-out circuit, as if a fresh setup cell had
+    arrived. *)
+
+(** Internal helpers shared with {!Bandwidth_central}. *)
+
+val host_attachment : t -> int -> (int * int, string) result
+(** Working [(switch, link_id)] attachment of a host. *)
+
+val links_of_switch_path :
+  t -> src_host:int -> dst_host:int -> int list -> (int list, string) result
+(** Expand a switch path to the full link sequence, host links
+    included. *)
+
+val install : t -> vc -> unit
+(** (Re)install routing-table entries for the circuit's current
+    path. *)
+
+val uninstall : t -> vc -> unit
+
+val port_at : t -> int -> int -> int
+(** [port_at t s lid]: crossbar port of switch [s] where link [lid]
+    terminates. *)
+
+val table_entries : vc -> (int * (int * int)) list
+(** [(switch, (in_link, out_link))] along the circuit's path. *)

@@ -1,0 +1,44 @@
+type t = {
+  net : Network.t;
+  idle_after : Netsim.Time.t;
+  last_activity : (int, Netsim.Time.t) Hashtbl.t;
+}
+
+let create net ~idle_after =
+  if idle_after <= 0 then invalid_arg "Pager.create: idle_after must be positive";
+  { net; idle_after; last_activity = Hashtbl.create 32 }
+
+let note_activity t ~vc_id ~now = Hashtbl.replace t.last_activity vc_id now
+
+let is_pageable (vc : Network.vc) =
+  vc.cls = Network.Best_effort && not vc.paged_out
+
+let sweep t ~now =
+  let reclaimed = ref 0 in
+  Network.iter_vcs t.net (fun vc ->
+      if is_pageable vc then begin
+        let last =
+          Option.value ~default:0 (Hashtbl.find_opt t.last_activity vc.vc_id)
+        in
+        if now - last >= t.idle_after then begin
+          Network.page_out t.net vc;
+          incr reclaimed
+        end
+      end);
+  !reclaimed
+
+let touch t ~vc_id ~now =
+  note_activity t ~vc_id ~now;
+  match Network.find_vc t.net vc_id with
+  | None -> Error (Printf.sprintf "circuit %d does not exist" vc_id)
+  | Some vc -> if vc.paged_out then Network.page_in t.net vc else Ok ()
+
+let counts t =
+  let resident = ref 0 and paged = ref 0 in
+  Network.iter_vcs t.net (fun vc ->
+      if vc.cls = Network.Best_effort then
+        if vc.paged_out then incr paged else incr resident);
+  (!resident, !paged)
+
+let resident t = fst (counts t)
+let paged t = snd (counts t)

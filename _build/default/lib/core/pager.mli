@@ -1,0 +1,35 @@
+(** Idle-circuit paging policy (paper §2):
+
+    "Switch software could 'page out' a circuit by releasing its
+    buffers, removing it from the routing table ... If further cells
+    for the circuit subsequently arrived, it could be 'paged in' by
+    generating a setup cell to recreate the circuit."
+
+    {!Network.page_out}/{!Network.page_in} supply the mechanics; this
+    module supplies the policy: track per-circuit activity, sweep out
+    best-effort circuits that have been quiet for a threshold, and
+    transparently re-establish a paged circuit when traffic returns
+    (at the cost of a fresh setup — see {!Signaling} for that cost). *)
+
+type t
+
+val create : Network.t -> idle_after:Netsim.Time.t -> t
+
+val note_activity : t -> vc_id:int -> now:Netsim.Time.t -> unit
+(** A cell of the circuit passed; refreshes its idle clock (and is the
+    trigger for paging a swapped-out circuit back in — use {!touch}
+    when the result matters). *)
+
+val sweep : t -> now:Netsim.Time.t -> int
+(** Page out every resident best-effort circuit idle for longer than
+    the threshold; returns how many were reclaimed. *)
+
+val touch : t -> vc_id:int -> now:Netsim.Time.t -> (unit, string) result
+(** Traffic arrived for a circuit: if it was paged out, re-establish
+    it (as a fresh setup cell would); always refreshes activity.
+    Fails if the circuit no longer exists or cannot be re-routed. *)
+
+val resident : t -> int
+(** Live best-effort circuits currently holding switch resources. *)
+
+val paged : t -> int

@@ -1,0 +1,165 @@
+let is_switch_link g lid =
+  let l = Topo.Graph.link g lid in
+  match (l.Topo.Graph.a.node, l.Topo.Graph.b.node) with
+  | Topo.Graph.Switch _, Topo.Graph.Switch _ -> true
+  | _ -> false
+
+let working g lid = (Topo.Graph.link g lid).Topo.Graph.state = Topo.Graph.Working
+
+let load_table net =
+  let loads = Hashtbl.create 64 in
+  Network.iter_vcs net (fun vc ->
+      match vc.Network.cls with
+      | Network.Guaranteed _ -> ()
+      | Network.Best_effort ->
+        if not vc.Network.paged_out then
+          List.iter
+            (fun lid ->
+              Hashtbl.replace loads lid
+                (1 + Option.value ~default:0 (Hashtbl.find_opt loads lid)))
+            vc.Network.links);
+  loads
+
+let link_loads net =
+  let g = Network.graph net in
+  let loads = load_table net in
+  List.filter_map
+    (fun (l : Topo.Graph.link) ->
+      if l.state = Topo.Graph.Working then
+        Some
+          ( l.link_id,
+            Option.value ~default:0 (Hashtbl.find_opt loads l.link_id) )
+      else None)
+    (Topo.Graph.links g)
+
+type stats = {
+  max_load : int;
+  mean_load : float;
+  stddev : float;
+}
+
+let load_stats net =
+  let g = Network.graph net in
+  let summary = Netsim.Stats.Summary.create () in
+  let max_load = ref 0 in
+  List.iter
+    (fun (lid, load) ->
+      if is_switch_link g lid then begin
+        Netsim.Stats.Summary.add summary (float_of_int load);
+        if load > !max_load then max_load := load
+      end)
+    (link_loads net);
+  {
+    max_load = !max_load;
+    mean_load = Netsim.Stats.Summary.mean summary;
+    stddev = Netsim.Stats.Summary.stddev summary;
+  }
+
+(* Shortest switch path between two switches avoiding one link. *)
+let route_avoiding g ~src ~dst ~avoid =
+  let n = Topo.Graph.switch_count g in
+  let prev = Array.make n (-1) in
+  let seen = Array.make n false in
+  seen.(src) <- true;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun (s', lid) ->
+        if lid <> avoid && not seen.(s') then begin
+          seen.(s') <- true;
+          prev.(s') <- s;
+          Queue.add s' queue
+        end)
+      (Topo.Graph.switch_neighbors g s)
+  done;
+  if not seen.(dst) then None
+  else begin
+    let rec walk acc s = if s = src then src :: acc else walk (s :: acc) prev.(s) in
+    Some (walk [] dst)
+  end
+
+let rebalance ?(max_stretch = 1) ?max_moves net =
+  let g = Network.graph net in
+  let max_moves =
+    match max_moves with Some m -> m | None -> 10 * Network.vc_count net
+  in
+  let moves = ref 0 in
+  let continue = ref true in
+  while !continue && !moves < max_moves do
+    continue := false;
+    let loads = load_table net in
+    let load lid = Option.value ~default:0 (Hashtbl.find_opt loads lid) in
+    (* Hottest working switch-to-switch link. *)
+    let hot = ref None in
+    Hashtbl.iter
+      (fun lid l ->
+        if is_switch_link g lid && working g lid then
+          match !hot with
+          | Some (_, best) when best >= l -> ()
+          | _ -> hot := Some (lid, l))
+      loads;
+    match !hot with
+    | None -> ()
+    | Some (hot_link, hot_load) when hot_load > 1 ->
+      (* Try to move one circuit crossing the hot link. *)
+      let moved = ref false in
+      Network.iter_vcs net (fun vc ->
+          if
+            (not !moved)
+            && vc.Network.cls = Network.Best_effort
+            && (not vc.Network.paged_out)
+            && List.mem hot_link vc.Network.links
+          then begin
+            match
+              ( Network.host_attachment net vc.Network.src_host,
+                Network.host_attachment net vc.Network.dst_host )
+            with
+            | Ok (a, _), Ok (b, _) ->
+              (match
+                 ( route_avoiding g ~src:a ~dst:b ~avoid:hot_link,
+                   Topo.Paths.route g ~src:a ~dst:b )
+               with
+               | Some alt, Some shortest
+                 when List.length alt
+                      <= List.length shortest + max_stretch ->
+                 (* The detour must strictly improve this circuit's
+                    bottleneck: every new switch link must end up
+                    cooler than the hot link is now. *)
+                 let rec new_links acc = function
+                   | x :: (y :: _ as rest) ->
+                     (match
+                        List.find_opt
+                          (fun (s', _) -> s' = y)
+                          (Topo.Graph.switch_neighbors g x)
+                      with
+                      | Some (_, lid) -> new_links (lid :: acc) rest
+                      | None -> acc)
+                   | _ -> acc
+                 in
+                 let candidate_links = new_links [] alt in
+                 let worst_after =
+                   List.fold_left
+                     (fun acc lid ->
+                       let l =
+                         if List.mem lid vc.Network.links then load lid
+                         else load lid + 1
+                       in
+                       max acc l)
+                     0 candidate_links
+                 in
+                 if worst_after < hot_load then begin
+                   match Network.set_route net vc ~switches:alt with
+                   | Ok () ->
+                     moved := true;
+                     incr moves
+                   | Error _ -> ()
+                 end
+               | _ -> ())
+            | _ -> ()
+          end);
+      if !moved then continue := true
+    | Some _ -> ()
+  done;
+  !moves

@@ -1,0 +1,44 @@
+(** Virtual-circuit setup signaling (paper §2).
+
+    "When a new virtual circuit is to be created, a cell containing the
+    ids of the source and destination hosts is sent along a separate
+    signaling circuit. When this cell arrives at a switch, it is passed
+    to the processor on the line card where it arrived. Software there
+    chooses the outgoing port ... and adds the virtual circuit to the
+    line card's routing table. Cells for the new virtual circuit may be
+    sent immediately after the setup cell. If they arrive at a switch
+    before the virtual circuit is established there, they will be
+    buffered until the routing table entry is filled in."
+
+    This module simulates exactly that race: the setup cell crawls
+    (line-card software at every hop) while data cells move at wire
+    speed and pile up just behind it; each switch releases its backlog
+    in order the moment its table entry is written. *)
+
+type params = {
+  proc_delay : Netsim.Time.t;  (** line-card software time per setup hop *)
+  cell_time : Netsim.Time.t;
+  crossbar_delay : Netsim.Time.t;
+  data_rate : float;  (** data source rate, fraction of link rate *)
+  data_cells : int;  (** cells sent immediately after the setup cell *)
+}
+
+val default_params : params
+(** 100 us software per hop, 622 Mb/s cells, full-rate data source,
+    200 cells. *)
+
+type outcome = {
+  setup_time_us : float;
+      (** setup cell leaving the source until the last switch's table
+          entry is installed *)
+  first_data_latency_us : float;  (** emission to delivery of cell 0 *)
+  delivered : int;
+  in_order : bool;  (** cells arrived in emission order *)
+  max_buffered_awaiting_entry : int;
+      (** worst backlog at any switch waiting for its table entry *)
+}
+
+val setup_with_data :
+  Network.t -> src_host:int -> dst_host:int -> params -> (outcome, string) result
+(** Run the setup + immediate-data scenario over the hosts' shortest
+    route. Fails only if the hosts are disconnected. *)

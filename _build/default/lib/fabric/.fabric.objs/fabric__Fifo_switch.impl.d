@@ -1,0 +1,1 @@
+lib/fabric/fifo_switch.ml: Array Cell Model Netsim Queue

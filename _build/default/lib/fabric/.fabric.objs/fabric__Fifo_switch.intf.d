@@ -1,0 +1,1 @@
+lib/fabric/fifo_switch.mli: Model Netsim

@@ -1,0 +1,1 @@
+lib/fabric/harness.ml: Cell Format List Model Netsim Traffic

@@ -1,0 +1,1 @@
+lib/fabric/harness.mli: Format Model Netsim Traffic

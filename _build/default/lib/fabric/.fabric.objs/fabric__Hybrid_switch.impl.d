@@ -1,0 +1,1 @@
+lib/fabric/hybrid_switch.ml: Array Cell Frame Matching Model Netsim Queue

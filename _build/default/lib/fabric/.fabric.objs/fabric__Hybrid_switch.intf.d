@@ -1,0 +1,1 @@
+lib/fabric/hybrid_switch.mli: Frame Model Netsim

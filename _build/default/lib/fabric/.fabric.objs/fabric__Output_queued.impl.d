@@ -1,0 +1,1 @@
+lib/fabric/output_queued.ml: Array Cell Model Netsim Queue

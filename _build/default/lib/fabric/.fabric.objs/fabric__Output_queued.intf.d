@@ -1,0 +1,1 @@
+lib/fabric/output_queued.mli: Model Netsim

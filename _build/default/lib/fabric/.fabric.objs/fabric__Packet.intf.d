@@ -1,0 +1,1 @@
+lib/fabric/packet.mli: Netsim

@@ -1,0 +1,1 @@
+lib/fabric/packet_switch.ml: Array Hashtbl List Netsim Packet Queue

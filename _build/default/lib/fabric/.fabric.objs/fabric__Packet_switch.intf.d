@@ -1,0 +1,1 @@
+lib/fabric/packet_switch.mli: Netsim Packet

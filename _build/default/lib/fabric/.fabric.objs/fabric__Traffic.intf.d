@@ -1,0 +1,1 @@
+lib/fabric/traffic.mli: Netsim

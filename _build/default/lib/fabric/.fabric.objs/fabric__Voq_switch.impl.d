@@ -1,0 +1,1 @@
+lib/fabric/voq_switch.ml: Array Cell Matching Model Queue

@@ -1,0 +1,1 @@
+lib/fabric/voq_switch.mli: Cell Model Netsim

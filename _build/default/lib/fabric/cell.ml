@@ -1,0 +1,5 @@
+type t = { input : int; output : int; arrival : int }
+
+let make ~input ~output ~arrival = { input; output; arrival }
+
+let delay t ~departure = departure - t.arrival

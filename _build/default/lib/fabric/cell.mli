@@ -1,0 +1,12 @@
+(** A fixed-length ATM cell inside the slotted switch simulators. *)
+
+type t = {
+  input : int;  (** arrival port *)
+  output : int;  (** destination port *)
+  arrival : int;  (** slot in which the cell reached the input buffer *)
+}
+
+val make : input:int -> output:int -> arrival:int -> t
+
+val delay : t -> departure:int -> int
+(** Slots spent in the switch, counting a same-slot transit as 0. *)

@@ -1,0 +1,23 @@
+let create ~rng ~n =
+  let queues = Array.init n (fun _ -> Queue.create ()) in
+  let inject (cell : Cell.t) = Queue.add cell queues.(cell.input) in
+  let step ~slot:_ =
+    (* Contenders per output: inputs whose head cell targets it. *)
+    let contenders = Array.make n [] in
+    for i = n - 1 downto 0 do
+      match Queue.peek_opt queues.(i) with
+      | Some (cell : Cell.t) -> contenders.(cell.output) <- i :: contenders.(cell.output)
+      | None -> ()
+    done;
+    let departed = ref [] in
+    for o = 0 to n - 1 do
+      match contenders.(o) with
+      | [] -> ()
+      | inputs ->
+        let winner = Netsim.Rng.pick rng inputs in
+        departed := Queue.pop queues.(winner) :: !departed
+    done;
+    !departed
+  in
+  let occupancy () = Array.fold_left (fun acc q -> acc + Queue.length q) 0 queues in
+  { Model.n; inject; step; occupancy }

@@ -1,0 +1,9 @@
+(** Input-queued switch with a single FIFO per input — the AN1-style
+    organization whose head-of-line blocking caps uniform throughput
+    at 2 - sqrt 2 ~ 58.6% (Karol et al., cited in §3).
+
+    Each slot, only the head cell of each FIFO contends; among the
+    inputs whose head targets the same output one random winner
+    transfers. *)
+
+val create : rng:Netsim.Rng.t -> n:int -> Model.t

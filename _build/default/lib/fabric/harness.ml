@@ -1,0 +1,57 @@
+type metrics = {
+  slots : int;
+  offered : int;
+  carried : int;
+  throughput : float;
+  mean_delay : float;
+  p99_delay : float;
+  max_delay : float;
+  final_occupancy : int;
+}
+
+let pp_metrics fmt m =
+  Format.fprintf fmt
+    "slots=%d offered=%d carried=%d thpt=%.4f delay(mean=%.2f p99=%.2f max=%.0f) backlog=%d"
+    m.slots m.offered m.carried m.throughput m.mean_delay m.p99_delay m.max_delay
+    m.final_occupancy
+
+let run ?warmup ~traffic ~model ~slots () =
+  let warmup = match warmup with Some w -> w | None -> slots / 10 in
+  let n = model.Model.n in
+  let offered = ref 0 and carried = ref 0 in
+  let delays = Netsim.Stats.Distribution.create () in
+  for slot = 0 to warmup + slots - 1 do
+    let measuring = slot >= warmup in
+    for input = 0 to n - 1 do
+      List.iter
+        (fun output ->
+          if measuring then incr offered;
+          model.Model.inject (Cell.make ~input ~output ~arrival:slot))
+        (Traffic.arrivals traffic ~slot ~input)
+    done;
+    let departures = model.Model.step ~slot in
+    if measuring then
+      List.iter
+        (fun cell ->
+          incr carried;
+          Netsim.Stats.Distribution.add delays
+            (float_of_int (Cell.delay cell ~departure:slot)))
+        departures
+  done;
+  let measured = slots in
+  {
+    slots = measured;
+    offered = !offered;
+    carried = !carried;
+    throughput = float_of_int !carried /. float_of_int (n * measured);
+    mean_delay = Netsim.Stats.Distribution.mean delays;
+    p99_delay = Netsim.Stats.Distribution.percentile delays 99.0;
+    max_delay = Netsim.Stats.Distribution.max delays;
+    final_occupancy = model.Model.occupancy ();
+  }
+
+let saturation_throughput ~rng ~make_model ~n ~slots =
+  let traffic = Traffic.uniform ~rng ~n ~load:1.0 in
+  let model = make_model () in
+  let m = run ~traffic ~model ~slots () in
+  m.throughput

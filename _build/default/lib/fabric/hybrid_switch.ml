@@ -1,0 +1,95 @@
+type t = {
+  n : int;
+  frame : int;
+  schedule : Frame.Schedule.t;
+  pim_iterations : int;
+  rng : Netsim.Rng.t;
+  gqueue : Cell.t Queue.t array array;
+  be_voq : Cell.t Queue.t array array;
+  mutable guaranteed_delivered : int;
+  mutable be_in_reserved : int;
+}
+
+let create ~rng ~schedule ~pim_iterations () =
+  let n = Frame.Schedule.n schedule in
+  {
+    n;
+    frame = Frame.Schedule.frame schedule;
+    schedule;
+    pim_iterations;
+    rng;
+    gqueue = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
+    be_voq = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
+    guaranteed_delivered = 0;
+    be_in_reserved = 0;
+  }
+
+let inject_guaranteed t ~input ~output ~slot =
+  Queue.add (Cell.make ~input ~output ~arrival:slot) t.gqueue.(input).(output)
+
+let guaranteed_delivered t = t.guaranteed_delivered
+
+let guaranteed_backlog t =
+  let total = ref 0 in
+  for i = 0 to t.n - 1 do
+    for o = 0 to t.n - 1 do
+      total := !total + Queue.length t.gqueue.(i).(o)
+    done
+  done;
+  !total
+
+let be_transmissions_in_reserved_slots t = t.be_in_reserved
+
+let step t ~slot =
+  let n = t.n in
+  let sidx = slot mod t.frame in
+  let used_in = Array.make n false and used_out = Array.make n false in
+  let sched_in = Array.make n false and sched_out = Array.make n false in
+  (* Phase 1: the frame schedule's connections. *)
+  for i = 0 to n - 1 do
+    match Frame.Schedule.output_of t.schedule ~slot:sidx ~input:i with
+    | None -> ()
+    | Some o ->
+      sched_in.(i) <- true;
+      sched_out.(o) <- true;
+      (match Queue.take_opt t.gqueue.(i).(o) with
+       | Some _ ->
+         t.guaranteed_delivered <- t.guaranteed_delivered + 1;
+         used_in.(i) <- true;
+         used_out.(o) <- true
+       | None -> () (* idle reservation: ports stay free for best effort *))
+  done;
+  (* Phase 2: parallel iterative matching over the leftover ports. *)
+  let req = Matching.Request.create n in
+  for i = 0 to n - 1 do
+    if not used_in.(i) then
+      for o = 0 to n - 1 do
+        if (not used_out.(o)) && not (Queue.is_empty t.be_voq.(i).(o)) then
+          Matching.Request.set req i o true
+      done
+  done;
+  let m = Matching.Pim.run ~rng:t.rng req ~iterations:t.pim_iterations in
+  let departures = ref [] in
+  for i = 0 to n - 1 do
+    let o = m.Matching.Outcome.match_of_input.(i) in
+    if o >= 0 then begin
+      let cell = Queue.pop t.be_voq.(i).(o) in
+      if sched_in.(i) || sched_out.(o) then
+        t.be_in_reserved <- t.be_in_reserved + 1;
+      departures := cell :: !departures
+    end
+  done;
+  !departures
+
+let model t =
+  let inject (cell : Cell.t) = Queue.add cell t.be_voq.(cell.input).(cell.output) in
+  let occupancy () =
+    let total = ref 0 in
+    for i = 0 to t.n - 1 do
+      for o = 0 to t.n - 1 do
+        total := !total + Queue.length t.be_voq.(i).(o)
+      done
+    done;
+    !total
+  in
+  { Model.n = t.n; inject; step = (fun ~slot -> step t ~slot); occupancy }

@@ -1,0 +1,40 @@
+(** The full AN2 switch data path (paper §4): guaranteed and
+    best-effort traffic sharing one crossbar, slot-accurately.
+
+    Each time slot:
+    - connections the frame schedule assigns to this slot transmit a
+      cell of their guaranteed circuit if one is buffered; a scheduled
+      connection with nothing to send releases both its ports;
+    - the remaining input/output ports are matched for best-effort
+      cells by parallel iterative matching.
+
+    So guaranteed traffic is never disturbed by best-effort load, and
+    best-effort traffic gets exactly the slots reserved-but-idle or
+    never reserved — the two paper claims this model lets us measure
+    with real queues rather than schedule geometry (cf. E16 vs E22). *)
+
+type t
+
+val create :
+  rng:Netsim.Rng.t ->
+  schedule:Frame.Schedule.t ->
+  pim_iterations:int ->
+  unit ->
+  t
+
+val model : t -> Model.t
+(** Best-effort side as a standard {!Model} (inject/step/occupancy) so
+    the {!Harness} drives it; call {!inject_guaranteed} separately for
+    reserved traffic. The [slot] passed to [step] indexes the frame
+    cyclically. *)
+
+val inject_guaranteed : t -> input:int -> output:int -> slot:int -> unit
+(** Queue a guaranteed cell for the (input, output) reservation. *)
+
+val guaranteed_delivered : t -> int
+val guaranteed_backlog : t -> int
+
+val be_transmissions_in_reserved_slots : t -> int
+(** Best-effort cells that used a reserved-but-idle connection's slot —
+    the §4 "best-effort cells can use an allocated slot if no cell from
+    the scheduled virtual circuit is present". *)

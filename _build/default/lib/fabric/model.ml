@@ -1,0 +1,6 @@
+type t = {
+  n : int;
+  inject : Cell.t -> unit;
+  step : slot:int -> Cell.t list;
+  occupancy : unit -> int;
+}

@@ -1,0 +1,8 @@
+(** Common interface to the slotted switch models. *)
+
+type t = {
+  n : int;
+  inject : Cell.t -> unit;  (** place a newly arrived cell in an input buffer *)
+  step : slot:int -> Cell.t list;  (** schedule + transfer one slot; departures *)
+  occupancy : unit -> int;  (** cells currently buffered *)
+}

@@ -1,0 +1,42 @@
+let create ~rng ~n ~k =
+  if k < 1 then invalid_arg "Output_queued.create: k >= 1";
+  let input_fifo = Array.init n (fun _ -> Queue.create ()) in
+  let output_queue = Array.init n (fun _ -> Queue.create ()) in
+  let inject (cell : Cell.t) = Queue.add cell input_fifo.(cell.input) in
+  let step ~slot:_ =
+    (* Cross the fabric: running it k times faster means each input may
+       send, and each output may receive, up to k cells per slot. Scan
+       inputs in random order for fairness. *)
+    let out_budget = Array.make n k in
+    let order = Array.init n (fun i -> i) in
+    Netsim.Rng.shuffle_in_place rng order;
+    Array.iter
+      (fun i ->
+        let in_budget = ref k in
+        let moving = ref true in
+        while !moving && !in_budget > 0 do
+          match Queue.peek_opt input_fifo.(i) with
+          | Some (cell : Cell.t) when out_budget.(cell.output) > 0 ->
+            out_budget.(cell.output) <- out_budget.(cell.output) - 1;
+            decr in_budget;
+            Queue.add (Queue.pop input_fifo.(i)) output_queue.(cell.output)
+          | _ -> moving := false
+        done)
+      order;
+    (* One departure per output per slot. *)
+    let departed = ref [] in
+    for o = 0 to n - 1 do
+      match Queue.take_opt output_queue.(o) with
+      | Some cell -> departed := cell :: !departed
+      | None -> ()
+    done;
+    !departed
+  in
+  let occupancy () =
+    let total = ref 0 in
+    for i = 0 to n - 1 do
+      total := !total + Queue.length input_fifo.(i) + Queue.length output_queue.(i)
+    done;
+    !total
+  in
+  { Model.n; inject; step; occupancy }

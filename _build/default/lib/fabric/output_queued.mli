@@ -1,0 +1,10 @@
+(** Output-queued switch with internal speedup [k] (§3's alternative).
+
+    The fabric can deliver up to [k] cells per slot to each output
+    queue; one cell departs each output per slot. With [k = n] and
+    unbounded buffers this is the idealized reference whose
+    performance the paper says VOQ + PIM nearly matches. Cells that
+    cannot cross in a slot wait in per-input FIFOs (relevant only for
+    small [k]). *)
+
+val create : rng:Netsim.Rng.t -> n:int -> k:int -> Model.t

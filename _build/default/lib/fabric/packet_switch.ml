@@ -1,0 +1,63 @@
+type t = {
+  n : int;
+  rng : Netsim.Rng.t;
+  fifo : Packet.t Queue.t array;
+  out_busy_until : int array;  (* first slot the output is free again *)
+  in_busy_until : int array;  (* first slot the input may start a new packet *)
+  (* completion slot -> packets finishing then *)
+  completions : (int, Packet.t list ref) Hashtbl.t;
+  mutable in_flight : int;
+  mutable carried : int;
+}
+
+let create ~rng ~n =
+  {
+    n;
+    rng;
+    fifo = Array.init n (fun _ -> Queue.create ());
+    out_busy_until = Array.make n 0;
+    in_busy_until = Array.make n 0;
+    completions = Hashtbl.create 32;
+    in_flight = 0;
+    carried = 0;
+  }
+
+let inject t (p : Packet.t) = Queue.add p t.fifo.(p.input)
+
+let step t ~slot =
+  (* Try to start the head packet of each input, scanning inputs in
+     random order for fairness. *)
+  let order = Array.init t.n (fun i -> i) in
+  Netsim.Rng.shuffle_in_place t.rng order;
+  Array.iter
+    (fun i ->
+      if t.in_busy_until.(i) <= slot then
+        match Queue.peek_opt t.fifo.(i) with
+        | Some p when t.out_busy_until.(p.output) <= slot ->
+          ignore (Queue.pop t.fifo.(i));
+          t.in_flight <- t.in_flight + 1;
+          (* Cut-through: the head goes out now; the tail clears after
+             [len] cell times. *)
+          t.out_busy_until.(p.output) <- slot + p.len;
+          t.in_busy_until.(i) <- slot + p.len;
+          let finish = slot + p.len - 1 in
+          (match Hashtbl.find_opt t.completions finish with
+           | Some r -> r := p :: !r
+           | None -> Hashtbl.add t.completions finish (ref [ p ]))
+        | _ -> ())
+    order;
+  match Hashtbl.find_opt t.completions slot with
+  | None -> []
+  | Some r ->
+    Hashtbl.remove t.completions slot;
+    List.iter
+      (fun (p : Packet.t) ->
+        t.in_flight <- t.in_flight - 1;
+        t.carried <- t.carried + p.len)
+      !r;
+    !r
+
+let occupancy t =
+  t.in_flight + Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.fifo
+
+let carried_cells t = t.carried

@@ -1,0 +1,27 @@
+(** An AN1-style packet switch: variable-length packets, one FIFO per
+    input, cut-through forwarding (paper §1).
+
+    A packet starts crossing as soon as its head is at the front of
+    its input FIFO and its output is free; the output then stays busy
+    for the packet's whole length. Head-of-line blocking is therefore
+    amplified by length variance: one 1500-byte packet waiting for a
+    busy output parks every packet behind it for 32 cell times — the
+    behaviour that motivated AN2's fixed-size cells and random-access
+    buffers. *)
+
+type t
+
+val create : rng:Netsim.Rng.t -> n:int -> t
+
+val inject : t -> Packet.t -> unit
+(** The packet's head has arrived at its input. *)
+
+val step : t -> slot:int -> Packet.t list
+(** Advance one cell time; returns packets whose last cell departed in
+    this slot. *)
+
+val occupancy : t -> int
+(** Packets currently queued or in flight. *)
+
+val carried_cells : t -> int
+(** Total cell times of payload delivered so far. *)

@@ -1,0 +1,60 @@
+type t = { n : int; arrivals : slot:int -> input:int -> int list }
+
+let arrivals t ~slot ~input =
+  if input < 0 || input >= t.n then invalid_arg "Traffic.arrivals: bad input";
+  t.arrivals ~slot ~input
+
+let of_single n f =
+  let arrivals ~slot ~input =
+    match f ~slot ~input with Some o -> [ o ] | None -> []
+  in
+  { n; arrivals }
+
+let uniform ~rng ~n ~load =
+  of_single n (fun ~slot:_ ~input:_ ->
+      if Netsim.Rng.bernoulli rng load then Some (Netsim.Rng.int rng n) else None)
+
+let bursty ~rng ~n ~load ~mean_burst =
+  if mean_burst < 1.0 then invalid_arg "Traffic.bursty: mean_burst >= 1 required";
+  (* Per-input state: remaining cells of the current burst and its
+     destination, plus a geometric idle gap sized so the long-run duty
+     cycle equals [load]. *)
+  let remaining = Array.make n 0 in
+  let dest = Array.make n 0 in
+  let idle = Array.make n 0 in
+  let mean_gap = if load >= 1.0 then 0.0 else mean_burst *. ((1.0 -. load) /. load) in
+  of_single n (fun ~slot:_ ~input ->
+      if idle.(input) > 0 then begin
+        idle.(input) <- idle.(input) - 1;
+        None
+      end
+      else begin
+        if remaining.(input) = 0 then begin
+          remaining.(input) <- 1 + Netsim.Rng.geometric rng ~p:(1.0 /. mean_burst);
+          dest.(input) <- Netsim.Rng.int rng n
+        end;
+        remaining.(input) <- remaining.(input) - 1;
+        if remaining.(input) = 0 && mean_gap > 0.0 then
+          idle.(input) <- Netsim.Rng.geometric rng ~p:(1.0 /. (mean_gap +. 1.0));
+        Some dest.(input)
+      end)
+
+let hotspot ~rng ~n ~load ~hot_fraction =
+  of_single n (fun ~slot:_ ~input:_ ->
+      if Netsim.Rng.bernoulli rng load then
+        if Netsim.Rng.bernoulli rng hot_fraction then Some 0
+        else Some (Netsim.Rng.int rng n)
+      else None)
+
+let permutation ~rng ~n ~load =
+  of_single n (fun ~slot:_ ~input ->
+      if Netsim.Rng.bernoulli rng load then Some ((input + 1) mod n) else None)
+
+let fixed pairs ~n =
+  let per_input = Array.make n [] in
+  List.iter
+    (fun (i, o) ->
+      if i < 0 || i >= n || o < 0 || o >= n then invalid_arg "Traffic.fixed";
+      per_input.(i) <- per_input.(i) @ [ o ])
+    pairs;
+  { n; arrivals = (fun ~slot:_ ~input -> per_input.(input)) }

@@ -1,0 +1,54 @@
+type scheduler =
+  | Pim of int
+  | Islip of int
+  | Greedy_random
+  | Maximum
+
+let create_instrumented ~rng ~n ~scheduler ~on_transfer =
+  (* voq.(i).(o): cells at input i waiting for output o. *)
+  let voq = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ())) in
+  let islip_state =
+    match scheduler with Islip _ -> Some (Matching.Islip.create n) | _ -> None
+  in
+  let inject (cell : Cell.t) = Queue.add cell voq.(cell.input).(cell.output) in
+  let step ~slot =
+    let req = Matching.Request.create n in
+    for i = 0 to n - 1 do
+      for o = 0 to n - 1 do
+        if not (Queue.is_empty voq.(i).(o)) then Matching.Request.set req i o true
+      done
+    done;
+    let outcome =
+      match scheduler with
+      | Pim iterations -> Matching.Pim.run ~rng req ~iterations
+      | Islip iterations ->
+        (match islip_state with
+         | Some st -> Matching.Islip.run st req ~iterations
+         | None -> assert false)
+      | Greedy_random -> Matching.Greedy.run ~rng req
+      | Maximum -> Matching.Hopcroft_karp.run req
+    in
+    let departed = ref [] in
+    for i = 0 to n - 1 do
+      let o = outcome.Matching.Outcome.match_of_input.(i) in
+      if o >= 0 then begin
+        let cell = Queue.pop voq.(i).(o) in
+        on_transfer cell ~slot;
+        departed := cell :: !departed
+      end
+    done;
+    !departed
+  in
+  let occupancy () =
+    let total = ref 0 in
+    for i = 0 to n - 1 do
+      for o = 0 to n - 1 do
+        total := !total + Queue.length voq.(i).(o)
+      done
+    done;
+    !total
+  in
+  { Model.n; inject; step; occupancy }
+
+let create ~rng ~n ~scheduler =
+  create_instrumented ~rng ~n ~scheduler ~on_transfer:(fun _ ~slot:_ -> ())

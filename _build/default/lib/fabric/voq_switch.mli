@@ -1,0 +1,24 @@
+(** AN2-style switch: random-access input buffers organized as virtual
+    output queues, scheduled by a pluggable bipartite matcher (§3).
+
+    A cell is only blocked when its output is busy — never by an
+    unrelated cell ahead of it, which is what removes head-of-line
+    blocking. *)
+
+type scheduler =
+  | Pim of int  (** parallel iterative matching with this many iterations *)
+  | Islip of int  (** round-robin pointers, this many iterations *)
+  | Greedy_random  (** centralized greedy in random input order *)
+  | Maximum  (** Hopcroft-Karp maximum matching (starvation-prone) *)
+
+val create : rng:Netsim.Rng.t -> n:int -> scheduler:scheduler -> Model.t
+
+val create_instrumented :
+  rng:Netsim.Rng.t ->
+  n:int ->
+  scheduler:scheduler ->
+  on_transfer:(Cell.t -> slot:int -> unit) ->
+  Model.t
+(** Like {!create} but invokes [on_transfer] for every cell crossing
+    the crossbar — used by the starvation experiment to track
+    per-virtual-circuit service. *)

@@ -1,0 +1,1 @@
+lib/flow/adaptive.mli: Netsim

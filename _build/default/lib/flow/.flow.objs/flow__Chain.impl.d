@@ -1,0 +1,1 @@
+lib/flow/chain.ml: Array Credit Float Netsim Queue

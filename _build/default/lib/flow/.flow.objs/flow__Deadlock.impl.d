@@ -1,0 +1,1 @@
+lib/flow/deadlock.ml: Array Hashtbl Queue Topo

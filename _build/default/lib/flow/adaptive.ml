@@ -1,0 +1,154 @@
+type policy =
+  | Static
+  | Adaptive of {
+      window : Netsim.Time.t;
+      floor : int;
+    }
+
+type params = {
+  circuits : int;
+  active : int;
+  total_buffers : int;
+  latency : Netsim.Time.t;
+  cell_time : Netsim.Time.t;
+  crossbar_delay : Netsim.Time.t;
+  duration : Netsim.Time.t;
+  policy : policy;
+}
+
+let default_params =
+  {
+    circuits = 32;
+    active = 2;
+    total_buffers = 128;
+    latency = Netsim.Time.us 10;
+    cell_time = Netsim.Time.ns 681;
+    crossbar_delay = Netsim.Time.us 2;
+    duration = Netsim.Time.ms 10;
+    policy = Static;
+  }
+
+type result = {
+  aggregate_throughput : float;
+  per_active_throughput : float array;
+  overflowed : bool;
+  reallocations : int;
+  max_pool_occupancy : int;
+}
+
+let round_trip_cells p =
+  let rtt = (2 * p.latency) + p.crossbar_delay + p.cell_time in
+  (rtt + p.cell_time - 1) / p.cell_time
+
+let run p =
+  if p.active > p.circuits then invalid_arg "Adaptive.run: active > circuits";
+  if p.total_buffers < p.circuits then
+    invalid_arg "Adaptive.run: need at least one buffer per circuit";
+  let engine = Netsim.Engine.create () in
+  let v = p.circuits in
+  (* Per-circuit state. A circuit may only have [quota] cells in
+     flight-or-buffered downstream; lowering quota never revokes cells
+     already out, it just blocks new sends until they drain. *)
+  let quota = Array.make v (p.total_buffers / v) in
+  let in_flight = Array.make v 0 in
+  let sent_window = Array.make v 0 in
+  let delivered = Array.make v 0 in
+  let is_active i = i < p.active in
+  let pool_occupancy = ref 0 in
+  let max_pool = ref 0 in
+  let overflowed = ref false in
+  let reallocations = ref 0 in
+  (* Link serialization: one cell per cell_time, round-robin over
+     eligible circuits (backlogged and under quota). *)
+  let rr = ref 0 in
+  let busy = ref false in
+  let rec try_send () =
+    if not !busy then begin
+      let chosen = ref None in
+      let k = ref 0 in
+      while !chosen = None && !k < v do
+        let c = (!rr + !k) mod v in
+        if is_active c && in_flight.(c) < quota.(c) then chosen := Some c;
+        incr k
+      done;
+      match !chosen with
+      | None -> ()
+      | Some c ->
+        rr := (c + 1) mod v;
+        in_flight.(c) <- in_flight.(c) + 1;
+        sent_window.(c) <- sent_window.(c) + 1;
+        busy := true;
+        ignore
+          (Netsim.Engine.schedule engine ~delay:p.cell_time (fun () ->
+               busy := false;
+               try_send ()));
+        (* Arrival downstream, then forwarding through the crossbar,
+           then the credit's return trip. *)
+        ignore
+          (Netsim.Engine.schedule engine ~delay:(p.cell_time + p.latency)
+             (fun () ->
+               incr pool_occupancy;
+               if !pool_occupancy > !max_pool then max_pool := !pool_occupancy;
+               if !pool_occupancy > p.total_buffers then overflowed := true;
+               ignore
+                 (Netsim.Engine.schedule engine ~delay:p.crossbar_delay
+                    (fun () ->
+                      decr pool_occupancy;
+                      delivered.(c) <- delivered.(c) + 1;
+                      ignore
+                        (Netsim.Engine.schedule engine ~delay:p.latency
+                           (fun () ->
+                             in_flight.(c) <- in_flight.(c) - 1;
+                             try_send ()))))))
+    end
+  in
+  (* The allocator: move quota from idle circuits to backlogged ones,
+     never letting the worst-case demand sum exceed the pool. *)
+  (match p.policy with
+   | Static -> ()
+   | Adaptive { window; floor } ->
+     let rtt_need = round_trip_cells p in
+     let rec rebalance () =
+       (* Step 1: shrink quotas of circuits that sent nothing. *)
+       for c = 0 to v - 1 do
+         if sent_window.(c) = 0 && quota.(c) > floor then begin
+           quota.(c) <- max floor (max in_flight.(c) (quota.(c) / 2));
+           incr reallocations
+         end
+       done;
+       (* Step 2: grow busy circuits while the pool covers everyone's
+          worst case. *)
+       let committed = ref 0 in
+       for c = 0 to v - 1 do
+         committed := !committed + max quota.(c) in_flight.(c)
+       done;
+       let budget = ref (p.total_buffers - !committed) in
+       for c = 0 to v - 1 do
+         if sent_window.(c) > 0 && quota.(c) < rtt_need && !budget > 0 then begin
+           let grant = min !budget (rtt_need - quota.(c)) in
+           quota.(c) <- quota.(c) + grant;
+           budget := !budget - grant;
+           incr reallocations
+         end
+       done;
+       Array.fill sent_window 0 v 0;
+       try_send ();
+       ignore (Netsim.Engine.schedule engine ~delay:window rebalance)
+     in
+     ignore (Netsim.Engine.schedule engine ~delay:window rebalance));
+  (* Kick the sender periodically in case every circuit was blocked on
+     quota when a credit came back (try_send is also chained off every
+     completion, so this is just a safety net at coarse granularity). *)
+  try_send ();
+  Netsim.Engine.run_until engine p.duration;
+  let capacity = p.duration / p.cell_time in
+  let total = Array.fold_left ( + ) 0 delivered in
+  {
+    aggregate_throughput = float_of_int total /. float_of_int capacity;
+    per_active_throughput =
+      Array.init p.active (fun c ->
+          float_of_int delivered.(c) /. float_of_int capacity);
+    overflowed = !overflowed;
+    reallocations = !reallocations;
+    max_pool_occupancy = !max_pool;
+  }

@@ -1,0 +1,51 @@
+(** Dynamic buffer allocation for best-effort circuits (paper §5,
+    "more sophisticated schemes, such as dynamically altering buffer
+    allocation based on use, may be considered later").
+
+    The initial AN2 statically gives every circuit a full round-trip
+    worth of buffers, which caps how many circuits a link can carry.
+    This module simulates one link whose downstream line card owns a
+    fixed buffer pool shared by many circuits, under two policies:
+
+    - [Static]: the pool is divided equally up front. With many mostly
+      idle circuits, each active one is throttled to its small slice.
+    - [Adaptive]: an allocator periodically measures use and moves
+      buffer quota from idle circuits (down to a small floor that keeps
+      them responsive) to backlogged ones. Quota is only raised when
+      the pool can cover every circuit's worst case
+      (max of quota and cells still in flight), so the pool can never
+      overflow — reallocation is safe by construction. *)
+
+type policy =
+  | Static
+  | Adaptive of {
+      window : Netsim.Time.t;  (** measurement/reallocation period *)
+      floor : int;  (** minimum quota for an idle circuit *)
+    }
+
+type params = {
+  circuits : int;  (** circuits sharing the link *)
+  active : int;  (** circuits with a permanent backlog *)
+  total_buffers : int;  (** downstream pool size, in cells *)
+  latency : Netsim.Time.t;
+  cell_time : Netsim.Time.t;
+  crossbar_delay : Netsim.Time.t;
+  duration : Netsim.Time.t;
+  policy : policy;
+}
+
+val default_params : params
+(** 32 circuits, 2 active, a 128-cell pool on a 10 us link. *)
+
+type result = {
+  aggregate_throughput : float;  (** carried fraction of the link rate *)
+  per_active_throughput : float array;
+  overflowed : bool;  (** must always be false *)
+  reallocations : int;  (** quota changes performed *)
+  max_pool_occupancy : int;
+}
+
+val run : params -> result
+
+val round_trip_cells : params -> int
+(** Buffers one circuit needs for full rate (as in {!Chain}). *)

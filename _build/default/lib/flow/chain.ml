@@ -1,0 +1,187 @@
+type params = {
+  hops : int;
+  latency : Netsim.Time.t;
+  cell_time : Netsim.Time.t;
+  crossbar_delay : Netsim.Time.t;
+  credits : int;
+  offered_rate : float;
+  duration : Netsim.Time.t;
+  credit_loss_prob : float;
+  loss_until : Netsim.Time.t;
+  cumulative_credits : bool;
+  resync_interval : Netsim.Time.t option;
+  seed : int;
+}
+
+let default_params =
+  {
+    hops = 3;
+    latency = Netsim.Time.us 10;
+    cell_time = Netsim.Time.ns 681;
+    crossbar_delay = Netsim.Time.us 2;
+    credits = 64;
+    offered_rate = 1.0;
+    duration = Netsim.Time.ms 10;
+    credit_loss_prob = 0.0;
+    loss_until = max_int;
+    cumulative_credits = false;
+    resync_interval = None;
+    seed = 1;
+  }
+
+type result = {
+  delivered : int;
+  throughput : float;
+  mean_latency : float;
+  p99_latency : float;
+  max_occupancy : int;
+  overflowed : bool;
+  window_throughput : float array;
+}
+
+let round_trip_credits p =
+  let rtt = (2 * p.latency) + p.crossbar_delay + p.cell_time in
+  (rtt + p.cell_time - 1) / p.cell_time
+
+type cell = { born : Netsim.Time.t }
+
+let run p =
+  if p.hops < 1 then invalid_arg "Chain.run: hops >= 1";
+  let engine = Netsim.Engine.create () in
+  let rng = Netsim.Rng.create p.seed in
+  (* Link i carries cells from node i to node i+1; node 0 is the source
+     host controller, node hops is the sink. queue.(i) holds cells
+     ready to depart on link i; for i >= 1 each such cell occupies a
+     downstream buffer of link i-1 until it departs. *)
+  let queue = Array.init p.hops (fun _ -> Queue.create ()) in
+  let busy = Array.make p.hops false in
+  let up = Array.init p.hops (fun _ -> Credit.Upstream.create ~total:p.credits) in
+  let ds =
+    Array.init p.hops (fun _ ->
+        Credit.Downstream.create ~capacity:p.credits
+          ~cumulative:p.cumulative_credits)
+  in
+  (* Epoch filter: increments sent before the last resynchronization
+     must be discarded, or they would double-count frees included in
+     the resync snapshot. *)
+  let resync_at = Array.make p.hops (-1) in
+  let delivered = ref 0 in
+  let latencies = Netsim.Stats.Distribution.create () in
+  let max_occupancy = ref 0 in
+  let windows = 10 in
+  let window_counts = Array.make windows 0 in
+  let rec deliver_credit i =
+    (* Downstream of link i frees a buffer and returns a credit. *)
+    let msg = Credit.Downstream.on_forward ds.(i) in
+    let now = Netsim.Engine.now engine in
+    let lost =
+      now < p.loss_until && Netsim.Rng.bernoulli rng p.credit_loss_prob
+    in
+    if not lost then begin
+      let sent_at = now in
+      ignore
+        (Netsim.Engine.schedule engine ~delay:p.latency (fun () ->
+             match msg with
+             | Credit.Increment when sent_at < resync_at.(i) -> ()
+             | _ ->
+               Credit.Upstream.on_credit up.(i) msg;
+               try_send i))
+    end
+  and try_send i =
+    if
+      (not busy.(i))
+      && (not (Queue.is_empty queue.(i)))
+      && Credit.Upstream.can_send up.(i)
+    then begin
+      let cell = Queue.pop queue.(i) in
+      Credit.Upstream.on_send up.(i);
+      (* Crossing the crossbar frees the buffer of the previous hop. *)
+      if i >= 1 then deliver_credit (i - 1);
+      busy.(i) <- true;
+      ignore
+        (Netsim.Engine.schedule engine ~delay:p.cell_time (fun () ->
+             busy.(i) <- false;
+             try_send i));
+      let transit = p.cell_time + p.latency + p.crossbar_delay in
+      ignore
+        (Netsim.Engine.schedule engine ~delay:transit (fun () -> arrive i cell))
+    end
+  and arrive i cell =
+    Credit.Downstream.on_arrival ds.(i);
+    let occ = Credit.Downstream.occupancy ds.(i) in
+    if occ > !max_occupancy then max_occupancy := occ;
+    if i = p.hops - 1 then begin
+      (* Sink: consume immediately, freeing the buffer. *)
+      deliver_credit i;
+      incr delivered;
+      let now = Netsim.Engine.now engine in
+      Netsim.Stats.Distribution.add latencies
+        (Netsim.Time.to_us (now - cell.born));
+      let w = now * windows / max 1 p.duration in
+      if w >= 0 && w < windows then
+        window_counts.(w) <- window_counts.(w) + 1
+    end
+    else begin
+      Queue.add cell queue.(i + 1);
+      try_send (i + 1)
+    end
+  in
+  (* Source: a new cell becomes ready every cell_time / offered_rate;
+     the generator self-throttles when the source queue backs up so
+     memory stays bounded under saturation. *)
+  let gap =
+    if p.offered_rate >= 1.0 then p.cell_time
+    else
+      int_of_float (Float.round (float_of_int p.cell_time /. p.offered_rate))
+  in
+  let rec generate () =
+    if Queue.length queue.(0) < 4 then begin
+      Queue.add { born = Netsim.Engine.now engine } queue.(0);
+      try_send 0
+    end;
+    ignore (Netsim.Engine.schedule engine ~delay:gap generate)
+  in
+  generate ();
+  (* Upstream-triggered resynchronization (paper §5): the snapshot is
+     exchanged over an out-of-band control round trip; we model the
+     reply as carrying the downstream's cumulative freed count. *)
+  (match p.resync_interval with
+   | None -> ()
+   | Some interval ->
+     let rec resync () =
+       for i = 0 to p.hops - 1 do
+         (* Request travels downstream; the snapshot is taken on
+            receipt and travels back. Increments sent before the
+            snapshot but arriving after the reply are the ones the
+            epoch filter must discard. *)
+         ignore
+           (Netsim.Engine.schedule engine ~delay:p.latency (fun () ->
+                let snapshot = Credit.Downstream.resync_msg ds.(i) in
+                let snap_time = Netsim.Engine.now engine in
+                ignore
+                  (Netsim.Engine.schedule engine ~delay:p.latency (fun () ->
+                       resync_at.(i) <- max resync_at.(i) snap_time;
+                       Credit.Upstream.on_credit up.(i) snapshot;
+                       try_send i))))
+       done;
+       ignore (Netsim.Engine.schedule engine ~delay:interval resync)
+     in
+     ignore (Netsim.Engine.schedule engine ~delay:interval resync));
+  Netsim.Engine.run_until engine p.duration;
+  let capacity = p.duration / p.cell_time in
+  let overflowed =
+    Array.exists (fun d -> Credit.Downstream.overflowed d) ds
+  in
+  {
+    delivered = !delivered;
+    throughput = float_of_int !delivered /. float_of_int capacity;
+    mean_latency = Netsim.Stats.Distribution.mean latencies;
+    p99_latency = Netsim.Stats.Distribution.percentile latencies 99.0;
+    max_occupancy = !max_occupancy;
+    overflowed;
+    window_throughput =
+      Array.map
+        (fun c ->
+          float_of_int c /. (float_of_int capacity /. float_of_int windows))
+        window_counts;
+  }

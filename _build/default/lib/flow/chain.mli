@@ -1,0 +1,51 @@
+(** Event-driven simulation of one best-effort virtual circuit crossing
+    a chain of switches with credit flow control on every link
+    (paper §5).
+
+    Used for:
+    - the credit-sizing claim: full link rate needs at least a
+      round-trip worth of credits (E12);
+    - losslessness: buffers never overflow whatever the credit count;
+    - robustness: lost credit messages only reduce performance, and a
+      resynchronization mechanism restores it (E13). *)
+
+type params = {
+  hops : int;  (** links on the path (>= 1) *)
+  latency : Netsim.Time.t;  (** one-way propagation per link *)
+  cell_time : Netsim.Time.t;  (** serialization time of one cell *)
+  crossbar_delay : Netsim.Time.t;  (** per-switch cut-through latency *)
+  credits : int;  (** per-VC buffers at each link's downstream end *)
+  offered_rate : float;  (** source demand as a fraction of link rate *)
+  duration : Netsim.Time.t;
+  credit_loss_prob : float;  (** drop probability per credit message *)
+  loss_until : Netsim.Time.t;  (** losses only occur before this time *)
+  cumulative_credits : bool;
+      (** credits carry the downstream's cumulative freed count
+          (self-resynchronizing) instead of "+1" *)
+  resync_interval : Netsim.Time.t option;
+      (** with "+1" credits, periodically run the upstream-triggered
+          resynchronization protocol *)
+  seed : int;
+}
+
+val default_params : params
+(** 3 hops of 10 us links, 622 Mb/s cell time (681 ns), 2 us crossbar,
+    64 credits, saturated source, 10 ms run, no loss. *)
+
+type result = {
+  delivered : int;
+  throughput : float;  (** delivered fraction of link capacity *)
+  mean_latency : float;  (** end-to-end, in microseconds *)
+  p99_latency : float;
+  max_occupancy : int;  (** worst downstream buffer occupancy seen *)
+  overflowed : bool;  (** must always be false *)
+  window_throughput : float array;
+      (** throughput per tenth of the run, for recovery curves *)
+}
+
+val run : params -> result
+
+val round_trip_credits : params -> int
+(** Credits needed to cover one link round-trip at full rate:
+    ceil((2*latency + crossbar_delay + cell_time) / cell_time) — the
+    paper's sizing rule. *)

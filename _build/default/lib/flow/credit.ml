@@ -1,0 +1,62 @@
+type credit_msg =
+  | Increment
+  | Cumulative of int
+
+module Upstream = struct
+  type t = {
+    total : int;
+    mutable balance : int;
+    mutable sent : int;
+    mutable best_cumulative : int;
+  }
+
+  let create ~total = { total; balance = total; sent = 0; best_cumulative = 0 }
+
+  let balance t = t.balance
+  let sent t = t.sent
+  let can_send t = t.balance > 0
+
+  let on_send t =
+    if t.balance <= 0 then invalid_arg "Credit.Upstream.on_send: no credit";
+    t.balance <- t.balance - 1;
+    t.sent <- t.sent + 1
+
+  let on_credit t = function
+    | Increment -> t.balance <- min t.total (t.balance + 1)
+    | Cumulative freed ->
+      (* Older cumulative messages (reordered or stale) are ignored;
+         the newest fully determines the balance. *)
+      if freed > t.best_cumulative then begin
+        t.best_cumulative <- freed;
+        t.balance <- t.total - (t.sent - freed)
+      end
+end
+
+module Downstream = struct
+  type t = {
+    capacity : int;
+    cumulative : bool;
+    mutable occupancy : int;
+    mutable freed : int;
+    mutable overflowed : bool;
+  }
+
+  let create ~capacity ~cumulative =
+    { capacity; cumulative; occupancy = 0; freed = 0; overflowed = false }
+
+  let occupancy t = t.occupancy
+  let freed_total t = t.freed
+  let overflowed t = t.overflowed
+
+  let on_arrival t =
+    if t.occupancy >= t.capacity then t.overflowed <- true
+    else t.occupancy <- t.occupancy + 1
+
+  let on_forward t =
+    if t.occupancy <= 0 then invalid_arg "Credit.Downstream.on_forward: empty";
+    t.occupancy <- t.occupancy - 1;
+    t.freed <- t.freed + 1;
+    if t.cumulative then Cumulative t.freed else Increment
+
+  let resync_msg t = Cumulative t.freed
+end

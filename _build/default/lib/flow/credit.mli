@@ -1,0 +1,57 @@
+(** Per-virtual-circuit credit state machines (paper §5, Figure 4).
+
+    The upstream end of a link holds a credit balance — the number of
+    cell buffers known to be free downstream. Sending a cell consumes
+    a credit; the downstream end returns one each time it forwards a
+    cell through its crossbar and frees the buffer.
+
+    Two credit encodings are provided:
+    - [`Increment]: the classic "+1" message. A lost credit message
+      leaks a buffer forever (performance loss, never overflow) —
+      exactly the failure mode the paper describes.
+    - [`Cumulative n]: the message carries the downstream's total
+      forwarded-cell count; any later message heals earlier losses.
+      This is the resynchronization idea the paper leaves as "an
+      interesting problem in distributed computing", folded into the
+      steady-state protocol. *)
+
+type credit_msg =
+  | Increment
+  | Cumulative of int  (** total cells the downstream has freed *)
+
+module Upstream : sig
+  type t
+
+  val create : total:int -> t
+  (** [total] buffers exist downstream; the initial balance. *)
+
+  val balance : t -> int
+  val sent : t -> int
+
+  val can_send : t -> bool
+  val on_send : t -> unit
+  (** Consume one credit. Raises [Invalid_argument] at zero balance. *)
+
+  val on_credit : t -> credit_msg -> unit
+end
+
+module Downstream : sig
+  type t
+
+  val create : capacity:int -> cumulative:bool -> t
+
+  val occupancy : t -> int
+  val freed_total : t -> int
+  val overflowed : t -> bool
+  (** True if a cell ever arrived with the buffer full (must never
+      happen when the upstream respects credits). *)
+
+  val on_arrival : t -> unit
+  val on_forward : t -> credit_msg
+  (** Free one buffer; returns the credit message to send upstream.
+      Raises [Invalid_argument] if empty. *)
+
+  val resync_msg : t -> credit_msg
+  (** A [`Cumulative] state snapshot, usable as a periodic repair
+      message even when the steady-state encoding is [`Increment]. *)
+end

@@ -1,0 +1,44 @@
+(** Buffer-wait deadlock testbed (paper §5).
+
+    A slotted network simulation in which every directed link owns a
+    finite downstream buffer pool. Three buffer/routing disciplines
+    are compared:
+
+    - [Shared_fifo] with unrestricted shortest routes: a cell holds a
+      buffer upstream while waiting for one downstream, FIFO order, so
+      a cycle of full buffers wedges permanently — the AN1 hazard;
+    - [Shared_fifo] with up*/down* routes: the orientation forbids
+      dependency cycles, so the same load cannot deadlock;
+    - [Per_vc] buffers (the AN2 design): each circuit's buffers are
+      private, a circuit's links form a simple path, no deadlock even
+      with unrestricted routes. *)
+
+type buffering =
+  | Shared_fifo of int  (** buffer pool capacity per directed link *)
+  | Per_vc of int  (** private buffers per circuit per directed link *)
+
+type routing =
+  | Shortest
+  | Updown
+
+type params = {
+  buffering : buffering;
+  routing : routing;
+  circuits : int;  (** concurrent circuits with random endpoints *)
+  inject_every : int;  (** slots between injections per circuit *)
+  slots : int;
+  seed : int;
+}
+
+val default_params : params
+
+type result = {
+  deadlocked : bool;
+  deadlock_slot : int option;  (** first slot with permanent zero progress *)
+  delivered : int;
+  stranded : int;  (** cells still buffered at the end *)
+}
+
+val run : Topo.Graph.t -> params -> result
+(** Raises [Invalid_argument] if the topology has under two
+    switches. *)

@@ -1,0 +1,1 @@
+lib/frame/figures.ml: Format List Reservation Schedule

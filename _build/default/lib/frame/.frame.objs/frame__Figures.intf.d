@@ -1,0 +1,1 @@
+lib/frame/figures.mli: Format Schedule

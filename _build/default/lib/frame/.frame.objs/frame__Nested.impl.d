@@ -1,0 +1,1 @@
+lib/frame/nested.ml: Array Format List Reservation Schedule

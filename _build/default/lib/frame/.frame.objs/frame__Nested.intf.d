@@ -1,0 +1,1 @@
+lib/frame/nested.mli: Format Reservation Schedule

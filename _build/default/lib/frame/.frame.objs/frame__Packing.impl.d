@@ -1,0 +1,1 @@
+lib/frame/packing.ml: Array Format Fun List Option Reservation Schedule

@@ -1,0 +1,1 @@
+lib/frame/packing.mli: Format Reservation Schedule

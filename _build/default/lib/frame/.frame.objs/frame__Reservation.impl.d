@@ -1,0 +1,1 @@
+lib/frame/reservation.ml: Array Format Netsim

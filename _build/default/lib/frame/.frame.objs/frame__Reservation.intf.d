@@ -1,0 +1,1 @@
+lib/frame/reservation.mli: Format Netsim

@@ -1,0 +1,1 @@
+lib/frame/schedule.ml: Array Format List Printf Reservation

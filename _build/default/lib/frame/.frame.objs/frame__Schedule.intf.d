@@ -1,0 +1,1 @@
+lib/frame/schedule.mli: Format Reservation

@@ -1,0 +1,92 @@
+(* All placements below translate the paper's 1-indexed figures to
+   0-indexed inputs/outputs. *)
+
+let figure2_initial_schedule () =
+  let s = Schedule.create ~n:4 ~frame:3 in
+  (* Slot 1 = the paper's slot p. *)
+  Schedule.place s ~slot:0 ~input:0 ~output:2;
+  Schedule.place s ~slot:0 ~input:1 ~output:0;
+  Schedule.place s ~slot:0 ~input:2 ~output:1;
+  (* Slot 2: the rest of the reservations. *)
+  Schedule.place s ~slot:1 ~input:0 ~output:3;
+  Schedule.place s ~slot:1 ~input:1 ~output:0;
+  Schedule.place s ~slot:1 ~input:2 ~output:1;
+  (* Slot 3 = the paper's slot q. *)
+  Schedule.place s ~slot:2 ~input:0 ~output:1;
+  Schedule.place s ~slot:2 ~input:2 ~output:3;
+  Schedule.place s ~slot:2 ~input:3 ~output:0;
+  s
+
+let figure2_final_schedule () =
+  let s = figure2_initial_schedule () in
+  Schedule.place s ~slot:1 ~input:3 ~output:2;
+  s
+
+let figure3_pq_schedule () =
+  let s = Schedule.create ~n:4 ~frame:2 in
+  (* p *)
+  Schedule.place s ~slot:0 ~input:0 ~output:2;
+  Schedule.place s ~slot:0 ~input:1 ~output:0;
+  Schedule.place s ~slot:0 ~input:2 ~output:1;
+  (* q *)
+  Schedule.place s ~slot:1 ~input:0 ~output:1;
+  Schedule.place s ~slot:1 ~input:2 ~output:3;
+  Schedule.place s ~slot:1 ~input:3 ~output:0;
+  s
+
+let run_figure3 () =
+  let s = figure3_pq_schedule () in
+  match Schedule.add_cell s ~input:3 ~output:2 with
+  | Ok outcome -> (s, outcome)
+  | Error e -> failwith ("Figures.run_figure3: unexpected failure: " ^ e)
+
+let paper_steps (outcome : Schedule.add_outcome) =
+  1 + (List.length outcome.moves / 2)
+
+let matrices_equal a b =
+  let n = a.Reservation.n in
+  n = b.Reservation.n
+  && begin
+    let same = ref true in
+    for i = 0 to n - 1 do
+      for o = 0 to n - 1 do
+        if Reservation.get a i o <> Reservation.get b i o then same := false
+      done
+    done;
+    !same
+  end
+
+let report fmt =
+  let matrix = Reservation.paper_figure2 () in
+  Format.fprintf fmt "Reservations (cells per frame, Figure 2):@.%a@."
+    Reservation.pp matrix;
+  let initial = figure2_initial_schedule () in
+  Format.fprintf fmt "Schedule before adding 4->3:@.%a@." Schedule.pp initial;
+  (* Full-schedule insertion: the direct-placement case applies. *)
+  let direct = Schedule.copy initial in
+  (match Schedule.add_cell direct ~input:3 ~output:2 with
+   | Ok o ->
+     Format.fprintf fmt
+       "Insertion into the full schedule: %d step(s) (direct placement;@ \
+        the paper's prose overlooks that slot 2 has both ends free)@."
+       o.Schedule.steps
+   | Error e -> Format.fprintf fmt "unexpected: %s@." e);
+  Format.fprintf fmt "Schedule after direct insertion:@.%a@." Schedule.pp direct;
+  let realizes = matrices_equal (Schedule.to_reservation direct) matrix in
+  Format.fprintf fmt "valid: %b; realizes Figure 2 matrix: %b@.@."
+    (Schedule.valid direct) realizes;
+  (* Figure 3 proper: the swap chain over slots p and q. *)
+  Format.fprintf fmt "Figure 3 swap chain over slots p and q only:@.%a@."
+    Schedule.pp (figure3_pq_schedule ());
+  let final, outcome = run_figure3 () in
+  Format.fprintf fmt "Slepian-Duguid insertion of 4->3: %d placements, %d paper steps@."
+    outcome.Schedule.steps (paper_steps outcome);
+  List.iter
+    (fun (from_slot, to_slot, i, o) ->
+      Format.fprintf fmt "  moved %d->%d from slot %s to slot %s@." (i + 1)
+        (o + 1)
+        (if from_slot = 0 then "p" else "q")
+        (if to_slot = 0 then "p" else "q"))
+    outcome.Schedule.moves;
+  Format.fprintf fmt "Final p/q rows (paper's step 3):@.%a@." Schedule.pp final;
+  Format.fprintf fmt "valid: %b@." (Schedule.valid final)

@@ -1,0 +1,134 @@
+let check_admissible r ~frame =
+  if not (Reservation.admissible r ~frame) then
+    failwith "Packing: reservation matrix inadmissible for this frame"
+
+(* Iterate the matrix cell by cell, placing with [choose_slot]; falls
+   back to the SD chain when no directly feasible slot exists (only
+   possible for build_spread's balance heuristic ordering). *)
+let build_with r ~frame ~choose_slot =
+  check_admissible r ~frame;
+  let n = r.Reservation.n in
+  let s = Schedule.create ~n ~frame in
+  for i = 0 to n - 1 do
+    for o = 0 to n - 1 do
+      for _ = 1 to Reservation.get r i o do
+        match choose_slot s ~input:i ~output:o with
+        | Some slot -> Schedule.place s ~slot ~input:i ~output:o
+        | None ->
+          (match Schedule.add_cell s ~input:i ~output:o with
+           | Ok _ -> ()
+           | Error e -> failwith ("Packing.build_with: " ^ e))
+      done
+    done
+  done;
+  s
+
+let feasible s ~slot ~input ~output =
+  Schedule.input_free s ~slot ~input && Schedule.output_free s ~slot ~output
+
+let build_packed r ~frame =
+  build_with r ~frame ~choose_slot:(fun s ~input ~output ->
+      let rec scan slot =
+        if slot = frame then None
+        else if feasible s ~slot ~input ~output then Some slot
+        else scan (slot + 1)
+      in
+      scan 0)
+
+let slot_load s slot =
+  let n = Schedule.n s in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    match Schedule.output_of s ~slot ~input:i with
+    | Some _ -> incr count
+    | None -> ()
+  done;
+  !count
+
+(* Best-effort waits depend on how a *port's* busy slots cluster, so
+   spreading means maximizing each new cell's circular distance from
+   the slots where its input or output is already reserved. *)
+let build_spread r ~frame =
+  let circular_distance a b =
+    let d = abs (a - b) in
+    min d (frame - d)
+  in
+  build_with r ~frame ~choose_slot:(fun s ~input ~output ->
+      let busy =
+        List.filter
+          (fun slot ->
+            (not (Schedule.input_free s ~slot ~input))
+            || not (Schedule.output_free s ~slot ~output))
+          (List.init frame Fun.id)
+      in
+      let score slot =
+        match busy with
+        | [] ->
+          (* Nothing to keep away from: stagger start slots by port so
+             different inputs do not all pile onto slot 0. *)
+          frame - (((input * 5) + (output * 11) + slot) mod frame)
+        | _ ->
+          List.fold_left (fun acc b -> min acc (circular_distance slot b)) frame
+            busy
+      in
+      let best = ref None in
+      for slot = 0 to frame - 1 do
+        if feasible s ~slot ~input ~output then begin
+          let sc = score slot in
+          match !best with
+          | Some (_, bs) when bs >= sc -> ()
+          | _ -> best := Some (slot, sc)
+        end
+      done;
+      Option.map fst !best)
+
+let build_sd r ~frame =
+  build_with r ~frame ~choose_slot:(fun _ ~input:_ ~output:_ -> None)
+
+type best_effort_metrics = {
+  fully_free_slots : int;
+  mean_free_per_pair : float;
+  mean_worst_wait : float;
+}
+
+let measure s =
+  let n = Schedule.n s and frame = Schedule.frame s in
+  let fully_free = ref 0 in
+  for slot = 0 to frame - 1 do
+    if slot_load s slot = 0 then incr fully_free
+  done;
+  let free_total = ref 0 and worst_total = ref 0 in
+  for i = 0 to n - 1 do
+    for o = 0 to n - 1 do
+      let free = Array.init frame (fun slot -> feasible s ~slot ~input:i ~output:o) in
+      let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 free in
+      free_total := !free_total + count;
+      (* Longest circular run of blocked slots. *)
+      let worst =
+        if count = 0 then frame
+        else begin
+          let best = ref 0 and run = ref 0 in
+          (* Doubling the frame handles wrap-around runs. *)
+          for k = 0 to (2 * frame) - 1 do
+            if free.(k mod frame) then run := 0
+            else begin
+              incr run;
+              if !run > !best then best := !run
+            end
+          done;
+          min !best frame
+        end
+      in
+      worst_total := !worst_total + worst
+    done
+  done;
+  let pairs = float_of_int (n * n) in
+  {
+    fully_free_slots = !fully_free;
+    mean_free_per_pair = float_of_int !free_total /. pairs;
+    mean_worst_wait = float_of_int !worst_total /. pairs;
+  }
+
+let pp_metrics fmt m =
+  Format.fprintf fmt "fully-free slots=%d, mean free slots/pair=%.1f, mean worst wait=%.1f"
+    m.fully_free_slots m.mean_free_per_pair m.mean_worst_wait

@@ -1,0 +1,37 @@
+(** Slot-arrangement heuristics for best-effort friendliness (§4's
+    "later versions" discussion).
+
+    Best-effort cells can only cross when both their input and output
+    are free of reserved traffic in a slot. Packing reserved
+    connections into few slots leaves more completely-free slots;
+    spreading the remaining free slots through the frame shortens the
+    worst wait for a free slot. *)
+
+val build_packed : Reservation.t -> frame:int -> Schedule.t
+(** First-fit into the earliest feasible slot: concentrates reserved
+    traffic at the front of the frame. Raises [Failure] if the matrix
+    is inadmissible. *)
+
+val build_spread : Reservation.t -> frame:int -> Schedule.t
+(** Balanced placement: each cell goes to the feasible slot currently
+    carrying the fewest connections (falling back to the
+    Slepian–Duguid chain when no slot is directly feasible). Spreads
+    reserved traffic across the whole frame. *)
+
+val build_sd : Reservation.t -> frame:int -> Schedule.t
+(** Pure repeated Slepian–Duguid insertion, the baseline the switch
+    actually performs online. *)
+
+type best_effort_metrics = {
+  fully_free_slots : int;  (** slots with no reserved traffic at all *)
+  mean_free_per_pair : float;
+      (** average over (input, output) pairs of slots where both ends
+          are free *)
+  mean_worst_wait : float;
+      (** average over pairs of the longest circular run of slots with
+          no transmission opportunity *)
+}
+
+val measure : Schedule.t -> best_effort_metrics
+
+val pp_metrics : Format.formatter -> best_effort_metrics -> unit

@@ -1,0 +1,73 @@
+type t = { n : int; cells : int array array }
+
+let create n = { n; cells = Array.make_matrix n n 0 }
+
+let get t i o = t.cells.(i).(o)
+let set t i o v = t.cells.(i).(o) <- v
+let add t i o v = t.cells.(i).(o) <- t.cells.(i).(o) + v
+
+let row_sum t i = Array.fold_left ( + ) 0 t.cells.(i)
+
+let col_sum t o =
+  let sum = ref 0 in
+  for i = 0 to t.n - 1 do
+    sum := !sum + t.cells.(i).(o)
+  done;
+  !sum
+
+let admissible t ~frame =
+  let ok = ref true in
+  for k = 0 to t.n - 1 do
+    if row_sum t k > frame || col_sum t k > frame then ok := false
+  done;
+  !ok
+
+let headroom t ~frame ~input ~output =
+  min (frame - row_sum t input) (frame - col_sum t output)
+
+let total t =
+  let sum = ref 0 in
+  for i = 0 to t.n - 1 do
+    sum := !sum + row_sum t i
+  done;
+  !sum
+
+let random_admissible ~rng ~n ~frame ~fill =
+  if fill < 0.0 || fill > 1.0 then invalid_arg "Reservation.random_admissible";
+  let t = create n in
+  let target = int_of_float (fill *. float_of_int (n * frame)) in
+  let placed = ref 0 and attempts = ref 0 in
+  while !placed < target && !attempts < target * 30 do
+    incr attempts;
+    let i = Netsim.Rng.int rng n and o = Netsim.Rng.int rng n in
+    if headroom t ~frame ~input:i ~output:o > 0 then begin
+      add t i o 1;
+      incr placed
+    end
+  done;
+  t
+
+let paper_figure2 () =
+  let t = create 4 in
+  (* Rows are inputs 1..4 of the paper, 0-indexed here. *)
+  set t 0 1 1;
+  set t 0 2 1;
+  set t 0 3 1;
+  set t 1 0 2;
+  set t 2 1 2;
+  set t 2 3 1;
+  set t 3 0 1;
+  set t 3 2 1;
+  t
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to t.n - 1 do
+    Format.fprintf fmt "  in%d |" (i + 1);
+    for o = 0 to t.n - 1 do
+      if t.cells.(i).(o) = 0 then Format.fprintf fmt " ."
+      else Format.fprintf fmt " %d" t.cells.(i).(o)
+    done;
+    Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

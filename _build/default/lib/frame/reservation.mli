@@ -1,0 +1,37 @@
+(** Bandwidth reservation matrices (paper §4).
+
+    [m.(i).(o)] is the number of cells per frame reserved from switch
+    input [i] to output [o]. A matrix is admissible for a frame of [f]
+    slots when no row or column sum exceeds [f] — the Slepian–Duguid
+    theorem then guarantees a conflict-free schedule exists. *)
+
+type t = { n : int; cells : int array array }
+
+val create : int -> t
+val get : t -> int -> int -> int
+val set : t -> int -> int -> int -> unit
+val add : t -> int -> int -> int -> unit
+
+val row_sum : t -> int -> int
+val col_sum : t -> int -> int
+
+val admissible : t -> frame:int -> bool
+(** No input or output over-committed. *)
+
+val headroom : t -> frame:int -> input:int -> output:int -> int
+(** Largest reservation addable between the pair without breaking
+    admissibility. *)
+
+val total : t -> int
+(** Total reserved cells per frame. *)
+
+val random_admissible :
+  rng:Netsim.Rng.t -> n:int -> frame:int -> fill:float -> t
+(** Random matrix filling roughly [fill] (in [0,1]) of every line's
+    capacity, built by repeated random admissible single-cell
+    increments — guaranteed admissible by construction. *)
+
+val paper_figure2 : unit -> t
+(** The exact 4x4 matrix of Figure 2 (including the 4->3 cell). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/matching/greedy.ml: Array Netsim Outcome Request

@@ -1,0 +1,1 @@
+lib/matching/greedy.mli: Netsim Outcome Request

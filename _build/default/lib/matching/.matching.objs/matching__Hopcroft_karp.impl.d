@@ -1,0 +1,1 @@
+lib/matching/hopcroft_karp.ml: Array List Outcome Queue Request

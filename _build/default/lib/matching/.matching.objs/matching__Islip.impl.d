@@ -1,0 +1,1 @@
+lib/matching/islip.ml: Array Outcome Request

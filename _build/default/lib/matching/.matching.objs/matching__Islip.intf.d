@@ -1,0 +1,1 @@
+lib/matching/islip.mli: Outcome Request

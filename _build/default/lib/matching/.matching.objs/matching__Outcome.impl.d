@@ -1,0 +1,1 @@
+lib/matching/outcome.ml: Array Request

@@ -1,0 +1,1 @@
+lib/matching/pim.ml: Array Netsim Outcome Request

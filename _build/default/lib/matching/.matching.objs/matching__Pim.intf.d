@@ -1,0 +1,1 @@
+lib/matching/pim.mli: Netsim Outcome Request

@@ -1,0 +1,1 @@
+lib/matching/pim_distributed.ml: Array List Netsim Outcome Request

@@ -1,0 +1,1 @@
+lib/matching/pim_distributed.mli: Netsim Outcome Request

@@ -1,0 +1,19 @@
+let run ?rng req =
+  let n = req.Request.n in
+  let m = Outcome.empty n in
+  let order = Array.init n (fun i -> i) in
+  (match rng with
+   | Some rng -> Netsim.Rng.shuffle_in_place rng order
+   | None -> ());
+  Array.iter
+    (fun i ->
+      let o = ref 0 and placed = ref false in
+      while (not !placed) && !o < n do
+        if Request.get req i !o && m.match_of_output.(!o) < 0 then begin
+          Outcome.add_pair m ~input:i ~output:!o;
+          placed := true
+        end;
+        incr o
+      done)
+    order;
+  { m with iterations_used = 1 }

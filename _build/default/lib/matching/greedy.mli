@@ -1,0 +1,8 @@
+(** Sequential greedy maximal matching — a centralized baseline that a
+    single scheduler processor would run; used to contrast with PIM's
+    distributed operation. *)
+
+val run : ?rng:Netsim.Rng.t -> Request.t -> Outcome.t
+(** Scan inputs in order (or in random order when [rng] is given) and
+    pair each with its first available requested output. Always
+    maximal. [iterations_used] is 1. *)

@@ -1,0 +1,74 @@
+let infinity_dist = max_int
+
+let run req =
+  let n = req.Request.n in
+  let adj =
+    Array.init n (fun i ->
+        let outs = ref [] in
+        for o = n - 1 downto 0 do
+          if Request.get req i o then outs := o :: !outs
+        done;
+        !outs)
+  in
+  let match_i = Array.make n (-1) and match_o = Array.make n (-1) in
+  let dist = Array.make n 0 in
+  let phases = ref 0 in
+  (* BFS layering over free inputs; true if an augmenting path exists. *)
+  let bfs () =
+    let queue = Queue.create () in
+    for i = 0 to n - 1 do
+      if match_i.(i) < 0 then begin
+        dist.(i) <- 0;
+        Queue.add i queue
+      end
+      else dist.(i) <- infinity_dist
+    done;
+    let found = ref false in
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      List.iter
+        (fun o ->
+          match match_o.(o) with
+          | -1 -> found := true
+          | i' ->
+            if dist.(i') = infinity_dist then begin
+              dist.(i') <- dist.(i) + 1;
+              Queue.add i' queue
+            end)
+        adj.(i)
+    done;
+    !found
+  in
+  let rec dfs i =
+    let rec try_outputs = function
+      | [] ->
+        dist.(i) <- infinity_dist;
+        false
+      | o :: rest ->
+        let free_or_advance =
+          match match_o.(o) with
+          | -1 -> true
+          | i' -> dist.(i') = dist.(i) + 1 && dfs i'
+        in
+        if free_or_advance then begin
+          match_i.(i) <- o;
+          match_o.(o) <- i;
+          true
+        end
+        else try_outputs rest
+    in
+    try_outputs adj.(i)
+  in
+  while bfs () do
+    incr phases;
+    for i = 0 to n - 1 do
+      if match_i.(i) < 0 then ignore (dfs i)
+    done
+  done;
+  {
+    Outcome.match_of_input = match_i;
+    match_of_output = match_o;
+    iterations_used = !phases;
+  }
+
+let size req = Outcome.pairs (run req)

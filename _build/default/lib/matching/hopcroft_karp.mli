@@ -1,0 +1,13 @@
+(** Maximum bipartite matching (Hopcroft–Karp).
+
+    The paper argues AN2 should *not* use maximum matching — it is too
+    slow for a half-microsecond budget and its determinism can starve
+    virtual circuits. We implement it as the comparison baseline for
+    experiment E4. *)
+
+val run : Request.t -> Outcome.t
+(** A maximum matching. [iterations_used] is the number of BFS/DFS
+    phases executed (O(sqrt N) of them). Deterministic. *)
+
+val size : Request.t -> int
+(** Size of a maximum matching. *)

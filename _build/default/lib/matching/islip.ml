@@ -1,0 +1,58 @@
+type t = {
+  n : int;
+  grant_ptr : int array;  (* per output *)
+  accept_ptr : int array;  (* per input *)
+}
+
+let create n = { n; grant_ptr = Array.make n 0; accept_ptr = Array.make n 0 }
+
+(* First index >= ptr (mod n) for which [mem] holds. *)
+let round_robin_pick n ptr mem =
+  let rec scan k = if k = n then None
+    else begin
+      let idx = (ptr + k) mod n in
+      if mem idx then Some idx else scan (k + 1)
+    end
+  in
+  scan 0
+
+let run t req ~iterations =
+  if req.Request.n <> t.n then invalid_arg "Islip.run: size mismatch";
+  let n = t.n in
+  let m = Outcome.empty n in
+  let used = ref 0 in
+  let continue = ref true in
+  while !continue && !used < iterations do
+    let iter_no = !used in
+    (* Requests from unmatched inputs to unmatched outputs. *)
+    let wants i o =
+      m.match_of_input.(i) < 0 && m.match_of_output.(o) < 0 && Request.get req i o
+    in
+    (* Grant: each unmatched output picks the first requesting input at
+       or after its pointer. *)
+    let grant = Array.make n (-1) in
+    for o = 0 to n - 1 do
+      if m.match_of_output.(o) < 0 then
+        match round_robin_pick n t.grant_ptr.(o) (fun i -> wants i o) with
+        | Some i -> grant.(o) <- i
+        | None -> ()
+    done;
+    (* Accept: each input picks the first granting output at or after
+       its pointer. *)
+    let added = ref 0 in
+    for i = 0 to n - 1 do
+      if m.match_of_input.(i) < 0 then
+        match round_robin_pick n t.accept_ptr.(i) (fun o -> grant.(o) = i) with
+        | Some o ->
+          Outcome.add_pair m ~input:i ~output:o;
+          incr added;
+          if iter_no = 0 then begin
+            t.grant_ptr.(o) <- (i + 1) mod n;
+            t.accept_ptr.(i) <- (o + 1) mod n
+          end
+        | None -> ()
+    done;
+    incr used;
+    if !added = 0 then continue := false
+  done;
+  { m with iterations_used = !used }

@@ -1,0 +1,16 @@
+(** iSLIP-style round-robin iterative matching.
+
+    A deterministic successor to PIM (the kind of refinement §3 hints
+    at for "later versions"): grant and accept choices use rotating
+    priority pointers instead of randomness, which desynchronizes the
+    output arbiters over time and avoids PIM's wasted grants. Pointer
+    state persists across time slots; pointers advance only for pairs
+    formed in the first iteration (the standard iSLIP rule, which is
+    what guarantees starvation freedom). *)
+
+type t
+
+val create : int -> t
+(** Scheduler state for an [n x n] switch. *)
+
+val run : t -> Request.t -> iterations:int -> Outcome.t

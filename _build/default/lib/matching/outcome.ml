@@ -1,0 +1,51 @@
+type t = {
+  match_of_input : int array;
+  match_of_output : int array;
+  iterations_used : int;
+}
+
+let empty n =
+  {
+    match_of_input = Array.make n (-1);
+    match_of_output = Array.make n (-1);
+    iterations_used = 0;
+  }
+
+let pairs t =
+  Array.fold_left (fun acc o -> if o >= 0 then acc + 1 else acc) 0 t.match_of_input
+
+let add_pair t ~input ~output =
+  if t.match_of_input.(input) >= 0 then invalid_arg "Outcome.add_pair: input busy";
+  if t.match_of_output.(output) >= 0 then invalid_arg "Outcome.add_pair: output busy";
+  t.match_of_input.(input) <- output;
+  t.match_of_output.(output) <- input
+
+let is_legal req t =
+  let n = req.Request.n in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let o = t.match_of_input.(i) in
+    if o >= 0 then begin
+      if t.match_of_output.(o) <> i then ok := false;
+      if not (Request.get req i o) then ok := false
+    end
+  done;
+  for o = 0 to n - 1 do
+    let i = t.match_of_output.(o) in
+    if i >= 0 && t.match_of_input.(i) <> o then ok := false
+  done;
+  !ok
+
+let is_maximal req t =
+  is_legal req t
+  && begin
+    let n = req.Request.n in
+    let blocked = ref true in
+    for i = 0 to n - 1 do
+      if t.match_of_input.(i) < 0 then
+        for o = 0 to n - 1 do
+          if t.match_of_output.(o) < 0 && Request.get req i o then blocked := false
+        done
+    done;
+    !blocked
+  end

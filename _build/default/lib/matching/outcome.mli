@@ -1,0 +1,22 @@
+(** Result of one crossbar scheduling decision. *)
+
+type t = {
+  match_of_input : int array;  (** output matched to each input; -1 if none *)
+  match_of_output : int array;  (** input matched to each output; -1 if none *)
+  iterations_used : int;  (** scheduler-specific iteration count *)
+}
+
+val empty : int -> t
+
+val pairs : t -> int
+(** Number of matched (input, output) pairs. *)
+
+val add_pair : t -> input:int -> output:int -> unit
+(** Record a pair; raises [Invalid_argument] if either side is already
+    matched. *)
+
+val is_legal : Request.t -> t -> bool
+(** Arrays are mutually consistent and every pair was requested. *)
+
+val is_maximal : Request.t -> t -> bool
+(** Legal, and no unmatched input requests an unmatched output. *)

@@ -1,0 +1,53 @@
+(* One request/grant/accept round. Returns the number of new pairs. *)
+let round ~rng req (m : Outcome.t) =
+  let n = req.Request.n in
+  (* Step 1: requests from unmatched inputs, gathered per output. *)
+  let requests = Array.make n [] in
+  for i = n - 1 downto 0 do
+    if m.match_of_input.(i) < 0 then
+      for o = n - 1 downto 0 do
+        if Request.get req i o then requests.(o) <- i :: requests.(o)
+      done
+  done;
+  (* Step 2: each unmatched output grants one random request. *)
+  let grants = Array.make n [] in
+  for o = n - 1 downto 0 do
+    if m.match_of_output.(o) < 0 then
+      match requests.(o) with
+      | [] -> ()
+      | reqs ->
+        let winner = Netsim.Rng.pick rng reqs in
+        grants.(winner) <- o :: grants.(winner)
+  done;
+  (* Step 3: each input accepts one random grant. *)
+  let added = ref 0 in
+  for i = 0 to n - 1 do
+    match grants.(i) with
+    | [] -> ()
+    | gs ->
+      let o = Netsim.Rng.pick rng gs in
+      Outcome.add_pair m ~input:i ~output:o;
+      incr added
+  done;
+  !added
+
+let run ~rng req ~iterations =
+  if iterations < 1 then invalid_arg "Pim.run: need at least one iteration";
+  let m = Outcome.empty req.Request.n in
+  let used = ref 0 in
+  let continue = ref true in
+  while !continue && !used < iterations do
+    let added = round ~rng req m in
+    incr used;
+    if added = 0 then continue := false
+  done;
+  { m with iterations_used = !used }
+
+let iterations_to_maximal ~rng req =
+  let m = Outcome.empty req.Request.n in
+  let rounds = ref 0 in
+  while not (Outcome.is_maximal req m) do
+    ignore (round ~rng req m);
+    incr rounds
+  done;
+  !rounds

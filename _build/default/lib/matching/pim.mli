@@ -1,0 +1,19 @@
+(** Parallel iterative matching (paper §3).
+
+    Each iteration runs the three-step request / grant / accept
+    protocol over the line cards: unmatched inputs request every
+    output they hold cells for; unmatched outputs grant one request
+    uniformly at random; inputs accept one grant uniformly at random.
+    Matches accumulate across iterations ("iteration fills in the
+    gaps"). One iteration can never unmatch a pair, and an iteration
+    adds at least one pair whenever the current match is not maximal. *)
+
+val run : rng:Netsim.Rng.t -> Request.t -> iterations:int -> Outcome.t
+(** Run exactly up to [iterations] rounds (stopping early once
+    maximal). AN2 uses [iterations = 3]. [iterations_used] in the
+    result is the number of rounds after which the match stopped
+    changing or the limit was hit. *)
+
+val iterations_to_maximal : rng:Netsim.Rng.t -> Request.t -> int
+(** Smallest number of iterations after which the match is maximal
+    (the quantity the paper bounds by [log2 N + 4/3] on average). *)

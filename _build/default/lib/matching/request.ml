@@ -1,0 +1,42 @@
+type t = { n : int; wants : bool array array }
+
+let create n = { n; wants = Array.make_matrix n n false }
+
+let of_matrix wants =
+  let n = Array.length wants in
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Request.of_matrix: not square")
+    wants;
+  { n; wants }
+
+let set t i o v = t.wants.(i).(o) <- v
+let get t i o = t.wants.(i).(o)
+
+let random ~rng ~n ~density =
+  let t = create n in
+  for i = 0 to n - 1 do
+    for o = 0 to n - 1 do
+      if Netsim.Rng.bernoulli rng density then t.wants.(i).(o) <- true
+    done
+  done;
+  t
+
+let full n =
+  let t = create n in
+  for i = 0 to n - 1 do
+    for o = 0 to n - 1 do
+      t.wants.(i).(o) <- true
+    done
+  done;
+  t
+
+let request_count t =
+  let c = ref 0 in
+  for i = 0 to t.n - 1 do
+    for o = 0 to t.n - 1 do
+      if t.wants.(i).(o) then incr c
+    done
+  done;
+  !c
+
+let copy t = { n = t.n; wants = Array.map Array.copy t.wants }

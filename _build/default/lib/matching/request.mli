@@ -1,0 +1,31 @@
+(** Bipartite request matrices for crossbar scheduling.
+
+    [r.(i).(o)] is true when input [i] has at least one buffered cell
+    destined for output [o] — exactly the information the inputs
+    broadcast in step 1 of parallel iterative matching. *)
+
+type t = {
+  n : int;  (** switch size (inputs = outputs = n) *)
+  wants : bool array array;
+}
+
+val create : int -> t
+(** All-false matrix. *)
+
+val of_matrix : bool array array -> t
+(** Validates squareness. *)
+
+val set : t -> int -> int -> bool -> unit
+val get : t -> int -> int -> bool
+
+val random : rng:Netsim.Rng.t -> n:int -> density:float -> t
+(** Each (input, output) pair requests independently with probability
+    [density]. *)
+
+val full : int -> t
+(** Every input wants every output (the densest case, worst for
+    matching convergence). *)
+
+val request_count : t -> int
+
+val copy : t -> t

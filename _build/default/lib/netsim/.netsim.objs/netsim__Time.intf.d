@@ -1,0 +1,1 @@
+lib/netsim/time.mli: Format

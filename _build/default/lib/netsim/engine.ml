@@ -1,0 +1,59 @@
+type event = { id : int; thunk : unit -> unit }
+
+type event_id = int
+
+type t = {
+  mutable clock : Time.t;
+  queue : event Mheap.t;
+  cancelled : (int, unit) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create () =
+  { clock = 0; queue = Mheap.create (); cancelled = Hashtbl.create 64; next_id = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~at thunk =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %d is in the past (now %d)" at
+         t.clock);
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Mheap.add t.queue ~prio:at { id; thunk };
+  id
+
+let schedule t ~delay thunk =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~at:(t.clock + delay) thunk
+
+let cancel t id = Hashtbl.replace t.cancelled id ()
+
+let pending t = Mheap.length t.queue
+
+let dispatch t at ev =
+  t.clock <- at;
+  if Hashtbl.mem t.cancelled ev.id then Hashtbl.remove t.cancelled ev.id
+  else ev.thunk ()
+
+let step t =
+  match Mheap.pop t.queue with
+  | None -> false
+  | Some (at, ev) ->
+    dispatch t at ev;
+    true
+
+let run t = while step t do () done
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Mheap.min_prio t.queue with
+    | Some at when at <= horizon ->
+      (match Mheap.pop t.queue with
+       | Some (at, ev) -> dispatch t at ev
+       | None -> continue := false)
+    | _ -> continue := false
+  done;
+  if horizon > t.clock then t.clock <- horizon

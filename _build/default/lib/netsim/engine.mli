@@ -1,0 +1,44 @@
+(** Discrete-event simulation engine.
+
+    Events are thunks scheduled at absolute simulated times; the engine
+    dispatches them in time order (FIFO among simultaneous events, so a
+    given seed always replays identically). Events may schedule further
+    events. Scheduled events can be cancelled, which is how protocol
+    timers are retired. *)
+
+type t
+
+type event_id
+(** Handle for cancelling a scheduled event. *)
+
+val create : unit -> t
+(** A fresh engine with the clock at time 0. *)
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val schedule : t -> delay:Time.t -> (unit -> unit) -> event_id
+(** [schedule t ~delay f] runs [f] at [now t + delay]. [delay] must be
+    non-negative. Returns a handle usable with {!cancel}. *)
+
+val schedule_at : t -> at:Time.t -> (unit -> unit) -> event_id
+(** Schedule at an absolute time, which must be [>= now t]. *)
+
+val cancel : t -> event_id -> unit
+(** Cancel a pending event. Cancelling an already-fired or
+    already-cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet
+    reaped). *)
+
+val step : t -> bool
+(** Dispatch the single next event. Returns [false] if the queue was
+    empty. *)
+
+val run : t -> unit
+(** Dispatch events until none remain. *)
+
+val run_until : t -> Time.t -> unit
+(** [run_until t horizon] dispatches all events with time [<= horizon],
+    then advances the clock to [horizon]. *)

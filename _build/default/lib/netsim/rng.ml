@@ -1,0 +1,66 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+let copy t = { state = t.state }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our simulation purposes: modulo bias is
+     negligible for n << 2^63. The reduction happens in Int64 because
+     a 63-bit magnitude does not fit a native int. *)
+  let v = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem v (Int64.of_int n))
+
+let float t x =
+  (* 53 random bits into [0,1). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bits /. 9007199254740992.0 *. x
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  (* Avoid log 0. *)
+  let u = if u <= 0.0 then 1e-300 else u in
+  -.mean *. log u
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p must be in (0,1]";
+  if p = 1.0 then 0
+  else
+    let u = float t 1.0 in
+    let u = if u <= 0.0 then 1e-300 else u in
+    int_of_float (Float.floor (log u /. log (1.0 -. p)))
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let pick_array t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick_array: empty array";
+  a.(int t (Array.length a))
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,50 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every stochastic component of the simulator draws from an explicit
+    [Rng.t] so that runs are reproducible from a seed and independent
+    streams can be split off for independent subsystems. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] returns a new generator whose stream is independent of
+    subsequent draws from [t]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the generator state; the copy replays the same
+    stream as [t] would. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] draws uniformly from [0 .. n-1]. Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] draws uniformly from [[0, x)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is true with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed draw with the given mean. *)
+
+val geometric : t -> p:float -> int
+(** Number of failures before the first success, success prob [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. Raises [Invalid_argument] on
+    an empty list. *)
+
+val pick_array : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)

@@ -1,0 +1,117 @@
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0; min = nan; max = nan }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if t.n = 1 then begin
+      t.min <- x;
+      t.max <- x
+    end else begin
+      if x < t.min then t.min <- x;
+      if x > t.max then t.max <- x
+    end
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0.0 else t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+
+  let pp fmt t =
+    Format.fprintf fmt "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.n (mean t)
+      (stddev t) t.min t.max
+end
+
+module Distribution = struct
+  type t = {
+    mutable samples : float array;
+    mutable size : int;
+    mutable sorted : bool;
+  }
+
+  let create () = { samples = [||]; size = 0; sorted = true }
+
+  let add t x =
+    let cap = Array.length t.samples in
+    if t.size = cap then begin
+      let ncap = if cap = 0 then 256 else cap * 2 in
+      let a = Array.make ncap 0.0 in
+      Array.blit t.samples 0 a 0 t.size;
+      t.samples <- a
+    end;
+    t.samples.(t.size) <- x;
+    t.size <- t.size + 1;
+    t.sorted <- false
+
+  let count t = t.size
+
+  let mean t =
+    if t.size = 0 then 0.0
+    else begin
+      let sum = ref 0.0 in
+      for i = 0 to t.size - 1 do
+        sum := !sum +. t.samples.(i)
+      done;
+      !sum /. float_of_int t.size
+    end
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let a = Array.sub t.samples 0 t.size in
+      Array.sort compare a;
+      Array.blit a 0 t.samples 0 t.size;
+      t.sorted <- true
+    end
+
+  let percentile t p =
+    if t.size = 0 then nan
+    else begin
+      ensure_sorted t;
+      let rank = p /. 100.0 *. float_of_int (t.size - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = int_of_float (Float.ceil rank) in
+      let frac = rank -. float_of_int lo in
+      (t.samples.(lo) *. (1.0 -. frac)) +. (t.samples.(hi) *. frac)
+    end
+
+  let median t = percentile t 50.0
+
+  let max t =
+    if t.size = 0 then nan
+    else begin
+      ensure_sorted t;
+      t.samples.(t.size - 1)
+    end
+end
+
+module Counter = struct
+  type t = (string, int ref) Hashtbl.t
+
+  let create () = Hashtbl.create 16
+
+  let add t name k =
+    match Hashtbl.find_opt t name with
+    | Some r -> r := !r + k
+    | None -> Hashtbl.add t name (ref k)
+
+  let incr t name = add t name 1
+
+  let get t name =
+    match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+  let to_list t =
+    Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+end

@@ -1,0 +1,54 @@
+(** Online statistics for simulation measurements. *)
+
+(** Streaming mean/variance (Welford) with min/max tracking. *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 if empty. *)
+
+  val variance : t -> float
+  (** Sample variance; 0 if fewer than two observations. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** [nan] if empty. *)
+
+  val max : t -> float
+  (** [nan] if empty. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Exact percentile estimation by keeping all samples. Adequate for
+    simulation runs of up to a few million observations. *)
+module Distribution : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t p] for [p] in [0,100], by linear interpolation.
+      [nan] if empty. *)
+
+  val median : t -> float
+  val max : t -> float
+end
+
+(** Named monotone counters. *)
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> string -> unit
+  val add : t -> string -> int -> unit
+  val get : t -> string -> int
+  val to_list : t -> (string * int) list
+  (** Sorted by name. *)
+end

@@ -1,0 +1,16 @@
+type t = int
+
+let ns x = x
+let us x = x * 1_000
+let ms x = x * 1_000_000
+let s x = x * 1_000_000_000
+
+let to_us t = float_of_int t /. 1e3
+let to_ms t = float_of_int t /. 1e6
+let to_s t = float_of_int t /. 1e9
+
+let pp fmt t =
+  if t < 1_000 then Format.fprintf fmt "%dns" t
+  else if t < 1_000_000 then Format.fprintf fmt "%.2fus" (to_us t)
+  else if t < 1_000_000_000 then Format.fprintf fmt "%.3fms" (to_ms t)
+  else Format.fprintf fmt "%.4fs" (to_s t)

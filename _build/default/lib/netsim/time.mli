@@ -1,0 +1,21 @@
+(** Simulated time, in integer nanoseconds.
+
+    An integer representation keeps event ordering exact (no float
+    rounding) and is convenient for the latency scales of AN2:
+    a cell slot at 622 Mb/s is ~680 ns, a crossbar traversal 2 us,
+    a LAN link tens of microseconds. *)
+
+type t = int
+(** Nanoseconds since the start of the simulation. *)
+
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val s : int -> t
+
+val to_us : t -> float
+val to_ms : t -> float
+val to_s : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering, scaled to ns/us/ms/s as appropriate. *)

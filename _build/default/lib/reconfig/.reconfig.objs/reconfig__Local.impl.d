@@ -1,0 +1,1 @@
+lib/reconfig/local.ml: Array Hashtbl List Netsim Printf Proto String Sys Topo

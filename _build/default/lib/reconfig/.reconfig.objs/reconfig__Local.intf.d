@@ -1,0 +1,1 @@
+lib/reconfig/local.mli: Netsim Topo

@@ -1,0 +1,1 @@
+lib/reconfig/monitor.ml: Netsim Skeptic

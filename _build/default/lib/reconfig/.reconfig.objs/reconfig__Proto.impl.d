@@ -1,0 +1,1 @@
+lib/reconfig/proto.ml: Format List Tag

@@ -1,0 +1,1 @@
+lib/reconfig/proto.mli: Format Tag

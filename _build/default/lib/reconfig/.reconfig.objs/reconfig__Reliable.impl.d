@@ -1,0 +1,1 @@
+lib/reconfig/reliable.ml: Hashtbl Netsim

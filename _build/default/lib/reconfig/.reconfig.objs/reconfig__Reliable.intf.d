@@ -1,0 +1,1 @@
+lib/reconfig/reliable.mli: Netsim

@@ -1,0 +1,1 @@
+lib/reconfig/runner.ml: Array Hashtbl List Netsim Proto Queue Reliable Tag Topo

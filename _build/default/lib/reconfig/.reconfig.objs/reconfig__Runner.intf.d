@@ -1,0 +1,1 @@
+lib/reconfig/runner.mli: Netsim Tag Topo

@@ -1,0 +1,1 @@
+lib/reconfig/skeptic.mli: Netsim

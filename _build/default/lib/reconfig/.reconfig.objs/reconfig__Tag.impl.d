@@ -1,0 +1,1 @@
+lib/reconfig/tag.ml: Format Int

@@ -1,0 +1,1 @@
+lib/reconfig/tag.mli: Format

@@ -1,0 +1,233 @@
+type outcome = {
+  converged : bool;
+  participants : int;
+  total_switches : int;
+  messages : int;
+  elapsed : Netsim.Time.t;
+  region_correct : bool;
+}
+
+(* Working topology of the whole graph (all components), as edges. *)
+let whole_topology g =
+  let n = Topo.Graph.switch_count g in
+  let edges = ref [] in
+  for s = 0 to n - 1 do
+    List.iter
+      (fun (s', _) -> edges := Proto.Sw_edge (s, s') :: !edges)
+      (Topo.Graph.switch_neighbors g s);
+    List.iter
+      (fun (h, _) -> edges := Proto.Host_edge (s, h) :: !edges)
+      (Topo.Graph.hosts_of_switch g s)
+  done;
+  List.sort_uniq Proto.compare_edge (List.map Proto.normalize_edge !edges)
+
+type message =
+  | Invite of { ttl : int }
+  | Ack of bool
+  | Report of { edges : Proto.edge list; members : int list }
+  | Distribute of { edges : Proto.edge list; members : int list }
+
+(* Per-switch participation state in one scoped configuration. *)
+type part = {
+  mutable parent : int option;
+  mutable children : int list;
+  mutable pending_acks : int;
+  mutable acks_done : bool;
+  mutable reported : int list;
+  mutable collected_edges : Proto.edge list;
+  mutable collected_members : int list;
+  mutable sent_report : bool;
+  mutable done_ : bool;
+}
+
+let fresh_part parent =
+  {
+    parent;
+    children = [];
+    pending_acks = 0;
+    acks_done = false;
+    reported = [];
+    collected_edges = [];
+    collected_members = [];
+    sent_report = false;
+    done_ = false;
+  }
+
+let run_after_failure ?(proc_delay = Netsim.Time.us 100) ?(radius = 2) g ~fail =
+  let link = Topo.Graph.link g fail in
+  let a, b =
+    match (link.Topo.Graph.a.node, link.Topo.Graph.b.node) with
+    | Topo.Graph.Switch a, Topo.Graph.Switch b -> (a, b)
+    | _ -> invalid_arg "Local.run_after_failure: not a switch-to-switch link"
+  in
+  if link.Topo.Graph.state <> Topo.Graph.Working then
+    invalid_arg "Local.run_after_failure: link already dead";
+  let prior = whole_topology g in
+  Topo.Graph.fail_link g fail;
+  let truth = whole_topology g in
+  let n = Topo.Graph.switch_count g in
+  let engine = Netsim.Engine.create () in
+  let messages = ref 0 in
+  (* Per switch: configuration id (= its initiator) -> participation.
+     Scoped configurations are independent; a switch may be in both. *)
+  let state : (int, part) Hashtbl.t array =
+    Array.init n (fun _ -> Hashtbl.create 4)
+  in
+  (* Merged topology view per switch, initialized to the prior one. *)
+  let view = Array.make n prior in
+  let last_done = ref 0 in
+  let neighbors s = List.map fst (Topo.Graph.switch_neighbors g s) in
+  let local_edges s =
+    List.map (fun (s', _) -> Proto.Sw_edge (s, s')) (Topo.Graph.switch_neighbors g s)
+    @ List.map (fun (h, _) -> Proto.Host_edge (s, h)) (Topo.Graph.hosts_of_switch g s)
+  in
+  let latency s dst =
+    match
+      List.find_opt (fun (s', _) -> s' = dst) (Topo.Graph.switch_neighbors g s)
+    with
+    | Some (_, lid) -> Some (Topo.Graph.link g lid).Topo.Graph.latency
+    | None -> None
+  in
+  (* The merge: re-derive every participant's adjacency from the
+     collected edges, keep everything else from the previous view. *)
+  let apply_merge s edges members =
+    let touched e =
+      match Proto.normalize_edge e with
+      | Proto.Sw_edge (x, y) -> List.mem x members || List.mem y members
+      | Proto.Host_edge (x, _) -> List.mem x members
+    in
+    view.(s) <-
+      List.sort_uniq Proto.compare_edge
+        (List.filter (fun e -> not (touched e)) view.(s)
+        @ List.map Proto.normalize_edge edges);
+    last_done := Netsim.Engine.now engine
+  in
+  let rec send ~cfg ~src ~dst msg =
+    match latency src dst with
+    | None -> ()
+    | Some lat ->
+      ignore
+        (Netsim.Engine.schedule engine ~delay:(lat + proc_delay) (fun () ->
+             incr messages;
+             handle ~cfg ~self:dst ~from:src msg))
+  and finish_collection ~cfg ~self p =
+    if not p.sent_report then begin
+      p.sent_report <- true;
+      let edges =
+        List.sort_uniq Proto.compare_edge (local_edges self @ p.collected_edges)
+      in
+      let members = List.sort_uniq compare (self :: p.collected_members) in
+      match p.parent with
+      | Some up -> send ~cfg ~src:self ~dst:up (Report { edges; members })
+      | None ->
+        (* Root of this scoped configuration: merge and distribute. *)
+        p.done_ <- true;
+        apply_merge self edges members;
+        List.iter
+          (fun c -> send ~cfg ~src:self ~dst:c (Distribute { edges; members }))
+          p.children
+    end
+  and handle ~cfg ~self ~from msg =
+    match (msg, Hashtbl.find_opt state.(self) cfg) with
+    | Invite { ttl }, None ->
+      let p = fresh_part (Some from) in
+      Hashtbl.add state.(self) cfg p;
+      send ~cfg ~src:self ~dst:from (Ack true);
+      let others = List.filter (fun s -> s <> from) (neighbors self) in
+      if ttl = 0 || others = [] then begin
+        (* Boundary leaf: contribute own adjacency, invite no one. *)
+        p.acks_done <- true;
+        finish_collection ~cfg ~self p
+      end
+      else begin
+        p.pending_acks <- List.length others;
+        List.iter
+          (fun s -> send ~cfg ~src:self ~dst:s (Invite { ttl = ttl - 1 }))
+          others
+      end
+    | Invite _, Some _ -> send ~cfg ~src:self ~dst:from (Ack false)
+    | Ack accepted, Some p when not p.acks_done ->
+      if accepted then p.children <- from :: p.children;
+      p.pending_acks <- p.pending_acks - 1;
+      if p.pending_acks = 0 then begin
+        p.acks_done <- true;
+        (* Children may already have reported (their leaf reports can
+           overtake slower declines from other neighbors). *)
+        if List.length p.reported = List.length p.children then
+          finish_collection ~cfg ~self p
+      end
+    | Report { edges; members }, Some p when not (List.mem from p.reported) ->
+      p.reported <- from :: p.reported;
+      p.collected_edges <- edges @ p.collected_edges;
+      p.collected_members <- members @ p.collected_members;
+      if p.acks_done && List.length p.reported = List.length p.children then
+        finish_collection ~cfg ~self p
+    | Distribute { edges; members }, Some p when not p.done_ ->
+      p.done_ <- true;
+      apply_merge self edges members;
+      List.iter
+        (fun c -> send ~cfg ~src:self ~dst:c (Distribute { edges; members }))
+        p.children
+    | _ -> ()
+  in
+  (* Both endpoints of the failed link detect the change and start
+     their own scoped configuration. *)
+  let initiate cfg =
+    let p = fresh_part None in
+    Hashtbl.add state.(cfg) cfg p;
+    let others = neighbors cfg in
+    if others = [] || radius = 0 then begin
+      p.acks_done <- true;
+      finish_collection ~cfg ~self:cfg p
+    end
+    else begin
+      p.pending_acks <- List.length others;
+      List.iter
+        (fun s -> send ~cfg ~src:cfg ~dst:s (Invite { ttl = radius - 1 }))
+        others
+    end
+  in
+  initiate a;
+  initiate b;
+  Netsim.Engine.run engine;
+  (* Evaluate. *)
+  let all_participants =
+    let acc = ref [] in
+    for s = 0 to n - 1 do
+      if Hashtbl.length state.(s) > 0 then acc := s :: !acc
+    done;
+    !acc
+  in
+  let converged =
+    List.for_all
+      (fun s -> Hashtbl.fold (fun _ p ok -> ok && p.done_) state.(s) true)
+      all_participants
+  in
+  if (not converged) && Sys.getenv_opt "AN2_DEBUG_LOCAL" <> None then
+    List.iter
+      (fun s ->
+        Hashtbl.iter
+          (fun cfg p ->
+            if not p.done_ then
+              Printf.eprintf
+                "stuck: switch %d cfg %d parent=%s children=[%s] pending=%d acks_done=%b reported=[%s] sent_report=%b\n"
+                s cfg
+                (match p.parent with Some x -> string_of_int x | None -> "root")
+                (String.concat ";" (List.map string_of_int p.children))
+                p.pending_acks p.acks_done
+                (String.concat ";" (List.map string_of_int p.reported))
+                p.sent_report)
+          state.(s))
+      all_participants;
+  let region_correct =
+    converged
+    && List.for_all (fun s -> view.(s) = truth) all_participants
+  in
+  {
+    converged;
+    participants = List.length all_participants;
+    total_switches = n;
+    messages = !messages;
+    elapsed = !last_done;
+    region_correct;
+  }

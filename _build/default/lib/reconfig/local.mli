@@ -1,0 +1,47 @@
+(** Localized reconfiguration (paper §2, "later versions"):
+
+    "it should often be possible to restrict participation to switches
+    near the failing component, and to drop cells only when the path of
+    their virtual circuit goes through a failed link."
+
+    A scoped reconfiguration floods invitations only up to [radius]
+    hops from the initiator; switches at the boundary join as leaves
+    (they report their adjacency but invite no one). When the
+    distribution phase ends, every participant *merges*: it takes its
+    previous topology, deletes every edge incident to a participant of
+    this configuration, and adds the freshly collected region edges.
+    Edges wholly outside the region survive from the prior view; edges
+    out of the boundary are re-reported by the boundary switch that
+    owns them — so the merge is exact whenever all physical changes lie
+    within the region, which a radius of 1 already guarantees for a
+    single link event.
+
+    Unlike global reconfigurations, scoped ones do not cancel each
+    other: both endpoints of a failed link start their own
+    configuration under their own tag and switches participate in all
+    of them concurrently. Merges commute because each one rewrites
+    exactly the adjacency of its own participants. *)
+
+type outcome = {
+  converged : bool;  (** every started configuration completed *)
+  participants : int;  (** distinct switches that took part in any of them *)
+  total_switches : int;
+  messages : int;
+  elapsed : Netsim.Time.t;  (** trigger to last completion *)
+  region_correct : bool;
+      (** every participant's merged view equals the true working
+          topology *)
+}
+
+val run_after_failure :
+  ?proc_delay:Netsim.Time.t ->
+  ?radius:int ->
+  Topo.Graph.t ->
+  fail:int ->
+  outcome
+(** [run_after_failure g ~fail] kills link [fail] (which must join two
+    switches and be working) and runs one scoped reconfiguration from
+    each endpoint with the given [radius] (default 2). Every switch is
+    assumed to hold the correct pre-failure topology (as a completed
+    global reconfiguration leaves it). [proc_delay] defaults to the
+    global runner's 100 us per message. *)

@@ -1,0 +1,36 @@
+(** Ping-based link monitoring (paper §2).
+
+    Switch software regularly pings each neighbor; too many
+    consecutive misses turn a working link dead, and a dead link must
+    answer pings cleanly through a skeptic-determined probation before
+    it is declared working again. Declared transitions are what
+    trigger reconfigurations. *)
+
+type params = {
+  interval : Netsim.Time.t;  (** ping period *)
+  miss_threshold : int;  (** consecutive misses before declaring dead *)
+  skeptic : Skeptic.params;
+}
+
+val default_params : params
+(** 50 ms pings, 2 misses to declare dead — the AN1-flavoured numbers
+    that put fault detection near 100 ms. *)
+
+type t
+
+val create :
+  engine:Netsim.Engine.t ->
+  params:params ->
+  link_up:(unit -> bool) ->
+  on_transition:(up:bool -> Netsim.Time.t -> unit) ->
+  t
+(** [link_up] samples the true (physical) link state; [on_transition]
+    fires whenever the monitor changes its declared state. The monitor
+    starts declaring the link working. *)
+
+val start : t -> unit
+(** Begin pinging. *)
+
+val declared_up : t -> bool
+val transitions : t -> int
+(** Number of declared state changes so far. *)

@@ -1,0 +1,170 @@
+type edge =
+  | Sw_edge of int * int
+  | Host_edge of int * int
+
+let normalize_edge = function
+  | Sw_edge (a, b) when a > b -> Sw_edge (b, a)
+  | e -> e
+
+let compare_edge a b = compare (normalize_edge a) (normalize_edge b)
+
+type message =
+  | Invite of Tag.t
+  | Ack of Tag.t * bool
+  | Report of Tag.t * edge list
+  | Distribute of Tag.t * edge list
+
+let pp_message fmt = function
+  | Invite t -> Format.fprintf fmt "Invite%a" Tag.pp t
+  | Ack (t, ok) -> Format.fprintf fmt "Ack%a(%b)" Tag.pp t ok
+  | Report (t, es) -> Format.fprintf fmt "Report%a[%d]" Tag.pp t (List.length es)
+  | Distribute (t, es) ->
+    Format.fprintf fmt "Distribute%a[%d]" Tag.pp t (List.length es)
+
+type node = {
+  id : int;
+  mutable tag : Tag.t;
+  mutable parent : int option;
+  mutable children : int list;
+  mutable pending_acks : int;
+  mutable acks_done : bool;
+  mutable reported_children : int list;
+  mutable collected : edge list;
+  mutable sent_report : bool;
+  mutable completed : (Tag.t * edge list) option;
+}
+
+let create_node ~id =
+  {
+    id;
+    tag = Tag.zero;
+    parent = None;
+    children = [];
+    pending_acks = 0;
+    acks_done = false;
+    reported_children = [];
+    collected = [];
+    sent_report = false;
+    completed = None;
+  }
+
+let node_id n = n.id
+let current_tag n = n.tag
+let parent n = n.parent
+let children n = n.children
+let completed n = n.completed
+
+type action =
+  | Send of { dst : int; msg : message }
+  | Completed of Tag.t
+
+type env = {
+  neighbors : unit -> int list;
+  local_edges : unit -> edge list;
+}
+
+let reset_for n tag parent =
+  n.tag <- tag;
+  n.parent <- parent;
+  n.children <- [];
+  n.pending_acks <- 0;
+  n.acks_done <- false;
+  n.reported_children <- [];
+  n.collected <- [];
+  n.sent_report <- false
+
+let dedup_edges edges = List.sort_uniq compare_edge (List.map normalize_edge edges)
+
+(* Collection is finished once every invitation has been answered and
+   every accepted child has reported. *)
+let collection_done n =
+  n.acks_done
+  && List.length n.reported_children = List.length n.children
+  && not n.sent_report
+
+let finish_collection n env =
+  n.sent_report <- true;
+  let full = dedup_edges (env.local_edges () @ n.collected) in
+  match n.parent with
+  | Some p -> [ Send { dst = p; msg = Report (n.tag, full) } ]
+  | None ->
+    (* Root: topology acquisition complete; distribute down the tree. *)
+    n.completed <- Some (n.tag, full);
+    List.map (fun c -> Send { dst = c; msg = Distribute (n.tag, full) }) n.children
+    @ [ Completed n.tag ]
+
+let after_acks n env =
+  n.acks_done <- true;
+  if collection_done n then finish_collection n env else []
+
+let initiate n env =
+  let tag = Tag.next n.tag ~initiator:n.id in
+  reset_for n tag None;
+  match env.neighbors () with
+  | [] ->
+    (* Isolated switch: it alone is the topology. *)
+    n.acks_done <- true;
+    finish_collection n env
+  | neighbors ->
+    n.pending_acks <- List.length neighbors;
+    List.map (fun s -> Send { dst = s; msg = Invite tag }) neighbors
+
+let handle_invite n env ~from tag =
+  if Tag.(tag > n.tag) then begin
+    (* Abort whatever configuration we were in and join this one as a
+       child of the inviter. *)
+    reset_for n tag (Some from);
+    let others = List.filter (fun s -> s <> from) (env.neighbors ()) in
+    n.pending_acks <- List.length others;
+    let accept = Send { dst = from; msg = Ack (tag, true) } in
+    let invites = List.map (fun s -> Send { dst = s; msg = Invite tag }) others in
+    let follow_up = if others = [] then after_acks n env else [] in
+    (accept :: invites) @ follow_up
+  end
+  else if Tag.equal tag n.tag then [ Send { dst = from; msg = Ack (tag, false) } ]
+  else
+    (* Stale configuration: ignore entirely; the inviter will abort
+       once the newer configuration reaches it. *)
+    []
+
+let handle_ack n env ~from tag accepted =
+  if Tag.equal tag n.tag && not n.acks_done && n.pending_acks > 0 then begin
+    if accepted then n.children <- from :: n.children;
+    n.pending_acks <- n.pending_acks - 1;
+    if n.pending_acks = 0 then after_acks n env else []
+  end
+  else []
+
+let handle_report n env ~from tag edges =
+  if
+    Tag.equal tag n.tag
+    && List.mem from n.children
+    && not (List.mem from n.reported_children)
+  then begin
+    n.reported_children <- from :: n.reported_children;
+    n.collected <- edges @ n.collected;
+    if collection_done n then finish_collection n env else []
+  end
+  else []
+
+let handle_distribute n ~from tag topology =
+  let fresh =
+    match n.completed with
+    | Some (t, _) when Tag.equal t tag -> false
+    | _ -> true
+  in
+  if Tag.equal tag n.tag && n.parent = Some from && fresh then begin
+    n.completed <- Some (tag, topology);
+    List.map
+      (fun c -> Send { dst = c; msg = Distribute (tag, topology) })
+      n.children
+    @ [ Completed tag ]
+  end
+  else []
+
+let handle n env ~from msg =
+  match msg with
+  | Invite tag -> handle_invite n env ~from tag
+  | Ack (tag, accepted) -> handle_ack n env ~from tag accepted
+  | Report (tag, edges) -> handle_report n env ~from tag edges
+  | Distribute (tag, topology) -> handle_distribute n ~from tag topology

@@ -1,0 +1,68 @@
+(** The three-phase reconfiguration protocol state machine (paper §2).
+
+    Each switch runs one {!node}. The runner delivers messages and
+    reports actions back; the node logic itself is pure message
+    handling, which keeps it testable without an event engine.
+
+    Phases, as in the paper:
+    - {e propagation}: the initiator roots a spanning tree by flooding
+      invitations; a switch accepts the first invitation (becoming a
+      child of the inviter) and declines the rest;
+    - {e collection}: topology fragments flow up the tree; when the
+      root has heard from every child it knows the whole topology;
+    - {e distribution}: the full topology flows back down.
+
+    Overlapping reconfigurations are resolved by tags: a switch joins
+    any configuration with a larger tag than its current one, aborting
+    its previous activity, and ignores smaller-tagged messages. *)
+
+(** An undirected topology fact, as discovered during collection. *)
+type edge =
+  | Sw_edge of int * int  (** switch-to-switch link (normalized a < b) *)
+  | Host_edge of int * int  (** (switch, host) attachment *)
+
+val normalize_edge : edge -> edge
+val compare_edge : edge -> edge -> int
+
+type message =
+  | Invite of Tag.t
+  | Ack of Tag.t * bool  (** [true] = accepted, sender became our child *)
+  | Report of Tag.t * edge list  (** collection, child to parent *)
+  | Distribute of Tag.t * edge list  (** distribution, parent to child *)
+
+val pp_message : Format.formatter -> message -> unit
+
+type node
+
+val create_node : id:int -> node
+
+val node_id : node -> int
+val current_tag : node -> Tag.t
+val parent : node -> int option
+val children : node -> int list
+
+val completed : node -> (Tag.t * edge list) option
+(** Once the distribution phase has reached this node: the tag of the
+    finished reconfiguration and the full topology it learned. *)
+
+(** What the node asks its environment to do. *)
+type action =
+  | Send of { dst : int; msg : message }
+  | Completed of Tag.t
+
+type env = {
+  neighbors : unit -> int list;
+      (** switches adjacent over working links, per this node's local
+          knowledge at this instant *)
+  local_edges : unit -> edge list;
+      (** this node's own working adjacency (switch links and host
+          attachments) *)
+}
+
+val initiate : node -> env -> action list
+(** React to a local link state change: start a new reconfiguration
+    with a fresh tag (paper: epoch one greater than the largest
+    seen). *)
+
+val handle : node -> env -> from:int -> message -> action list
+(** Process one received message. *)

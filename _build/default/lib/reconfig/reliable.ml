@@ -1,0 +1,105 @@
+type 'msg params = {
+  latency : Netsim.Time.t;
+  loss : float;
+  retransmit_after : Netsim.Time.t;
+  window : int;
+}
+
+type 'msg t = {
+  engine : Netsim.Engine.t;
+  rng : Netsim.Rng.t;
+  params : 'msg params;
+  deliver : 'msg -> unit;
+  buf : (int, 'msg) Hashtbl.t;  (* unacknowledged, by sequence *)
+  mutable base : int;  (* oldest unacknowledged sequence *)
+  mutable next : int;  (* next sequence to assign *)
+  mutable highest_sent : int;  (* highest sequence ever transmitted *)
+  mutable expected : int;  (* receiver: next in-order sequence *)
+  mutable timer : Netsim.Engine.event_id option;
+  mutable transmissions : int;
+}
+
+let create ~engine ~rng ~params ~deliver =
+  if params.window < 1 then invalid_arg "Reliable.create: window >= 1";
+  {
+    engine;
+    rng;
+    params;
+    deliver;
+    buf = Hashtbl.create 16;
+    base = 0;
+    next = 0;
+    highest_sent = -1;
+    expected = 0;
+    timer = None;
+    transmissions = 0;
+  }
+
+let lost t = Netsim.Rng.bernoulli t.rng t.params.loss
+
+let rec arm_timer t =
+  if t.timer = None && t.base < t.next then
+    t.timer <-
+      Some
+        (Netsim.Engine.schedule t.engine ~delay:t.params.retransmit_after
+           (fun () ->
+             t.timer <- None;
+             (* Go-back-N: resend the whole window from base. *)
+             let upto = min t.next (t.base + t.params.window) in
+             for seq = t.base to upto - 1 do
+               transmit t seq
+             done;
+             arm_timer t))
+
+and transmit t seq =
+  match Hashtbl.find_opt t.buf seq with
+  | None -> ()  (* already acknowledged *)
+  | Some msg ->
+    t.transmissions <- t.transmissions + 1;
+    if seq > t.highest_sent then t.highest_sent <- seq;
+    if not (lost t) then
+      ignore
+        (Netsim.Engine.schedule t.engine ~delay:t.params.latency (fun () ->
+             receive t seq msg))
+
+and receive t seq msg =
+  if seq = t.expected then begin
+    t.expected <- t.expected + 1;
+    t.deliver msg
+  end;
+  (* Cumulative acknowledgment (itself droppable). *)
+  let ack = t.expected in
+  if not (lost t) then
+    ignore
+      (Netsim.Engine.schedule t.engine ~delay:t.params.latency (fun () ->
+           handle_ack t ack))
+
+and handle_ack t ack =
+  if ack > t.base then begin
+    for seq = t.base to ack - 1 do
+      Hashtbl.remove t.buf seq
+    done;
+    t.base <- ack;
+    (match t.timer with
+     | Some id ->
+       Netsim.Engine.cancel t.engine id;
+       t.timer <- None
+     | None -> ());
+    (* The window slid forward: transmit queued messages that now fit. *)
+    let upto = min t.next (t.base + t.params.window) in
+    for seq = max (t.highest_sent + 1) t.base to upto - 1 do
+      transmit t seq
+    done;
+    arm_timer t
+  end
+
+let send t msg =
+  let seq = t.next in
+  t.next <- seq + 1;
+  Hashtbl.add t.buf seq msg;
+  if seq < t.base + t.params.window then transmit t seq;
+  arm_timer t
+
+let transmissions t = t.transmissions
+
+let idle t = t.base = t.next

@@ -1,0 +1,41 @@
+(** Reliable control channels for the reconfiguration protocol.
+
+    The paper's algorithm (and AN1's firmware) assumes switches
+    exchange control messages over reliable, in-order links; the
+    physical wire is not. This module supplies the missing substrate:
+    a go-back-N sender per directed link with sequence numbers,
+    cumulative acknowledgments, and retransmission timers, so that the
+    three-phase protocol runs correctly even when the wire drops
+    control cells.
+
+    Used by {!Runner.run_lossy}, which demonstrates that the protocol
+    survives heavy control-plane loss at the cost of retransmission
+    delay — and that without this layer it deadlocks (E27). *)
+
+type 'msg t
+
+type 'msg params = {
+  latency : Netsim.Time.t;  (** one-way wire latency *)
+  loss : float;  (** per-transmission drop probability *)
+  retransmit_after : Netsim.Time.t;  (** timeout before resending *)
+  window : int;  (** go-back-N window size *)
+}
+
+val create :
+  engine:Netsim.Engine.t ->
+  rng:Netsim.Rng.t ->
+  params:'msg params ->
+  deliver:('msg -> unit) ->
+  'msg t
+(** One direction of one link: [deliver] fires exactly once per sent
+    message, in order, at the receiver. *)
+
+val send : 'msg t -> 'msg -> unit
+(** Queue a message; it is retransmitted until acknowledged. *)
+
+val transmissions : 'msg t -> int
+(** Wire transmissions used so far (>= messages sent when the wire
+    drops). *)
+
+val idle : 'msg t -> bool
+(** No unacknowledged messages outstanding. *)

@@ -1,0 +1,275 @@
+type params = {
+  proc_delay : Netsim.Time.t;
+  horizon : Netsim.Time.t;
+  control_loss : float;
+  retransmit_after : Netsim.Time.t;
+  seed : int;
+}
+
+let default_params =
+  {
+    proc_delay = Netsim.Time.us 100;
+    horizon = Netsim.Time.s 1;
+    control_loss = 0.0;
+    retransmit_after = Netsim.Time.ms 1;
+    seed = 0;
+  }
+
+type outcome = {
+  converged : bool;
+  final_tag : Tag.t;
+  elapsed : Netsim.Time.t;
+  messages : int;
+  wire_transmissions : int;
+  agreement : bool;
+  topology_correct : bool;
+  tree_depth : int;
+  bfs_depth : int;
+  phase_propagation : Netsim.Time.t;
+  phase_collection : Netsim.Time.t;
+  phase_distribution : Netsim.Time.t;
+}
+
+(* The true working topology as the protocol should discover it:
+   switch links and host attachments of the component containing
+   [root]. *)
+let true_topology g ~root =
+  let n = Topo.Graph.switch_count g in
+  let in_component = Array.make n false in
+  let queue = Queue.create () in
+  in_component.(root) <- true;
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun (s', _) ->
+        if not in_component.(s') then begin
+          in_component.(s') <- true;
+          Queue.add s' queue
+        end)
+      (Topo.Graph.switch_neighbors g s)
+  done;
+  let edges = ref [] in
+  for s = 0 to n - 1 do
+    if in_component.(s) then begin
+      List.iter
+        (fun (s', _) -> edges := Proto.Sw_edge (s, s') :: !edges)
+        (Topo.Graph.switch_neighbors g s);
+      List.iter
+        (fun (h, _) -> edges := Proto.Host_edge (s, h) :: !edges)
+        (Topo.Graph.hosts_of_switch g s)
+    end
+  done;
+  ( in_component,
+    List.sort_uniq Proto.compare_edge (List.map Proto.normalize_edge !edges) )
+
+let run ?(params = default_params) g ~triggers =
+  if triggers = [] then invalid_arg "Runner.run: no triggers";
+  let n = Topo.Graph.switch_count g in
+  let engine = Netsim.Engine.create () in
+  let nodes = Array.init n (fun id -> Proto.create_node ~id) in
+  let messages = ref 0 in
+  let completion = Array.make n None in
+  (* First time each switch joined each configuration (for the phase
+     breakdown of the winning one). *)
+  let joins : (int * Tag.t, Netsim.Time.t) Hashtbl.t = Hashtbl.create 64 in
+  let env_of id =
+    {
+      Proto.neighbors =
+        (fun () -> List.map fst (Topo.Graph.switch_neighbors g id));
+      local_edges =
+        (fun () ->
+          List.map (fun (s', _) -> Proto.Sw_edge (id, s'))
+            (Topo.Graph.switch_neighbors g id)
+          @ List.map (fun (h, _) -> Proto.Host_edge (id, h))
+              (Topo.Graph.hosts_of_switch g id));
+    }
+  in
+  let link_latency src dst =
+    match
+      List.find_opt (fun (s', _) -> s' = dst) (Topo.Graph.switch_neighbors g src)
+    with
+    | Some (_, lid) -> Some (Topo.Graph.link g lid).Topo.Graph.latency
+    | None -> None
+  in
+  (* All control traffic crosses the wire through a reliable go-back-N
+     channel per directed link (the substrate the paper's protocol
+     assumes); with [control_loss = 0] it degenerates to a plain
+     latency. *)
+  let loss_rng = Netsim.Rng.create params.seed in
+  let channels : (int * int, Proto.message Reliable.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let rec channel ~src ~dst latency =
+    match Hashtbl.find_opt channels (src, dst) with
+    | Some ch -> ch
+    | None ->
+      let ch =
+        Reliable.create ~engine ~rng:loss_rng
+          ~params:
+            {
+              Reliable.latency;
+              loss = params.control_loss;
+              retransmit_after = params.retransmit_after;
+              window = 32;
+            }
+          ~deliver:(fun msg ->
+            (* Line-card software handles the message after its
+               processing delay. *)
+            ignore
+              (Netsim.Engine.schedule engine ~delay:params.proc_delay
+                 (fun () ->
+                   incr messages;
+                   deliver ~src ~dst msg)))
+      in
+      Hashtbl.add channels (src, dst) ch;
+      ch
+  and perform src actions =
+    List.iter
+      (function
+        | Proto.Completed tag ->
+          completion.(src) <- Some (tag, Netsim.Engine.now engine)
+        | Proto.Send { dst; msg } ->
+          (* A message only travels if the link still works on arrival;
+             we check at send time, which is equivalent here because
+             link states do not change during a protocol run. *)
+          (match link_latency src dst with
+           | None -> ()
+           | Some latency -> Reliable.send (channel ~src ~dst latency) msg))
+      actions
+  and deliver ~src ~dst msg =
+    let before = Proto.current_tag nodes.(dst) in
+    perform dst (Proto.handle nodes.(dst) (env_of dst) ~from:src msg);
+    let after = Proto.current_tag nodes.(dst) in
+    if (not (Tag.equal before after)) && not (Hashtbl.mem joins (dst, after))
+    then Hashtbl.add joins (dst, after) (Netsim.Engine.now engine)
+  in
+  let first_trigger = List.fold_left (fun acc (t, _) -> min acc t) max_int triggers in
+  List.iter
+    (fun (at, s) ->
+      ignore
+        (Netsim.Engine.schedule_at engine ~at (fun () ->
+             perform s (Proto.initiate nodes.(s) (env_of s));
+             let tag = Proto.current_tag nodes.(s) in
+             if not (Hashtbl.mem joins (s, tag)) then
+               Hashtbl.add joins (s, tag) (Netsim.Engine.now engine))))
+    triggers;
+  Netsim.Engine.run_until engine params.horizon;
+  (* Evaluate: the surviving configuration is the largest tag. *)
+  let final_tag =
+    Array.fold_left
+      (fun acc node ->
+        let t = Proto.current_tag node in
+        if Tag.(t > acc) then t else acc)
+      Tag.zero nodes
+  in
+  let root = final_tag.Tag.initiator in
+  let in_component, truth = true_topology g ~root in
+  let all_done = ref true
+  and last_done = ref first_trigger
+  and agreement = ref true
+  and topology_correct = ref true in
+  for s = 0 to n - 1 do
+    if in_component.(s) then
+      match completion.(s) with
+      | Some (t, at) when Tag.equal t final_tag ->
+        if at > !last_done then last_done := at;
+        (match Proto.completed nodes.(s) with
+         | Some (_, topo) ->
+           if topo <> truth then begin
+             agreement := false;
+             topology_correct := false
+           end
+         | None -> all_done := false)
+      | _ -> all_done := false
+  done;
+  (* Depth of the propagation-order tree, following parent pointers. *)
+  let tree_depth =
+    if not !all_done then -1
+    else begin
+      let rec depth_of s guard =
+        if guard > n then n
+        else
+          match Proto.parent nodes.(s) with
+          | None -> 0
+          | Some p -> 1 + depth_of p (guard + 1)
+      in
+      let best = ref 0 in
+      for s = 0 to n - 1 do
+        if in_component.(s) then begin
+          let d = depth_of s 0 in
+          if d > !best then best := d
+        end
+      done;
+      !best
+    end
+  in
+  let bfs_depth = Topo.Spanning.height (Topo.Spanning.bfs g ~root) in
+  (* Phase boundaries of the winning configuration. *)
+  let last_join = ref first_trigger in
+  for s = 0 to n - 1 do
+    if in_component.(s) then
+      match Hashtbl.find_opt joins (s, final_tag) with
+      | Some at when at > !last_join -> last_join := at
+      | _ -> ()
+  done;
+  let root_done =
+    match completion.(root) with Some (_, at) -> at | None -> !last_join
+  in
+  let wire_transmissions =
+    Hashtbl.fold (fun _ ch acc -> acc + Reliable.transmissions ch) channels 0
+  in
+  {
+    converged = !all_done;
+    final_tag;
+    elapsed = (if !all_done then !last_done - first_trigger else 0);
+    messages = !messages;
+    wire_transmissions;
+    agreement = !all_done && !agreement;
+    topology_correct = !all_done && !topology_correct;
+    tree_depth;
+    bfs_depth;
+    phase_propagation = max 0 (!last_join - first_trigger);
+    phase_collection = max 0 (root_done - !last_join);
+    phase_distribution = max 0 (!last_done - root_done);
+  }
+
+let run_after_failure ?(params = default_params)
+    ?(detection_delay = Netsim.Time.ms 100) g ~fail =
+  (* Which switches see a working link die? *)
+  let affected_of_link lid =
+    let l = Topo.Graph.link g lid in
+    let ends = [ l.Topo.Graph.a.node; l.b.node ] in
+    List.filter_map
+      (function Topo.Graph.Switch s -> Some s | Topo.Graph.Host _ -> None)
+      ends
+  in
+  let affected =
+    match fail with
+    | `Link lid ->
+      let l = Topo.Graph.link g lid in
+      if l.Topo.Graph.state = Topo.Graph.Dead then []
+      else begin
+        Topo.Graph.fail_link g lid;
+        affected_of_link lid
+      end
+    | `Switch s ->
+      let neighbors = List.map fst (Topo.Graph.switch_neighbors g s) in
+      Topo.Graph.fail_switch g s;
+      neighbors
+  in
+  let affected = List.sort_uniq compare affected in
+  (* The dead switch's own links are gone, so it cannot participate;
+     survivors detect the loss and trigger. *)
+  let survivors =
+    match fail with
+    | `Switch s -> List.filter (fun x -> x <> s) affected
+    | `Link _ -> affected
+  in
+  if survivors = [] then invalid_arg "Runner.run_after_failure: nothing detects";
+  let triggers = List.map (fun s -> (detection_delay, s)) survivors in
+  let outcome = run ~params g ~triggers in
+  (* Count elapsed from the failure itself (time 0). *)
+  if outcome.converged then
+    { outcome with elapsed = outcome.elapsed + detection_delay }
+  else outcome

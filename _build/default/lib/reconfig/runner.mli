@@ -1,0 +1,63 @@
+(** Executes the reconfiguration protocol over a topology on the
+    discrete-event engine, with per-message link latency and line-card
+    processing delay, and checks the paper's correctness and
+    performance claims. *)
+
+type params = {
+  proc_delay : Netsim.Time.t;
+      (** line-card software time to handle one protocol message *)
+  horizon : Netsim.Time.t;  (** give up after this much simulated time *)
+  control_loss : float;
+      (** drop probability per control-cell transmission; the {!Reliable}
+          go-back-N layer retransmits, so the protocol still converges *)
+  retransmit_after : Netsim.Time.t;  (** reliable-layer timeout *)
+  seed : int;  (** loss randomness *)
+}
+
+val default_params : params
+(** 100 us processing per message (AN1-era line-card processor),
+    1 s horizon, lossless control plane, 1 ms retransmission timer. *)
+
+type outcome = {
+  converged : bool;
+      (** every switch in the initiator's component finished the final
+          configuration *)
+  final_tag : Tag.t;
+  elapsed : Netsim.Time.t;
+      (** first trigger to last switch completing (0 if not converged) *)
+  messages : int;  (** protocol messages delivered *)
+  wire_transmissions : int;
+      (** control-cell transmissions, including the reliable layer's
+          retransmissions under loss *)
+  agreement : bool;  (** all completed switches hold identical topologies *)
+  topology_correct : bool;
+      (** the agreed topology equals the true working topology *)
+  tree_depth : int;  (** depth of the propagation-order spanning tree *)
+  bfs_depth : int;  (** depth of an ideal BFS tree from the same root *)
+  phase_propagation : Netsim.Time.t;
+      (** trigger to the last switch joining the winning tree (§2
+          phase 1) *)
+  phase_collection : Netsim.Time.t;
+      (** last join to the root learning the full topology (phase 2) *)
+  phase_distribution : Netsim.Time.t;
+      (** root to the last switch receiving the topology (phase 3) *)
+}
+
+val run :
+  ?params:params -> Topo.Graph.t -> triggers:(Netsim.Time.t * int) list -> outcome
+(** [run g ~triggers] starts a reconfiguration at each [(time, switch)]
+    trigger and runs to quiescence. The topology should already
+    reflect the failure (use {!Topo.Graph.fail_link} first); triggers
+    model the moment the adjacent switches detect the change. *)
+
+val run_after_failure :
+  ?params:params ->
+  ?detection_delay:Netsim.Time.t ->
+  Topo.Graph.t ->
+  fail:[ `Link of int | `Switch of int ] ->
+  outcome
+(** The paper's pull-the-plug scenario: apply the failure, then have
+    every switch that lost a working link initiate after
+    [detection_delay] (default 100 ms of ping-based detection, the
+    dominant term in AN1's <200 ms figure). [elapsed] includes the
+    detection delay. *)

@@ -1,0 +1,36 @@
+type params = {
+  base_wait : Netsim.Time.t;
+  max_level : int;
+  decay : Netsim.Time.t;
+}
+
+let default_params =
+  { base_wait = Netsim.Time.ms 100; max_level = 10; decay = Netsim.Time.s 60 }
+
+type t = {
+  params : params;
+  mutable raw_level : int;
+  mutable last_failure : Netsim.Time.t;
+  mutable any_failure : bool;
+}
+
+let create ?(params = default_params) () =
+  { params; raw_level = 0; last_failure = 0; any_failure = false }
+
+let level t ~now =
+  if not t.any_failure then 0
+  else begin
+    let good = max 0 (now - t.last_failure) in
+    let shed = good / max 1 t.params.decay in
+    max 0 (t.raw_level - shed)
+  end
+
+let note_failure t ~now =
+  t.raw_level <- min t.params.max_level (level t ~now + 1);
+  t.last_failure <- now;
+  t.any_failure <- true
+
+let recovery_wait t ~now =
+  let l = level t ~now in
+  let factor = 1 lsl min l 30 in
+  t.params.base_wait * factor

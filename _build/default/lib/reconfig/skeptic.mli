@@ -1,0 +1,30 @@
+(** The skeptic (paper §2): a link that has failed repeatedly must
+    demonstrate an increasingly long period of correct operation
+    before it is believed to have recovered, so a flapping link cannot
+    trigger a reconfiguration storm.
+
+    The skeptic keeps a suspicion level. Each failure raises it by
+    one (up to a cap); sustained good behaviour lets it decay. The
+    probation a recovering link must serve doubles with each level. *)
+
+type params = {
+  base_wait : Netsim.Time.t;  (** probation at suspicion level 0 *)
+  max_level : int;  (** cap on the suspicion level *)
+  decay : Netsim.Time.t;  (** good time needed to shed one level *)
+}
+
+val default_params : params
+(** 100 ms base, cap 10 (~102 s max probation), 60 s decay. *)
+
+type t
+
+val create : ?params:params -> unit -> t
+
+val level : t -> now:Netsim.Time.t -> int
+(** Current suspicion level after decay. *)
+
+val note_failure : t -> now:Netsim.Time.t -> unit
+(** Record a failure (declared dead, or a relapse during probation). *)
+
+val recovery_wait : t -> now:Netsim.Time.t -> Netsim.Time.t
+(** Probation the link must now serve: [base_wait * 2^level]. *)

@@ -1,0 +1,15 @@
+type t = { epoch : int; initiator : int }
+
+let zero = { epoch = 0; initiator = -1 }
+
+let compare a b =
+  match Int.compare a.epoch b.epoch with
+  | 0 -> Int.compare a.initiator b.initiator
+  | c -> c
+
+let ( > ) a b = compare a b > 0
+let equal a b = compare a b = 0
+
+let next t ~initiator = { epoch = t.epoch + 1; initiator }
+
+let pp fmt t = Format.fprintf fmt "(e%d,s%d)" t.epoch t.initiator

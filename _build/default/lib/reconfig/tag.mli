@@ -1,0 +1,21 @@
+(** Reconfiguration tags (paper §2).
+
+    Every reconfiguration message carries an (epoch, initiator) tag;
+    switches track the largest tag seen, ordered first by epoch and
+    then by initiating switch id, so overlapping reconfigurations
+    resolve in favour of exactly one. *)
+
+type t = { epoch : int; initiator : int }
+
+val zero : t
+(** Smaller than any real tag (epoch 0; real epochs start at 1). *)
+
+val compare : t -> t -> int
+val ( > ) : t -> t -> bool
+val equal : t -> t -> bool
+
+val next : t -> initiator:int -> t
+(** The tag a switch uses to initiate: one epoch above the largest it
+    has seen, with itself as initiator. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/topo/build.ml: Graph Netsim

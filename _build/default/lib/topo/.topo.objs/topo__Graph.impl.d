@@ -1,0 +1,1 @@
+lib/topo/graph.ml: Array Buffer Format Hashtbl List Netsim Printf Queue

@@ -1,0 +1,1 @@
+lib/topo/paths.ml: Array Graph List Queue

@@ -1,0 +1,1 @@
+lib/topo/spanning.ml: Array Graph List Queue

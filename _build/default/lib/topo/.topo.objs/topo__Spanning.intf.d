@@ -1,0 +1,1 @@
+lib/topo/spanning.mli: Graph

@@ -1,0 +1,1 @@
+lib/topo/updown.ml: Array Graph List Paths Printf Queue Spanning

@@ -1,0 +1,1 @@
+lib/topo/updown.mli: Graph Spanning

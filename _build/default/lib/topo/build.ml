@@ -1,0 +1,140 @@
+let switches_only n =
+  let g = Graph.create () in
+  Graph.add_switches g n;
+  g
+
+let linear n =
+  let g = switches_only n in
+  for i = 0 to n - 2 do
+    ignore (Graph.connect g (Switch i) (Switch (i + 1)))
+  done;
+  g
+
+let ring n =
+  if n < 3 then invalid_arg "Build.ring: need at least 3 switches";
+  let g = switches_only n in
+  for i = 0 to n - 1 do
+    ignore (Graph.connect g (Switch i) (Switch ((i + 1) mod n)))
+  done;
+  g
+
+let star n =
+  let g = switches_only (n + 1) in
+  for i = 1 to n do
+    ignore (Graph.connect g (Switch 0) (Switch i))
+  done;
+  g
+
+let tree ~arity ~depth =
+  if arity < 1 || depth < 0 then invalid_arg "Build.tree";
+  let g = Graph.create () in
+  let root = Graph.add_switch g in
+  let rec expand node level =
+    if level < depth then
+      for _ = 1 to arity do
+        let child = Graph.add_switch g in
+        ignore (Graph.connect g (Switch node) (Switch child));
+        expand child (level + 1)
+      done
+  in
+  expand root 0;
+  g
+
+let grid w h =
+  if w < 1 || h < 1 then invalid_arg "Build.grid";
+  let g = switches_only (w * h) in
+  let id x y = (y * w) + x in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x < w - 1 then ignore (Graph.connect g (Switch (id x y)) (Switch (id (x + 1) y)));
+      if y < h - 1 then ignore (Graph.connect g (Switch (id x y)) (Switch (id x (y + 1))))
+    done
+  done;
+  g
+
+let torus w h =
+  if w < 3 || h < 3 then invalid_arg "Build.torus: need w, h >= 3";
+  let g = switches_only (w * h) in
+  let id x y = (y * w) + x in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      ignore (Graph.connect g (Switch (id x y)) (Switch (id ((x + 1) mod w) y)));
+      ignore (Graph.connect g (Switch (id x y)) (Switch (id x ((y + 1) mod h))))
+    done
+  done;
+  g
+
+let hypercube d =
+  if d < 1 || d > 12 then invalid_arg "Build.hypercube: 1 <= d <= 12";
+  let n = 1 lsl d in
+  let g = switches_only n in
+  for v = 0 to n - 1 do
+    for bit = 0 to d - 1 do
+      let u = v lxor (1 lsl bit) in
+      if u > v then ignore (Graph.connect g (Switch v) (Switch u))
+    done
+  done;
+  g
+
+let leaf_spine ~spines ~leaves =
+  if spines < 1 || leaves < 1 then invalid_arg "Build.leaf_spine";
+  let g = switches_only (spines + leaves) in
+  for leaf = spines to spines + leaves - 1 do
+    for spine = 0 to spines - 1 do
+      ignore (Graph.connect g (Switch leaf) (Switch spine))
+    done
+  done;
+  g
+
+let random_connected ~rng ~switches ~extra_links =
+  if switches < 1 then invalid_arg "Build.random_connected";
+  let g = switches_only switches in
+  (* Random spanning tree: attach each new switch to a uniformly chosen
+     earlier one. *)
+  for i = 1 to switches - 1 do
+    let parent = Netsim.Rng.int rng i in
+    ignore (Graph.connect g (Switch parent) (Switch i))
+  done;
+  (* Extra links between distinct random pairs; skip saturated pairs. *)
+  let added = ref 0 and attempts = ref 0 in
+  while !added < extra_links && !attempts < extra_links * 20 do
+    incr attempts;
+    let a = Netsim.Rng.int rng switches and b = Netsim.Rng.int rng switches in
+    if a <> b then
+      match Graph.connect g (Switch a) (Switch b) with
+      | (_ : int) -> incr added
+      | exception Failure _ -> ()
+  done;
+  g
+
+let src_lan ?(hosts = 24) () =
+  let g = Graph.create () in
+  (* Switches 0,1: backbone. Switches 2..9: edge. *)
+  Graph.add_switches g 10;
+  for e = 2 to 9 do
+    ignore (Graph.connect g (Switch e) (Switch 0));
+    ignore (Graph.connect g (Switch e) (Switch 1))
+  done;
+  (* Edge neighbors in a ring for extra redundancy. *)
+  for e = 2 to 9 do
+    let next = if e = 9 then 2 else e + 1 in
+    ignore (Graph.connect g (Switch e) (Switch next))
+  done;
+  (* Hosts dual-homed to two adjacent edge switches, as in Figure 1. *)
+  for i = 0 to hosts - 1 do
+    let h = Graph.add_host g in
+    let primary = 2 + (i mod 8) in
+    let secondary = if primary = 9 then 2 else primary + 1 in
+    ignore (Graph.connect g (Host h) (Switch primary));
+    ignore (Graph.connect g (Host h) (Switch secondary))
+  done;
+  g
+
+let with_host_pair g =
+  let n = Graph.switch_count g in
+  if n = 0 then invalid_arg "Build.with_host_pair: no switches";
+  let h1 = Graph.add_host g in
+  ignore (Graph.connect g (Host h1) (Switch 0));
+  let h2 = Graph.add_host g in
+  ignore (Graph.connect g (Host h2) (Switch (n - 1)));
+  (h1, h2)

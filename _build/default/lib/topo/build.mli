@@ -1,0 +1,49 @@
+(** Topology generators for experiments.
+
+    All generators return a topology whose working switch subgraph is
+    connected. Hosts are attached only where stated. *)
+
+val linear : int -> Graph.t
+(** Chain of [n] switches — the paper's worst case for the
+    propagation-order spanning tree. *)
+
+val ring : int -> Graph.t
+(** Cycle of [n] switches (n >= 3). *)
+
+val star : int -> Graph.t
+(** One hub switch with [n] leaf switches. *)
+
+val tree : arity:int -> depth:int -> Graph.t
+(** Complete [arity]-ary tree of switches with the given [depth]
+    (depth 0 is a single switch). *)
+
+val grid : int -> int -> Graph.t
+(** [grid w h] mesh of switches. *)
+
+val torus : int -> int -> Graph.t
+(** [torus w h] wraps the grid edges (w, h >= 3 to avoid duplicate
+    links). *)
+
+val hypercube : int -> Graph.t
+(** [hypercube d]: 2^d switches, links between ids differing in one
+    bit (d <= 12, the AN1 port budget). *)
+
+val leaf_spine : spines:int -> leaves:int -> Graph.t
+(** Folded-Clos / leaf-spine fabric: every leaf switch links to every
+    spine switch. Spines are switches 0..spines-1. *)
+
+val random_connected :
+  rng:Netsim.Rng.t -> switches:int -> extra_links:int -> Graph.t
+(** Random spanning tree plus [extra_links] additional random links
+    between distinct switch pairs with free ports. *)
+
+val src_lan : ?hosts:int -> unit -> Graph.t
+(** A Figure-1-style installation: two backbone switches, eight edge
+    switches each linked to both backbones and to one edge neighbor,
+    and [hosts] (default 24) hosts dual-homed to two adjacent edge
+    switches. 10 switches total, AN1-like redundancy. *)
+
+val with_host_pair : Graph.t -> int * int
+(** Attach one host to the lowest-numbered switch and one to the
+    highest-numbered switch; returns their host ids. Convenient for
+    end-to-end experiments over the pure-switch generators. *)

@@ -1,0 +1,99 @@
+(** Network topology: switches and hosts connected by full-duplex links.
+
+    Mirrors the AN1/AN2 physical model of the paper: each switch has a
+    fixed number of ports, each host has a (small) number of controller
+    ports, and links join two free ports. Links carry a latency and a
+    working/dead state; dead links are invisible to the switch-level
+    algorithms (spanning tree, routing, reconfiguration). *)
+
+type node_id =
+  | Switch of int
+  | Host of int
+
+val pp_node : Format.formatter -> node_id -> unit
+
+type endpoint = { node : node_id; port : int }
+
+type link_state =
+  | Working
+  | Dead
+
+type link = {
+  link_id : int;
+  a : endpoint;
+  b : endpoint;
+  latency : Netsim.Time.t;
+  mutable state : link_state;
+}
+
+type t
+
+val create : ?ports_per_switch:int -> ?ports_per_host:int -> unit -> t
+(** Defaults: 16 ports per switch (the AN2 crossbar), 2 per host
+    (dual-homing as in Figure 1). *)
+
+val add_switch : t -> int
+(** Returns the new switch's id (consecutive from 0). *)
+
+val add_switches : t -> int -> unit
+(** Add [n] switches. *)
+
+val add_host : t -> int
+(** Returns the new host's id (consecutive from 0). *)
+
+val connect : ?latency:Netsim.Time.t -> t -> node_id -> node_id -> int
+(** [connect t n1 n2] joins the first free port of each node; returns
+    the link id. Default latency is 1 us (a few hundred metres of
+    fibre plus line-card serialization). Raises [Failure] if either
+    node has no free port. *)
+
+val switch_count : t -> int
+val host_count : t -> int
+val link_count : t -> int
+val ports_per_switch : t -> int
+
+val link : t -> int -> link
+(** Lookup by link id. Raises [Invalid_argument] on bad ids. *)
+
+val links : t -> link list
+(** All links, in creation order. *)
+
+val fail_link : t -> int -> unit
+val restore_link : t -> int -> unit
+
+val fail_switch : t -> int -> unit
+(** Kill every link attached to the switch (the "pull the plug" demo
+    of the paper's introduction). *)
+
+val restore_switch : t -> int -> unit
+
+val switch_neighbors : t -> int -> (int * int) list
+(** [switch_neighbors t s] lists [(neighbor_switch, link_id)] over
+    working switch-to-switch links. *)
+
+val host_links : t -> int -> (int * int) list
+(** [host_links t h] lists [(switch, link_id)] over working links from
+    host [h] to switches. *)
+
+val hosts_of_switch : t -> int -> (int * int) list
+(** [(host, link_id)] pairs of working host attachments at a switch. *)
+
+val other_end : link -> node_id -> endpoint
+(** The endpoint of the link that is not at the given node. *)
+
+val switch_connected : t -> bool
+(** Whether the working switch-to-switch subgraph is connected
+    (ignoring switches that have no working links at all is NOT done:
+    all switches must be mutually reachable). *)
+
+val reachable_switches : t -> int -> int
+(** Number of switches reachable from the given one over working
+    links, including itself. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line rendering of nodes and working links. *)
+
+val to_dot : t -> string
+(** Graphviz rendering: switches as boxes, hosts as ellipses, dead
+    links dashed red. Pipe into [dot -Tsvg] to draw Figure-1-style
+    diagrams of any topology. *)

@@ -1,0 +1,15 @@
+(** Unrestricted shortest paths over the working switch subgraph. *)
+
+val distances : Graph.t -> src:int -> int array
+(** BFS hop counts; -1 where unreachable. *)
+
+val route : Graph.t -> src:int -> dst:int -> int list option
+(** Shortest switch sequence from [src] to [dst] inclusive, or [None]
+    if unreachable. Deterministic (lowest-numbered neighbor first). *)
+
+val mean_distance : Graph.t -> float
+(** Mean over all ordered reachable switch pairs (excluding self
+    pairs); 0 if fewer than two switches. *)
+
+val diameter : Graph.t -> int
+(** Max finite distance over switch pairs. *)

@@ -1,0 +1,43 @@
+type t = {
+  root : int;
+  parent : int array;
+  parent_link : int array;
+  depth : int array;
+}
+
+let bfs g ~root =
+  let n = Graph.switch_count g in
+  if root < 0 || root >= n then invalid_arg "Spanning.bfs: bad root";
+  let parent = Array.make n (-1) in
+  let parent_link = Array.make n (-1) in
+  let depth = Array.make n (-1) in
+  parent.(root) <- root;
+  depth.(root) <- 0;
+  let queue = Queue.create () in
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun (s', lid) ->
+        if depth.(s') = -1 then begin
+          depth.(s') <- depth.(s) + 1;
+          parent.(s') <- s;
+          parent_link.(s') <- lid;
+          Queue.add s' queue
+        end)
+      (Graph.switch_neighbors g s)
+  done;
+  { root; parent; parent_link; depth }
+
+let height t = Array.fold_left max 0 t.depth
+
+let covers_all g t =
+  ignore g;
+  Array.for_all (fun d -> d >= 0) t.depth
+
+let children t s =
+  let acc = ref [] in
+  Array.iteri
+    (fun i p -> if p = s && i <> t.root then acc := i :: !acc)
+    t.parent;
+  List.rev !acc

@@ -1,0 +1,21 @@
+(** Spanning trees over the working switch subgraph. *)
+
+type t = {
+  root : int;
+  parent : int array;  (** [parent.(root) = root]; -1 if unreachable. *)
+  parent_link : int array;  (** Link id to parent; -1 at root/unreachable. *)
+  depth : int array;  (** -1 if unreachable. *)
+}
+
+val bfs : Graph.t -> root:int -> t
+(** Breadth-first spanning tree — the ideal the paper says the
+    propagation-order tree usually approximates. *)
+
+val height : t -> int
+(** Maximum depth over reachable switches. *)
+
+val covers_all : Graph.t -> t -> bool
+(** All switches reachable. *)
+
+val children : t -> int -> int list
+(** Children of a switch in the tree. *)

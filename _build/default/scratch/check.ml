@@ -1,0 +1,9 @@
+let () =
+  List.iter (fun loss ->
+    let g = Topo.Build.src_lan () in
+    let params = { Reconfig.Runner.default_params with control_loss = loss; seed = 3 } in
+    let o = Reconfig.Runner.run_after_failure ~params g ~fail:(`Switch 4) in
+    Printf.printf "loss=%.2f conv=%b elapsed=%s msgs=%d wire=%d correct=%b\n"
+      loss o.converged (Format.asprintf "%a" Netsim.Time.pp o.elapsed)
+      o.messages o.wire_transmissions o.topology_correct)
+    [0.0; 0.05; 0.1; 0.2; 0.3]

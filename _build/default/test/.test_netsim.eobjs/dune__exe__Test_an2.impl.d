@@ -1,0 +1,1 @@
+test/test_an2.ml: Alcotest An2 Array Format Frame Hashtbl List Netsim Printf QCheck QCheck_alcotest Topo

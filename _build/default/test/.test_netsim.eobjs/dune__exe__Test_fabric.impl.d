@@ -1,0 +1,1 @@
+test/test_fabric.ml: Alcotest Array Fabric Frame Fun Hashtbl List Netsim Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Flow List Netsim Printf QCheck QCheck_alcotest Topo

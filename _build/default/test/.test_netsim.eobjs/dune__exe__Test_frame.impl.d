@@ -1,0 +1,1 @@
+test/test_frame.ml: Alcotest Format Frame List Netsim Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Array Matching Netsim Printf QCheck QCheck_alcotest

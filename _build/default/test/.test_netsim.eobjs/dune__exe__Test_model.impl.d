@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest An2 Frame Hashtbl List Netsim Option Topo

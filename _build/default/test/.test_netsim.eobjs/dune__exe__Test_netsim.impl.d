@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Format Fun Gen List Netsim Option QCheck QCheck_alcotest

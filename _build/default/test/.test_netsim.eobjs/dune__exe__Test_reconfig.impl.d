@@ -1,0 +1,1 @@
+test/test_reconfig.ml: Alcotest List Netsim Printf QCheck QCheck_alcotest Reconfig Topo

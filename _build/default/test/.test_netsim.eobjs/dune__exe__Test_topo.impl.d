@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Array Fun List Netsim Printf QCheck QCheck_alcotest String Topo

@@ -1,0 +1,401 @@
+(* Tests for credit-based flow control and the deadlock testbed. *)
+
+let qtest ?(count = 40) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Credit state machines *)
+
+let test_upstream_window () =
+  let u = Flow.Credit.Upstream.create ~total:3 in
+  Alcotest.(check int) "initial balance" 3 (Flow.Credit.Upstream.balance u);
+  Flow.Credit.Upstream.on_send u;
+  Flow.Credit.Upstream.on_send u;
+  Flow.Credit.Upstream.on_send u;
+  Alcotest.(check bool) "exhausted" false (Flow.Credit.Upstream.can_send u);
+  Alcotest.(check bool) "over-send raises" true
+    (try Flow.Credit.Upstream.on_send u; false with Invalid_argument _ -> true);
+  Flow.Credit.Upstream.on_credit u Flow.Credit.Increment;
+  Alcotest.(check int) "one back" 1 (Flow.Credit.Upstream.balance u);
+  Alcotest.(check int) "sent counted" 3 (Flow.Credit.Upstream.sent u)
+
+let test_upstream_increment_capped () =
+  let u = Flow.Credit.Upstream.create ~total:2 in
+  Flow.Credit.Upstream.on_credit u Flow.Credit.Increment;
+  Alcotest.(check int) "capped at total" 2 (Flow.Credit.Upstream.balance u)
+
+let test_upstream_cumulative_heals () =
+  let u = Flow.Credit.Upstream.create ~total:4 in
+  for _ = 1 to 4 do
+    Flow.Credit.Upstream.on_send u
+  done;
+  (* Two increments lost; a cumulative snapshot saying "3 freed"
+     restores balance to 4 - (4 - 3) = 3. *)
+  Flow.Credit.Upstream.on_credit u (Flow.Credit.Cumulative 3);
+  Alcotest.(check int) "healed" 3 (Flow.Credit.Upstream.balance u)
+
+let test_upstream_stale_cumulative_ignored () =
+  let u = Flow.Credit.Upstream.create ~total:4 in
+  for _ = 1 to 2 do
+    Flow.Credit.Upstream.on_send u
+  done;
+  Flow.Credit.Upstream.on_credit u (Flow.Credit.Cumulative 2);
+  Alcotest.(check int) "applied" 4 (Flow.Credit.Upstream.balance u);
+  Flow.Credit.Upstream.on_send u;
+  Flow.Credit.Upstream.on_credit u (Flow.Credit.Cumulative 1);
+  Alcotest.(check int) "stale ignored" 3 (Flow.Credit.Upstream.balance u)
+
+let test_downstream_occupancy () =
+  let d = Flow.Credit.Downstream.create ~capacity:2 ~cumulative:false in
+  Flow.Credit.Downstream.on_arrival d;
+  Flow.Credit.Downstream.on_arrival d;
+  Alcotest.(check int) "occupancy" 2 (Flow.Credit.Downstream.occupancy d);
+  Alcotest.(check bool) "no overflow yet" false (Flow.Credit.Downstream.overflowed d);
+  Flow.Credit.Downstream.on_arrival d;
+  Alcotest.(check bool) "overflow flagged" true (Flow.Credit.Downstream.overflowed d);
+  (match Flow.Credit.Downstream.on_forward d with
+   | Flow.Credit.Increment -> ()
+   | _ -> Alcotest.fail "expected increment");
+  Alcotest.(check int) "freed" 1 (Flow.Credit.Downstream.freed_total d)
+
+let test_downstream_cumulative_msgs () =
+  let d = Flow.Credit.Downstream.create ~capacity:4 ~cumulative:true in
+  Flow.Credit.Downstream.on_arrival d;
+  Flow.Credit.Downstream.on_arrival d;
+  (match Flow.Credit.Downstream.on_forward d with
+   | Flow.Credit.Cumulative 1 -> ()
+   | _ -> Alcotest.fail "expected cumulative 1");
+  match Flow.Credit.Downstream.on_forward d with
+  | Flow.Credit.Cumulative 2 -> ()
+  | _ -> Alcotest.fail "expected cumulative 2"
+
+let test_downstream_empty_forward_raises () =
+  let d = Flow.Credit.Downstream.create ~capacity:1 ~cumulative:false in
+  Alcotest.(check bool) "raises" true
+    (try ignore (Flow.Credit.Downstream.on_forward d); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Chain simulation *)
+
+let base = Flow.Chain.default_params
+
+let test_chain_full_rate_with_rtt_credits () =
+  let need = Flow.Chain.round_trip_credits base in
+  let r = Flow.Chain.run { base with credits = need + 2 } in
+  Alcotest.(check bool)
+    (Printf.sprintf "thpt %.3f ~ 1" r.throughput)
+    true (r.throughput > 0.95);
+  Alcotest.(check bool) "lossless" false r.overflowed
+
+let test_chain_throughput_scales_with_credits () =
+  let need = Flow.Chain.round_trip_credits base in
+  List.iter
+    (fun frac ->
+      let credits = max 1 (need * frac / 100) in
+      let r = Flow.Chain.run { base with credits } in
+      let expected = float_of_int credits /. float_of_int need in
+      Alcotest.(check bool)
+        (Printf.sprintf "credits=%d thpt %.3f ~ %.3f" credits r.throughput expected)
+        true
+        (abs_float (r.throughput -. expected) < 0.08))
+    [ 25; 50; 75 ]
+
+let test_chain_never_overflows =
+  qtest "chain never overflows buffers"
+    (QCheck.make
+       ~print:(fun (seed, credits, hops, loss) ->
+         Printf.sprintf "seed=%d credits=%d hops=%d loss=%.2f" seed credits hops loss)
+       QCheck.Gen.(
+         quad (int_range 0 5000) (int_range 1 80) (int_range 1 5)
+           (float_range 0.0 0.3)))
+    (fun (seed, credits, hops, loss) ->
+      let r =
+        Flow.Chain.run
+          { base with seed; credits; hops; credit_loss_prob = loss;
+            duration = Netsim.Time.ms 2 }
+      in
+      (not r.overflowed) && r.max_occupancy <= credits)
+
+let test_chain_latency_floor () =
+  (* End-to-end latency can never beat pure propagation + serialization. *)
+  let r = Flow.Chain.run { base with credits = 128 } in
+  let floor_us =
+    Netsim.Time.to_us
+      (base.hops * (base.cell_time + base.latency) + ((base.hops - 1) * base.crossbar_delay))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.1f >= floor %.1f" r.mean_latency floor_us)
+    true
+    (r.mean_latency >= floor_us -. 0.001)
+
+let test_chain_offered_rate_respected () =
+  let r = Flow.Chain.run { base with credits = 128; offered_rate = 0.4 } in
+  Alcotest.(check bool)
+    (Printf.sprintf "thpt %.3f ~ 0.4" r.throughput)
+    true
+    (abs_float (r.throughput -. 0.4) < 0.05)
+
+let lossy =
+  { base with
+    credits = 40;
+    credit_loss_prob = 0.02;
+    loss_until = Netsim.Time.ms 5;
+    duration = Netsim.Time.ms 20 }
+
+let test_chain_increment_loss_degrades () =
+  let r = Flow.Chain.run lossy in
+  let last = r.window_throughput.(9) in
+  Alcotest.(check bool)
+    (Printf.sprintf "final window %.3f collapsed" last)
+    true (last < 0.2);
+  Alcotest.(check bool) "still lossless" false r.overflowed
+
+let test_chain_resync_recovers () =
+  let r = Flow.Chain.run { lossy with resync_interval = Some (Netsim.Time.ms 1) } in
+  let last = r.window_throughput.(9) in
+  Alcotest.(check bool)
+    (Printf.sprintf "final window %.3f recovered" last)
+    true (last > 0.9);
+  Alcotest.(check bool) "lossless" false r.overflowed
+
+let test_chain_cumulative_immune () =
+  let r = Flow.Chain.run { lossy with cumulative_credits = true } in
+  Alcotest.(check bool)
+    (Printf.sprintf "thpt %.3f high throughout" r.throughput)
+    true (r.throughput > 0.9);
+  Alcotest.(check bool) "lossless" false r.overflowed
+
+let test_chain_rtt_credit_formula () =
+  (* 2*10us + 2us + 0.681us over 681ns cells -> ceil(33.36) = 34. *)
+  Alcotest.(check int) "formula" 34 (Flow.Chain.round_trip_credits base);
+  let short = { base with latency = Netsim.Time.ns 681 } in
+  Alcotest.(check int) "short link" 6 (Flow.Chain.round_trip_credits short)
+
+let test_chain_rejects_zero_hops () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Flow.Chain.run { base with hops = 0 }); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive buffer allocation *)
+
+let ap = Flow.Adaptive.default_params
+
+let adaptive_policy =
+  Flow.Adaptive.Adaptive { window = Netsim.Time.us 500; floor = 2 }
+
+let test_adaptive_static_throttled () =
+  (* 32 circuits split a 128-cell pool: 4 credits each against a
+     34-cell round trip throttles each active circuit to ~4/34. *)
+  let r = Flow.Adaptive.run { ap with policy = Static } in
+  Alcotest.(check bool)
+    (Printf.sprintf "aggregate %.3f ~ 0.24" r.aggregate_throughput)
+    true
+    (abs_float (r.aggregate_throughput -. (8.0 /. 34.0)) < 0.04);
+  Alcotest.(check bool) "lossless" false r.overflowed
+
+let test_adaptive_recovers_capacity () =
+  let r = Flow.Adaptive.run { ap with policy = adaptive_policy } in
+  Alcotest.(check bool)
+    (Printf.sprintf "aggregate %.3f > 0.9" r.aggregate_throughput)
+    true
+    (r.aggregate_throughput > 0.9);
+  Alcotest.(check bool) "lossless" false r.overflowed;
+  Alcotest.(check bool) "reallocated" true (r.reallocations > 0);
+  (* Fairness between the two active circuits. *)
+  Alcotest.(check bool) "fair split" true
+    (abs_float (r.per_active_throughput.(0) -. r.per_active_throughput.(1))
+     < 0.05)
+
+let test_adaptive_never_overflows =
+  qtest ~count:30 "adaptive pool never overflows"
+    (QCheck.make
+       ~print:(fun (circuits, active, buffers) ->
+         Printf.sprintf "v=%d a=%d b=%d" circuits active buffers)
+       QCheck.Gen.(
+         triple (int_range 2 40) (int_range 1 6) (int_range 40 200)))
+    (fun (circuits, active, buffers) ->
+      let active = min active circuits in
+      let r =
+        Flow.Adaptive.run
+          { ap with
+            circuits; active; total_buffers = max buffers circuits;
+            policy = adaptive_policy;
+            duration = Netsim.Time.ms 3 }
+      in
+      (not r.overflowed) && r.max_pool_occupancy <= max buffers circuits)
+
+let test_adaptive_all_active_fair () =
+  (* With every circuit active there is nothing to harvest: adaptive
+     must not do worse than static. *)
+  let base = { ap with circuits = 8; active = 8; total_buffers = 80 } in
+  let st = Flow.Adaptive.run { base with policy = Static } in
+  let ad = Flow.Adaptive.run { base with policy = adaptive_policy } in
+  Alcotest.(check bool) "no regression" true
+    (ad.aggregate_throughput >= st.aggregate_throughput -. 0.05)
+
+let test_adaptive_validation () =
+  Alcotest.(check bool) "active > circuits" true
+    (try ignore (Flow.Adaptive.run { ap with active = 99 }); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "pool too small" true
+    (try ignore (Flow.Adaptive.run { ap with total_buffers = 3 }); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlock *)
+
+let dl = Flow.Deadlock.default_params
+
+let test_deadlock_ring_shared_fifo () =
+  let r =
+    Flow.Deadlock.run (Topo.Build.ring 12)
+      { dl with buffering = Shared_fifo 2; routing = Shortest; circuits = 12 }
+  in
+  Alcotest.(check bool) "deadlocks" true r.deadlocked;
+  Alcotest.(check bool) "cells stranded" true (r.stranded > 0)
+
+let test_deadlock_ring_updown_safe () =
+  let r =
+    Flow.Deadlock.run (Topo.Build.ring 12)
+      { dl with buffering = Shared_fifo 2; routing = Updown; circuits = 12 }
+  in
+  Alcotest.(check bool) "no deadlock" false r.deadlocked;
+  Alcotest.(check bool) "delivers" true (r.delivered > 1000)
+
+let test_deadlock_ring_pervc_safe () =
+  let r =
+    Flow.Deadlock.run (Topo.Build.ring 12)
+      { dl with buffering = Per_vc 2; routing = Shortest; circuits = 12 }
+  in
+  Alcotest.(check bool) "no deadlock" false r.deadlocked;
+  Alcotest.(check bool) "delivers" true (r.delivered > 1000)
+
+let test_deadlock_torus_variants () =
+  (* The torus workload's shortest routes need not form a cycle, so
+     only the safety halves of the claim are asserted here; the
+     deadlock itself is demonstrated on the ring above. *)
+  let g () = Topo.Build.torus 4 4 in
+  let updown =
+    Flow.Deadlock.run (g ())
+      { dl with buffering = Shared_fifo 1; routing = Updown; circuits = 16 }
+  in
+  let pervc =
+    Flow.Deadlock.run (g ())
+      { dl with buffering = Per_vc 1; routing = Shortest; circuits = 16 }
+  in
+  Alcotest.(check bool) "torus updown safe" false updown.deadlocked;
+  Alcotest.(check bool) "torus per-vc safe" false pervc.deadlocked;
+  Alcotest.(check bool) "both deliver" true
+    (updown.delivered > 500 && pervc.delivered > 500)
+
+let test_deadlock_linear_always_safe () =
+  (* No cycles at all: even shared FIFO cannot deadlock. *)
+  let r =
+    Flow.Deadlock.run (Topo.Build.linear 8)
+      { dl with buffering = Shared_fifo 1; routing = Shortest; circuits = 8 }
+  in
+  Alcotest.(check bool) "no deadlock" false r.deadlocked
+
+let test_deadlock_pervc_beats_shared_delivery () =
+  let shared =
+    Flow.Deadlock.run (Topo.Build.ring 10)
+      { dl with buffering = Shared_fifo 4; routing = Updown; circuits = 10 }
+  in
+  let pervc =
+    Flow.Deadlock.run (Topo.Build.ring 10)
+      { dl with buffering = Per_vc 4; routing = Shortest; circuits = 10 }
+  in
+  (* AN2's design both avoids deadlock and uses shorter routes, so it
+     should deliver at least as much. *)
+  Alcotest.(check bool) "per-vc >= shared+updown" true
+    (pervc.delivered >= shared.delivered)
+
+let test_deadlock_updown_qcheck =
+  qtest ~count:25 "updown never deadlocks on random topologies"
+    (QCheck.make QCheck.Gen.(int_range 0 5000))
+    (fun seed ->
+      let rng = Netsim.Rng.create seed in
+      let g = Topo.Build.random_connected ~rng ~switches:10 ~extra_links:8 in
+      let r =
+        Flow.Deadlock.run g
+          { dl with buffering = Shared_fifo 2; routing = Updown; circuits = 10;
+            slots = 500 }
+      in
+      not r.deadlocked)
+
+let test_deadlock_pervc_qcheck =
+  qtest ~count:25 "per-vc never deadlocks on random topologies"
+    (QCheck.make QCheck.Gen.(int_range 0 5000))
+    (fun seed ->
+      let rng = Netsim.Rng.create seed in
+      let g = Topo.Build.random_connected ~rng ~switches:10 ~extra_links:8 in
+      let r =
+        Flow.Deadlock.run g
+          { dl with buffering = Per_vc 1; routing = Shortest; circuits = 10;
+            slots = 500 }
+      in
+      not r.deadlocked)
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "credit",
+        [
+          Alcotest.test_case "upstream window" `Quick test_upstream_window;
+          Alcotest.test_case "increment capped" `Quick test_upstream_increment_capped;
+          Alcotest.test_case "cumulative heals" `Quick test_upstream_cumulative_heals;
+          Alcotest.test_case "stale cumulative ignored" `Quick
+            test_upstream_stale_cumulative_ignored;
+          Alcotest.test_case "downstream occupancy" `Quick test_downstream_occupancy;
+          Alcotest.test_case "downstream cumulative" `Quick
+            test_downstream_cumulative_msgs;
+          Alcotest.test_case "empty forward raises" `Quick
+            test_downstream_empty_forward_raises;
+        ] );
+      ( "chain",
+        [
+          Alcotest.test_case "full rate with RTT credits (paper)" `Quick
+            test_chain_full_rate_with_rtt_credits;
+          Alcotest.test_case "throughput = credits/RTT" `Slow
+            test_chain_throughput_scales_with_credits;
+          test_chain_never_overflows;
+          Alcotest.test_case "latency floor" `Quick test_chain_latency_floor;
+          Alcotest.test_case "offered rate respected" `Quick
+            test_chain_offered_rate_respected;
+          Alcotest.test_case "increment loss degrades (paper)" `Slow
+            test_chain_increment_loss_degrades;
+          Alcotest.test_case "resync recovers (paper)" `Slow test_chain_resync_recovers;
+          Alcotest.test_case "cumulative immune" `Slow test_chain_cumulative_immune;
+          Alcotest.test_case "RTT credit formula" `Quick test_chain_rtt_credit_formula;
+          Alcotest.test_case "rejects zero hops" `Quick test_chain_rejects_zero_hops;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "static is throttled" `Quick
+            test_adaptive_static_throttled;
+          Alcotest.test_case "adaptive recovers capacity (paper)" `Quick
+            test_adaptive_recovers_capacity;
+          test_adaptive_never_overflows;
+          Alcotest.test_case "all-active no regression" `Quick
+            test_adaptive_all_active_fair;
+          Alcotest.test_case "validation" `Quick test_adaptive_validation;
+        ] );
+      ( "deadlock",
+        [
+          Alcotest.test_case "ring shared-fifo deadlocks (paper)" `Quick
+            test_deadlock_ring_shared_fifo;
+          Alcotest.test_case "ring updown safe (paper)" `Quick
+            test_deadlock_ring_updown_safe;
+          Alcotest.test_case "ring per-vc safe (paper)" `Quick
+            test_deadlock_ring_pervc_safe;
+          Alcotest.test_case "torus variants" `Quick test_deadlock_torus_variants;
+          Alcotest.test_case "linear always safe" `Quick
+            test_deadlock_linear_always_safe;
+          Alcotest.test_case "per-vc delivery" `Quick
+            test_deadlock_pervc_beats_shared_delivery;
+          test_deadlock_updown_qcheck;
+          test_deadlock_pervc_qcheck;
+        ] );
+    ]

@@ -1,0 +1,416 @@
+(* Tests for the simulation substrate: RNG, heap, engine, statistics. *)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Netsim.Rng.create 42 and b = Netsim.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Netsim.Rng.bits64 a) (Netsim.Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Netsim.Rng.create 1 and b = Netsim.Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Netsim.Rng.bits64 a <> Netsim.Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_rng_copy_replays () =
+  let a = Netsim.Rng.create 7 in
+  ignore (Netsim.Rng.bits64 a);
+  let b = Netsim.Rng.copy a in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "copy replays" (Netsim.Rng.bits64 a) (Netsim.Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  (* Drawing from the split stream must not perturb the parent. *)
+  let a = Netsim.Rng.create 9 in
+  let a' = Netsim.Rng.copy a in
+  let child = Netsim.Rng.split a in
+  let child' = Netsim.Rng.split a' in
+  for _ = 1 to 20 do
+    ignore (Netsim.Rng.bits64 child)
+  done;
+  ignore child';
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "parent unaffected" (Netsim.Rng.bits64 a)
+      (Netsim.Rng.bits64 a')
+  done
+
+let test_rng_int_bounds =
+  qtest "Rng.int in bounds"
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Netsim.Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let v = Netsim.Rng.int rng n in
+        if v < 0 || v >= n then ok := false
+      done;
+      !ok)
+
+let test_rng_int_rejects () =
+  let rng = Netsim.Rng.create 1 in
+  Alcotest.check_raises "n=0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Netsim.Rng.int rng 0))
+
+let test_rng_float_bounds () =
+  let rng = Netsim.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Netsim.Rng.float rng 5.0 in
+    Alcotest.(check bool) "in [0,5)" true (v >= 0.0 && v < 5.0)
+  done
+
+let test_rng_int_covers () =
+  (* All residues of a small modulus appear. *)
+  let rng = Netsim.Rng.create 5 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 1000 do
+    seen.(Netsim.Rng.int rng 7) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_rng_bernoulli_extremes () =
+  let rng = Netsim.Rng.create 4 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1" true (Netsim.Rng.bernoulli rng 1.0);
+    Alcotest.(check bool) "p=0" false (Netsim.Rng.bernoulli rng 0.0)
+  done
+
+let test_rng_bernoulli_rate () =
+  let rng = Netsim.Rng.create 11 in
+  let hits = ref 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    if Netsim.Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "close to 0.3" true (abs_float (rate -. 0.3) < 0.02)
+
+let test_rng_exponential_mean () =
+  let rng = Netsim.Rng.create 13 in
+  let sum = ref 0.0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    sum := !sum +. Netsim.Rng.exponential rng ~mean:4.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean ~4" true (abs_float (mean -. 4.0) < 0.25)
+
+let test_rng_geometric () =
+  let rng = Netsim.Rng.create 17 in
+  Alcotest.(check int) "p=1 gives 0" 0 (Netsim.Rng.geometric rng ~p:1.0);
+  let sum = ref 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    sum := !sum + Netsim.Rng.geometric rng ~p:0.5
+  done;
+  (* mean failures before success = (1-p)/p = 1 *)
+  let mean = float_of_int !sum /. float_of_int n in
+  Alcotest.(check bool) "mean ~1" true (abs_float (mean -. 1.0) < 0.1)
+
+let test_rng_pick () =
+  let rng = Netsim.Rng.create 19 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "member" true
+      (List.mem (Netsim.Rng.pick rng [ 1; 2; 3 ]) [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty list")
+    (fun () -> ignore (Netsim.Rng.pick rng []))
+
+let test_shuffle_permutation =
+  qtest "shuffle is a permutation"
+    QCheck.(pair small_int (list_of_size (Gen.int_range 0 50) int))
+    (fun (seed, xs) ->
+      let rng = Netsim.Rng.create seed in
+      let a = Array.of_list xs in
+      Netsim.Rng.shuffle_in_place rng a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Mheap *)
+
+let test_heap_sorted =
+  qtest "pops ascending"
+    QCheck.(list_of_size (Gen.int_range 0 200) small_int)
+    (fun xs ->
+      let h = Netsim.Mheap.create () in
+      List.iter (fun x -> Netsim.Mheap.add h ~prio:x x) xs;
+      let rec drain acc =
+        match Netsim.Mheap.pop h with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let test_heap_fifo_ties () =
+  let h = Netsim.Mheap.create () in
+  List.iter (fun v -> Netsim.Mheap.add h ~prio:5 v) [ "a"; "b"; "c" ];
+  Netsim.Mheap.add h ~prio:1 "first";
+  let order = List.init 4 (fun _ -> snd (Option.get (Netsim.Mheap.pop h))) in
+  Alcotest.(check (list string)) "fifo among ties" [ "first"; "a"; "b"; "c" ] order
+
+let test_heap_against_model =
+  qtest ~count:200 "random add/pop interleaving matches a sorted model"
+    QCheck.(pair small_int (list_of_size (Gen.int_range 1 120) (int_range 0 2)))
+    (fun (seed, script) ->
+      let rng = Netsim.Rng.create seed in
+      let h = Netsim.Mheap.create () in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if op < 2 then begin
+            (* add with a random priority *)
+            let prio = Netsim.Rng.int rng 50 in
+            Netsim.Mheap.add h ~prio prio;
+            model := List.merge compare !model [ prio ]
+          end
+          else
+            match (Netsim.Mheap.pop h, !model) with
+            | None, [] -> ()
+            | Some (p, _), m :: rest ->
+              if p <> m then ok := false;
+              model := rest
+            | None, _ :: _ | Some _, [] -> ok := false)
+        script;
+      !ok && Netsim.Mheap.length h = List.length !model)
+
+let test_heap_length_and_clear () =
+  let h = Netsim.Mheap.create () in
+  Alcotest.(check bool) "empty" true (Netsim.Mheap.is_empty h);
+  for i = 1 to 10 do
+    Netsim.Mheap.add h ~prio:i i
+  done;
+  Alcotest.(check int) "length" 10 (Netsim.Mheap.length h);
+  Alcotest.(check (option int)) "min prio" (Some 1) (Netsim.Mheap.min_prio h);
+  Netsim.Mheap.clear h;
+  Alcotest.(check int) "cleared" 0 (Netsim.Mheap.length h);
+  Alcotest.(check (option int)) "no min" None (Netsim.Mheap.min_prio h)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_order () =
+  let e = Netsim.Engine.create () in
+  let log = ref [] in
+  ignore (Netsim.Engine.schedule e ~delay:30 (fun () -> log := 30 :: !log));
+  ignore (Netsim.Engine.schedule e ~delay:10 (fun () -> log := 10 :: !log));
+  ignore (Netsim.Engine.schedule e ~delay:20 (fun () -> log := 20 :: !log));
+  Netsim.Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 10; 20; 30 ] (List.rev !log)
+
+let test_engine_fifo_simultaneous () =
+  let e = Netsim.Engine.create () in
+  let log = ref [] in
+  List.iter
+    (fun tag -> ignore (Netsim.Engine.schedule e ~delay:5 (fun () -> log := tag :: !log)))
+    [ "a"; "b"; "c" ];
+  Netsim.Engine.run e;
+  Alcotest.(check (list string)) "fifo" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_engine_clock_advances () =
+  let e = Netsim.Engine.create () in
+  let seen = ref (-1) in
+  ignore (Netsim.Engine.schedule e ~delay:42 (fun () -> seen := Netsim.Engine.now e));
+  Netsim.Engine.run e;
+  Alcotest.(check int) "clock at event" 42 !seen;
+  Alcotest.(check int) "clock after run" 42 (Netsim.Engine.now e)
+
+let test_engine_nested_scheduling () =
+  let e = Netsim.Engine.create () in
+  let hits = ref [] in
+  ignore
+    (Netsim.Engine.schedule e ~delay:10 (fun () ->
+         hits := Netsim.Engine.now e :: !hits;
+         ignore
+           (Netsim.Engine.schedule e ~delay:5 (fun () ->
+                hits := Netsim.Engine.now e :: !hits))));
+  Netsim.Engine.run e;
+  Alcotest.(check (list int)) "nested times" [ 10; 15 ] (List.rev !hits)
+
+let test_engine_cancel () =
+  let e = Netsim.Engine.create () in
+  let fired = ref false in
+  let id = Netsim.Engine.schedule e ~delay:10 (fun () -> fired := true) in
+  Netsim.Engine.cancel e id;
+  Netsim.Engine.run e;
+  Alcotest.(check bool) "cancelled" false !fired;
+  (* double-cancel is a no-op *)
+  Netsim.Engine.cancel e id
+
+let test_engine_cancel_one_of_many () =
+  let e = Netsim.Engine.create () in
+  let log = ref [] in
+  let _a = Netsim.Engine.schedule e ~delay:1 (fun () -> log := "a" :: !log) in
+  let b = Netsim.Engine.schedule e ~delay:2 (fun () -> log := "b" :: !log) in
+  let _c = Netsim.Engine.schedule e ~delay:3 (fun () -> log := "c" :: !log) in
+  Netsim.Engine.cancel e b;
+  Netsim.Engine.run e;
+  Alcotest.(check (list string)) "b skipped" [ "a"; "c" ] (List.rev !log)
+
+let test_engine_run_until () =
+  let e = Netsim.Engine.create () in
+  let log = ref [] in
+  ignore (Netsim.Engine.schedule e ~delay:10 (fun () -> log := 10 :: !log));
+  ignore (Netsim.Engine.schedule e ~delay:50 (fun () -> log := 50 :: !log));
+  Netsim.Engine.run_until e 20;
+  Alcotest.(check (list int)) "only first" [ 10 ] (List.rev !log);
+  Alcotest.(check int) "clock at horizon" 20 (Netsim.Engine.now e);
+  Netsim.Engine.run_until e 100;
+  Alcotest.(check (list int)) "second fires" [ 10; 50 ] (List.rev !log)
+
+let test_engine_rejects_past () =
+  let e = Netsim.Engine.create () in
+  ignore (Netsim.Engine.schedule e ~delay:10 (fun () -> ()));
+  Netsim.Engine.run e;
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Netsim.Engine.schedule_at e ~at:5 (fun () -> ()));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative delay" true
+    (try
+       ignore (Netsim.Engine.schedule e ~delay:(-1) (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_cancel_during_dispatch () =
+  (* An event may cancel another event scheduled for the same time. *)
+  let e = Netsim.Engine.create () in
+  let fired = ref [] in
+  let b = ref None in
+  ignore
+    (Netsim.Engine.schedule e ~delay:5 (fun () ->
+         fired := "a" :: !fired;
+         match !b with Some id -> Netsim.Engine.cancel e id | None -> ()));
+  b := Some (Netsim.Engine.schedule e ~delay:5 (fun () -> fired := "b" :: !fired));
+  Netsim.Engine.run e;
+  Alcotest.(check (list string)) "b suppressed" [ "a" ] (List.rev !fired)
+
+let test_engine_step_and_pending () =
+  let e = Netsim.Engine.create () in
+  ignore (Netsim.Engine.schedule e ~delay:1 (fun () -> ()));
+  ignore (Netsim.Engine.schedule e ~delay:2 (fun () -> ()));
+  Alcotest.(check int) "pending" 2 (Netsim.Engine.pending e);
+  Alcotest.(check bool) "step true" true (Netsim.Engine.step e);
+  Alcotest.(check bool) "step true" true (Netsim.Engine.step e);
+  Alcotest.(check bool) "step false" false (Netsim.Engine.step e)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_summary () =
+  let s = Netsim.Stats.Summary.create () in
+  List.iter (Netsim.Stats.Summary.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check int) "count" 8 (Netsim.Stats.Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Netsim.Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "sample variance" (32.0 /. 7.0)
+    (Netsim.Stats.Summary.variance s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Netsim.Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Netsim.Stats.Summary.max s)
+
+let test_summary_empty () =
+  let s = Netsim.Stats.Summary.create () in
+  Alcotest.(check (float 0.0)) "mean 0" 0.0 (Netsim.Stats.Summary.mean s);
+  Alcotest.(check (float 0.0)) "var 0" 0.0 (Netsim.Stats.Summary.variance s)
+
+let test_distribution_percentiles () =
+  let d = Netsim.Stats.Distribution.create () in
+  for i = 1 to 100 do
+    Netsim.Stats.Distribution.add d (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "median" 50.5 (Netsim.Stats.Distribution.median d);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Netsim.Stats.Distribution.percentile d 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0
+    (Netsim.Stats.Distribution.percentile d 100.0);
+  Alcotest.(check (float 1e-9)) "max" 100.0 (Netsim.Stats.Distribution.max d);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Netsim.Stats.Distribution.mean d)
+
+let test_distribution_interleaved_adds () =
+  (* Adding after a percentile query must re-sort. *)
+  let d = Netsim.Stats.Distribution.create () in
+  Netsim.Stats.Distribution.add d 10.0;
+  ignore (Netsim.Stats.Distribution.median d);
+  Netsim.Stats.Distribution.add d 1.0;
+  Alcotest.(check (float 1e-9)) "min updated" 1.0
+    (Netsim.Stats.Distribution.percentile d 0.0)
+
+let test_counter () =
+  let c = Netsim.Stats.Counter.create () in
+  Netsim.Stats.Counter.incr c "a";
+  Netsim.Stats.Counter.add c "a" 4;
+  Netsim.Stats.Counter.incr c "b";
+  Alcotest.(check int) "a" 5 (Netsim.Stats.Counter.get c "a");
+  Alcotest.(check int) "b" 1 (Netsim.Stats.Counter.get c "b");
+  Alcotest.(check int) "missing" 0 (Netsim.Stats.Counter.get c "zzz");
+  Alcotest.(check (list (pair string int))) "sorted" [ ("a", 5); ("b", 1) ]
+    (Netsim.Stats.Counter.to_list c)
+
+let test_time () =
+  Alcotest.(check int) "us" 3_000 (Netsim.Time.us 3);
+  Alcotest.(check int) "ms" 3_000_000 (Netsim.Time.ms 3);
+  Alcotest.(check int) "s" 3_000_000_000 (Netsim.Time.s 3);
+  Alcotest.(check (float 1e-9)) "to_ms" 1.5 (Netsim.Time.to_ms 1_500_000);
+  Alcotest.(check string) "pp us" "2.00us"
+    (Format.asprintf "%a" Netsim.Time.pp (Netsim.Time.us 2))
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "copy replays" `Quick test_rng_copy_replays;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          test_rng_int_bounds;
+          Alcotest.test_case "int rejects" `Quick test_rng_int_rejects;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "int covers residues" `Quick test_rng_int_covers;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          Alcotest.test_case "bernoulli rate" `Quick test_rng_bernoulli_rate;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "geometric" `Quick test_rng_geometric;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+          test_shuffle_permutation;
+        ] );
+      ( "mheap",
+        [
+          test_heap_sorted;
+          test_heap_against_model;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "length/clear" `Quick test_heap_length_and_clear;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "order" `Quick test_engine_order;
+          Alcotest.test_case "fifo simultaneous" `Quick test_engine_fifo_simultaneous;
+          Alcotest.test_case "clock advances" `Quick test_engine_clock_advances;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "cancel one of many" `Quick test_engine_cancel_one_of_many;
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+          Alcotest.test_case "cancel during dispatch" `Quick
+            test_engine_cancel_during_dispatch;
+          Alcotest.test_case "step/pending" `Quick test_engine_step_and_pending;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "summary empty" `Quick test_summary_empty;
+          Alcotest.test_case "distribution percentiles" `Quick
+            test_distribution_percentiles;
+          Alcotest.test_case "distribution re-sorts" `Quick
+            test_distribution_interleaved_adds;
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "time" `Quick test_time;
+        ] );
+    ]

@@ -1,0 +1,441 @@
+(* Tests for the topology library: graphs, builders, spanning trees,
+   shortest paths, and up*/down* routing. *)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* Generator: a connected random switch graph. *)
+let random_graph_gen =
+  QCheck.make
+    ~print:(fun (seed, n, extra) -> Printf.sprintf "seed=%d n=%d extra=%d" seed n extra)
+    QCheck.Gen.(
+      triple (int_range 0 10_000) (int_range 2 24) (int_range 0 20))
+
+let build_random (seed, n, extra) =
+  let rng = Netsim.Rng.create seed in
+  Topo.Build.random_connected ~rng ~switches:n ~extra_links:extra
+
+(* ------------------------------------------------------------------ *)
+(* Graph *)
+
+let test_graph_basic () =
+  let g = Topo.Graph.create ~ports_per_switch:4 ~ports_per_host:2 () in
+  Topo.Graph.add_switches g 2;
+  let h = Topo.Graph.add_host g in
+  let l1 = Topo.Graph.connect g (Switch 0) (Switch 1) in
+  let l2 = Topo.Graph.connect g (Host h) (Switch 0) in
+  Alcotest.(check int) "switches" 2 (Topo.Graph.switch_count g);
+  Alcotest.(check int) "hosts" 1 (Topo.Graph.host_count g);
+  Alcotest.(check int) "links" 2 (Topo.Graph.link_count g);
+  Alcotest.(check (list (pair int int))) "neighbors" [ (1, l1) ]
+    (Topo.Graph.switch_neighbors g 0);
+  Alcotest.(check (list (pair int int))) "host links" [ (0, l2) ]
+    (Topo.Graph.host_links g h);
+  Alcotest.(check (list (pair int int))) "hosts of switch" [ (h, l2) ]
+    (Topo.Graph.hosts_of_switch g 0)
+
+let test_graph_ports_exhaust () =
+  let g = Topo.Graph.create ~ports_per_switch:2 () in
+  Topo.Graph.add_switches g 4;
+  ignore (Topo.Graph.connect g (Switch 0) (Switch 1));
+  ignore (Topo.Graph.connect g (Switch 0) (Switch 2));
+  Alcotest.(check bool) "third connect fails" true
+    (try
+       ignore (Topo.Graph.connect g (Switch 0) (Switch 3));
+       false
+     with Failure _ -> true)
+
+let test_graph_distinct_ports () =
+  let g = Topo.Graph.create () in
+  Topo.Graph.add_switches g 2;
+  let l1 = Topo.Graph.link g (Topo.Graph.connect g (Switch 0) (Switch 1)) in
+  let l2 = Topo.Graph.link g (Topo.Graph.connect g (Switch 0) (Switch 1)) in
+  Alcotest.(check bool) "different ports" true
+    (l1.Topo.Graph.a.port <> l2.Topo.Graph.a.port);
+  Alcotest.(check bool) "different ports b" true
+    (l1.Topo.Graph.b.port <> l2.Topo.Graph.b.port)
+
+let test_graph_fail_restore () =
+  let g = Topo.Build.linear 3 in
+  let lid = 0 in
+  Alcotest.(check bool) "connected" true (Topo.Graph.switch_connected g);
+  Topo.Graph.fail_link g lid;
+  Alcotest.(check bool) "disconnected" false (Topo.Graph.switch_connected g);
+  Alcotest.(check int) "neighbors gone" 0
+    (List.length (Topo.Graph.switch_neighbors g 0));
+  Topo.Graph.restore_link g lid;
+  Alcotest.(check bool) "reconnected" true (Topo.Graph.switch_connected g)
+
+let test_graph_fail_switch () =
+  let g = Topo.Build.star 4 in
+  Topo.Graph.fail_switch g 0;
+  Alcotest.(check int) "hub isolated" 1 (Topo.Graph.reachable_switches g 0);
+  Alcotest.(check int) "leaf isolated" 1 (Topo.Graph.reachable_switches g 1);
+  Topo.Graph.restore_switch g 0;
+  Alcotest.(check bool) "restored" true (Topo.Graph.switch_connected g)
+
+let test_to_dot () =
+  let g = Topo.Build.linear 3 in
+  ignore (Topo.Graph.connect g (Host (Topo.Graph.add_host g)) (Switch 0));
+  Topo.Graph.fail_link g 1;
+  let dot = Topo.Graph.to_dot g in
+  Alcotest.(check bool) "has graph header" true
+    (String.length dot > 0 && String.sub dot 0 9 = "graph an2");
+  let count needle =
+    let n = ref 0 and i = ref 0 in
+    let len = String.length needle in
+    while !i + len <= String.length dot do
+      if String.sub dot !i len = needle then incr n;
+      incr i
+    done;
+    !n
+  in
+  Alcotest.(check int) "3 switch nodes" 3 (count "shape=box");
+  Alcotest.(check int) "1 host node" 1 (count "shape=ellipse");
+  Alcotest.(check int) "1 dead link dashed" 1 (count "style=dashed")
+
+let test_other_end () =
+  let g = Topo.Build.linear 2 in
+  let l = Topo.Graph.link g 0 in
+  let e = Topo.Graph.other_end l (Topo.Graph.Switch 0) in
+  Alcotest.(check bool) "other side" true (e.Topo.Graph.node = Topo.Graph.Switch 1)
+
+(* ------------------------------------------------------------------ *)
+(* Builders *)
+
+let link_count_works g =
+  List.length
+    (List.filter (fun l -> l.Topo.Graph.state = Topo.Graph.Working) (Topo.Graph.links g))
+
+let test_builders_shapes () =
+  Alcotest.(check int) "linear links" 5 (link_count_works (Topo.Build.linear 6));
+  Alcotest.(check int) "ring links" 6 (link_count_works (Topo.Build.ring 6));
+  Alcotest.(check int) "star links" 6 (link_count_works (Topo.Build.star 6));
+  let t = Topo.Build.tree ~arity:2 ~depth:3 in
+  Alcotest.(check int) "tree switches" 15 (Topo.Graph.switch_count t);
+  Alcotest.(check int) "tree links" 14 (link_count_works t);
+  let gr = Topo.Build.grid 3 4 in
+  Alcotest.(check int) "grid switches" 12 (Topo.Graph.switch_count gr);
+  Alcotest.(check int) "grid links" ((2 * 4) + (3 * 3)) (link_count_works gr);
+  let to_ = Topo.Build.torus 3 3 in
+  Alcotest.(check int) "torus links" 18 (link_count_works to_)
+
+let test_builders_connected () =
+  List.iter
+    (fun g -> Alcotest.(check bool) "connected" true (Topo.Graph.switch_connected g))
+    [
+      Topo.Build.linear 5;
+      Topo.Build.ring 5;
+      Topo.Build.star 5;
+      Topo.Build.tree ~arity:3 ~depth:2;
+      Topo.Build.grid 4 4;
+      Topo.Build.torus 3 4;
+      Topo.Build.src_lan ();
+    ]
+
+let test_builder_validation () =
+  Alcotest.(check bool) "ring 2 rejected" true
+    (try ignore (Topo.Build.ring 2); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "torus 2 rejected" true
+    (try ignore (Topo.Build.torus 2 5); false with Invalid_argument _ -> true)
+
+let test_hypercube () =
+  let g = Topo.Build.hypercube 4 in
+  Alcotest.(check int) "switches" 16 (Topo.Graph.switch_count g);
+  Alcotest.(check int) "links" (16 * 4 / 2) (link_count_works g);
+  Alcotest.(check bool) "connected" true (Topo.Graph.switch_connected g);
+  Alcotest.(check int) "diameter = dimension" 4 (Topo.Paths.diameter g);
+  (* every switch has degree d *)
+  for s = 0 to 15 do
+    Alcotest.(check int) "degree" 4 (List.length (Topo.Graph.switch_neighbors g s))
+  done
+
+let test_leaf_spine () =
+  let g = Topo.Build.leaf_spine ~spines:2 ~leaves:6 in
+  Alcotest.(check int) "switches" 8 (Topo.Graph.switch_count g);
+  Alcotest.(check int) "links" 12 (link_count_works g);
+  Alcotest.(check bool) "connected" true (Topo.Graph.switch_connected g);
+  Alcotest.(check int) "leaf-leaf distance" 2 (Topo.Paths.distances g ~src:2).(3);
+  (* losing one spine keeps it connected *)
+  Topo.Graph.fail_switch g 0;
+  Alcotest.(check int) "survives spine loss" 7 (Topo.Graph.reachable_switches g 1)
+
+let test_random_connected =
+  qtest "random_connected is connected" random_graph_gen (fun params ->
+      Topo.Graph.switch_connected (build_random params))
+
+let test_src_lan_shape () =
+  let g = Topo.Build.src_lan () in
+  Alcotest.(check int) "switches" 10 (Topo.Graph.switch_count g);
+  Alcotest.(check int) "hosts" 24 (Topo.Graph.host_count g);
+  (* Every host is dual-homed as in Figure 1. *)
+  for h = 0 to 23 do
+    Alcotest.(check int) "dual homed" 2 (List.length (Topo.Graph.host_links g h))
+  done;
+  (* Killing any single switch leaves the rest connected. *)
+  for s = 0 to 9 do
+    Topo.Graph.fail_switch g s;
+    let expected = 9 in
+    let other = if s = 0 then 1 else 0 in
+    Alcotest.(check int) "survives switch loss" expected
+      (Topo.Graph.reachable_switches g other);
+    Topo.Graph.restore_switch g s
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Spanning *)
+
+let test_spanning_linear () =
+  let g = Topo.Build.linear 5 in
+  let t = Topo.Spanning.bfs g ~root:0 in
+  Alcotest.(check int) "height" 4 (Topo.Spanning.height t);
+  Alcotest.(check bool) "covers" true (Topo.Spanning.covers_all g t);
+  Alcotest.(check (list int)) "children of 0" [ 1 ] (Topo.Spanning.children t 0);
+  Alcotest.(check int) "parent of 3" 2 t.Topo.Spanning.parent.(3)
+
+let test_spanning_star_height () =
+  let g = Topo.Build.star 6 in
+  let t = Topo.Spanning.bfs g ~root:0 in
+  Alcotest.(check int) "height 1" 1 (Topo.Spanning.height t);
+  Alcotest.(check int) "six children" 6 (List.length (Topo.Spanning.children t 0))
+
+let test_spanning_properties =
+  qtest "bfs tree sound" random_graph_gen (fun params ->
+      let g = build_random params in
+      let t = Topo.Spanning.bfs g ~root:0 in
+      Topo.Spanning.covers_all g t
+      && Array.for_all Fun.id
+           (Array.mapi
+              (fun s p ->
+                if s = t.Topo.Spanning.root then p = s
+                else
+                  (* parent adjacency + depth increments *)
+                  List.mem_assoc p (Topo.Graph.switch_neighbors g s)
+                  && t.Topo.Spanning.depth.(s) = t.Topo.Spanning.depth.(p) + 1)
+              t.Topo.Spanning.parent))
+
+let test_spanning_partial () =
+  let g = Topo.Build.linear 4 in
+  Topo.Graph.fail_link g 1;
+  let t = Topo.Spanning.bfs g ~root:0 in
+  Alcotest.(check bool) "not covering" false (Topo.Spanning.covers_all g t);
+  Alcotest.(check int) "unreachable depth" (-1) t.Topo.Spanning.depth.(3)
+
+(* ------------------------------------------------------------------ *)
+(* Paths *)
+
+let test_paths_ring () =
+  let g = Topo.Build.ring 6 in
+  let d = Topo.Paths.distances g ~src:0 in
+  Alcotest.(check (array int)) "ring distances" [| 0; 1; 2; 3; 2; 1 |] d;
+  Alcotest.(check int) "diameter" 3 (Topo.Paths.diameter g)
+
+let test_paths_route () =
+  let g = Topo.Build.grid 3 3 in
+  match Topo.Paths.route g ~src:0 ~dst:8 with
+  | None -> Alcotest.fail "route must exist"
+  | Some path ->
+    Alcotest.(check int) "length" 5 (List.length path);
+    Alcotest.(check int) "starts" 0 (List.hd path);
+    Alcotest.(check int) "ends" 8 (List.nth path 4)
+
+let test_paths_self () =
+  let g = Topo.Build.ring 4 in
+  Alcotest.(check (option (list int))) "self route" (Some [ 2 ])
+    (Topo.Paths.route g ~src:2 ~dst:2)
+
+let test_paths_unreachable () =
+  let g = Topo.Build.linear 4 in
+  Topo.Graph.fail_link g 1;
+  Alcotest.(check (option (list int))) "no route" None
+    (Topo.Paths.route g ~src:0 ~dst:3)
+
+let test_route_is_path =
+  qtest "routes are adjacent chains" random_graph_gen (fun params ->
+      let g = build_random params in
+      let n = Topo.Graph.switch_count g in
+      let ok = ref true in
+      for dst = 0 to n - 1 do
+        match Topo.Paths.route g ~src:0 ~dst with
+        | None -> ok := false
+        | Some path ->
+          let rec check = function
+            | a :: (b :: _ as rest) ->
+              if not (List.mem_assoc b (Topo.Graph.switch_neighbors g a)) then
+                ok := false
+              else check rest
+            | _ -> ()
+          in
+          check path;
+          if List.hd path <> 0 then ok := false;
+          if List.nth path (List.length path - 1) <> dst then ok := false;
+          if List.length path - 1 <> (Topo.Paths.distances g ~src:0).(dst) then
+            ok := false
+      done;
+      !ok)
+
+let test_mean_distance_linear () =
+  let g = Topo.Build.linear 3 in
+  (* pairs: 0-1:1 0-2:2 1-2:1 both directions -> mean 4/3 *)
+  Alcotest.(check (float 1e-9)) "mean" (4.0 /. 3.0) (Topo.Paths.mean_distance g)
+
+(* ------------------------------------------------------------------ *)
+(* Updown *)
+
+let orient g = Topo.Updown.orient g (Topo.Spanning.bfs g ~root:0)
+
+let test_updown_orientation () =
+  let g = Topo.Build.linear 3 in
+  let o = orient g in
+  Alcotest.(check bool) "toward root is up" true (Topo.Updown.goes_up o ~from:1 ~to_:0);
+  Alcotest.(check bool) "away from root is down" false
+    (Topo.Updown.goes_up o ~from:0 ~to_:1)
+
+let test_updown_tie_by_id () =
+  (* Ring of 5 rooted at 0 has depths 0,1,2,2,1: the 2-3 link joins
+     equal depths, so up points at the higher-numbered switch. *)
+  let g = Topo.Build.ring 5 in
+  let o = orient g in
+  Alcotest.(check bool) "2->3 up (tie, higher id)" true
+    (Topo.Updown.goes_up o ~from:2 ~to_:3);
+  Alcotest.(check bool) "3->2 down" false (Topo.Updown.goes_up o ~from:3 ~to_:2)
+
+let test_updown_antisymmetry =
+  qtest "goes_up antisymmetric" random_graph_gen (fun params ->
+      let g = build_random params in
+      let o = orient g in
+      let ok = ref true in
+      for s = 0 to Topo.Graph.switch_count g - 1 do
+        List.iter
+          (fun (s', _) ->
+            if Topo.Updown.goes_up o ~from:s ~to_:s' = Topo.Updown.goes_up o ~from:s' ~to_:s
+            then ok := false)
+          (Topo.Graph.switch_neighbors g s)
+      done;
+      !ok)
+
+let test_legal_path () =
+  let g = Topo.Build.ring 6 in
+  let o = orient g in
+  (* 3 is the valley of the 6-ring rooted at 0: depth 0,1,2,3,2,1. *)
+  Alcotest.(check bool) "down-up forbidden" false (Topo.Updown.legal_path o [ 2; 3; 4 ]);
+  Alcotest.(check bool) "pure up ok" true (Topo.Updown.legal_path o [ 3; 2; 1; 0 ]);
+  Alcotest.(check bool) "up-down ok" true (Topo.Updown.legal_path o [ 1; 0; 5 ]);
+  Alcotest.(check bool) "trivial ok" true (Topo.Updown.legal_path o [ 4 ])
+
+let test_updown_routes_legal =
+  qtest "updown routes are legal and reach" random_graph_gen (fun params ->
+      let g = build_random params in
+      let o = orient g in
+      let n = Topo.Graph.switch_count g in
+      let ok = ref true in
+      for dst = 0 to n - 1 do
+        match Topo.Updown.route g o ~src:(n - 1) ~dst with
+        | None -> ok := false  (* connected graph: must reach *)
+        | Some path ->
+          if not (Topo.Updown.legal_path o path) then ok := false;
+          if List.hd path <> n - 1 then ok := false;
+          if List.nth path (List.length path - 1) <> dst then ok := false
+      done;
+      !ok)
+
+let test_updown_distance_dominates =
+  qtest "updown >= unrestricted distance" random_graph_gen (fun params ->
+      let g = build_random params in
+      let o = orient g in
+      let free = Topo.Paths.distances g ~src:0 in
+      let restricted = Topo.Updown.distances g o ~src:0 in
+      Array.for_all Fun.id (Array.mapi (fun i r -> r >= free.(i)) restricted))
+
+let test_updown_ring_detour () =
+  (* Crossing the valley must detour the other way around. *)
+  let g = Topo.Build.ring 6 in
+  let o = orient g in
+  let d = Topo.Updown.distances g o ~src:2 in
+  Alcotest.(check int) "2 to 4 detours" 4 d.(4);
+  Alcotest.(check int) "unrestricted is 2" 2 (Topo.Paths.distances g ~src:2).(4)
+
+let test_stretch_tree_is_one () =
+  let g = Topo.Build.tree ~arity:2 ~depth:3 in
+  let o = orient g in
+  Alcotest.(check (float 1e-9)) "tree stretch 1" 1.0 (Topo.Updown.mean_stretch g o)
+
+let test_stretch_ring_above_one () =
+  let g = Topo.Build.ring 8 in
+  let o = orient g in
+  Alcotest.(check bool) "ring stretch > 1" true (Topo.Updown.mean_stretch g o > 1.0)
+
+let test_dependency_acyclic_updown =
+  qtest "updown dependencies acyclic" random_graph_gen (fun params ->
+      let g = build_random params in
+      Topo.Updown.dependency_acyclic g ~restricted:(Some (orient g)))
+
+let test_dependency_cyclic_unrestricted () =
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "cycle topology has cyclic deps" false
+        (Topo.Updown.dependency_acyclic g ~restricted:None))
+    [ Topo.Build.ring 4; Topo.Build.torus 3 3; Topo.Build.src_lan () ]
+
+let test_dependency_acyclic_on_tree () =
+  (* Trees have no cycles even unrestricted. *)
+  Alcotest.(check bool) "tree acyclic unrestricted" true
+    (Topo.Updown.dependency_acyclic (Topo.Build.tree ~arity:2 ~depth:3)
+       ~restricted:None)
+
+let () =
+  Alcotest.run "topo"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "basic" `Quick test_graph_basic;
+          Alcotest.test_case "ports exhaust" `Quick test_graph_ports_exhaust;
+          Alcotest.test_case "distinct ports" `Quick test_graph_distinct_ports;
+          Alcotest.test_case "fail/restore link" `Quick test_graph_fail_restore;
+          Alcotest.test_case "fail switch" `Quick test_graph_fail_switch;
+          Alcotest.test_case "other_end" `Quick test_other_end;
+          Alcotest.test_case "to_dot" `Quick test_to_dot;
+        ] );
+      ( "builders",
+        [
+          Alcotest.test_case "shapes" `Quick test_builders_shapes;
+          Alcotest.test_case "connected" `Quick test_builders_connected;
+          Alcotest.test_case "validation" `Quick test_builder_validation;
+          Alcotest.test_case "hypercube" `Quick test_hypercube;
+          Alcotest.test_case "leaf-spine" `Quick test_leaf_spine;
+          test_random_connected;
+          Alcotest.test_case "src_lan shape" `Quick test_src_lan_shape;
+        ] );
+      ( "spanning",
+        [
+          Alcotest.test_case "linear" `Quick test_spanning_linear;
+          Alcotest.test_case "star height" `Quick test_spanning_star_height;
+          test_spanning_properties;
+          Alcotest.test_case "partial coverage" `Quick test_spanning_partial;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "ring distances" `Quick test_paths_ring;
+          Alcotest.test_case "grid route" `Quick test_paths_route;
+          Alcotest.test_case "self route" `Quick test_paths_self;
+          Alcotest.test_case "unreachable" `Quick test_paths_unreachable;
+          test_route_is_path;
+          Alcotest.test_case "mean distance" `Quick test_mean_distance_linear;
+        ] );
+      ( "updown",
+        [
+          Alcotest.test_case "orientation" `Quick test_updown_orientation;
+          Alcotest.test_case "tie by id" `Quick test_updown_tie_by_id;
+          test_updown_antisymmetry;
+          Alcotest.test_case "legal_path" `Quick test_legal_path;
+          test_updown_routes_legal;
+          test_updown_distance_dominates;
+          Alcotest.test_case "ring detour" `Quick test_updown_ring_detour;
+          Alcotest.test_case "tree stretch = 1" `Quick test_stretch_tree_is_one;
+          Alcotest.test_case "ring stretch > 1" `Quick test_stretch_ring_above_one;
+          test_dependency_acyclic_updown;
+          Alcotest.test_case "unrestricted cyclic" `Quick
+            test_dependency_cyclic_unrestricted;
+          Alcotest.test_case "tree acyclic" `Quick test_dependency_acyclic_on_tree;
+        ] );
+    ]
