@@ -86,10 +86,14 @@ let e2 () =
   List.iter
     (fun size ->
       let rng = Netsim.Rng.create 7 in
+      (* One request and one scheduler scratch reused across all
+         trials (randomize is draw-for-draw the same as random). *)
+      let req = Matching.Request.create size in
+      let state = Matching.Pim.create size in
       let sum = ref 0 and within = ref 0 and worst = ref 0 in
       for _ = 1 to trials do
-        let req = Matching.Request.random ~rng ~n:size ~density:0.75 in
-        let k = Matching.Pim.iterations_to_maximal ~rng req in
+        Matching.Request.randomize ~rng ~density:0.75 req;
+        let k = Matching.Pim.iterations_to_maximal ~state ~rng req in
         sum := !sum + k;
         if k <= 4 then incr within;
         if k > !worst then worst := k
@@ -103,13 +107,12 @@ let e2 () =
   Util.shape "average within the log2 N + 4/3 bound" !all_ok;
   (* The headline 16x16 numbers. *)
   let rng = Netsim.Rng.create 9 in
+  let req = Matching.Request.create 16 in
+  let state = Matching.Pim.create 16 in
   let within = ref 0 in
   for _ = 1 to trials do
-    if
-      Matching.Pim.iterations_to_maximal ~rng
-        (Matching.Request.random ~rng ~n:16 ~density:0.75)
-      <= 4
-    then incr within
+    Matching.Request.randomize ~rng ~density:0.75 req;
+    if Matching.Pim.iterations_to_maximal ~state ~rng req <= 4 then incr within
   done;
   Util.shape ">98% within 4 iterations at N=16"
     (float_of_int !within /. float_of_int trials >= 0.98)

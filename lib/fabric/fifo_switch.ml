@@ -20,4 +20,5 @@ let create ~rng ~n =
     !departed
   in
   let occupancy () = Array.fold_left (fun acc q -> acc + Queue.length q) 0 queues in
-  { Model.n; inject; step; occupancy }
+  let step_count ~slot = List.length (step ~slot) in
+  { Model.n; inject; step; step_count; occupancy }

@@ -4,77 +4,95 @@ type t = {
   schedule : Frame.Schedule.t;
   pim_iterations : int;
   rng : Netsim.Rng.t;
-  gqueue : Cell.t Queue.t array array;
-  be_voq : Cell.t Queue.t array array;
+  gqueue : Cell.t Cellq.t array array;
+  be_voq : Cell.t Cellq.t array array;
+  base_req : Matching.Request.t;  (* be_voq occupancy, kept incrementally *)
+  eff_req : Matching.Request.t;  (* base minus this slot's used ports *)
+  pim_state : Matching.Pim.state;
+  outcome : Matching.Outcome.t;
   mutable guaranteed_delivered : int;
+  mutable gbacklog : int;
+  mutable be_backlog : int;
   mutable be_in_reserved : int;
 }
 
 let create ~rng ~schedule ~pim_iterations () =
   let n = Frame.Schedule.n schedule in
+  let dummy = Cell.make ~input:0 ~output:0 ~arrival:0 in
   {
     n;
     frame = Frame.Schedule.frame schedule;
     schedule;
     pim_iterations;
     rng;
-    gqueue = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
-    be_voq = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
+    gqueue = Array.init n (fun _ -> Array.init n (fun _ -> Cellq.create ~dummy));
+    be_voq = Array.init n (fun _ -> Array.init n (fun _ -> Cellq.create ~dummy));
+    base_req = Matching.Request.create n;
+    eff_req = Matching.Request.create n;
+    pim_state = Matching.Pim.create n;
+    outcome = Matching.Outcome.empty n;
     guaranteed_delivered = 0;
+    gbacklog = 0;
+    be_backlog = 0;
     be_in_reserved = 0;
   }
 
 let inject_guaranteed t ~input ~output ~slot =
-  Queue.add (Cell.make ~input ~output ~arrival:slot) t.gqueue.(input).(output)
+  Cellq.push t.gqueue.(input).(output) (Cell.make ~input ~output ~arrival:slot);
+  t.gbacklog <- t.gbacklog + 1
 
 let guaranteed_delivered t = t.guaranteed_delivered
-
-let guaranteed_backlog t =
-  let total = ref 0 in
-  for i = 0 to t.n - 1 do
-    for o = 0 to t.n - 1 do
-      total := !total + Queue.length t.gqueue.(i).(o)
-    done
-  done;
-  !total
-
+let guaranteed_backlog t = t.gbacklog
 let be_transmissions_in_reserved_slots t = t.be_in_reserved
 
 let step t ~slot =
   let n = t.n in
   let sidx = slot mod t.frame in
-  let used_in = Array.make n false and used_out = Array.make n false in
-  let sched_in = Array.make n false and sched_out = Array.make n false in
+  let used_in = ref 0 and used_out = ref 0 in
+  let sched_in = ref 0 and sched_out = ref 0 in
   (* Phase 1: the frame schedule's connections. *)
   for i = 0 to n - 1 do
     match Frame.Schedule.output_of t.schedule ~slot:sidx ~input:i with
     | None -> ()
     | Some o ->
-      sched_in.(i) <- true;
-      sched_out.(o) <- true;
-      (match Queue.take_opt t.gqueue.(i).(o) with
-       | Some _ ->
-         t.guaranteed_delivered <- t.guaranteed_delivered + 1;
-         used_in.(i) <- true;
-         used_out.(o) <- true
-       | None -> () (* idle reservation: ports stay free for best effort *))
+      sched_in := !sched_in lor (1 lsl i);
+      sched_out := !sched_out lor (1 lsl o);
+      let q = t.gqueue.(i).(o) in
+      if not (Cellq.is_empty q) then begin
+        ignore (Cellq.pop q);
+        t.gbacklog <- t.gbacklog - 1;
+        t.guaranteed_delivered <- t.guaranteed_delivered + 1;
+        used_in := !used_in lor (1 lsl i);
+        used_out := !used_out lor (1 lsl o)
+      end
+      (* else idle reservation: ports stay free for best effort *)
   done;
-  (* Phase 2: parallel iterative matching over the leftover ports. *)
-  let req = Matching.Request.create n in
+  (* Phase 2: parallel iterative matching over the leftover ports.
+     The effective request matrix is the maintained best-effort
+     occupancy with this slot's used rows and columns masked out. *)
+  let base = t.base_req and eff = t.eff_req in
+  let free_out = lnot !used_out and free_in = lnot !used_in in
   for i = 0 to n - 1 do
-    if not used_in.(i) then
-      for o = 0 to n - 1 do
-        if (not used_out.(o)) && not (Queue.is_empty t.be_voq.(i).(o)) then
-          Matching.Request.set req i o true
-      done
+    eff.Matching.Request.rows.(i) <-
+      (if (!used_in lsr i) land 1 = 1 then 0
+       else base.Matching.Request.rows.(i) land free_out)
   done;
-  let m = Matching.Pim.run ~rng:t.rng req ~iterations:t.pim_iterations in
+  for o = 0 to n - 1 do
+    eff.Matching.Request.cols.(o) <-
+      (if (!used_out lsr o) land 1 = 1 then 0
+       else base.Matching.Request.cols.(o) land free_in)
+  done;
+  Matching.Pim.run_into t.pim_state ~rng:t.rng eff ~iterations:t.pim_iterations
+    t.outcome;
   let departures = ref [] in
   for i = 0 to n - 1 do
-    let o = m.Matching.Outcome.match_of_input.(i) in
+    let o = t.outcome.Matching.Outcome.match_of_input.(i) in
     if o >= 0 then begin
-      let cell = Queue.pop t.be_voq.(i).(o) in
-      if sched_in.(i) || sched_out.(o) then
+      let q = t.be_voq.(i).(o) in
+      let cell = Cellq.pop q in
+      if Cellq.is_empty q then Matching.Request.set base i o false;
+      t.be_backlog <- t.be_backlog - 1;
+      if (!sched_in lsr i) land 1 = 1 || (!sched_out lsr o) land 1 = 1 then
         t.be_in_reserved <- t.be_in_reserved + 1;
       departures := cell :: !departures
     end
@@ -82,14 +100,18 @@ let step t ~slot =
   !departures
 
 let model t =
-  let inject (cell : Cell.t) = Queue.add cell t.be_voq.(cell.input).(cell.output) in
-  let occupancy () =
-    let total = ref 0 in
-    for i = 0 to t.n - 1 do
-      for o = 0 to t.n - 1 do
-        total := !total + Queue.length t.be_voq.(i).(o)
-      done
-    done;
-    !total
+  let inject (cell : Cell.t) =
+    let q = t.be_voq.(cell.input).(cell.output) in
+    if Cellq.is_empty q then
+      Matching.Request.set t.base_req cell.input cell.output true;
+    Cellq.push q cell;
+    t.be_backlog <- t.be_backlog + 1
   in
-  { Model.n = t.n; inject; step = (fun ~slot -> step t ~slot); occupancy }
+  let occupancy () = t.be_backlog in
+  {
+    Model.n = t.n;
+    inject;
+    step = (fun ~slot -> step t ~slot);
+    step_count = (fun ~slot -> List.length (step t ~slot));
+    occupancy;
+  }

@@ -2,5 +2,6 @@ type t = {
   n : int;
   inject : Cell.t -> unit;
   step : slot:int -> Cell.t list;
+  step_count : slot:int -> int;
   occupancy : unit -> int;
 }

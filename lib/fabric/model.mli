@@ -4,5 +4,9 @@ type t = {
   n : int;
   inject : Cell.t -> unit;  (** place a newly arrived cell in an input buffer *)
   step : slot:int -> Cell.t list;  (** schedule + transfer one slot; departures *)
+  step_count : slot:int -> int;
+      (** like [step] but returns only the departure count — the VOQ
+          model's implementation is allocation-free, which is what the
+          macro-benchmark measures *)
   occupancy : unit -> int;  (** cells currently buffered *)
 }

@@ -39,4 +39,5 @@ let create ~rng ~n ~k =
     done;
     !total
   in
-  { Model.n; inject; step; occupancy }
+  let step_count ~slot = List.length (step ~slot) in
+  { Model.n; inject; step; step_count; occupancy }

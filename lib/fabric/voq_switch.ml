@@ -4,51 +4,74 @@ type scheduler =
   | Greedy_random
   | Maximum
 
+(* The slot loop is allocation-free in steady state: the request
+   matrix is maintained incrementally as queues transition between
+   empty and non-empty (no N^2 probe per slot), the outcome and
+   scheduler scratch are preallocated, and the VOQs are ring buffers.
+   [step] still conses its departure list; [step_count] avoids even
+   that. *)
 let create_instrumented ~rng ~n ~scheduler ~on_transfer =
+  let dummy = Cell.make ~input:0 ~output:0 ~arrival:0 in
   (* voq.(i).(o): cells at input i waiting for output o. *)
-  let voq = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ())) in
-  let islip_state =
-    match scheduler with Islip _ -> Some (Matching.Islip.create n) | _ -> None
+  let voq = Array.init n (fun _ -> Array.init n (fun _ -> Cellq.create ~dummy)) in
+  let req = Matching.Request.create n in
+  let outcome = Matching.Outcome.empty n in
+  let buffered = ref 0 in
+  let schedule =
+    match scheduler with
+    | Pim iterations ->
+      let st = Matching.Pim.create n in
+      fun () -> Matching.Pim.run_into st ~rng req ~iterations outcome
+    | Islip iterations ->
+      let st = Matching.Islip.create n in
+      fun () -> Matching.Islip.run_into st req ~iterations outcome
+    | Greedy_random ->
+      let st = Matching.Greedy.create n in
+      (* Pass the option preallocated: [~rng:rng] would box a fresh
+         [Some] on every slot. *)
+      let rng_opt = Some rng in
+      fun () -> Matching.Greedy.run_into st ?rng:rng_opt req outcome
+    | Maximum ->
+      let st = Matching.Hopcroft_karp.create n in
+      fun () -> Matching.Hopcroft_karp.run_into st req outcome
   in
-  let inject (cell : Cell.t) = Queue.add cell voq.(cell.input).(cell.output) in
+  let inject (cell : Cell.t) =
+    let q = voq.(cell.input).(cell.output) in
+    if Cellq.is_empty q then Matching.Request.set req cell.input cell.output true;
+    Cellq.push q cell;
+    incr buffered
+  in
+  let transfer ~slot i o =
+    let q = voq.(i).(o) in
+    let cell = Cellq.pop q in
+    if Cellq.is_empty q then Matching.Request.set req i o false;
+    decr buffered;
+    on_transfer cell ~slot;
+    cell
+  in
   let step ~slot =
-    let req = Matching.Request.create n in
-    for i = 0 to n - 1 do
-      for o = 0 to n - 1 do
-        if not (Queue.is_empty voq.(i).(o)) then Matching.Request.set req i o true
-      done
-    done;
-    let outcome =
-      match scheduler with
-      | Pim iterations -> Matching.Pim.run ~rng req ~iterations
-      | Islip iterations ->
-        (match islip_state with
-         | Some st -> Matching.Islip.run st req ~iterations
-         | None -> assert false)
-      | Greedy_random -> Matching.Greedy.run ~rng req
-      | Maximum -> Matching.Hopcroft_karp.run req
-    in
+    schedule ();
     let departed = ref [] in
     for i = 0 to n - 1 do
       let o = outcome.Matching.Outcome.match_of_input.(i) in
-      if o >= 0 then begin
-        let cell = Queue.pop voq.(i).(o) in
-        on_transfer cell ~slot;
-        departed := cell :: !departed
-      end
+      if o >= 0 then departed := transfer ~slot i o :: !departed
     done;
     !departed
   in
-  let occupancy () =
-    let total = ref 0 in
+  let step_count ~slot =
+    schedule ();
+    let count = ref 0 in
     for i = 0 to n - 1 do
-      for o = 0 to n - 1 do
-        total := !total + Queue.length voq.(i).(o)
-      done
+      let o = outcome.Matching.Outcome.match_of_input.(i) in
+      if o >= 0 then begin
+        ignore (transfer ~slot i o);
+        incr count
+      end
     done;
-    !total
+    !count
   in
-  { Model.n; inject; step; occupancy }
+  let occupancy () = !buffered in
+  { Model.n; inject; step; step_count; occupancy }
 
 let create ~rng ~n ~scheduler =
   create_instrumented ~rng ~n ~scheduler ~on_transfer:(fun _ ~slot:_ -> ())

@@ -2,7 +2,17 @@
     single scheduler processor would run; used to contrast with PIM's
     distributed operation. *)
 
+type state
+(** Preallocated scratch (the input visit-order array). *)
+
+val create : int -> state
+(** Scratch for an [n x n] switch. *)
+
 val run : ?rng:Netsim.Rng.t -> Request.t -> Outcome.t
 (** Scan inputs in order (or in random order when [rng] is given) and
     pair each with its first available requested output. Always
     maximal. [iterations_used] is 1. *)
+
+val run_into : state -> ?rng:Netsim.Rng.t -> Request.t -> Outcome.t -> unit
+(** As {!run}, but resets and fills a caller-owned outcome:
+    allocation-free. Raises [Invalid_argument] on size mismatch. *)

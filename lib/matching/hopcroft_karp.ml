@@ -1,63 +1,78 @@
+(* Adjacency is scanned straight off the request bitmask rows in
+   ascending bit order — the same order as the old materialized
+   adjacency lists, so the matching produced is unchanged. The BFS
+   queue is a flat int array (each input enters at most once per
+   phase, so [n] slots suffice). *)
+
 let infinity_dist = max_int
 
-let run req =
+type state = {
+  n : int;
+  dist : int array;
+  queue : int array;
+}
+
+let create n = { n; dist = Array.make n 0; queue = Array.make n 0 }
+
+let run_into st req (m : Outcome.t) =
   let n = req.Request.n in
-  let adj =
-    Array.init n (fun i ->
-        let outs = ref [] in
-        for o = n - 1 downto 0 do
-          if Request.get req i o then outs := o :: !outs
-        done;
-        !outs)
-  in
-  let match_i = Array.make n (-1) and match_o = Array.make n (-1) in
-  let dist = Array.make n 0 in
+  if st.n <> n || Array.length m.match_of_input <> n then
+    invalid_arg "Hopcroft_karp.run_into: size mismatch";
+  Outcome.reset m;
+  let rows = req.Request.rows in
+  let match_i = m.match_of_input and match_o = m.match_of_output in
+  let dist = st.dist and queue = st.queue in
   let phases = ref 0 in
   (* BFS layering over free inputs; true if an augmenting path exists. *)
   let bfs () =
-    let queue = Queue.create () in
+    let head = ref 0 and tail = ref 0 in
     for i = 0 to n - 1 do
       if match_i.(i) < 0 then begin
         dist.(i) <- 0;
-        Queue.add i queue
+        queue.(!tail) <- i;
+        incr tail
       end
       else dist.(i) <- infinity_dist
     done;
     let found = ref false in
-    while not (Queue.is_empty queue) do
-      let i = Queue.pop queue in
-      List.iter
-        (fun o ->
-          match match_o.(o) with
-          | -1 -> found := true
-          | i' ->
-            if dist.(i') = infinity_dist then begin
-              dist.(i') <- dist.(i) + 1;
-              Queue.add i' queue
-            end)
-        adj.(i)
+    while !head < !tail do
+      let i = queue.(!head) in
+      incr head;
+      let row = ref rows.(i) in
+      while !row <> 0 do
+        let o = Netsim.Bits.ctz !row in
+        row := !row land (!row - 1);
+        match match_o.(o) with
+        | -1 -> found := true
+        | i' ->
+          if dist.(i') = infinity_dist then begin
+            dist.(i') <- dist.(i) + 1;
+            queue.(!tail) <- i';
+            incr tail
+          end
+      done
     done;
     !found
   in
   let rec dfs i =
-    let rec try_outputs = function
-      | [] ->
-        dist.(i) <- infinity_dist;
-        false
-      | o :: rest ->
-        let free_or_advance =
-          match match_o.(o) with
-          | -1 -> true
-          | i' -> dist.(i') = dist.(i) + 1 && dfs i'
-        in
-        if free_or_advance then begin
-          match_i.(i) <- o;
-          match_o.(o) <- i;
-          true
-        end
-        else try_outputs rest
-    in
-    try_outputs adj.(i)
+    let row = ref rows.(i) in
+    let matched = ref false in
+    while (not !matched) && !row <> 0 do
+      let o = Netsim.Bits.ctz !row in
+      row := !row land (!row - 1);
+      let free_or_advance =
+        match match_o.(o) with
+        | -1 -> true
+        | i' -> dist.(i') = dist.(i) + 1 && dfs i'
+      in
+      if free_or_advance then begin
+        match_i.(i) <- o;
+        match_o.(o) <- i;
+        matched := true
+      end
+    done;
+    if not !matched then dist.(i) <- infinity_dist;
+    !matched
   in
   while bfs () do
     incr phases;
@@ -65,10 +80,12 @@ let run req =
       if match_i.(i) < 0 then ignore (dfs i)
     done
   done;
-  {
-    Outcome.match_of_input = match_i;
-    match_of_output = match_o;
-    iterations_used = !phases;
-  }
+  m.iterations_used <- !phases
+
+let run req =
+  let n = req.Request.n in
+  let m = Outcome.empty n in
+  run_into (create n) req m;
+  m
 
 let size req = Outcome.pairs (run req)

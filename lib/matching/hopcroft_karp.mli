@@ -3,11 +3,23 @@
     The paper argues AN2 should *not* use maximum matching — it is too
     slow for a half-microsecond budget and its determinism can starve
     virtual circuits. We implement it as the comparison baseline for
-    experiment E4. *)
+    experiment E4. Adjacency is scanned directly off the request
+    bitmask rows; no per-run adjacency lists are built. *)
+
+type state
+(** Preallocated scratch (BFS distance array and queue). *)
+
+val create : int -> state
+(** Scratch for an [n x n] switch. *)
 
 val run : Request.t -> Outcome.t
 (** A maximum matching. [iterations_used] is the number of BFS/DFS
     phases executed (O(sqrt N) of them). Deterministic. *)
+
+val run_into : state -> Request.t -> Outcome.t -> unit
+(** As {!run}, but resets and fills a caller-owned outcome:
+    allocation-free apart from DFS recursion. Raises
+    [Invalid_argument] on size mismatch. *)
 
 val size : Request.t -> int
 (** Size of a maximum matching. *)

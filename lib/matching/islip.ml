@@ -1,58 +1,67 @@
+(* Bitset implementation; outcome-identical to Reference.Islip (the
+   list/closure form) for any request matrix and pointer history. The
+   round-robin scan becomes Bits.rotate_first over a requester mask. *)
+
 type t = {
   n : int;
   grant_ptr : int array;  (* per output *)
   accept_ptr : int array;  (* per input *)
+  grants : int array;  (* scratch: per input, mask of granting outputs *)
 }
 
-let create n = { n; grant_ptr = Array.make n 0; accept_ptr = Array.make n 0 }
+let create n =
+  {
+    n;
+    grant_ptr = Array.make n 0;
+    accept_ptr = Array.make n 0;
+    grants = Array.make n 0;
+  }
 
-(* First index >= ptr (mod n) for which [mem] holds. *)
-let round_robin_pick n ptr mem =
-  let rec scan k = if k = n then None
-    else begin
-      let idx = (ptr + k) mod n in
-      if mem idx then Some idx else scan (k + 1)
-    end
-  in
-  scan 0
-
-let run t req ~iterations =
+let run_into t req ~iterations (m : Outcome.t) =
   if req.Request.n <> t.n then invalid_arg "Islip.run: size mismatch";
+  if Array.length m.match_of_input <> t.n then invalid_arg "Islip.run_into: size mismatch";
   let n = t.n in
-  let m = Outcome.empty n in
+  Outcome.reset m;
+  let un_in = ref (Netsim.Bits.full n) and un_out = ref (Netsim.Bits.full n) in
   let used = ref 0 in
   let continue = ref true in
   while !continue && !used < iterations do
     let iter_no = !used in
-    (* Requests from unmatched inputs to unmatched outputs. *)
-    let wants i o =
-      m.match_of_input.(i) < 0 && m.match_of_output.(o) < 0 && Request.get req i o
-    in
-    (* Grant: each unmatched output picks the first requesting input at
-       or after its pointer. *)
-    let grant = Array.make n (-1) in
+    (* Grant: each unmatched output picks the first requesting
+       unmatched input at or after its pointer. *)
     for o = 0 to n - 1 do
-      if m.match_of_output.(o) < 0 then
-        match round_robin_pick n t.grant_ptr.(o) (fun i -> wants i o) with
-        | Some i -> grant.(o) <- i
-        | None -> ()
+      if (!un_out lsr o) land 1 = 1 then begin
+        let reqs = req.Request.cols.(o) land !un_in in
+        let i = Netsim.Bits.rotate_first ~ptr:t.grant_ptr.(o) reqs in
+        if i >= 0 then t.grants.(i) <- t.grants.(i) lor (1 lsl o)
+      end
     done;
-    (* Accept: each input picks the first granting output at or after
-       its pointer. *)
+    (* Accept: each granted input picks the first granting output at
+       or after its pointer. Pointers advance only for first-iteration
+       pairs (the standard iSLIP starvation-freedom rule). *)
     let added = ref 0 in
     for i = 0 to n - 1 do
-      if m.match_of_input.(i) < 0 then
-        match round_robin_pick n t.accept_ptr.(i) (fun o -> grant.(o) = i) with
-        | Some o ->
-          Outcome.add_pair m ~input:i ~output:o;
-          incr added;
-          if iter_no = 0 then begin
-            t.grant_ptr.(o) <- (i + 1) mod n;
-            t.accept_ptr.(i) <- (o + 1) mod n
-          end
-        | None -> ()
+      let gs = t.grants.(i) in
+      if gs <> 0 then begin
+        t.grants.(i) <- 0;
+        let o = Netsim.Bits.rotate_first ~ptr:t.accept_ptr.(i) gs in
+        m.match_of_input.(i) <- o;
+        m.match_of_output.(o) <- i;
+        un_in := !un_in land lnot (1 lsl i);
+        un_out := !un_out land lnot (1 lsl o);
+        incr added;
+        if iter_no = 0 then begin
+          t.grant_ptr.(o) <- (i + 1) mod n;
+          t.accept_ptr.(i) <- (o + 1) mod n
+        end
+      end
     done;
     incr used;
     if !added = 0 then continue := false
   done;
-  { m with iterations_used = !used }
+  m.iterations_used <- !used
+
+let run t req ~iterations =
+  let m = Outcome.empty t.n in
+  run_into t req ~iterations m;
+  m

@@ -14,3 +14,8 @@ val create : int -> t
 (** Scheduler state for an [n x n] switch. *)
 
 val run : t -> Request.t -> iterations:int -> Outcome.t
+(** Allocates its result; hot paths should use {!run_into}. *)
+
+val run_into : t -> Request.t -> iterations:int -> Outcome.t -> unit
+(** As {!run}, but resets and fills a caller-owned outcome:
+    allocation-free. Raises [Invalid_argument] on size mismatch. *)

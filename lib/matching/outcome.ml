@@ -1,7 +1,7 @@
 type t = {
   match_of_input : int array;
   match_of_output : int array;
-  iterations_used : int;
+  mutable iterations_used : int;
 }
 
 let empty n =
@@ -10,6 +10,11 @@ let empty n =
     match_of_output = Array.make n (-1);
     iterations_used = 0;
   }
+
+let reset t =
+  Array.fill t.match_of_input 0 (Array.length t.match_of_input) (-1);
+  Array.fill t.match_of_output 0 (Array.length t.match_of_output) (-1);
+  t.iterations_used <- 0
 
 let pairs t =
   Array.fold_left (fun acc o -> if o >= 0 then acc + 1 else acc) 0 t.match_of_input
@@ -40,12 +45,15 @@ let is_maximal req t =
   is_legal req t
   && begin
     let n = req.Request.n in
+    (* Mask of unmatched outputs, then one AND per unmatched input. *)
+    let un_out = ref 0 in
+    for o = 0 to n - 1 do
+      if t.match_of_output.(o) < 0 then un_out := !un_out lor (1 lsl o)
+    done;
     let blocked = ref true in
     for i = 0 to n - 1 do
-      if t.match_of_input.(i) < 0 then
-        for o = 0 to n - 1 do
-          if t.match_of_output.(o) < 0 && Request.get req i o then blocked := false
-        done
+      if t.match_of_input.(i) < 0 && req.Request.rows.(i) land !un_out <> 0 then
+        blocked := false
     done;
     !blocked
   end

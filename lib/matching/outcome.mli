@@ -3,10 +3,14 @@
 type t = {
   match_of_input : int array;  (** output matched to each input; -1 if none *)
   match_of_output : int array;  (** input matched to each output; -1 if none *)
-  iterations_used : int;  (** scheduler-specific iteration count *)
+  mutable iterations_used : int;  (** scheduler-specific iteration count *)
 }
 
 val empty : int -> t
+
+val reset : t -> unit
+(** Unmatch everything, keeping the arrays — lets a fabric slot loop
+    reuse one outcome instead of allocating a fresh one per slot. *)
 
 val pairs : t -> int
 (** Number of matched (input, output) pairs. *)

@@ -1,16 +1,26 @@
 (** Bipartite request matrices for crossbar scheduling.
 
-    [r.(i).(o)] is true when input [i] has at least one buffered cell
-    destined for output [o] — exactly the information the inputs
-    broadcast in step 1 of parallel iterative matching. *)
+    Input [i] requests output [o] when it has at least one buffered
+    cell destined for [o] — exactly the information the inputs
+    broadcast in step 1 of parallel iterative matching.
+
+    The matrix is stored twice as word-level bitsets: [rows.(i)] has
+    bit [o] set when input [i] wants output [o], and [cols.(o)] is the
+    transpose. Both views are maintained by every update, so the
+    matching kernels can AND a whole row or column of requests against
+    an unmatched-port mask in one instruction. Switch sizes are
+    limited to {!Netsim.Bits.max_size} (62) ports — far beyond the
+    paper's 16-port AN2 crossbar. *)
 
 type t = {
   n : int;  (** switch size (inputs = outputs = n) *)
-  wants : bool array array;
+  rows : int array;  (** [rows.(i)] bit [o]: input [i] wants output [o] *)
+  cols : int array;  (** [cols.(o)] bit [i]: the transpose *)
 }
 
 val create : int -> t
-(** All-false matrix. *)
+(** All-false matrix. Raises [Invalid_argument] when [n] exceeds
+    {!Netsim.Bits.max_size}. *)
 
 val of_matrix : bool array array -> t
 (** Validates squareness. *)
@@ -18,9 +28,23 @@ val of_matrix : bool array array -> t
 val set : t -> int -> int -> bool -> unit
 val get : t -> int -> int -> bool
 
+val row : t -> int -> int
+(** [row t i] is the request mask of input [i] (bit per output). *)
+
+val col : t -> int -> int
+(** [col t o] is the requester mask of output [o] (bit per input). *)
+
+val clear : t -> unit
+(** Drop every request, keeping the allocation. *)
+
 val random : rng:Netsim.Rng.t -> n:int -> density:float -> t
 (** Each (input, output) pair requests independently with probability
     [density]. *)
+
+val randomize : rng:Netsim.Rng.t -> density:float -> t -> unit
+(** In-place [random]: clears [t] and refills it, consuming the RNG
+    exactly as [random] would — lets per-trial loops reuse one
+    request matrix without changing their stream. *)
 
 val full : int -> t
 (** Every input wants every output (the densest case, worst for

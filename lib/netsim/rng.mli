@@ -24,6 +24,10 @@ val bits64 : t -> int64
 val int : t -> int -> int
 (** [int t n] draws uniformly from [0 .. n-1]. Requires [n > 0]. *)
 
+val below : t -> int -> int
+(** Alias of {!int}, named for call sites where the bound is a count
+    ("pick one of the [k] requesters"). *)
+
 val float : t -> float -> float
 (** [float t x] draws uniformly from [[0, x)]. *)
 
@@ -46,5 +50,13 @@ val pick : t -> 'a list -> 'a
 val pick_array : t -> 'a array -> 'a
 (** Uniform choice from a non-empty array. *)
 
+val select_bit : t -> int -> int
+(** [select_bit t m] is a uniformly chosen set-bit index of the
+    non-empty mask [m]. Consumes exactly one draw — the same draw
+    [pick t] would spend on the equivalent list — so bitset and
+    list-based algorithms stay stream-compatible. Raises
+    [Invalid_argument] on an empty mask. *)
+
 val shuffle_in_place : t -> 'a array -> unit
 (** Fisher-Yates shuffle. *)
+

@@ -326,6 +326,88 @@ let test_islip_size_mismatch () =
     (try ignore (Matching.Islip.run st (Matching.Request.full 5) ~iterations:1); false
      with Invalid_argument _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Differential: bitset kernels vs the list-based reference.
+
+   The production kernels work on word-level bitsets; [Reference]
+   keeps the original list-based forms as the executable spec. For the
+   same request matrix and the same RNG stream the two must agree
+   bit-for-bit — same pairs AND same number of draws consumed, which
+   the trailing [Rng.int] probe checks. *)
+
+let same_outcome a b =
+  a.Matching.Outcome.match_of_input = b.Matching.Outcome.match_of_input
+  && a.Matching.Outcome.match_of_output = b.Matching.Outcome.match_of_output
+
+let diff_gen =
+  QCheck.make
+    ~print:(fun (seed, n, density) ->
+      Printf.sprintf "seed=%d n=%d density=%.2f" seed n density)
+    QCheck.Gen.(
+      triple (int_range 0 100_000) (oneofl [ 4; 8; 16; 32 ]) (float_range 0.0 1.0))
+
+let diff_req (seed, n, density) =
+  Matching.Request.random ~rng:(Netsim.Rng.create (seed + 7919)) ~n ~density
+
+let same_stream a b = Netsim.Rng.int a 1_000_003 = Netsim.Rng.int b 1_000_003
+
+let test_pim_matches_reference =
+  qtest ~count:300 "pim = reference, same stream" diff_gen (fun params ->
+      let seed, _, _ = params in
+      let req = diff_req params in
+      let ra = Netsim.Rng.create seed and rb = Netsim.Rng.create seed in
+      same_outcome
+        (Matching.Pim.run ~rng:ra req ~iterations:3)
+        (Matching.Reference.Pim.run ~rng:rb req ~iterations:3)
+      && same_stream ra rb)
+
+let test_pim_iterations_match_reference =
+  qtest ~count:200 "pim iterations_to_maximal = reference" diff_gen (fun params ->
+      let seed, _, _ = params in
+      let req = diff_req params in
+      let ra = Netsim.Rng.create seed and rb = Netsim.Rng.create seed in
+      Matching.Pim.iterations_to_maximal ~rng:ra req
+      = Matching.Reference.Pim.iterations_to_maximal ~rng:rb req
+      && same_stream ra rb)
+
+let test_islip_matches_reference =
+  qtest ~count:200 "islip = reference across a request sequence" diff_gen
+    (fun (seed, n, density) ->
+      (* The round-robin pointers persist across slots, so agreement on
+         a single matching is not enough: run both schedulers through
+         the same five-request sequence and require agreement at every
+         step. *)
+      let rng = Netsim.Rng.create seed in
+      let st = Matching.Islip.create n in
+      let st_ref = Matching.Reference.Islip.create n in
+      let ok = ref true in
+      for _ = 1 to 5 do
+        let req = Matching.Request.random ~rng ~n ~density in
+        let a = Matching.Islip.run st req ~iterations:2 in
+        let b = Matching.Reference.Islip.run st_ref req ~iterations:2 in
+        if not (same_outcome a b) then ok := false
+      done;
+      !ok)
+
+let test_greedy_matches_reference =
+  qtest ~count:300 "greedy = reference, with and without rng" diff_gen
+    (fun params ->
+      let seed, _, _ = params in
+      let req = diff_req params in
+      let ra = Netsim.Rng.create seed and rb = Netsim.Rng.create seed in
+      same_outcome
+        (Matching.Greedy.run ~rng:ra req)
+        (Matching.Reference.Greedy.run ~rng:rb req)
+      && same_stream ra rb
+      && same_outcome (Matching.Greedy.run req) (Matching.Reference.Greedy.run req))
+
+let test_hk_matches_reference =
+  qtest ~count:300 "hopcroft-karp = reference" diff_gen (fun params ->
+      let req = diff_req params in
+      same_outcome
+        (Matching.Hopcroft_karp.run req)
+        (Matching.Reference.Hopcroft_karp.run req))
+
 let () =
   Alcotest.run "matching"
     [
@@ -385,5 +467,13 @@ let () =
             test_islip_full_load_desynchronizes;
           test_islip_maximal_with_n_iterations;
           Alcotest.test_case "size mismatch" `Quick test_islip_size_mismatch;
+        ] );
+      ( "reference-differential",
+        [
+          test_pim_matches_reference;
+          test_pim_iterations_match_reference;
+          test_islip_matches_reference;
+          test_greedy_matches_reference;
+          test_hk_matches_reference;
         ] );
     ]

@@ -134,6 +134,131 @@ let test_shuffle_permutation =
       List.sort compare (Array.to_list a) = List.sort compare xs)
 
 (* ------------------------------------------------------------------ *)
+(* Rng vs the textbook Int64 SplitMix64.
+
+   The production generator runs SplitMix64 on pairs of 32-bit limbs
+   so that draws never box; this reference is the obvious Int64 form
+   straight from the paper. The two must emit identical streams, and
+   [Rng.int] must equal [(z >>> 1) mod n] for every bound — that
+   exact equation is what keeps the division-free fast paths honest. *)
+
+let ref_next st =
+  st := Int64.add !st 0x9E3779B97F4A7C15L;
+  let z = !st in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let interesting_seeds = [ 0; 1; 42; -1; -123456789; max_int; min_int + 1 ]
+
+let test_rng_matches_int64_reference () =
+  List.iter
+    (fun seed ->
+      let rng = Netsim.Rng.create seed in
+      let st = ref (Int64.of_int seed) in
+      for _ = 1 to 500 do
+        Alcotest.(check int64) (Printf.sprintf "seed %d" seed) (ref_next st)
+          (Netsim.Rng.bits64 rng)
+      done)
+    interesting_seeds
+
+let test_rng_int_matches_int64_reference () =
+  (* Bounds chosen to hit every dispatch path: the n <= 62 kernel
+     range, powers of two, the 31-bit split-divide path and the Int64
+     fallback past 2^30. *)
+  let bounds =
+    [ 1; 2; 3; 4; 5; 7; 8; 12; 16; 31; 32; 61; 62; 63; 64; 100; 1000;
+      0x3FFFFFFF; 0x40000000; 0x40000001; 0x7FFFFFFFFF ]
+  in
+  List.iter
+    (fun seed ->
+      let rng = Netsim.Rng.create seed in
+      let st = ref (Int64.of_int seed) in
+      List.iter
+        (fun n ->
+          for _ = 1 to 50 do
+            let expect =
+              Int64.to_int
+                (Int64.rem (Int64.shift_right_logical (ref_next st) 1) (Int64.of_int n))
+            in
+            Alcotest.(check int) (Printf.sprintf "seed %d mod %d" seed n) expect
+              (Netsim.Rng.int rng n)
+          done)
+        bounds)
+    interesting_seeds
+
+(* ------------------------------------------------------------------ *)
+(* Bits *)
+
+let naive_popcount m =
+  let c = ref 0 in
+  for i = 0 to 62 do
+    if m land (1 lsl i) <> 0 then incr c
+  done;
+  !c
+
+let naive_select k m =
+  let rec go k i =
+    if m land (1 lsl i) = 0 then go k (i + 1)
+    else if k = 0 then i
+    else go (k - 1) (i + 1)
+  in
+  go k 0
+
+(* Two 31-bit halves make an arbitrary 61-bit mask. *)
+let mask_gen =
+  QCheck.make
+    ~print:(fun (a, b) -> Printf.sprintf "%#x" (a lor (b lsl 31)))
+    QCheck.Gen.(pair (int_range 0 0x3FFFFFFF) (int_range 0 0x3FFFFFFF))
+
+let test_bits_select_vs_naive =
+  qtest ~count:500 "popcount/select agree with a bit-by-bit scan" mask_gen
+    (fun (a, b) ->
+      let m = a lor (b lsl 31) in
+      let pc = Netsim.Bits.popcount m in
+      pc = naive_popcount m
+      && (m = 0
+          || List.for_all
+               (fun k -> Netsim.Bits.select k m = naive_select k m)
+               (List.init pc Fun.id)))
+
+let test_bits_select_edges () =
+  Alcotest.(check int) "single low bit" 0 (Netsim.Bits.select 0 1);
+  Alcotest.(check int) "single bit" 5 (Netsim.Bits.select 0 (1 lsl 5));
+  Alcotest.(check int) "top bit" 61 (Netsim.Bits.select 0 (1 lsl 61));
+  Alcotest.(check int) "last of three" 61
+    (Netsim.Bits.select 2 ((1 lsl 61) lor 0b101));
+  Alcotest.(check bool) "empty mask raises" true
+    (try ignore (Netsim.Bits.select 0 0); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "k = popcount raises" true
+    (try ignore (Netsim.Bits.select 2 0b101000); false
+     with Invalid_argument _ -> true)
+
+let test_bits_byte_prefix_total =
+  qtest ~count:300 "byte_prefix top byte is the popcount" mask_gen
+    (fun (a, b) ->
+      let m = a lor (b lsl 31) in
+      (Netsim.Bits.byte_prefix m lsr 56) land 0x7F = Netsim.Bits.popcount m)
+
+let test_select_bit_stream_compat =
+  qtest ~count:300 "select_bit = select (int t (popcount m)), one draw"
+    QCheck.(pair small_int (pair (int_range 0 0x3FFFFFFF) (int_range 1 0x3FFFFFFF)))
+    (fun (seed, (a, b)) ->
+      let m = a lor (b lsl 31) in
+      let r1 = Netsim.Rng.create seed and r2 = Netsim.Rng.create seed in
+      Netsim.Rng.select_bit r1 m
+      = Netsim.Bits.select (Netsim.Rng.int r2 (Netsim.Bits.popcount m)) m
+      && Netsim.Rng.int r1 9973 = Netsim.Rng.int r2 9973)
+
+let test_select_bit_edges () =
+  let rng = Netsim.Rng.create 1 in
+  Alcotest.(check int) "single bit" 7 (Netsim.Rng.select_bit rng (1 lsl 7));
+  Alcotest.(check int) "top bit" 61 (Netsim.Rng.select_bit rng (1 lsl 61));
+  Alcotest.(check bool) "empty mask raises" true
+    (try ignore (Netsim.Rng.select_bit rng 0); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
 (* Mheap *)
 
 let test_heap_sorted =
@@ -181,6 +306,25 @@ let test_heap_against_model =
             | None, _ :: _ | Some _, [] -> ok := false)
         script;
       !ok && Netsim.Mheap.length h = List.length !model)
+
+let test_heap_priority_then_fifo =
+  qtest ~count:300 "pop order is a stable sort by priority"
+    QCheck.(list_of_size (Gen.int_range 0 150) (int_range 0 20))
+    (fun prios ->
+      (* Tag each insertion with its sequence number: the heap must pop
+         in exactly the order of a stable sort on priority, i.e. ties
+         leave in insertion order. *)
+      let h = Netsim.Mheap.create () in
+      List.iteri (fun i p -> Netsim.Mheap.add h ~prio:p (p, i)) prios;
+      let rec drain acc =
+        match Netsim.Mheap.pop h with
+        | None -> List.rev acc
+        | Some (_, v) -> drain (v :: acc)
+      in
+      drain []
+      = List.stable_sort
+          (fun (a, _) (b, _) -> compare a b)
+          (List.mapi (fun i p -> (p, i)) prios))
 
 let test_heap_length_and_clear () =
   let h = Netsim.Mheap.create () in
@@ -380,12 +524,25 @@ let () =
           Alcotest.test_case "geometric" `Quick test_rng_geometric;
           Alcotest.test_case "pick" `Quick test_rng_pick;
           test_shuffle_permutation;
+          Alcotest.test_case "bits64 = Int64 splitmix64" `Quick
+            test_rng_matches_int64_reference;
+          Alcotest.test_case "int = (z >>> 1) mod n, all paths" `Quick
+            test_rng_int_matches_int64_reference;
+          test_select_bit_stream_compat;
+          Alcotest.test_case "select_bit edges" `Quick test_select_bit_edges;
+        ] );
+      ( "bits",
+        [
+          test_bits_select_vs_naive;
+          Alcotest.test_case "select edges" `Quick test_bits_select_edges;
+          test_bits_byte_prefix_total;
         ] );
       ( "mheap",
         [
           test_heap_sorted;
           test_heap_against_model;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          test_heap_priority_then_fifo;
           Alcotest.test_case "length/clear" `Quick test_heap_length_and_clear;
         ] );
       ( "engine",
