@@ -91,11 +91,11 @@ type macro = {
   minor_words_per_slot : float;
 }
 
-let macro_bench ~slots =
+let macro_bench ?(obs = Obs.Sink.null) ~slots () =
   let rng = Netsim.Rng.create 42 in
   let inject_ref = ref (fun (_ : Fabric.Cell.t) -> ()) in
   let model =
-    Fabric.Voq_switch.create_instrumented ~rng ~n ~scheduler:(Pim 3)
+    Fabric.Voq_switch.create_observed ~obs ~rng ~n ~scheduler:(Pim 3)
       ~on_transfer:(fun cell ~slot:_ -> !inject_ref cell)
   in
   inject_ref := model.Fabric.Model.inject;
@@ -125,6 +125,29 @@ let macro_bench ~slots =
     minor_words_per_slot = (w1 -. w0) /. float_of_int slots;
   }
 
+(* Observability overhead: the same full-backlog run with the sink
+   disabled (the shipped default — must stay allocation-free) and with
+   an enabled sink collecting counters, gauges, histograms and trace
+   events every slot. *)
+type obs_cost = {
+  off : macro;
+  on_ : macro;
+  overhead_pct : float;
+  on_words_per_slot : float;
+}
+
+let obs_bench ~slots =
+  let off = macro_bench ~slots () in
+  let on_ =
+    macro_bench ~obs:(Obs.Sink.create ~trace_capacity:4096 ()) ~slots ()
+  in
+  {
+    off;
+    on_;
+    overhead_pct = 100.0 *. (on_.ns_per_slot /. off.ns_per_slot -. 1.0);
+    on_words_per_slot = on_.minor_words_per_slot;
+  }
+
 (* ------------------------------------------------------------------ *)
 
 let json_escape s =
@@ -139,7 +162,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~file ~smoke ~samples ~speedup ~(m : macro) =
+let write_json ~file ~smoke ~samples ~speedup ~(m : macro) ~(o : obs_cost) =
   let oc = open_out file in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -163,6 +186,13 @@ let write_json ~file ~smoke ~samples ~speedup ~(m : macro) =
   p "    \"ns_per_slot\": %.1f,\n" m.ns_per_slot;
   p "    \"cells_per_sec\": %.0f,\n" m.cells_per_sec;
   p "    \"minor_words_per_slot\": %.2f\n" m.minor_words_per_slot;
+  p "  },\n";
+  p "  \"obs\": {\n";
+  p "    \"off_ns_per_slot\": %.1f,\n" o.off.ns_per_slot;
+  p "    \"off_minor_words_per_slot\": %.2f,\n" o.off.minor_words_per_slot;
+  p "    \"on_ns_per_slot\": %.1f,\n" o.on_.ns_per_slot;
+  p "    \"on_minor_words_per_slot\": %.2f,\n" o.on_words_per_slot;
+  p "    \"overhead_pct\": %.1f\n" o.overhead_pct;
   p "  }\n";
   p "}\n";
   close_out oc
@@ -188,7 +218,8 @@ let () =
   let ops = if !smoke then 2_000 else 100_000 in
   let slots = if !smoke then 2_000 else 100_000 in
   let samples = kernels ~ops in
-  let m = macro_bench ~slots in
+  let m = macro_bench ~slots () in
+  let o = obs_bench ~slots in
   let find name = List.find (fun s -> s.name = name) samples in
   let speedup =
     (find "pim3-16x16-reference").ns_per_op /. (find "pim3-16x16").ns_per_op
@@ -203,5 +234,9 @@ let () =
   Printf.printf
     "macro voq+pim3 16x16 full backlog: %d slots, %.1f ns/slot, %.2f Mcells/s, %.2f minor words/slot\n"
     m.slots m.ns_per_slot (m.cells_per_sec /. 1e6) m.minor_words_per_slot;
-  write_json ~file:!out ~smoke:!smoke ~samples ~speedup ~m;
+  Printf.printf
+    "observability: off %.1f ns/slot (%.2f words), on %.1f ns/slot (%.2f words), overhead %.1f%%\n"
+    o.off.ns_per_slot o.off.minor_words_per_slot o.on_.ns_per_slot
+    o.on_words_per_slot o.overhead_pct;
+  write_json ~file:!out ~smoke:!smoke ~samples ~speedup ~m ~o;
   Printf.printf "wrote %s\n" !out

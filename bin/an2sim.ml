@@ -16,6 +16,41 @@ open Cmdliner
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+(* Observability: every subcommand accepts --trace and --metrics.
+   Passing either enables the sink; layers that take an Obs.Sink.t get
+   deep per-event instrumentation, the rest record their headline
+   numbers as instruments after the run. *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON trace to $(docv) (load in \
+           chrome://tracing or https://ui.perfetto.dev).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write counters, gauges and histograms as JSON to $(docv).")
+
+let make_sink ~trace ~metrics =
+  if trace <> None || metrics <> None then Obs.Sink.create () else Obs.Sink.null
+
+(* [ts_scale] converts the layer's trace timestamps to microseconds:
+   1e-3 for engine-driven simulations (nanosecond clocks), 1.0 for
+   slotted ones (slot numbers rendered as microseconds). *)
+let finish_obs ?(ts_scale = 1e-3) obs ~trace ~metrics =
+  (match trace with
+   | Some file -> Obs.Trace.write_chrome ~ts_scale file (Obs.Sink.trace obs)
+   | None -> ());
+  (match metrics with
+   | Some file -> Obs.Metrics.write_json file (Obs.Sink.metrics obs)
+   | None -> ())
+
 let make_topology kind switches =
   match kind with
   | "linear" -> Topo.Build.linear switches
@@ -52,7 +87,8 @@ let switches_arg =
 
 let topo_cmd =
   let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead.") in
-  let run kind switches dot =
+  let run kind switches dot trace metrics =
+    let obs = make_sink ~trace ~metrics in
     let g = make_topology kind switches in
     if dot then print_string (Topo.Graph.to_dot g)
     else begin
@@ -65,11 +101,25 @@ let topo_cmd =
       (Topo.Spanning.height tree)
       (Topo.Updown.mean_stretch g orientation);
     Format.printf "wait-for dependencies acyclic under up*/down*: %b@."
-      (Topo.Updown.dependency_acyclic g ~restricted:(Some orientation))
+      (Topo.Updown.dependency_acyclic g ~restricted:(Some orientation));
+    if Obs.Sink.enabled obs then begin
+      Obs.Metrics.Gauge.set (Obs.Sink.gauge obs "topo.diameter")
+        (float_of_int (Topo.Paths.diameter g));
+      Obs.Metrics.Gauge.set (Obs.Sink.gauge obs "topo.mean_distance")
+        (Topo.Paths.mean_distance g);
+      Obs.Metrics.Gauge.set (Obs.Sink.gauge obs "topo.spanning_height")
+        (float_of_int (Topo.Spanning.height tree));
+      Obs.Metrics.Counter.set (Obs.Sink.counter obs "topo.switches")
+        (Topo.Graph.switch_count g);
+      Obs.Sink.instant obs ~name:"topo" ~cat:"an2sim" ~ts:0 ~tid:0
+        ~v:(Topo.Graph.switch_count g)
     end
+    end;
+    finish_obs obs ~trace ~metrics
   in
   let doc = "Build a topology and report its routing properties." in
-  Cmd.v (Cmd.info "topo" ~doc) Term.(const run $ kind_arg $ switches_arg $ dot_arg)
+  Cmd.v (Cmd.info "topo" ~doc)
+    Term.(const run $ kind_arg $ switches_arg $ dot_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fabric *)
@@ -89,17 +139,22 @@ let fabric_cmd =
     let doc = "Arrival pattern: uniform, bursty, hotspot, permutation." in
     Arg.(value & opt string "uniform" & info [ "pattern" ] ~docv:"P" ~doc)
   in
-  let run scheduler load slots pattern seed =
+  let run scheduler load slots pattern seed trace metrics =
     let n = 16 in
+    let obs = make_sink ~trace ~metrics in
     let rng = Netsim.Rng.create seed in
+    let noop = (fun _ ~slot:_ -> ()) in
+    let voq scheduler =
+      Fabric.Voq_switch.create_observed ~obs ~rng ~n ~scheduler ~on_transfer:noop
+    in
     let model =
       match scheduler with
       | "fifo" -> Fabric.Fifo_switch.create ~rng ~n
-      | "pim1" -> Fabric.Voq_switch.create ~rng ~n ~scheduler:(Pim 1)
-      | "pim3" -> Fabric.Voq_switch.create ~rng ~n ~scheduler:(Pim 3)
-      | "islip3" -> Fabric.Voq_switch.create ~rng ~n ~scheduler:(Islip 3)
-      | "greedy" -> Fabric.Voq_switch.create ~rng ~n ~scheduler:Greedy_random
-      | "maximum" -> Fabric.Voq_switch.create ~rng ~n ~scheduler:Maximum
+      | "pim1" -> voq (Pim 1)
+      | "pim3" -> voq (Pim 3)
+      | "islip3" -> voq (Islip 3)
+      | "greedy" -> voq Greedy_random
+      | "maximum" -> voq Maximum
       | "oq" -> Fabric.Output_queued.create ~rng ~n ~k:n
       | other -> Fmt.failwith "unknown scheduler %S" other
     in
@@ -111,12 +166,16 @@ let fabric_cmd =
       | "permutation" -> Fabric.Traffic.permutation ~rng ~n ~load
       | other -> Fmt.failwith "unknown pattern %S" other
     in
-    let m = Fabric.Harness.run ~traffic ~model ~slots () in
-    Format.printf "%a@." (fun fmt () -> Fabric.Harness.pp_metrics fmt m) ()
+    let m = Fabric.Harness.run ~obs ~traffic ~model ~slots () in
+    Format.printf "%a@." (fun fmt () -> Fabric.Harness.pp_metrics fmt m) ();
+    (* Slot-numbered timestamps: render one slot as one microsecond. *)
+    finish_obs ~ts_scale:1.0 obs ~trace ~metrics
   in
   let doc = "Simulate one 16x16 switch under a traffic pattern." in
   Cmd.v (Cmd.info "fabric" ~doc)
-    Term.(const run $ scheduler_arg $ load_arg $ slots_arg $ pattern_arg $ seed_arg)
+    Term.(
+      const run $ scheduler_arg $ load_arg $ slots_arg $ pattern_arg $ seed_arg
+      $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* reconfig *)
@@ -130,24 +189,28 @@ let reconfig_cmd =
     Arg.(value & opt (some int) None
          & info [ "fail-link" ] ~docv:"L" ~doc:"Link to kill.")
   in
-  let run kind switches fail_switch fail_link =
+  let run kind switches fail_switch fail_link trace metrics =
+    let obs = make_sink ~trace ~metrics in
     let g = make_topology kind switches in
     let outcome =
       match (fail_switch, fail_link) with
-      | Some s, _ -> Reconfig.Runner.run_after_failure g ~fail:(`Switch s)
-      | None, Some l -> Reconfig.Runner.run_after_failure g ~fail:(`Link l)
-      | None, None -> Reconfig.Runner.run g ~triggers:[ (0, 0) ]
+      | Some s, _ -> Reconfig.Runner.run_after_failure ~obs g ~fail:(`Switch s)
+      | None, Some l -> Reconfig.Runner.run_after_failure ~obs g ~fail:(`Link l)
+      | None, None -> Reconfig.Runner.run ~obs g ~triggers:[ (0, 0) ]
     in
     Format.printf
       "converged=%b elapsed=%a messages=%d agreement=%b topology-correct=%b@."
       outcome.converged Netsim.Time.pp outcome.elapsed outcome.messages
       outcome.agreement outcome.topology_correct;
     Format.printf "winning tag=%a propagation-tree depth=%d (BFS %d)@."
-      Reconfig.Tag.pp outcome.final_tag outcome.tree_depth outcome.bfs_depth
+      Reconfig.Tag.pp outcome.final_tag outcome.tree_depth outcome.bfs_depth;
+    finish_obs obs ~trace ~metrics
   in
   let doc = "Run the distributed reconfiguration protocol." in
   Cmd.v (Cmd.info "reconfig" ~doc)
-    Term.(const run $ kind_arg $ switches_arg $ fail_switch_arg $ fail_link_arg)
+    Term.(
+      const run $ kind_arg $ switches_arg $ fail_switch_arg $ fail_link_arg
+      $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* flow *)
@@ -166,13 +229,14 @@ let flow_cmd =
   let resync_arg =
     Arg.(value & flag & info [ "resync" ] ~doc:"Enable periodic resync.")
   in
-  let run credits hops loss resync seed =
+  let run credits hops loss resync seed trace metrics =
+    let obs = make_sink ~trace ~metrics in
     let p =
       { Flow.Chain.default_params with
         credits; hops; credit_loss_prob = loss; seed;
         resync_interval = (if resync then Some (Netsim.Time.ms 1) else None) }
     in
-    let r = Flow.Chain.run p in
+    let r = Flow.Chain.run ~obs p in
     Format.printf
       "rtt-credits-needed=%d throughput=%.3f mean-latency=%.1fus p99=%.1fus \
        max-occupancy=%d overflow=%b@."
@@ -180,11 +244,14 @@ let flow_cmd =
       r.throughput r.mean_latency r.p99_latency r.max_occupancy r.overflowed;
     Format.printf "windows:";
     Array.iter (fun w -> Format.printf " %.2f" w) r.window_throughput;
-    Format.printf "@."
+    Format.printf "@.";
+    finish_obs obs ~trace ~metrics
   in
   let doc = "Credit flow control along a chain of switches." in
   Cmd.v (Cmd.info "flow" ~doc)
-    Term.(const run $ credits_arg $ hops_arg $ loss_arg $ resync_arg $ seed_arg)
+    Term.(
+      const run $ credits_arg $ hops_arg $ loss_arg $ resync_arg $ seed_arg
+      $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* deadlock *)
@@ -198,7 +265,8 @@ let deadlock_cmd =
     let doc = "Routing: shortest or updown." in
     Arg.(value & opt string "shortest" & info [ "routing" ] ~docv:"R" ~doc)
   in
-  let run kind switches buffering routing seed =
+  let run kind switches buffering routing seed trace metrics =
+    let obs = make_sink ~trace ~metrics in
     let g = make_topology kind switches in
     let buffering =
       match buffering with
@@ -213,7 +281,7 @@ let deadlock_cmd =
       | other -> Fmt.failwith "unknown routing %S" other
     in
     let r =
-      Flow.Deadlock.run g
+      Flow.Deadlock.run ~obs g
         { Flow.Deadlock.default_params with
           buffering; routing; seed;
           circuits = Topo.Graph.switch_count g }
@@ -222,11 +290,14 @@ let deadlock_cmd =
       (match r.deadlock_slot with
        | Some s -> Printf.sprintf " (at slot %d)" s
        | None -> "")
-      r.delivered r.stranded
+      r.delivered r.stranded;
+    finish_obs ~ts_scale:1.0 obs ~trace ~metrics
   in
   let doc = "Probe buffer-wait deadlock under a buffering/routing discipline." in
   Cmd.v (Cmd.info "deadlock" ~doc)
-    Term.(const run $ kind_arg $ switches_arg $ buffering_arg $ routing_arg $ seed_arg)
+    Term.(
+      const run $ kind_arg $ switches_arg $ buffering_arg $ routing_arg
+      $ seed_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* e2e *)
@@ -248,7 +319,8 @@ let e2e_cmd =
   let ms_arg =
     Arg.(value & opt int 10 & info [ "duration-ms" ] ~docv:"MS" ~doc:"Run length.")
   in
-  let run hops cbr be packets ms seed =
+  let run hops cbr be packets ms seed trace metrics =
+    let obs = make_sink ~trace ~metrics in
     let frame = 128 in
     let g = Topo.Build.linear hops in
     let h1, h2 = Topo.Build.with_host_pair g in
@@ -289,11 +361,35 @@ let e2e_cmd =
             s.packets_sent s.packets_delivered s.packet_mean_latency_us)
       r.per_vc;
     Format.printf "worst guaranteed backlog: %d cells (%.2f frames)@."
-      r.max_guaranteed_backlog r.guaranteed_backlog_frames
+      r.max_guaranteed_backlog r.guaranteed_backlog_frames;
+    if Obs.Sink.enabled obs then begin
+      List.iter
+        (fun (id, (s : An2.Netrun.vc_stats)) ->
+          let pfx = Printf.sprintf "e2e.vc%d." id in
+          Obs.Metrics.Counter.set (Obs.Sink.counter obs (pfx ^ "sent")) s.sent;
+          Obs.Metrics.Counter.set
+            (Obs.Sink.counter obs (pfx ^ "delivered"))
+            s.delivered;
+          Obs.Metrics.Counter.set
+            (Obs.Sink.counter obs (pfx ^ "dropped"))
+            s.dropped;
+          Obs.Metrics.Gauge.set
+            (Obs.Sink.gauge obs (pfx ^ "mean_latency_us"))
+            s.mean_latency_us;
+          Obs.Sink.instant obs ~name:"vc-done" ~cat:"e2e"
+            ~ts:(Netsim.Time.ms ms) ~tid:id ~v:s.delivered)
+        r.per_vc;
+      Obs.Metrics.Gauge.set
+        (Obs.Sink.gauge obs "e2e.max_guaranteed_backlog")
+        (float_of_int r.max_guaranteed_backlog)
+    end;
+    finish_obs obs ~trace ~metrics
   in
   let doc = "End-to-end run over a chain: guaranteed + best-effort traffic." in
   Cmd.v (Cmd.info "e2e" ~doc)
-    Term.(const run $ hops_arg $ cbr_arg $ be_arg $ packets_arg $ ms_arg $ seed_arg)
+    Term.(
+      const run $ hops_arg $ cbr_arg $ be_arg $ packets_arg $ ms_arg $ seed_arg
+      $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* local-reconfig *)
@@ -305,17 +401,21 @@ let local_reconfig_cmd =
   let fail_link_arg =
     Arg.(value & opt int 3 & info [ "fail-link" ] ~docv:"L" ~doc:"Link to kill.")
   in
-  let run kind switches radius fail_link =
+  let run kind switches radius fail_link trace metrics =
+    let obs = make_sink ~trace ~metrics in
     let g = make_topology kind switches in
-    let o = Reconfig.Local.run_after_failure ~radius g ~fail:fail_link in
+    let o = Reconfig.Local.run_after_failure ~radius ~obs g ~fail:fail_link in
     Format.printf
       "converged=%b participants=%d/%d messages=%d elapsed=%a region-correct=%b@."
       o.converged o.participants o.total_switches o.messages Netsim.Time.pp
-      o.elapsed o.region_correct
+      o.elapsed o.region_correct;
+    finish_obs obs ~trace ~metrics
   in
   let doc = "Scoped (localized) reconfiguration around one failed link." in
   Cmd.v (Cmd.info "local-reconfig" ~doc)
-    Term.(const run $ kind_arg $ switches_arg $ radius_arg $ fail_link_arg)
+    Term.(
+      const run $ kind_arg $ switches_arg $ radius_arg $ fail_link_arg
+      $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* multicast *)
@@ -324,14 +424,15 @@ let multicast_cmd =
   let group_arg =
     Arg.(value & opt int 4 & info [ "group" ] ~docv:"K" ~doc:"Destination count.")
   in
-  let run group =
+  let run group trace metrics =
+    let obs = make_sink ~trace ~metrics in
     let g = Topo.Build.src_lan () in
     let net = An2.Network.create g in
     let dests = List.init group (fun i -> ((i + 1) * 3) mod 24) in
-    match
-      ( An2.Multicast.build net ~source_host:0 ~dest_hosts:dests,
-        An2.Multicast.unicast_transmissions net ~source_host:0 ~dest_hosts:dests )
-    with
+    (match
+       ( An2.Multicast.build net ~source_host:0 ~dest_hosts:dests,
+         An2.Multicast.unicast_transmissions net ~source_host:0 ~dest_hosts:dests )
+     with
     | Ok mc, Ok unicast ->
       Format.printf "group of %d: tree crosses %d links vs %d for unicasts (%.0f%% saved)@."
         group
@@ -346,11 +447,24 @@ let multicast_cmd =
         d.delivered_all;
       List.iter
         (fun (h, l) -> Format.printf "  host %d: %.1fus@." h l)
-        d.per_dest_latency_us
-    | Error e, _ | _, Error e -> failwith e
+        d.per_dest_latency_us;
+      if Obs.Sink.enabled obs then begin
+        Obs.Metrics.Counter.set
+          (Obs.Sink.counter obs "multicast.tree_transmissions")
+          (An2.Multicast.link_transmissions mc);
+        Obs.Metrics.Counter.set
+          (Obs.Sink.counter obs "multicast.unicast_transmissions")
+          unicast;
+        let lat = Obs.Sink.histogram obs "multicast.dest_latency_us" in
+        List.iter (fun (_, l) -> Obs.Histogram.add lat l) d.per_dest_latency_us;
+        Obs.Sink.instant obs ~name:"multicast" ~cat:"an2sim" ~ts:0 ~tid:0 ~v:group
+      end
+    | Error e, _ | _, Error e -> failwith e);
+    finish_obs obs ~trace ~metrics
   in
   let doc = "Multicast tree economy and delivery on the SRC LAN." in
-  Cmd.v (Cmd.info "multicast" ~doc) Term.(const run $ group_arg)
+  Cmd.v (Cmd.info "multicast" ~doc)
+    Term.(const run $ group_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* adaptive *)
@@ -362,21 +476,34 @@ let adaptive_cmd =
   let active_arg =
     Arg.(value & opt int 2 & info [ "active" ] ~docv:"A" ~doc:"Busy circuits.")
   in
-  let run circuits active =
+  let run circuits active trace metrics =
+    let obs = make_sink ~trace ~metrics in
     let base = { Flow.Adaptive.default_params with circuits; active } in
     List.iter
       (fun (name, policy) ->
         let r = Flow.Adaptive.run { base with policy } in
         Format.printf "%-10s aggregate=%.3f overflow=%b reallocations=%d@." name
-          r.aggregate_throughput r.overflowed r.reallocations)
+          r.aggregate_throughput r.overflowed r.reallocations;
+        if Obs.Sink.enabled obs then begin
+          Obs.Metrics.Gauge.set
+            (Obs.Sink.gauge obs ("adaptive." ^ name ^ ".aggregate_throughput"))
+            r.aggregate_throughput;
+          Obs.Metrics.Counter.set
+            (Obs.Sink.counter obs ("adaptive." ^ name ^ ".reallocations"))
+            r.reallocations;
+          Obs.Sink.instant obs ~name ~cat:"adaptive" ~ts:0 ~tid:0
+            ~v:r.reallocations
+        end)
       [
         ("static", Flow.Adaptive.Static);
         ( "adaptive",
           Flow.Adaptive.Adaptive { window = Netsim.Time.us 500; floor = 2 } );
-      ]
+      ];
+    finish_obs obs ~trace ~metrics
   in
   let doc = "Static vs adaptive per-circuit buffer allocation on one link." in
-  Cmd.v (Cmd.info "adaptive" ~doc) Term.(const run $ circuits_arg $ active_arg)
+  Cmd.v (Cmd.info "adaptive" ~doc)
+    Term.(const run $ circuits_arg $ active_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* rebalance *)
@@ -388,7 +515,8 @@ let rebalance_cmd =
   let stretch_arg =
     Arg.(value & opt int 1 & info [ "max-stretch" ] ~docv:"S" ~doc:"Detour bound.")
   in
-  let run circuits max_stretch =
+  let run circuits max_stretch trace metrics =
+    let obs = make_sink ~trace ~metrics in
     let g = Topo.Build.torus 4 4 in
     let mk s =
       let h = Topo.Graph.add_host g in
@@ -406,10 +534,22 @@ let rebalance_cmd =
     let after = An2.Rebalance.load_stats net in
     Format.printf
       "%d identical circuits: hottest link %d -> %d after %d moves (stddev        %.2f -> %.2f)@."
-      circuits before.max_load after.max_load moves before.stddev after.stddev
+      circuits before.max_load after.max_load moves before.stddev after.stddev;
+    if Obs.Sink.enabled obs then begin
+      Obs.Metrics.Gauge.set
+        (Obs.Sink.gauge obs "rebalance.max_load")
+        (float_of_int before.max_load);
+      Obs.Metrics.Gauge.set
+        (Obs.Sink.gauge obs "rebalance.max_load")
+        (float_of_int after.max_load);
+      Obs.Metrics.Counter.set (Obs.Sink.counter obs "rebalance.moves") moves;
+      Obs.Sink.instant obs ~name:"rebalance" ~cat:"an2sim" ~ts:0 ~tid:0 ~v:moves
+    end;
+    finish_obs obs ~trace ~metrics
   in
   let doc = "Load-balance a circuit pile-up on a torus." in
-  Cmd.v (Cmd.info "rebalance" ~doc) Term.(const run $ circuits_arg $ stretch_arg)
+  Cmd.v (Cmd.info "rebalance" ~doc)
+    Term.(const run $ circuits_arg $ stretch_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* signaling *)
@@ -418,23 +558,40 @@ let signaling_cmd =
   let hops_arg =
     Arg.(value & opt int 3 & info [ "hops" ] ~docv:"H" ~doc:"Path length.")
   in
-  let run hops =
+  let run hops trace metrics =
+    let obs = make_sink ~trace ~metrics in
     let g = Topo.Build.linear hops in
     let h1, h2 = Topo.Build.with_host_pair g in
     let net = An2.Network.create g in
-    match
-      An2.Signaling.setup_with_data net ~src_host:h1 ~dst_host:h2
-        An2.Signaling.default_params
-    with
+    (match
+       An2.Signaling.setup_with_data net ~src_host:h1 ~dst_host:h2
+         An2.Signaling.default_params
+     with
     | Error e -> failwith e
     | Ok r ->
       Format.printf
         "setup=%.1fus first-data=%.1fus delivered=%d in-order=%b max-backlog=%d@."
         r.setup_time_us r.first_data_latency_us r.delivered r.in_order
-        r.max_buffered_awaiting_entry
+        r.max_buffered_awaiting_entry;
+      if Obs.Sink.enabled obs then begin
+        Obs.Metrics.Gauge.set
+          (Obs.Sink.gauge obs "signaling.setup_time_us")
+          r.setup_time_us;
+        Obs.Metrics.Gauge.set
+          (Obs.Sink.gauge obs "signaling.first_data_latency_us")
+          r.first_data_latency_us;
+        Obs.Metrics.Counter.set
+          (Obs.Sink.counter obs "signaling.delivered")
+          r.delivered;
+        Obs.Sink.span obs ~name:"setup" ~cat:"signaling" ~ts:0
+          ~dur:(int_of_float (r.setup_time_us *. 1000.0))
+          ~tid:0 ~v:r.delivered
+      end);
+    finish_obs obs ~trace ~metrics
   in
   let doc = "Circuit setup with data cells following immediately." in
-  Cmd.v (Cmd.info "signaling" ~doc) Term.(const run $ hops_arg)
+  Cmd.v (Cmd.info "signaling" ~doc)
+    Term.(const run $ hops_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 

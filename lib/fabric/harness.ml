@@ -15,11 +15,15 @@ let pp_metrics fmt m =
     m.slots m.offered m.carried m.throughput m.mean_delay m.p99_delay m.max_delay
     m.final_occupancy
 
-let run ?warmup ~traffic ~model ~slots () =
+let run ?warmup ?(obs = Obs.Sink.null) ~traffic ~model ~slots () =
   let warmup = match warmup with Some w -> w | None -> slots / 10 in
   let n = model.Model.n in
   let offered = ref 0 and carried = ref 0 in
   let delays = Netsim.Stats.Distribution.create () in
+  let obs_on = obs.Obs.Sink.enabled in
+  let c_offered = Obs.Sink.counter obs "fabric.cells.offered" in
+  let c_carried = Obs.Sink.counter obs "fabric.cells.carried" in
+  let h_delay = Obs.Sink.histogram obs "fabric.cell.delay_slots" in
   for slot = 0 to warmup + slots - 1 do
     let measuring = slot >= warmup in
     for input = 0 to n - 1 do
@@ -30,13 +34,23 @@ let run ?warmup ~traffic ~model ~slots () =
         (Traffic.arrivals traffic ~slot ~input)
     done;
     let departures = model.Model.step ~slot in
-    if measuring then
+    if measuring then begin
+      let departed = ref 0 in
       List.iter
         (fun cell ->
           incr carried;
-          Netsim.Stats.Distribution.add delays
-            (float_of_int (Cell.delay cell ~departure:slot)))
-        departures
+          incr departed;
+          let d = Cell.delay cell ~departure:slot in
+          Netsim.Stats.Distribution.add delays (float_of_int d);
+          if obs_on then Obs.Histogram.add h_delay (float_of_int d))
+        departures;
+      if obs_on then begin
+        Obs.Metrics.Counter.set c_offered !offered;
+        Obs.Metrics.Counter.set c_carried !carried;
+        Obs.Sink.span obs ~name:"slot" ~cat:"fabric" ~ts:slot ~dur:1 ~tid:0
+          ~v:!departed
+      end
+    end
   done;
   let measured = slots in
   {

@@ -14,11 +14,22 @@ type metrics = {
 val pp_metrics : Format.formatter -> metrics -> unit
 
 val run :
-  ?warmup:int -> traffic:Traffic.t -> model:Model.t -> slots:int -> unit -> metrics
+  ?warmup:int ->
+  ?obs:Obs.Sink.t ->
+  traffic:Traffic.t ->
+  model:Model.t ->
+  slots:int ->
+  unit ->
+  metrics
 (** Simulate [warmup] slots (default 10% of [slots]) unmeasured, then
     [slots] measured slots. Each slot: arrivals are injected, then the
     model steps once. Delay counts whole slots between arrival and
-    departure. *)
+    departure.
+
+    With an enabled [obs] sink, measured slots additionally feed
+    offered/carried counters, a cell-delay histogram
+    ([fabric.cell.delay_slots]) and a per-slot trace span (one span
+    per measured slot, [ts] = slot number, [args.v] = departures). *)
 
 val saturation_throughput :
   rng:Netsim.Rng.t -> make_model:(unit -> Model.t) -> n:int -> slots:int -> float

@@ -45,10 +45,21 @@ let round_trip_credits p =
 
 type cell = { born : Netsim.Time.t }
 
-let run p =
+let run ?(obs = Obs.Sink.null) p =
   if p.hops < 1 then invalid_arg "Chain.run: hops >= 1";
-  let engine = Netsim.Engine.create () in
+  let engine = Netsim.Engine.create ~obs () in
   let rng = Netsim.Rng.create p.seed in
+  let obs_on = obs.Obs.Sink.enabled in
+  let c_delivered = Obs.Sink.counter obs "flow.cells.delivered" in
+  let c_stalls = Obs.Sink.counter obs "flow.credit.stalls" in
+  let c_returned = Obs.Sink.counter obs "flow.credits.returned" in
+  let c_lost = Obs.Sink.counter obs "flow.credits.lost" in
+  let c_resyncs = Obs.Sink.counter obs "flow.resyncs" in
+  let h_latency = Obs.Sink.histogram obs "flow.cell.latency_us" in
+  let g_hop =
+    Array.init p.hops (fun i ->
+        Obs.Sink.gauge obs (Printf.sprintf "flow.hop%d.occupancy" i))
+  in
   (* Link i carries cells from node i to node i+1; node 0 is the source
      host controller, node hops is the sink. queue.(i) holds cells
      ready to depart on link i; for i >= 1 each such cell occupies a
@@ -77,6 +88,13 @@ let run p =
     let lost =
       now < p.loss_until && Netsim.Rng.bernoulli rng p.credit_loss_prob
     in
+    if obs_on then begin
+      if lost then begin
+        Obs.Metrics.Counter.incr c_lost;
+        Obs.Sink.instant obs ~name:"credit-lost" ~cat:"flow" ~ts:now ~tid:i ~v:i
+      end
+      else Obs.Metrics.Counter.incr c_returned
+    end;
     if not lost then begin
       let sent_at = now in
       ignore
@@ -88,6 +106,18 @@ let run p =
                try_send i))
     end
   and try_send i =
+    if
+      obs_on
+      && (not busy.(i))
+      && (not (Queue.is_empty queue.(i)))
+      && not (Credit.Upstream.can_send up.(i))
+    then begin
+      (* A cell is ready on link i but the credit balance is zero:
+         the head-of-line stall the paper's sizing rule prevents. *)
+      Obs.Metrics.Counter.incr c_stalls;
+      Obs.Sink.instant obs ~name:"credit-stall" ~cat:"flow"
+        ~ts:(Netsim.Engine.now engine) ~tid:i ~v:i
+    end;
     if
       (not busy.(i))
       && (not (Queue.is_empty queue.(i)))
@@ -110,6 +140,7 @@ let run p =
     Credit.Downstream.on_arrival ds.(i);
     let occ = Credit.Downstream.occupancy ds.(i) in
     if occ > !max_occupancy then max_occupancy := occ;
+    if obs_on then Obs.Metrics.Gauge.set g_hop.(i) (float_of_int occ);
     if i = p.hops - 1 then begin
       (* Sink: consume immediately, freeing the buffer. *)
       deliver_credit i;
@@ -117,6 +148,12 @@ let run p =
       let now = Netsim.Engine.now engine in
       Netsim.Stats.Distribution.add latencies
         (Netsim.Time.to_us (now - cell.born));
+      if obs_on then begin
+        Obs.Metrics.Counter.incr c_delivered;
+        Obs.Histogram.add h_latency (Netsim.Time.to_us (now - cell.born));
+        Obs.Sink.span obs ~name:"cell" ~cat:"flow" ~ts:cell.born
+          ~dur:(now - cell.born) ~tid:0 ~v:!delivered
+      end;
       let w = now * windows / max 1 p.duration in
       if w >= 0 && w < windows then
         window_counts.(w) <- window_counts.(w) + 1
@@ -158,6 +195,11 @@ let run p =
            (Netsim.Engine.schedule engine ~delay:p.latency (fun () ->
                 let snapshot = Credit.Downstream.resync_msg ds.(i) in
                 let snap_time = Netsim.Engine.now engine in
+                if obs_on then begin
+                  Obs.Metrics.Counter.incr c_resyncs;
+                  Obs.Sink.instant obs ~name:"resync" ~cat:"flow" ~ts:snap_time
+                    ~tid:i ~v:i
+                end;
                 ignore
                   (Netsim.Engine.schedule engine ~delay:p.latency (fun () ->
                        resync_at.(i) <- max resync_at.(i) snap_time;

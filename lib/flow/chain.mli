@@ -43,7 +43,14 @@ type result = {
       (** throughput per tenth of the run, for recovery curves *)
 }
 
-val run : params -> result
+val run : ?obs:Obs.Sink.t -> params -> result
+(** With an enabled [obs] sink (default {!Obs.Sink.null}) the run
+    counts delivered cells, credit returns/losses, credit stalls
+    (a cell ready but the balance at zero) and resyncs, histograms
+    end-to-end latency, gauges per-hop buffer occupancy, and traces a
+    span per delivered cell plus stall/loss/resync instants. The sink
+    is also passed to the underlying {!Netsim.Engine}. Timestamps are
+    simulated nanoseconds. *)
 
 val round_trip_credits : params -> int
 (** Credits needed to cover one link round-trip at full rate:

@@ -42,10 +42,15 @@ let route_for g routing ~src ~dst =
     let orientation = Topo.Updown.orient g tree in
     Topo.Updown.route g orientation ~src ~dst
 
-let run g p =
+let run ?(obs = Obs.Sink.null) g p =
   let n = Topo.Graph.switch_count g in
   if n < 2 then invalid_arg "Deadlock.run: need at least two switches";
   ignore p.seed;
+  let obs_on = obs.Obs.Sink.enabled in
+  let c_injected = Obs.Sink.counter obs "flow.deadlock.injected" in
+  let c_delivered = Obs.Sink.counter obs "flow.deadlock.delivered" in
+  let c_activations = Obs.Sink.counter obs "flow.deadlock.activations" in
+  let g_buffered = Obs.Sink.gauge obs "flow.deadlock.buffered" in
   (* Circuits spread evenly around the topology, each shifted forward
      by about a third of the network: on a ring all shortest routes
      point the same way, which collectively forms a dependency
@@ -167,7 +172,10 @@ let run g p =
       for c = 0 to p.circuits - 1 do
         if Array.length hops.(c) > 0 then begin
           let first = hops.(c).(0) in
-          if has_space first c then push first { circuit = c; hop = 0 }
+          if has_space first c then begin
+            push first { circuit = c; hop = 0 };
+            if obs_on then Obs.Metrics.Counter.incr c_injected
+          end
         end
       done;
     (* One forwarding opportunity per directed link, rotating the scan
@@ -176,9 +184,24 @@ let run g p =
     for k = 0 to nd - 1 do
       if step_link ((k + !slot) mod nd) then progress := true
     done;
-    if (not !progress) && !buffered > 0 then deadlock_slot := Some !slot;
+    if obs_on then begin
+      Obs.Metrics.Gauge.set g_buffered (float_of_int !buffered);
+      Obs.Sink.sample obs ~name:"deadlock.buffered" ~cat:"flow" ~ts:!slot
+        ~v:!buffered
+    end;
+    if (not !progress) && !buffered > 0 then begin
+      (* The deadlock detector: a full scan of every directed link
+         moved nothing while cells remain buffered. *)
+      deadlock_slot := Some !slot;
+      if obs_on then begin
+        Obs.Metrics.Counter.incr c_activations;
+        Obs.Sink.instant obs ~name:"deadlock-detected" ~cat:"flow" ~ts:!slot
+          ~tid:0 ~v:!buffered
+      end
+    end;
     incr slot
   done;
+  if obs_on then Obs.Metrics.Counter.set c_delivered !delivered;
   {
     deadlocked = !deadlock_slot <> None;
     deadlock_slot = !deadlock_slot;

@@ -39,6 +39,13 @@ type result = {
   stranded : int;  (** cells still buffered at the end *)
 }
 
-val run : Topo.Graph.t -> params -> result
+val run : ?obs:Obs.Sink.t -> Topo.Graph.t -> params -> result
 (** Raises [Invalid_argument] if the topology has under two
-    switches. *)
+    switches.
+
+    With an enabled [obs] sink (default {!Obs.Sink.null}) the run
+    counts injected/delivered cells and deadlock-detector activations
+    (a full link scan that moved nothing while cells remain buffered),
+    gauges buffered cells, and traces a per-slot buffered-cells
+    counter track plus a [deadlock-detected] instant. Timestamps are
+    slot numbers. *)

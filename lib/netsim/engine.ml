@@ -1,18 +1,42 @@
-type event = { id : int; thunk : unit -> unit }
+type event = { id : int; born : Time.t; thunk : unit -> unit }
 
 type event_id = int
 
 type t = {
   mutable clock : Time.t;
   queue : event Mheap.t;
+  (* Ids scheduled, not yet dispatched and not cancelled: exactly the
+     dispatchable events, so [pending] need not see the cancelled
+     corpses still sitting in the heap. *)
+  scheduled : (int, unit) Hashtbl.t;
   cancelled : (int, unit) Hashtbl.t;
   mutable next_id : int;
+  obs : Obs.Sink.t;
+  c_scheduled : Obs.Metrics.Counter.t;
+  c_dispatched : Obs.Metrics.Counter.t;
+  c_cancelled : Obs.Metrics.Counter.t;
+  g_depth : Obs.Metrics.Gauge.t;
+  h_wait : Obs.Histogram.t;
 }
 
-let create () =
-  { clock = 0; queue = Mheap.create (); cancelled = Hashtbl.create 64; next_id = 0 }
+let create ?(obs = Obs.Sink.null) () =
+  {
+    clock = 0;
+    queue = Mheap.create ();
+    scheduled = Hashtbl.create 64;
+    cancelled = Hashtbl.create 64;
+    next_id = 0;
+    obs;
+    c_scheduled = Obs.Sink.counter obs "engine.events.scheduled";
+    c_dispatched = Obs.Sink.counter obs "engine.events.dispatched";
+    c_cancelled = Obs.Sink.counter obs "engine.events.cancelled";
+    g_depth = Obs.Sink.gauge obs "engine.queue.depth";
+    h_wait = Obs.Sink.histogram obs "engine.event.wait_us";
+  }
 
 let now t = t.clock
+
+let pending t = Hashtbl.length t.scheduled
 
 let schedule_at t ~at thunk =
   if at < t.clock then
@@ -21,21 +45,39 @@ let schedule_at t ~at thunk =
          t.clock);
   let id = t.next_id in
   t.next_id <- id + 1;
-  Mheap.add t.queue ~prio:at { id; thunk };
+  Mheap.add t.queue ~prio:at { id; born = t.clock; thunk };
+  Hashtbl.replace t.scheduled id ();
+  if t.obs.Obs.Sink.enabled then begin
+    Obs.Metrics.Counter.incr t.c_scheduled;
+    Obs.Metrics.Gauge.set t.g_depth (float_of_int (pending t))
+  end;
   id
 
 let schedule t ~delay thunk =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~at:(t.clock + delay) thunk
 
-let cancel t id = Hashtbl.replace t.cancelled id ()
-
-let pending t = Mheap.length t.queue
+let cancel t id =
+  if Hashtbl.mem t.scheduled id then begin
+    Hashtbl.remove t.scheduled id;
+    Hashtbl.replace t.cancelled id ();
+    if t.obs.Obs.Sink.enabled then Obs.Metrics.Counter.incr t.c_cancelled
+  end
 
 let dispatch t at ev =
   t.clock <- at;
   if Hashtbl.mem t.cancelled ev.id then Hashtbl.remove t.cancelled ev.id
-  else ev.thunk ()
+  else begin
+    Hashtbl.remove t.scheduled ev.id;
+    if t.obs.Obs.Sink.enabled then begin
+      Obs.Metrics.Counter.incr t.c_dispatched;
+      Obs.Metrics.Gauge.set t.g_depth (float_of_int (pending t));
+      Obs.Histogram.add t.h_wait (Time.to_us (at - ev.born));
+      Obs.Sink.span t.obs ~name:"event" ~cat:"engine" ~ts:ev.born
+        ~dur:(at - ev.born) ~tid:0 ~v:ev.id
+    end;
+    ev.thunk ()
+  end
 
 let step t =
   match Mheap.pop t.queue with

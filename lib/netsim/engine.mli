@@ -11,8 +11,12 @@ type t
 type event_id
 (** Handle for cancelling a scheduled event. *)
 
-val create : unit -> t
-(** A fresh engine with the clock at time 0. *)
+val create : ?obs:Obs.Sink.t -> unit -> t
+(** A fresh engine with the clock at time 0. With an enabled [obs]
+    sink (default {!Obs.Sink.null}), the engine counts
+    scheduled/dispatched/cancelled events, tracks queue depth and
+    event wait time (schedule to dispatch, microseconds), and emits a
+    trace span per dispatched event. *)
 
 val now : t -> Time.t
 (** Current simulated time. *)
@@ -29,8 +33,9 @@ val cancel : t -> event_id -> unit
     already-cancelled event is a no-op. *)
 
 val pending : t -> int
-(** Number of events still queued (including cancelled ones not yet
-    reaped). *)
+(** Number of dispatchable events: scheduled, not yet dispatched and
+    not cancelled. Cancelled events awaiting reaping inside the queue
+    are {e not} counted. *)
 
 val step : t -> bool
 (** Dispatch the single next event. Returns [false] if the queue was

@@ -67,11 +67,35 @@ module Distribution = struct
       !sum /. float_of_int t.size
     end
 
+  (* In-place heapsort of a.(0 .. len-1): no scratch copy, and
+     Float.compare instead of polymorphic compare. *)
+  let sort_range a len =
+    let swap i j =
+      let x = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- x
+    in
+    let rec sift i len =
+      let l = (2 * i) + 1 in
+      if l < len then begin
+        let m = if l + 1 < len && Float.compare a.(l) a.(l + 1) < 0 then l + 1 else l in
+        if Float.compare a.(i) a.(m) < 0 then begin
+          swap i m;
+          sift m len
+        end
+      end
+    in
+    for i = (len / 2) - 1 downto 0 do
+      sift i len
+    done;
+    for k = len - 1 downto 1 do
+      swap 0 k;
+      sift 0 k
+    done
+
   let ensure_sorted t =
     if not t.sorted then begin
-      let a = Array.sub t.samples 0 t.size in
-      Array.sort compare a;
-      Array.blit a 0 t.samples 0 t.size;
+      sort_range t.samples t.size;
       t.sorted <- true
     end
 

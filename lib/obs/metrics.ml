@@ -1,0 +1,176 @@
+(* Named-instrument registry. Instruments are registered once (by the
+   layer being instrumented, at construction time) and then updated by
+   direct field mutation — no hashtable lookup, no allocation on the
+   hot path. Registering the same name twice returns the same
+   instrument, so independently created components share counters. *)
+
+module Counter = struct
+  type t = { name : string; mutable value : int }
+
+  let incr c = c.value <- c.value + 1
+  let add c k = c.value <- c.value + k
+  let set c k = c.value <- k
+  let value c = c.value
+  let name c = c.name
+end
+
+module Gauge = struct
+  type t = {
+    name : string;
+    mutable last : float;
+    mutable gmin : float;
+    mutable gmax : float;
+    mutable sets : int;
+  }
+
+  let set g v =
+    g.last <- v;
+    if g.sets = 0 then begin
+      g.gmin <- v;
+      g.gmax <- v
+    end
+    else begin
+      if v < g.gmin then g.gmin <- v;
+      if v > g.gmax then g.gmax <- v
+    end;
+    g.sets <- g.sets + 1
+
+  let last g = g.last
+  let min g = g.gmin
+  let max g = g.gmax
+  let name g = g.name
+end
+
+type t = {
+  counters : (string, Counter.t) Hashtbl.t;
+  gauges : (string, Gauge.t) Hashtbl.t;
+  histograms : (string, Histogram.t) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 32;
+    histograms = Hashtbl.create 32;
+  }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+    let c = { Counter.name; value = 0 } in
+    Hashtbl.add t.counters name c;
+    c
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> g
+  | None ->
+    let g = { Gauge.name; last = 0.0; gmin = nan; gmax = nan; sets = 0 } in
+    Hashtbl.add t.gauges name g;
+    g
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create () in
+    Hashtbl.add t.histograms name h;
+    h
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
+
+(* ------------------------------------------------------------------ *)
+(* Export *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* JSON has no NaN/infinity; empty gauges/histograms report null bounds. *)
+let json_float b x =
+  if Float.is_finite x then Printf.bprintf b "%.6g" x
+  else Buffer.add_string b "null"
+
+let to_json_buffer t b =
+  let sep = ref "" in
+  Buffer.add_string b "{\n  \"counters\": {";
+  List.iter
+    (fun k ->
+      let c = Hashtbl.find t.counters k in
+      Printf.bprintf b "%s\n    \"%s\": %d" !sep (json_escape k) (Counter.value c);
+      sep := ",")
+    (sorted_keys t.counters);
+  Buffer.add_string b "\n  },\n  \"gauges\": {";
+  sep := "";
+  List.iter
+    (fun k ->
+      let g = Hashtbl.find t.gauges k in
+      Printf.bprintf b "%s\n    \"%s\": { \"last\": " !sep (json_escape k);
+      json_float b (Gauge.last g);
+      Buffer.add_string b ", \"min\": ";
+      json_float b (Gauge.min g);
+      Buffer.add_string b ", \"max\": ";
+      json_float b (Gauge.max g);
+      Printf.bprintf b ", \"sets\": %d }" g.Gauge.sets;
+      sep := ",")
+    (sorted_keys t.gauges);
+  Buffer.add_string b "\n  },\n  \"histograms\": {";
+  sep := "";
+  List.iter
+    (fun k ->
+      let h = Hashtbl.find t.histograms k in
+      Printf.bprintf b "%s\n    \"%s\": { \"count\": %d, \"mean\": " !sep
+        (json_escape k) (Histogram.count h);
+      json_float b (Histogram.mean h);
+      Buffer.add_string b ", \"min\": ";
+      json_float b (Histogram.min h);
+      Buffer.add_string b ", \"max\": ";
+      json_float b (Histogram.max h);
+      List.iter
+        (fun (label, p) ->
+          Printf.bprintf b ", \"%s\": " label;
+          json_float b (Histogram.percentile h p))
+        [ ("p50", 50.0); ("p90", 90.0); ("p99", 99.0) ];
+      Buffer.add_string b " }";
+      sep := ",")
+    (sorted_keys t.histograms);
+  Buffer.add_string b "\n  }\n}\n"
+
+let to_json_string t =
+  let b = Buffer.create 1024 in
+  to_json_buffer t b;
+  Buffer.contents b
+
+let write_json file t =
+  let oc = open_out file in
+  output_string oc (to_json_string t);
+  close_out oc
+
+let pp fmt t =
+  List.iter
+    (fun k ->
+      Format.fprintf fmt "counter %-40s %d@." k
+        (Counter.value (Hashtbl.find t.counters k)))
+    (sorted_keys t.counters);
+  List.iter
+    (fun k ->
+      let g = Hashtbl.find t.gauges k in
+      Format.fprintf fmt "gauge   %-40s last=%g min=%g max=%g@." k
+        (Gauge.last g) (Gauge.min g) (Gauge.max g))
+    (sorted_keys t.gauges);
+  List.iter
+    (fun k ->
+      Format.fprintf fmt "hist    %-40s %a@." k Histogram.pp
+        (Hashtbl.find t.histograms k))
+    (sorted_keys t.histograms)

@@ -1,0 +1,50 @@
+(** Named-instrument registry: counters, gauges and log-bucketed
+    histograms.
+
+    Instruments are looked up by name once, at component construction,
+    and updated by direct mutation afterwards — updates are
+    allocation-free and involve no table lookup. Registering a name
+    twice returns the same instrument. *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val set : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  (** Records the value; tracks last/min/max and the set count. *)
+
+  val last : t -> float
+  val min : t -> float
+  val max : t -> float
+  val name : t -> string
+end
+
+type t
+
+val create : unit -> t
+
+val counter : t -> string -> Counter.t
+val gauge : t -> string -> Gauge.t
+val histogram : t -> string -> Histogram.t
+
+val to_json_string : t -> string
+(** All instruments, sorted by name, as a JSON object with
+    ["counters"], ["gauges"] and ["histograms"] sections. Histograms
+    report count/mean/min/max/p50/p90/p99. *)
+
+val write_json : string -> t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Plain-text dump, one instrument per line. *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion in a JSON string literal. *)

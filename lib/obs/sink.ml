@@ -1,0 +1,37 @@
+type t = {
+  enabled : bool;
+  metrics : Metrics.t;
+  trace : Trace.t;
+}
+
+(* Shared disabled sink. Layers register their instruments against its
+   registry (harmless — registration happens once, at construction)
+   and guard every hot-path update with [enabled], so the off path
+   costs one immutable-field load and a well-predicted branch, and
+   allocates nothing. *)
+let null =
+  { enabled = false; metrics = Metrics.create (); trace = Trace.create ~capacity:1 () }
+
+let create ?trace_capacity () =
+  {
+    enabled = true;
+    metrics = Metrics.create ();
+    trace = Trace.create ?capacity:trace_capacity ();
+  }
+
+let enabled t = t.enabled
+let metrics t = t.metrics
+let trace t = t.trace
+
+let counter t name = Metrics.counter t.metrics name
+let gauge t name = Metrics.gauge t.metrics name
+let histogram t name = Metrics.histogram t.metrics name
+
+let span t ~name ~cat ~ts ~dur ~tid ~v =
+  if t.enabled then Trace.span t.trace ~name ~cat ~ts ~dur ~tid ~v
+
+let instant t ~name ~cat ~ts ~tid ~v =
+  if t.enabled then Trace.instant t.trace ~name ~cat ~ts ~tid ~v
+
+let sample t ~name ~cat ~ts ~v =
+  if t.enabled then Trace.counter t.trace ~name ~cat ~ts ~v

@@ -1,0 +1,37 @@
+(** The probe surface instrumented layers program against.
+
+    A sink bundles a metrics registry and a trace ring buffer behind a
+    single [enabled] flag. Layers take a sink at construction
+    (defaulting to {!null}), register their instruments once, and
+    guard every hot-path update with {!enabled}: the disabled path is
+    one load and one branch, with no allocation — cheap enough to
+    leave compiled into the fabric slot loop (the overhead is measured
+    by [bench/perf.ml]). *)
+
+type t = {
+  enabled : bool;
+  metrics : Metrics.t;
+  trace : Trace.t;
+}
+
+val null : t
+(** The shared disabled sink: all probes are no-ops. *)
+
+val create : ?trace_capacity:int -> unit -> t
+(** An enabled sink with a fresh registry and trace buffer. *)
+
+val enabled : t -> bool
+val metrics : t -> Metrics.t
+val trace : t -> Trace.t
+
+val counter : t -> string -> Metrics.Counter.t
+val gauge : t -> string -> Metrics.Gauge.t
+val histogram : t -> string -> Histogram.t
+(** Instrument registration: valid (and cheap) on a disabled sink, so
+    layers can register unconditionally at construction. *)
+
+val span : t -> name:string -> cat:string -> ts:int -> dur:int -> tid:int -> v:int -> unit
+val instant : t -> name:string -> cat:string -> ts:int -> tid:int -> v:int -> unit
+val sample : t -> name:string -> cat:string -> ts:int -> v:int -> unit
+(** Trace emission, each a no-op when the sink is disabled. [sample]
+    emits a Chrome counter-track event. *)

@@ -1,0 +1,142 @@
+(* Ring-buffer event tracer. Events live in parallel preallocated
+   arrays (structure-of-arrays keeps emission allocation-free: every
+   field is an immediate or a shared string constant); once the buffer
+   is full the oldest events are overwritten, so a trace of a long run
+   keeps its tail. Export renders Chrome trace_event JSON — loadable
+   in chrome://tracing or https://ui.perfetto.dev — or a plain-text
+   dump. *)
+
+type kind = Span | Instant | Counter
+
+type t = {
+  capacity : int;
+  kinds : kind array;
+  names : string array;
+  cats : string array;
+  ts : int array;
+  durs : int array;
+  tids : int array;
+  vs : int array;
+  mutable total : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity >= 1";
+  {
+    capacity;
+    kinds = Array.make capacity Instant;
+    names = Array.make capacity "";
+    cats = Array.make capacity "";
+    ts = Array.make capacity 0;
+    durs = Array.make capacity 0;
+    tids = Array.make capacity 0;
+    vs = Array.make capacity 0;
+    total = 0;
+  }
+
+let emit t ~kind ~name ~cat ~ts ~dur ~tid ~v =
+  let i = t.total mod t.capacity in
+  t.kinds.(i) <- kind;
+  t.names.(i) <- name;
+  t.cats.(i) <- cat;
+  t.ts.(i) <- ts;
+  t.durs.(i) <- dur;
+  t.tids.(i) <- tid;
+  t.vs.(i) <- v;
+  t.total <- t.total + 1
+
+let span t ~name ~cat ~ts ~dur ~tid ~v =
+  emit t ~kind:Span ~name ~cat ~ts ~dur ~tid ~v
+
+let instant t ~name ~cat ~ts ~tid ~v =
+  emit t ~kind:Instant ~name ~cat ~ts ~dur:0 ~tid ~v
+
+let counter t ~name ~cat ~ts ~v =
+  emit t ~kind:Counter ~name ~cat ~ts ~dur:0 ~tid:0 ~v
+
+let total t = t.total
+let length t = if t.total < t.capacity then t.total else t.capacity
+let dropped t = if t.total > t.capacity then t.total - t.capacity else 0
+
+type event = {
+  ekind : kind;
+  ename : string;
+  ecat : string;
+  ets : int;
+  edur : int;
+  etid : int;
+  ev : int;
+}
+
+(* Oldest retained event first (emission order). *)
+let iter t f =
+  let len = length t in
+  let first = if t.total <= t.capacity then 0 else t.total mod t.capacity in
+  for k = 0 to len - 1 do
+    let i = (first + k) mod t.capacity in
+    f
+      {
+        ekind = t.kinds.(i);
+        ename = t.names.(i);
+        ecat = t.cats.(i);
+        ets = t.ts.(i);
+        edur = t.durs.(i);
+        etid = t.tids.(i);
+        ev = t.vs.(i);
+      }
+  done
+
+let json_escape = Metrics.json_escape
+
+let to_chrome_buffer ?(ts_scale = 1.0) t b =
+  Buffer.add_string b "{\"traceEvents\":[";
+  let sep = ref "" in
+  iter t (fun e ->
+      Buffer.add_string b !sep;
+      sep := ",";
+      let common () =
+        Printf.bprintf b "\"name\":\"%s\",\"cat\":\"%s\",\"pid\":1,\"tid\":%d"
+          (json_escape e.ename)
+          (json_escape (if e.ecat = "" then "an2" else e.ecat))
+          e.etid
+      in
+      Buffer.add_string b "\n{";
+      (match e.ekind with
+       | Span ->
+         common ();
+         Printf.bprintf b ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f"
+           (float_of_int e.ets *. ts_scale)
+           (float_of_int e.edur *. ts_scale)
+       | Instant ->
+         common ();
+         Printf.bprintf b ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f"
+           (float_of_int e.ets *. ts_scale)
+       | Counter ->
+         common ();
+         Printf.bprintf b ",\"ph\":\"C\",\"ts\":%.3f"
+           (float_of_int e.ets *. ts_scale));
+      Printf.bprintf b ",\"args\":{\"v\":%d}}" e.ev);
+  Printf.bprintf b "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":%d}}\n"
+    (dropped t)
+
+let to_chrome_string ?ts_scale t =
+  let b = Buffer.create 4096 in
+  to_chrome_buffer ?ts_scale t b;
+  Buffer.contents b
+
+let write_chrome ?ts_scale file t =
+  let oc = open_out file in
+  let b = Buffer.create 4096 in
+  to_chrome_buffer ?ts_scale t b;
+  Buffer.output_buffer oc b;
+  close_out oc
+
+let pp fmt t =
+  Format.fprintf fmt "trace: %d events (%d emitted, %d dropped)@." (length t)
+    (total t) (dropped t);
+  iter t (fun e ->
+      let k =
+        match e.ekind with Span -> "span" | Instant -> "inst" | Counter -> "ctr "
+      in
+      Format.fprintf fmt "  %s ts=%-10d dur=%-8d tid=%-3d v=%-10d %s/%s@." k
+        e.ets e.edur e.etid e.ev e.ecat e.ename)

@@ -53,7 +53,8 @@ let fresh_part parent =
     done_ = false;
   }
 
-let run_after_failure ?(proc_delay = Netsim.Time.us 100) ?(radius = 2) g ~fail =
+let run_after_failure ?(proc_delay = Netsim.Time.us 100) ?(radius = 2)
+    ?(obs = Obs.Sink.null) g ~fail =
   let link = Topo.Graph.link g fail in
   let a, b =
     match (link.Topo.Graph.a.node, link.Topo.Graph.b.node) with
@@ -66,8 +67,10 @@ let run_after_failure ?(proc_delay = Netsim.Time.us 100) ?(radius = 2) g ~fail =
   Topo.Graph.fail_link g fail;
   let truth = whole_topology g in
   let n = Topo.Graph.switch_count g in
-  let engine = Netsim.Engine.create () in
+  let engine = Netsim.Engine.create ~obs () in
   let messages = ref 0 in
+  let c_messages = Obs.Sink.counter obs "reconfig.local.messages" in
+  let c_participants = Obs.Sink.counter obs "reconfig.local.participants" in
   (* Per switch: configuration id (= its initiator) -> participation.
      Scoped configurations are independent; a switch may be in both. *)
   let state : (int, part) Hashtbl.t array =
@@ -109,6 +112,7 @@ let run_after_failure ?(proc_delay = Netsim.Time.us 100) ?(radius = 2) g ~fail =
       ignore
         (Netsim.Engine.schedule engine ~delay:(lat + proc_delay) (fun () ->
              incr messages;
+             if obs.Obs.Sink.enabled then Obs.Metrics.Counter.incr c_messages;
              handle ~cfg ~self:dst ~from:src msg))
   and finish_collection ~cfg ~self p =
     if not p.sent_report then begin
@@ -223,6 +227,8 @@ let run_after_failure ?(proc_delay = Netsim.Time.us 100) ?(radius = 2) g ~fail =
     converged
     && List.for_all (fun s -> view.(s) = truth) all_participants
   in
+  if obs.Obs.Sink.enabled then
+    Obs.Metrics.Counter.set c_participants (List.length all_participants);
   {
     converged;
     participants = List.length all_participants;

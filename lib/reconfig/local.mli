@@ -36,6 +36,7 @@ type outcome = {
 val run_after_failure :
   ?proc_delay:Netsim.Time.t ->
   ?radius:int ->
+  ?obs:Obs.Sink.t ->
   Topo.Graph.t ->
   fail:int ->
   outcome

@@ -63,12 +63,21 @@ let true_topology g ~root =
   ( in_component,
     List.sort_uniq Proto.compare_edge (List.map Proto.normalize_edge !edges) )
 
-let run ?(params = default_params) g ~triggers =
+let run ?(params = default_params) ?(obs = Obs.Sink.null) g ~triggers =
   if triggers = [] then invalid_arg "Runner.run: no triggers";
   let n = Topo.Graph.switch_count g in
-  let engine = Netsim.Engine.create () in
+  let engine = Netsim.Engine.create ~obs () in
   let nodes = Array.init n (fun id -> Proto.create_node ~id) in
   let messages = ref 0 in
+  let obs_on = obs.Obs.Sink.enabled in
+  let c_messages = Obs.Sink.counter obs "reconfig.messages" in
+  let c_invite = Obs.Sink.counter obs "reconfig.msg.invite" in
+  let c_ack = Obs.Sink.counter obs "reconfig.msg.ack" in
+  let c_report = Obs.Sink.counter obs "reconfig.msg.report" in
+  let c_distribute = Obs.Sink.counter obs "reconfig.msg.distribute" in
+  let c_wire = Obs.Sink.counter obs "reconfig.wire_transmissions" in
+  let c_completed = Obs.Sink.counter obs "reconfig.switches.completed" in
+  let g_converged = Obs.Sink.gauge obs "reconfig.converged" in
   let completion = Array.make n None in
   (* First time each switch joined each configuration (for the phase
      breakdown of the winning one). *)
@@ -128,7 +137,12 @@ let run ?(params = default_params) g ~triggers =
     List.iter
       (function
         | Proto.Completed tag ->
-          completion.(src) <- Some (tag, Netsim.Engine.now engine)
+          completion.(src) <- Some (tag, Netsim.Engine.now engine);
+          if obs_on then begin
+            Obs.Metrics.Counter.incr c_completed;
+            Obs.Sink.instant obs ~name:"completed" ~cat:"reconfig"
+              ~ts:(Netsim.Engine.now engine) ~tid:src ~v:src
+          end
         | Proto.Send { dst; msg } ->
           (* A message only travels if the link still works on arrival;
              we check at send time, which is equivalent here because
@@ -138,17 +152,34 @@ let run ?(params = default_params) g ~triggers =
            | Some latency -> Reliable.send (channel ~src ~dst latency) msg))
       actions
   and deliver ~src ~dst msg =
+    if obs_on then begin
+      Obs.Metrics.Counter.incr c_messages;
+      Obs.Metrics.Counter.incr
+        (match msg with
+         | Proto.Invite _ -> c_invite
+         | Proto.Ack _ -> c_ack
+         | Proto.Report _ -> c_report
+         | Proto.Distribute _ -> c_distribute)
+    end;
     let before = Proto.current_tag nodes.(dst) in
     perform dst (Proto.handle nodes.(dst) (env_of dst) ~from:src msg);
     let after = Proto.current_tag nodes.(dst) in
     if (not (Tag.equal before after)) && not (Hashtbl.mem joins (dst, after))
-    then Hashtbl.add joins (dst, after) (Netsim.Engine.now engine)
+    then begin
+      Hashtbl.add joins (dst, after) (Netsim.Engine.now engine);
+      if obs_on then
+        Obs.Sink.instant obs ~name:"join" ~cat:"reconfig"
+          ~ts:(Netsim.Engine.now engine) ~tid:dst ~v:dst
+    end
   in
   let first_trigger = List.fold_left (fun acc (t, _) -> min acc t) max_int triggers in
   List.iter
     (fun (at, s) ->
       ignore
         (Netsim.Engine.schedule_at engine ~at (fun () ->
+             if obs_on then
+               Obs.Sink.instant obs ~name:"trigger" ~cat:"reconfig" ~ts:at
+                 ~tid:s ~v:s;
              perform s (Proto.initiate nodes.(s) (env_of s));
              let tag = Proto.current_tag nodes.(s) in
              if not (Hashtbl.mem joins (s, tag)) then
@@ -219,6 +250,20 @@ let run ?(params = default_params) g ~triggers =
   let wire_transmissions =
     Hashtbl.fold (fun _ ch acc -> acc + Reliable.transmissions ch) channels 0
   in
+  if obs_on then begin
+    Obs.Metrics.Counter.set c_wire wire_transmissions;
+    Obs.Metrics.Gauge.set g_converged (if !all_done then 1.0 else 0.0);
+    (* Phase spans of the winning configuration, on their own track. *)
+    let propagation = max 0 (!last_join - first_trigger) in
+    let collection = max 0 (root_done - !last_join) in
+    let distribution = max 0 (!last_done - root_done) in
+    Obs.Sink.span obs ~name:"phase.propagation" ~cat:"reconfig"
+      ~ts:first_trigger ~dur:propagation ~tid:1000 ~v:root;
+    Obs.Sink.span obs ~name:"phase.collection" ~cat:"reconfig" ~ts:!last_join
+      ~dur:collection ~tid:1000 ~v:root;
+    Obs.Sink.span obs ~name:"phase.distribution" ~cat:"reconfig" ~ts:root_done
+      ~dur:distribution ~tid:1000 ~v:root
+  end;
   {
     converged = !all_done;
     final_tag;
@@ -235,7 +280,7 @@ let run ?(params = default_params) g ~triggers =
   }
 
 let run_after_failure ?(params = default_params)
-    ?(detection_delay = Netsim.Time.ms 100) g ~fail =
+    ?(detection_delay = Netsim.Time.ms 100) ?obs g ~fail =
   (* Which switches see a working link die? *)
   let affected_of_link lid =
     let l = Topo.Graph.link g lid in
@@ -268,7 +313,7 @@ let run_after_failure ?(params = default_params)
   in
   if survivors = [] then invalid_arg "Runner.run_after_failure: nothing detects";
   let triggers = List.map (fun s -> (detection_delay, s)) survivors in
-  let outcome = run ~params g ~triggers in
+  let outcome = run ~params ?obs g ~triggers in
   (* Count elapsed from the failure itself (time 0). *)
   if outcome.converged then
     { outcome with elapsed = outcome.elapsed + detection_delay }

@@ -44,15 +44,28 @@ type outcome = {
 }
 
 val run :
-  ?params:params -> Topo.Graph.t -> triggers:(Netsim.Time.t * int) list -> outcome
+  ?params:params ->
+  ?obs:Obs.Sink.t ->
+  Topo.Graph.t ->
+  triggers:(Netsim.Time.t * int) list ->
+  outcome
 (** [run g ~triggers] starts a reconfiguration at each [(time, switch)]
     trigger and runs to quiescence. The topology should already
     reflect the failure (use {!Topo.Graph.fail_link} first); triggers
-    model the moment the adjacent switches detect the change. *)
+    model the moment the adjacent switches detect the change.
+
+    With an enabled [obs] sink (default {!Obs.Sink.null}) the run
+    counts delivered protocol messages total and per type
+    (invite/ack/report/distribute), wire transmissions and completed
+    switches, gauges convergence, traces trigger/join/completed
+    instants per switch, and emits the three phase spans of the
+    winning configuration. The sink is also passed to the underlying
+    {!Netsim.Engine}. Timestamps are simulated nanoseconds. *)
 
 val run_after_failure :
   ?params:params ->
   ?detection_delay:Netsim.Time.t ->
+  ?obs:Obs.Sink.t ->
   Topo.Graph.t ->
   fail:[ `Link of int | `Switch of int ] ->
   outcome

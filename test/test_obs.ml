@@ -1,0 +1,412 @@
+(* Tests for the observability layer: histogram accuracy against the
+   exact keep-all distribution, trace ring-buffer semantics, Chrome
+   JSON round-trip, metrics export, and the disabled-sink contract. *)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON parser — the repo deliberately has no JSON library,
+   and the exporters hand-print their output, so the round-trip tests
+   parse it back by hand. Only what Chrome-trace/metrics JSON needs:
+   objects, arrays, strings (with escapes), numbers, true/false/null. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else '\255' in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | ' ' | '\t' | '\n' | '\r' ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () <> c then fail (Printf.sprintf "expected %c" c);
+      advance ()
+    in
+    let literal word v =
+      String.iter expect word;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec loop () =
+        match peek () with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (match peek () with
+           | '"' -> Buffer.add_char b '"'
+           | '\\' -> Buffer.add_char b '\\'
+           | '/' -> Buffer.add_char b '/'
+           | 'n' -> Buffer.add_char b '\n'
+           | 't' -> Buffer.add_char b '\t'
+           | 'r' -> Buffer.add_char b '\r'
+           | 'b' -> Buffer.add_char b '\b'
+           | 'f' -> Buffer.add_char b '\012'
+           | 'u' ->
+             advance ();
+             let code = int_of_string ("0x" ^ String.sub s (!pos) 4) in
+             pos := !pos + 3;
+             (* Exporters only \u-escape control characters. *)
+             Buffer.add_char b (Char.chr (code land 0xff))
+           | c -> fail (Printf.sprintf "bad escape %c" c));
+          advance ();
+          loop ()
+        | '\255' -> fail "unterminated string"
+        | c ->
+          Buffer.add_char b c;
+          advance ();
+          loop ()
+      in
+      loop ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while num_char (peek ()) do
+        advance ()
+      done;
+      if !pos = start then fail "expected number";
+      Num (float_of_string (String.sub s start (!pos - start)))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (key, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | ',' ->
+              advance ();
+              members ()
+            | '}' -> advance ()
+            | _ -> fail "expected , or }"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+      | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | ',' ->
+              advance ();
+              elements ()
+            | ']' -> advance ()
+            | _ -> fail "expected , or ]"
+          in
+          elements ();
+          Arr (List.rev !items)
+        end
+      | '"' -> Str (parse_string ())
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | 'n' -> literal "null" Null
+      | _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member key = function
+    | Obj fields -> (
+      match List.assoc_opt key fields with
+      | Some v -> v
+      | None -> raise (Bad ("missing key " ^ key)))
+    | _ -> raise (Bad "not an object")
+
+  let str = function Str s -> s | _ -> raise (Bad "not a string")
+  let num = function Num x -> x | _ -> raise (Bad "not a number")
+  let arr = function Arr l -> l | _ -> raise (Bad "not an array")
+end
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+(* With 101 samples, percentile ranks p*(count-1)/100 are integral for
+   integer p, so Distribution's linear interpolation lands exactly on
+   a sample and the nearest-rank histogram answer must agree within
+   the documented relative error. *)
+let test_histogram_matches_distribution =
+  qtest "Histogram.percentile tracks Stats.Distribution" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.return 101) (int_range 1 10_000_000))
+    (fun samples ->
+      let h = Obs.Histogram.create () in
+      let d = Netsim.Stats.Distribution.create () in
+      List.iter
+        (fun i ->
+          let x = float_of_int i /. 100.0 in
+          Obs.Histogram.add h x;
+          Netsim.Stats.Distribution.add d x)
+        samples;
+      List.for_all
+        (fun p ->
+          let exact = Netsim.Stats.Distribution.percentile d p in
+          let approx = Obs.Histogram.percentile h p in
+          abs_float (approx -. exact)
+          <= (Obs.Histogram.error_bound *. exact) +. 1e-9)
+        [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ])
+
+let test_histogram_exact_extremes () =
+  let h = Obs.Histogram.create () in
+  List.iter (Obs.Histogram.add h) [ 3.5; 17.0; 0.25; 9.0 ];
+  Alcotest.(check (float 0.0)) "min exact" 0.25 (Obs.Histogram.min h);
+  Alcotest.(check (float 0.0)) "max exact" 17.0 (Obs.Histogram.max h);
+  Alcotest.(check int) "count" 4 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 29.75 (Obs.Histogram.sum h)
+
+let test_histogram_zero_bucket () =
+  let h = Obs.Histogram.create () in
+  Obs.Histogram.add h 0.0;
+  Obs.Histogram.add h (-5.0);
+  Obs.Histogram.add h 100.0;
+  Alcotest.(check int) "count includes nonpositive" 3 (Obs.Histogram.count h);
+  Alcotest.(check (float 0.0)) "median is zero" 0.0 (Obs.Histogram.median h)
+
+let test_histogram_empty () =
+  let h = Obs.Histogram.create () in
+  Alcotest.(check bool) "percentile nan" true
+    (Float.is_nan (Obs.Histogram.percentile h 50.0));
+  Alcotest.(check (float 0.0)) "mean 0" 0.0 (Obs.Histogram.mean h)
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring buffer *)
+
+let test_trace_ring_overwrites () =
+  let t = Obs.Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Obs.Trace.instant t ~name:"e" ~cat:"test" ~ts:i ~tid:0 ~v:i
+  done;
+  Alcotest.(check int) "total" 10 (Obs.Trace.total t);
+  Alcotest.(check int) "length" 4 (Obs.Trace.length t);
+  Alcotest.(check int) "dropped" 6 (Obs.Trace.dropped t);
+  let seen = ref [] in
+  Obs.Trace.iter t (fun e -> seen := e.Obs.Trace.ev :: !seen);
+  Alcotest.(check (list int)) "oldest first, tail kept" [ 6; 7; 8; 9 ]
+    (List.rev !seen)
+
+let test_trace_roundtrip () =
+  let t = Obs.Trace.create ~capacity:64 () in
+  Obs.Trace.span t ~name:"slot" ~cat:"fabric" ~ts:10 ~dur:5 ~tid:1 ~v:42;
+  Obs.Trace.instant t ~name:"deadlock" ~cat:"flow" ~ts:20 ~tid:2 ~v:1;
+  Obs.Trace.counter t ~name:"depth" ~cat:"engine" ~ts:30 ~v:7;
+  let json = Json.parse (Obs.Trace.to_chrome_string ~ts_scale:2.0 t) in
+  let events = Json.(arr (member "traceEvents" json)) in
+  Alcotest.(check int) "event count" 3 (List.length events);
+  let names = List.map (fun e -> Json.(str (member "name" e))) events in
+  Alcotest.(check (list string)) "order preserved"
+    [ "slot"; "deadlock"; "depth" ] names;
+  let phases = List.map (fun e -> Json.(str (member "ph" e))) events in
+  Alcotest.(check (list string)) "phases" [ "X"; "i"; "C" ] phases;
+  let ts = List.map (fun e -> Json.(num (member "ts" e))) events in
+  Alcotest.(check (list (float 1e-9))) "timestamps scaled"
+    [ 20.0; 40.0; 60.0 ] ts;
+  (match events with
+   | span :: _ ->
+     Alcotest.(check (float 1e-9)) "duration scaled" 10.0
+       Json.(num (member "dur" span));
+     Alcotest.(check (float 1e-9)) "arg v" 42.0
+       Json.(num (member "v" (member "args" span)))
+   | [] -> Alcotest.fail "no events");
+  Alcotest.(check (float 0.0)) "nothing dropped" 0.0
+    Json.(num (member "dropped" (member "otherData" json)))
+
+let test_trace_roundtrip_after_wrap =
+  qtest "trace JSON parses and keeps ordering after wrap" ~count:50
+    QCheck.(int_range 1 200)
+    (fun emitted ->
+      let t = Obs.Trace.create ~capacity:16 () in
+      for i = 0 to emitted - 1 do
+        Obs.Trace.instant t ~name:"e" ~cat:"t" ~ts:i ~tid:0 ~v:i
+      done;
+      let json = Json.parse (Obs.Trace.to_chrome_string t) in
+      let events = Json.(arr (member "traceEvents" json)) in
+      let vs =
+        List.map (fun e -> int_of_float Json.(num (member "v" (member "args" e)))) events
+      in
+      List.length events = min emitted 16
+      && vs = List.init (min emitted 16) (fun k -> max 0 (emitted - 16) + k))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let test_metrics_json_export () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "cells.transferred" in
+  Obs.Metrics.Counter.add c 12;
+  Obs.Metrics.Counter.incr c;
+  let g = Obs.Metrics.gauge m "queue.depth" in
+  Obs.Metrics.Gauge.set g 3.0;
+  Obs.Metrics.Gauge.set g 1.5;
+  let h = Obs.Metrics.histogram m "delay" in
+  for i = 1 to 100 do
+    Obs.Histogram.add h (float_of_int i)
+  done;
+  let json = Json.parse (Obs.Metrics.to_json_string m) in
+  Alcotest.(check (float 0.0)) "counter" 13.0
+    Json.(num (member "cells.transferred" (member "counters" json)));
+  let gauge = Json.(member "queue.depth" (member "gauges" json)) in
+  Alcotest.(check (float 0.0)) "gauge last" 1.5 Json.(num (member "last" gauge));
+  Alcotest.(check (float 0.0)) "gauge max" 3.0 Json.(num (member "max" gauge));
+  let hist = Json.(member "delay" (member "histograms" json)) in
+  Alcotest.(check (float 0.0)) "hist count" 100.0
+    Json.(num (member "count" hist));
+  (* Nearest rank over 100 samples: round(0.5 * 99) = 50 -> the 51st
+     sample, 51.0, within the histogram's ~1% relative error. *)
+  let p50 = Json.(num (member "p50" hist)) in
+  Alcotest.(check bool) "hist p50 near 51" true (abs_float (p50 -. 51.0) <= 1.0)
+
+let test_metrics_same_instrument () =
+  let m = Obs.Metrics.create () in
+  let a = Obs.Metrics.counter m "x" in
+  let b = Obs.Metrics.counter m "x" in
+  Obs.Metrics.Counter.incr a;
+  Obs.Metrics.Counter.incr b;
+  Alcotest.(check int) "one instrument" 2 (Obs.Metrics.Counter.value a)
+
+(* ------------------------------------------------------------------ *)
+(* Sink *)
+
+let test_null_sink_is_noop () =
+  Alcotest.(check bool) "disabled" false (Obs.Sink.enabled Obs.Sink.null);
+  Obs.Sink.span Obs.Sink.null ~name:"s" ~cat:"c" ~ts:0 ~dur:1 ~tid:0 ~v:0;
+  Obs.Sink.instant Obs.Sink.null ~name:"i" ~cat:"c" ~ts:0 ~tid:0 ~v:0;
+  Obs.Sink.sample Obs.Sink.null ~name:"n" ~cat:"c" ~ts:0 ~v:0;
+  Alcotest.(check int) "no events recorded" 0
+    (Obs.Trace.total (Obs.Sink.trace Obs.Sink.null))
+
+let test_enabled_sink_records () =
+  let s = Obs.Sink.create () in
+  Obs.Sink.instant s ~name:"i" ~cat:"c" ~ts:0 ~tid:0 ~v:0;
+  Alcotest.(check int) "event recorded" 1 (Obs.Trace.total (Obs.Sink.trace s))
+
+(* ------------------------------------------------------------------ *)
+(* Engine.pending (live-count semantics) *)
+
+let test_engine_pending_live_count () =
+  let e = Netsim.Engine.create () in
+  let fired = ref 0 in
+  let a = Netsim.Engine.schedule e ~delay:10 (fun () -> incr fired) in
+  let _b = Netsim.Engine.schedule e ~delay:20 (fun () -> incr fired) in
+  let c = Netsim.Engine.schedule e ~delay:30 (fun () -> incr fired) in
+  Alcotest.(check int) "three pending" 3 (Netsim.Engine.pending e);
+  Netsim.Engine.cancel e a;
+  Alcotest.(check int) "cancel drops the count" 2 (Netsim.Engine.pending e);
+  Netsim.Engine.cancel e a;
+  Alcotest.(check int) "double cancel is a no-op" 2 (Netsim.Engine.pending e);
+  (* The first step reaps the cancelled corpse at the head of the
+     queue without dispatching anything: the count must not move. *)
+  ignore (Netsim.Engine.step e);
+  Alcotest.(check int) "reaping leaves the count alone" 2
+    (Netsim.Engine.pending e);
+  Alcotest.(check int) "cancelled event skipped" 0 !fired;
+  ignore (Netsim.Engine.step e);
+  Alcotest.(check int) "dispatch drops the count" 1 (Netsim.Engine.pending e);
+  Alcotest.(check int) "live event fired" 1 !fired;
+  Netsim.Engine.run e;
+  Alcotest.(check int) "drained" 0 (Netsim.Engine.pending e);
+  Alcotest.(check int) "both live events fired" 2 !fired;
+  (* Cancelling an already-fired event must not corrupt the count. *)
+  Netsim.Engine.cancel e c;
+  Alcotest.(check int) "cancel after fire is a no-op" 0 (Netsim.Engine.pending e)
+
+let test_engine_obs_probes () =
+  let obs = Obs.Sink.create () in
+  let e = Netsim.Engine.create ~obs () in
+  for i = 1 to 5 do
+    ignore (Netsim.Engine.schedule e ~delay:(Netsim.Time.us i) (fun () -> ()))
+  done;
+  Netsim.Engine.run e;
+  let m = Obs.Sink.metrics obs in
+  Alcotest.(check int) "scheduled counted" 5
+    (Obs.Metrics.Counter.value (Obs.Metrics.counter m "engine.events.scheduled"));
+  Alcotest.(check int) "dispatched counted" 5
+    (Obs.Metrics.Counter.value (Obs.Metrics.counter m "engine.events.dispatched"));
+  Alcotest.(check int) "one span per dispatch" 5
+    (Obs.Trace.total (Obs.Sink.trace obs))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        [
+          test_histogram_matches_distribution;
+          Alcotest.test_case "exact extremes" `Quick test_histogram_exact_extremes;
+          Alcotest.test_case "zero bucket" `Quick test_histogram_zero_bucket;
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring overwrites oldest" `Quick
+            test_trace_ring_overwrites;
+          Alcotest.test_case "chrome JSON round-trip" `Quick test_trace_roundtrip;
+          test_trace_roundtrip_after_wrap;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "JSON export" `Quick test_metrics_json_export;
+          Alcotest.test_case "same name, same instrument" `Quick
+            test_metrics_same_instrument;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "null sink records nothing" `Quick
+            test_null_sink_is_noop;
+          Alcotest.test_case "enabled sink records" `Quick
+            test_enabled_sink_records;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "pending is a live count" `Quick
+            test_engine_pending_live_count;
+          Alcotest.test_case "engine probes" `Quick test_engine_obs_probes;
+        ] );
+    ]
