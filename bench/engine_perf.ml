@@ -1,0 +1,341 @@
+(* Engine perf-trajectory harness.
+
+   Measures the discrete-event engine core — schedule/dispatch and
+   schedule/cancel cycles, and an SRC-LAN control-plane macro — on
+   both the production pooled engine and the retained pre-pool
+   reference implementation, so the speedup is measured, not asserted.
+   A multi-seed reconfiguration sweep (the real protocol runner)
+   exercises [Netsim.Sweep] sequentially and in parallel and checks
+   the per-seed outcomes agree. Results land in BENCH_engine.json.
+
+   Usage: dune exec bench/engine_perf.exe [-- --smoke] [-- --out FILE] *)
+
+[@@@warning "-32"]
+
+module type ENGINE = sig
+  type t
+  type event_id
+
+  val no_event : event_id
+  val create : ?obs:Obs.Sink.t -> unit -> t
+  val now : t -> Netsim.Time.t
+  val schedule : t -> delay:Netsim.Time.t -> (unit -> unit) -> event_id
+  val post : t -> delay:Netsim.Time.t -> (unit -> unit) -> unit
+  val cancel : t -> event_id -> unit
+  val pending : t -> int
+  val dispatched : t -> int
+  val step : t -> bool
+  val run : t -> unit
+  val run_until : t -> Netsim.Time.t -> unit
+end
+
+type sample = {
+  engine : string;
+  name : string;
+  ops : int;
+  ns_per_op : float;
+  words_per_op : float;
+}
+
+let measure ~engine ~name ~ops f =
+  for _ = 1 to min ops 1000 do
+    f ()
+  done;
+  (* warmup *)
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to ops do
+    f ()
+  done;
+  let t1 = Unix.gettimeofday () in
+  let w1 = Gc.minor_words () in
+  {
+    engine;
+    name;
+    ops;
+    ns_per_op = (t1 -. t0) *. 1e9 /. float_of_int ops;
+    words_per_op = (w1 -. w0) /. float_of_int ops;
+  }
+
+let noop () = ()
+
+(* ------------------------------------------------------------------ *)
+(* Micro: bare engine cycles, preallocated thunks so the engine's own
+   allocation (and nothing else) shows in words/op. *)
+
+module Micro (E : ENGINE) = struct
+  let run ~engine_name ~ops =
+    let sched_dispatch =
+      let e = E.create () in
+      measure ~engine:engine_name ~name:"schedule+dispatch" ~ops (fun () ->
+          E.post e ~delay:1 noop;
+          ignore (E.step e : bool))
+    in
+    let backlogged =
+      (* Same cycle against a standing backlog of 1024 pending events,
+         so sift depth is realistic rather than trivial. *)
+      let e = E.create () in
+      for _ = 1 to 1024 do
+        E.post e ~delay:1_000_000_000 noop
+      done;
+      measure ~engine:engine_name ~name:"schedule+dispatch-1k-backlog" ~ops
+        (fun () ->
+          E.post e ~delay:1 noop;
+          ignore (E.step e : bool))
+    in
+    let sched_cancel =
+      (* Cancel then step: the step reaps the corpse, so neither heap
+         nor pool grows across iterations. *)
+      let e = E.create () in
+      measure ~engine:engine_name ~name:"schedule+cancel+reap" ~ops (fun () ->
+          let id = E.schedule e ~delay:1 noop in
+          E.cancel e id;
+          ignore (E.step e : bool))
+    in
+    [ sched_dispatch; backlogged; sched_cancel ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Macro: the SRC-LAN control-plane event pattern. Each delivered
+   control message at a switch forwards to its next neighbour
+   (round-robin) and re-arms the go-back-N retransmit timer of the
+   channel it goes out on — cancelling the previous one — exactly the
+   schedule/cancel churn the reliable channels impose during
+   reconfiguration. As in [Reconfig.Reliable] there is one timer per
+   directed (switch, neighbour) channel, and with a 10 ms timeout
+   against ~10 us acks the cancelled timers accumulate as heap corpses
+   until reaped, so the heap runs thousands deep — the regime a live
+   installation's timer population puts the engine in. Thunks are
+   preallocated per switch and per channel, so the measured loop is
+   the engine. *)
+
+type macro = {
+  events : int;
+  ns_per_event : float;
+  events_per_sec : float;
+  minor_words_per_event : float;
+}
+
+module Macro (E : ENGINE) = struct
+  let run ~events_target =
+    let g = Topo.Build.src_lan () in
+    let n = Topo.Graph.switch_count g in
+    let nbrs =
+      Array.init n (fun s ->
+          Array.of_list (List.map fst (Topo.Graph.switch_neighbors g s)))
+    in
+    (* Directed channel c = chan_base.(s) + j for neighbour index j. *)
+    let chan_base = Array.make n 0 in
+    let channels = ref 0 in
+    for s = 0 to n - 1 do
+      chan_base.(s) <- !channels;
+      channels := !channels + Array.length nbrs.(s)
+    done;
+    let channels = !channels in
+    let e = E.create () in
+    let count = ref 0 in
+    let timers = Array.make channels E.no_event in
+    let rr = Array.make n 0 in
+    let msg_thunk = Array.make n noop in
+    let chan_thunk = Array.make channels noop in
+    let retransmit_after = Netsim.Time.ms 10 in
+    let msg s =
+      incr count;
+      if !count < events_target then begin
+        let k = nbrs.(s) in
+        let j = rr.(s) in
+        let d = k.(j) in
+        rr.(s) <- (if j + 1 = Array.length k then 0 else j + 1);
+        (* The ack for the channel's previous message has landed:
+           disarm and re-arm its retransmit timer. *)
+        let c = chan_base.(s) + j in
+        E.cancel e timers.(c);
+        timers.(c) <- E.schedule e ~delay:retransmit_after chan_thunk.(c);
+        (* The message itself: one link hop plus line-card time. *)
+        E.post e ~delay:(Netsim.Time.us 10) msg_thunk.(d)
+      end
+    in
+    for s = 0 to n - 1 do
+      msg_thunk.(s) <- (fun () -> msg s);
+      for j = 0 to Array.length nbrs.(s) - 1 do
+        chan_thunk.(chan_base.(s) + j) <- (fun () -> msg s)
+      done;
+      E.post e ~delay:0 msg_thunk.(s)
+    done;
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    E.run e;
+    let t1 = Unix.gettimeofday () in
+    let w1 = Gc.minor_words () in
+    let events = E.dispatched e in
+    let elapsed = t1 -. t0 in
+    {
+      events;
+      ns_per_event = elapsed *. 1e9 /. float_of_int events;
+      events_per_sec = float_of_int events /. elapsed;
+      minor_words_per_event = (w1 -. w0) /. float_of_int events;
+    }
+end
+
+module Micro_pooled = Micro (Netsim.Engine)
+module Micro_reference = Micro (Netsim.Engine_reference)
+module Macro_pooled = Macro (Netsim.Engine)
+module Macro_reference = Macro (Netsim.Engine_reference)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep: the real reconfiguration runner fanned over seeds, run
+   sequentially and in parallel; outcomes must match seed for seed. *)
+
+type sweep_result = {
+  seeds : int;
+  domains : int;
+  seq_seconds : float;
+  par_seconds : float;
+  sweep_speedup : float;
+  deterministic : bool;
+}
+
+let reconfig_job seed =
+  let g = Topo.Build.src_lan () in
+  let params =
+    {
+      Reconfig.Runner.default_params with
+      control_loss = 0.05;
+      retransmit_after = Netsim.Time.ms 1;
+      seed;
+    }
+  in
+  let o = Reconfig.Runner.run_after_failure ~params g ~fail:(`Switch 4) in
+  (o.converged, o.elapsed, o.messages, o.wire_transmissions)
+
+let sweep_bench ~seeds =
+  let seed_list = List.init seeds (fun i -> i) in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq, seq_seconds =
+    time (fun () -> Netsim.Sweep.map ~domains:1 ~seeds:seed_list reconfig_job)
+  in
+  let domains = Netsim.Sweep.domains_available () in
+  let par, par_seconds =
+    time (fun () -> Netsim.Sweep.map ~domains ~seeds:seed_list reconfig_job)
+  in
+  {
+    seeds;
+    domains;
+    seq_seconds;
+    par_seconds;
+    sweep_speedup = seq_seconds /. par_seconds;
+    deterministic = seq = par;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let write_json ~file ~smoke ~samples ~(mac_ref : macro) ~(mac_pool : macro)
+    ~(sw : sweep_result) =
+  let oc = open_out file in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"an2-engine-perf-v1\",\n";
+  p "  \"smoke\": %b,\n" smoke;
+  p "  \"micro\": [\n";
+  List.iteri
+    (fun k s ->
+      p
+        "    { \"engine\": \"%s\", \"name\": \"%s\", \"ops\": %d, \
+         \"ns_per_op\": %.1f, \"minor_words_per_op\": %.2f }%s\n"
+        s.engine s.name s.ops s.ns_per_op s.words_per_op
+        (if k = List.length samples - 1 then "" else ","))
+    samples;
+  p "  ],\n";
+  let macro_obj name (m : macro) last =
+    p
+      "    \"%s\": { \"events\": %d, \"ns_per_event\": %.1f, \
+       \"events_per_sec\": %.0f, \"minor_words_per_event\": %.2f }%s\n"
+      name m.events m.ns_per_event m.events_per_sec m.minor_words_per_event
+      (if last then "" else ",")
+  in
+  p "  \"macro\": {\n";
+  p "    \"model\": \"srclan-control-plane\",\n";
+  macro_obj "reference" mac_ref false;
+  macro_obj "pooled" mac_pool true;
+  p "  },\n";
+  p "  \"sweep\": {\n";
+  p "    \"model\": \"reconfig-srclan-fail-switch-loss-0.05\",\n";
+  p "    \"seeds\": %d,\n" sw.seeds;
+  p "    \"domains\": %d,\n" sw.domains;
+  p "    \"seq_seconds\": %.3f,\n" sw.seq_seconds;
+  p "    \"par_seconds\": %.3f,\n" sw.par_seconds;
+  p "    \"speedup\": %.2f,\n" sw.sweep_speedup;
+  p "    \"deterministic\": %b\n" sw.deterministic;
+  p "  },\n";
+  let find engine name =
+    List.find (fun s -> s.engine = engine && s.name = name) samples
+  in
+  p "  \"derived\": {\n";
+  p "    \"macro_events_per_sec_before\": %.0f,\n" mac_ref.events_per_sec;
+  p "    \"macro_events_per_sec_after\": %.0f,\n" mac_pool.events_per_sec;
+  p "    \"macro_speedup\": %.2f,\n"
+    (mac_pool.events_per_sec /. mac_ref.events_per_sec);
+  p "    \"schedule_dispatch_speedup\": %.2f,\n"
+    ((find "reference" "schedule+dispatch").ns_per_op
+    /. (find "pooled" "schedule+dispatch").ns_per_op);
+  p "    \"pooled_schedule_dispatch_minor_words_per_cycle\": %.2f\n"
+    (find "pooled" "schedule+dispatch").words_per_op;
+  p "  }\n";
+  p "}\n";
+  close_out oc
+
+let () =
+  let smoke = ref false and out = ref "BENCH_engine.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse rest
+    | "--out" :: file :: rest ->
+      out := file;
+      parse rest
+    | [ "--out" ] ->
+      prerr_endline "engine_perf: --out requires a value";
+      exit 2
+    | arg :: _ ->
+      Printf.eprintf
+        "engine_perf: unknown argument %s (usage: engine_perf [--smoke] [--out \
+         FILE])\n"
+        arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let ops = if !smoke then 20_000 else 1_000_000 in
+  let events_target = if !smoke then 100_000 else 2_000_000 in
+  let sweep_seeds = if !smoke then 4 else 16 in
+  let samples =
+    Micro_pooled.run ~engine_name:"pooled" ~ops
+    @ Micro_reference.run ~engine_name:"reference" ~ops
+  in
+  let mac_pool = Macro_pooled.run ~events_target in
+  let mac_ref = Macro_reference.run ~events_target in
+  let sw = sweep_bench ~seeds:sweep_seeds in
+  Printf.printf "micro (%d ops each):\n" ops;
+  List.iter
+    (fun s ->
+      Printf.printf "  %-9s %-30s %8.1f ns/op %8.2f words/op\n" s.engine s.name
+        s.ns_per_op s.words_per_op)
+    samples;
+  Printf.printf
+    "macro srclan-control: reference %.2f Mev/s, pooled %.2f Mev/s (%.2fx), \
+     pooled %.2f words/event\n"
+    (mac_ref.events_per_sec /. 1e6)
+    (mac_pool.events_per_sec /. 1e6)
+    (mac_pool.events_per_sec /. mac_ref.events_per_sec)
+    mac_pool.minor_words_per_event;
+  Printf.printf
+    "sweep reconfig x%d: seq %.2fs, par %.2fs on %d domains (%.2fx), \
+     deterministic %b\n"
+    sw.seeds sw.seq_seconds sw.par_seconds sw.domains sw.sweep_speedup
+    sw.deterministic;
+  write_json ~file:!out ~smoke:!smoke ~samples ~mac_ref ~mac_pool ~sw;
+  Printf.printf "wrote %s\n" !out

@@ -67,24 +67,21 @@ let f4 () =
         Flow.Credit.Upstream.on_send up;
         incr sent;
         log (Printf.sprintf "cell %d sent (uses a credit)" !sent);
-        ignore
-          (Netsim.Engine.schedule engine ~delay:(cell_time + latency) (fun () ->
-               Flow.Credit.Downstream.on_arrival ds;
-               log "  cell arrived downstream";
-               ignore
-                 (Netsim.Engine.schedule engine ~delay:service (fun () ->
-                      let msg = Flow.Credit.Downstream.on_forward ds in
-                      log "  cell forwarded, buffer freed";
-                      ignore
-                        (Netsim.Engine.schedule engine ~delay:latency (fun () ->
-                             Flow.Credit.Upstream.on_credit up msg;
-                             log "credit returned";
-                             try_send ()))))));
-        ignore (Netsim.Engine.schedule engine ~delay:cell_time try_send)
-      end
-      else incr stalled
-  in
-  try_send ();
+        Netsim.Engine.post engine ~delay:(cell_time + latency) (fun () ->
+            Flow.Credit.Downstream.on_arrival ds;
+            log "  cell arrived downstream";
+            Netsim.Engine.post engine ~delay:service (fun () ->
+                let msg = Flow.Credit.Downstream.on_forward ds in
+                log "  cell forwarded, buffer freed";
+                Netsim.Engine.post engine ~delay:latency (fun () ->
+                    Flow.Credit.Upstream.on_credit up msg;
+                    log "credit returned";
+                    try_send ())));
+        Netsim.Engine.post engine ~delay:cell_time try_send
+   end
+   else incr stalled
+in
+try_send ();
   Netsim.Engine.run engine;
   Util.shape "stalls at zero balance occurred" (!stalled > 0);
   Util.shape "all cells eventually delivered"

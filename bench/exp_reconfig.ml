@@ -82,10 +82,9 @@ let e10 () =
     let up = ref true in
     let rec flip at =
       if at < total then
-        ignore
-          (Netsim.Engine.schedule_at engine ~at (fun () ->
-               up := not !up;
-               flip (at + flap_period)))
+        Netsim.Engine.post_at engine ~at (fun () ->
+            up := not !up;
+            flip (at + flap_period))
     in
     flip flap_period;
     let transitions = ref 0 in

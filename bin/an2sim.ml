@@ -51,6 +51,44 @@ let finish_obs ?(ts_scale = 1e-3) obs ~trace ~metrics =
    | Some file -> Obs.Metrics.write_json file (Obs.Sink.metrics obs)
    | None -> ())
 
+(* Multi-seed sweeps: --sweep N fans seeds seed..seed+N-1 across
+   domains via Netsim.Sweep (--jobs caps the domain count). Each job
+   gets its own enabled sink; the merged registry serves --metrics.
+   Trace rings are per-seed and are not merged, so --trace is ignored
+   under --sweep. *)
+
+let sweep_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "sweep" ] ~docv:"N"
+        ~doc:
+          "Run $(docv) seeds (seed, seed+1, ...) across domains and report \
+           per-seed results plus aggregates. 0 disables.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jobs" ] ~docv:"J"
+        ~doc:"Domains to use for $(b,--sweep) (default: all cores).")
+
+let sweep_metrics ~jobs ~seeds ~trace ~metrics job =
+  if trace <> None then
+    prerr_endline
+      "an2sim: --trace is ignored with --sweep (per-seed traces are not \
+       merged)";
+  let domains = if jobs > 0 then jobs else Netsim.Sweep.domains_available () in
+  let results, merged = Netsim.Sweep.map_obs ~domains ~seeds job in
+  (match metrics with
+   | Some file -> Obs.Metrics.write_json file merged
+   | None -> ());
+  results
+
+let mean_over outs f =
+  List.fold_left (fun a o -> a +. f o) 0.0 outs
+  /. float_of_int (max 1 (List.length outs))
+
 let make_topology kind switches =
   match kind with
   | "linear" -> Topo.Build.linear switches
@@ -189,28 +227,72 @@ let reconfig_cmd =
     Arg.(value & opt (some int) None
          & info [ "fail-link" ] ~docv:"L" ~doc:"Link to kill.")
   in
-  let run kind switches fail_switch fail_link trace metrics =
-    let obs = make_sink ~trace ~metrics in
-    let g = make_topology kind switches in
-    let outcome =
+  let loss_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "control-loss" ] ~docv:"P"
+          ~doc:
+            "Control-cell drop probability (the reliable layer retransmits, \
+             so the protocol still converges).")
+  in
+  let run kind switches fail_switch fail_link loss sweep jobs seed trace
+      metrics =
+    let once ~obs seed =
+      let g = make_topology kind switches in
+      let params =
+        { Reconfig.Runner.default_params with control_loss = loss; seed }
+      in
       match (fail_switch, fail_link) with
-      | Some s, _ -> Reconfig.Runner.run_after_failure ~obs g ~fail:(`Switch s)
-      | None, Some l -> Reconfig.Runner.run_after_failure ~obs g ~fail:(`Link l)
-      | None, None -> Reconfig.Runner.run ~obs g ~triggers:[ (0, 0) ]
+      | Some s, _ ->
+        Reconfig.Runner.run_after_failure ~params ~obs g ~fail:(`Switch s)
+      | None, Some l ->
+        Reconfig.Runner.run_after_failure ~params ~obs g ~fail:(`Link l)
+      | None, None -> Reconfig.Runner.run ~params ~obs g ~triggers:[ (0, 0) ]
     in
-    Format.printf
-      "converged=%b elapsed=%a messages=%d agreement=%b topology-correct=%b@."
-      outcome.converged Netsim.Time.pp outcome.elapsed outcome.messages
-      outcome.agreement outcome.topology_correct;
-    Format.printf "winning tag=%a propagation-tree depth=%d (BFS %d)@."
-      Reconfig.Tag.pp outcome.final_tag outcome.tree_depth outcome.bfs_depth;
-    finish_obs obs ~trace ~metrics
+    if sweep > 0 then begin
+      let seeds = List.init sweep (fun i -> seed + i) in
+      let results =
+        sweep_metrics ~jobs ~seeds ~trace ~metrics (fun s sink ->
+            once ~obs:sink s)
+      in
+      List.iter
+        (fun (s, (o : Reconfig.Runner.outcome)) ->
+          Format.printf "seed %d: converged=%b elapsed=%a messages=%d wire=%d@."
+            s o.converged Netsim.Time.pp o.elapsed o.messages
+            o.wire_transmissions)
+        results;
+      let outs = List.map snd results in
+      let converged =
+        List.length (List.filter (fun o -> o.Reconfig.Runner.converged) outs)
+      in
+      Format.printf
+        "sweep of %d seeds: converged %d/%d, mean elapsed %.2f ms, mean \
+         messages %.0f, mean wire %.0f@."
+        sweep converged (List.length outs)
+        (mean_over outs (fun o ->
+             float_of_int o.Reconfig.Runner.elapsed /. 1e6))
+        (mean_over outs (fun o -> float_of_int o.Reconfig.Runner.messages))
+        (mean_over outs (fun o ->
+             float_of_int o.Reconfig.Runner.wire_transmissions))
+    end
+    else begin
+      let obs = make_sink ~trace ~metrics in
+      let outcome = once ~obs seed in
+      Format.printf
+        "converged=%b elapsed=%a messages=%d agreement=%b topology-correct=%b@."
+        outcome.converged Netsim.Time.pp outcome.elapsed outcome.messages
+        outcome.agreement outcome.topology_correct;
+      Format.printf "winning tag=%a propagation-tree depth=%d (BFS %d)@."
+        Reconfig.Tag.pp outcome.final_tag outcome.tree_depth outcome.bfs_depth;
+      finish_obs obs ~trace ~metrics
+    end
   in
   let doc = "Run the distributed reconfiguration protocol." in
   Cmd.v (Cmd.info "reconfig" ~doc)
     Term.(
       const run $ kind_arg $ switches_arg $ fail_switch_arg $ fail_link_arg
-      $ trace_arg $ metrics_arg)
+      $ loss_arg $ sweep_arg $ jobs_arg $ seed_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* flow *)
@@ -229,29 +311,57 @@ let flow_cmd =
   let resync_arg =
     Arg.(value & flag & info [ "resync" ] ~doc:"Enable periodic resync.")
   in
-  let run credits hops loss resync seed trace metrics =
-    let obs = make_sink ~trace ~metrics in
-    let p =
+  let run credits hops loss resync sweep jobs seed trace metrics =
+    let params seed =
       { Flow.Chain.default_params with
         credits; hops; credit_loss_prob = loss; seed;
         resync_interval = (if resync then Some (Netsim.Time.ms 1) else None) }
     in
-    let r = Flow.Chain.run ~obs p in
-    Format.printf
-      "rtt-credits-needed=%d throughput=%.3f mean-latency=%.1fus p99=%.1fus \
-       max-occupancy=%d overflow=%b@."
-      (Flow.Chain.round_trip_credits p)
-      r.throughput r.mean_latency r.p99_latency r.max_occupancy r.overflowed;
-    Format.printf "windows:";
-    Array.iter (fun w -> Format.printf " %.2f" w) r.window_throughput;
-    Format.printf "@.";
-    finish_obs obs ~trace ~metrics
+    if sweep > 0 then begin
+      let seeds = List.init sweep (fun i -> seed + i) in
+      let results =
+        sweep_metrics ~jobs ~seeds ~trace ~metrics (fun s sink ->
+            Flow.Chain.run ~obs:sink (params s))
+      in
+      List.iter
+        (fun (s, (r : Flow.Chain.result)) ->
+          Format.printf
+            "seed %d: throughput=%.3f mean-latency=%.1fus p99=%.1fus \
+             max-occupancy=%d overflow=%b@."
+            s r.throughput r.mean_latency r.p99_latency r.max_occupancy
+            r.overflowed)
+        results;
+      let rs = List.map snd results in
+      let tps = List.map (fun (r : Flow.Chain.result) -> r.throughput) rs in
+      Format.printf
+        "sweep of %d seeds: throughput mean %.3f (min %.3f, max %.3f), mean \
+         p99 %.1fus@."
+        sweep
+        (mean_over rs (fun (r : Flow.Chain.result) -> r.throughput))
+        (List.fold_left min infinity tps)
+        (List.fold_left max neg_infinity tps)
+        (mean_over rs (fun (r : Flow.Chain.result) -> r.p99_latency))
+    end
+    else begin
+      let obs = make_sink ~trace ~metrics in
+      let p = params seed in
+      let r = Flow.Chain.run ~obs p in
+      Format.printf
+        "rtt-credits-needed=%d throughput=%.3f mean-latency=%.1fus p99=%.1fus \
+         max-occupancy=%d overflow=%b@."
+        (Flow.Chain.round_trip_credits p)
+        r.throughput r.mean_latency r.p99_latency r.max_occupancy r.overflowed;
+      Format.printf "windows:";
+      Array.iter (fun w -> Format.printf " %.2f" w) r.window_throughput;
+      Format.printf "@.";
+      finish_obs obs ~trace ~metrics
+    end
   in
   let doc = "Credit flow control along a chain of switches." in
   Cmd.v (Cmd.info "flow" ~doc)
     Term.(
-      const run $ credits_arg $ hops_arg $ loss_arg $ resync_arg $ seed_arg
-      $ trace_arg $ metrics_arg)
+      const run $ credits_arg $ hops_arg $ loss_arg $ resync_arg $ sweep_arg
+      $ jobs_arg $ seed_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* deadlock *)
@@ -319,77 +429,119 @@ let e2e_cmd =
   let ms_arg =
     Arg.(value & opt int 10 & info [ "duration-ms" ] ~docv:"MS" ~doc:"Run length.")
   in
-  let run hops cbr be packets ms seed trace metrics =
-    let obs = make_sink ~trace ~metrics in
-    let frame = 128 in
-    let g = Topo.Build.linear hops in
-    let h1, h2 = Topo.Build.with_host_pair g in
-    let net = An2.Network.create ~frame g in
-    let bwc = An2.Bandwidth_central.create net in
-    let sources = ref [] in
-    if cbr > 0 then begin
-      match An2.Bandwidth_central.request bwc ~src_host:h1 ~dst_host:h2 ~cells:cbr with
-      | Ok vc -> sources := An2.Netrun.Cbr vc :: !sources
-      | Error d -> Fmt.failwith "admission denied: %a" An2.Bandwidth_central.pp_denial d
-    end;
-    if be then begin
-      match An2.Network.setup_best_effort net ~src_host:h1 ~dst_host:h2 with
-      | Ok vc -> sources := An2.Netrun.Saturated_be vc :: !sources
-      | Error e -> failwith e
-    end;
-    if packets > 0 then begin
-      match An2.Network.setup_best_effort net ~src_host:h1 ~dst_host:h2 with
-      | Ok vc -> sources := An2.Netrun.Packets_be (vc, 0.5, packets) :: !sources
-      | Error e -> failwith e
-    end;
-    if !sources = [] then
-      failwith "nothing to run: pass --cbr, --be and/or --packets";
-    let p = { An2.Netrun.default_params with seed } in
-    let r =
-      An2.Netrun.run net p ~sources:!sources ~duration:(Netsim.Time.ms ms) ()
+  let run hops cbr be packets ms sweep jobs seed trace metrics =
+    (* Everything is rebuilt from the seed inside [once] so sweep jobs
+       share no state. *)
+    let once ~obs seed =
+      let frame = 128 in
+      let g = Topo.Build.linear hops in
+      let h1, h2 = Topo.Build.with_host_pair g in
+      let net = An2.Network.create ~frame g in
+      let bwc = An2.Bandwidth_central.create net in
+      let sources = ref [] in
+      if cbr > 0 then begin
+        match An2.Bandwidth_central.request bwc ~src_host:h1 ~dst_host:h2 ~cells:cbr with
+        | Ok vc -> sources := An2.Netrun.Cbr vc :: !sources
+        | Error d -> Fmt.failwith "admission denied: %a" An2.Bandwidth_central.pp_denial d
+      end;
+      if be then begin
+        match An2.Network.setup_best_effort net ~src_host:h1 ~dst_host:h2 with
+        | Ok vc -> sources := An2.Netrun.Saturated_be vc :: !sources
+        | Error e -> failwith e
+      end;
+      if packets > 0 then begin
+        match An2.Network.setup_best_effort net ~src_host:h1 ~dst_host:h2 with
+        | Ok vc -> sources := An2.Netrun.Packets_be (vc, 0.5, packets) :: !sources
+        | Error e -> failwith e
+      end;
+      if !sources = [] then
+        failwith "nothing to run: pass --cbr, --be and/or --packets";
+      let p = { An2.Netrun.default_params with seed } in
+      let r =
+        An2.Netrun.run net p ~sources:!sources ~duration:(Netsim.Time.ms ms) ()
+      in
+      if Obs.Sink.enabled obs then begin
+        List.iter
+          (fun (id, (s : An2.Netrun.vc_stats)) ->
+            let pfx = Printf.sprintf "e2e.vc%d." id in
+            Obs.Metrics.Counter.set (Obs.Sink.counter obs (pfx ^ "sent")) s.sent;
+            Obs.Metrics.Counter.set
+              (Obs.Sink.counter obs (pfx ^ "delivered"))
+              s.delivered;
+            Obs.Metrics.Counter.set
+              (Obs.Sink.counter obs (pfx ^ "dropped"))
+              s.dropped;
+            Obs.Metrics.Gauge.set
+              (Obs.Sink.gauge obs (pfx ^ "mean_latency_us"))
+              s.mean_latency_us;
+            Obs.Sink.instant obs ~name:"vc-done" ~cat:"e2e"
+              ~ts:(Netsim.Time.ms ms) ~tid:id ~v:s.delivered)
+          r.per_vc;
+        Obs.Metrics.Gauge.set
+          (Obs.Sink.gauge obs "e2e.max_guaranteed_backlog")
+          (float_of_int r.max_guaranteed_backlog)
+      end;
+      r
     in
-    List.iter
-      (fun (id, (s : An2.Netrun.vc_stats)) ->
-        Format.printf
-          "vc %d: sent=%d delivered=%d dropped=%d latency mean=%.1f p99=%.1f \
-           max=%.1f jitter=%.1f (us)@."
-          id s.sent s.delivered s.dropped s.mean_latency_us s.p99_latency_us
-          s.max_latency_us s.jitter_us;
-        if s.packets_sent > 0 then
+    if sweep > 0 then begin
+      let seeds = List.init sweep (fun i -> seed + i) in
+      let results =
+        sweep_metrics ~jobs ~seeds ~trace ~metrics (fun s sink ->
+            once ~obs:sink s)
+      in
+      List.iter
+        (fun (s, (r : An2.Netrun.result)) ->
+          let sent, delivered, dropped =
+            List.fold_left
+              (fun (a, b, c) (_, (v : An2.Netrun.vc_stats)) ->
+                (a + v.sent, b + v.delivered, c + v.dropped))
+              (0, 0, 0) r.per_vc
+          in
           Format.printf
-            "      packets: %d sent, %d reassembled, mean latency %.1fus@."
-            s.packets_sent s.packets_delivered s.packet_mean_latency_us)
-      r.per_vc;
-    Format.printf "worst guaranteed backlog: %d cells (%.2f frames)@."
-      r.max_guaranteed_backlog r.guaranteed_backlog_frames;
-    if Obs.Sink.enabled obs then begin
+            "seed %d: sent=%d delivered=%d dropped=%d worst-backlog=%d@." s
+            sent delivered dropped r.max_guaranteed_backlog)
+        results;
+      let rs = List.map snd results in
+      let worst =
+        List.fold_left
+          (fun a (r : An2.Netrun.result) -> max a r.max_guaranteed_backlog)
+          0 rs
+      in
+      Format.printf
+        "sweep of %d seeds: mean delivered %.0f, worst guaranteed backlog %d \
+         cells@."
+        sweep
+        (mean_over rs (fun (r : An2.Netrun.result) ->
+             List.fold_left
+               (fun a (_, (v : An2.Netrun.vc_stats)) -> a +. float_of_int v.delivered)
+               0.0 r.per_vc))
+        worst
+    end
+    else begin
+      let obs = make_sink ~trace ~metrics in
+      let r = once ~obs seed in
       List.iter
         (fun (id, (s : An2.Netrun.vc_stats)) ->
-          let pfx = Printf.sprintf "e2e.vc%d." id in
-          Obs.Metrics.Counter.set (Obs.Sink.counter obs (pfx ^ "sent")) s.sent;
-          Obs.Metrics.Counter.set
-            (Obs.Sink.counter obs (pfx ^ "delivered"))
-            s.delivered;
-          Obs.Metrics.Counter.set
-            (Obs.Sink.counter obs (pfx ^ "dropped"))
-            s.dropped;
-          Obs.Metrics.Gauge.set
-            (Obs.Sink.gauge obs (pfx ^ "mean_latency_us"))
-            s.mean_latency_us;
-          Obs.Sink.instant obs ~name:"vc-done" ~cat:"e2e"
-            ~ts:(Netsim.Time.ms ms) ~tid:id ~v:s.delivered)
+          Format.printf
+            "vc %d: sent=%d delivered=%d dropped=%d latency mean=%.1f p99=%.1f \
+             max=%.1f jitter=%.1f (us)@."
+            id s.sent s.delivered s.dropped s.mean_latency_us s.p99_latency_us
+            s.max_latency_us s.jitter_us;
+          if s.packets_sent > 0 then
+            Format.printf
+              "      packets: %d sent, %d reassembled, mean latency %.1fus@."
+              s.packets_sent s.packets_delivered s.packet_mean_latency_us)
         r.per_vc;
-      Obs.Metrics.Gauge.set
-        (Obs.Sink.gauge obs "e2e.max_guaranteed_backlog")
-        (float_of_int r.max_guaranteed_backlog)
-    end;
-    finish_obs obs ~trace ~metrics
+      Format.printf "worst guaranteed backlog: %d cells (%.2f frames)@."
+        r.max_guaranteed_backlog r.guaranteed_backlog_frames;
+      finish_obs obs ~trace ~metrics
+    end
   in
   let doc = "End-to-end run over a chain: guaranteed + best-effort traffic." in
   Cmd.v (Cmd.info "e2e" ~doc)
     Term.(
-      const run $ hops_arg $ cbr_arg $ be_arg $ packets_arg $ ms_arg $ seed_arg
-      $ trace_arg $ metrics_arg)
+      const run $ hops_arg $ cbr_arg $ be_arg $ packets_arg $ ms_arg
+      $ sweep_arg $ jobs_arg $ seed_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* local-reconfig *)

@@ -168,24 +168,22 @@ let simulate net mc ~rate ~duration =
         (fun lid ->
           incr crossings;
           let transit = cell_time + latency lid in
-          ignore
-            (Netsim.Engine.schedule engine ~delay:transit (fun () ->
-                 match host_of_link lid with
-                 | Some h ->
-                   Hashtbl.replace received h (Hashtbl.find received h + 1);
-                   Netsim.Stats.Summary.add (Hashtbl.find lat h)
-                     (Netsim.Time.to_us (Netsim.Engine.now engine - born))
-                 | None ->
-                   let l = Topo.Graph.link g lid in
-                   let next =
-                     match (l.Topo.Graph.a.node, l.Topo.Graph.b.node) with
-                     | Topo.Graph.Switch a, Topo.Graph.Switch b ->
-                       if a = s then b else a
-                     | _ -> assert false
-                   in
-                   ignore
-                     (Netsim.Engine.schedule engine ~delay:crossbar (fun () ->
-                          forward_from_switch next born)))))
+          Netsim.Engine.post engine ~delay:transit (fun () ->
+              match host_of_link lid with
+              | Some h ->
+                Hashtbl.replace received h (Hashtbl.find received h + 1);
+                Netsim.Stats.Summary.add (Hashtbl.find lat h)
+                  (Netsim.Time.to_us (Netsim.Engine.now engine - born))
+              | None ->
+                let l = Topo.Graph.link g lid in
+                let next =
+                  match (l.Topo.Graph.a.node, l.Topo.Graph.b.node) with
+                  | Topo.Graph.Switch a, Topo.Graph.Switch b ->
+                    if a = s then b else a
+                  | _ -> assert false
+                in
+                Netsim.Engine.post engine ~delay:crossbar (fun () ->
+                    forward_from_switch next born)))
         outs
   in
   (* Source: host link into the root, then down the tree. *)
@@ -195,14 +193,13 @@ let simulate net mc ~rate ~duration =
       incr sent;
       incr crossings;
       let born = Netsim.Engine.now engine in
-      ignore
-        (Netsim.Engine.schedule engine
-           ~delay:(cell_time + latency src_link + crossbar)
-           (fun () -> forward_from_switch mc.root born));
-      ignore (Netsim.Engine.schedule engine ~delay:gap emit)
-    end
-  in
-  emit ();
+      Netsim.Engine.post engine
+        ~delay:(cell_time + latency src_link + crossbar)
+        (fun () -> forward_from_switch mc.root born);
+      Netsim.Engine.post engine ~delay:gap emit
+ end
+in
+emit ();
   (* Run to quiescence: emission stops at [duration], then in-flight
      cells land. *)
   Netsim.Engine.run engine;

@@ -229,40 +229,37 @@ let run net p ~sources ?(events = []) ~duration () =
         let lat = latency in_l in
         let vcid = st.vc.Network.vc_id in
         let ep = cell.epoch in
-        ignore
-          (Netsim.Engine.schedule engine ~delay:lat (fun () ->
-               if ep = st.epoch then
-                 Flow.Credit.Upstream.on_credit (credit in_l vcid)
-                   Flow.Credit.Increment))
+        Netsim.Engine.post engine ~delay:lat (fun () ->
+            if ep = st.epoch then
+              Flow.Credit.Upstream.on_credit (credit in_l vcid)
+                Flow.Credit.Increment)
       end
     end;
     let transit =
       p.cell_time + latency out_l
       + if j >= 1 then p.crossbar_delay else 0
     in
-    ignore
-      (Netsim.Engine.schedule engine ~delay:transit (fun () ->
-           if cell.epoch <> st.epoch || not (link_ok out_l) then
-             st.dropped <- st.dropped + 1
-           else if j = Array.length st.links - 1 then begin
-             (* Final host link: delivery; the sink frees the buffer
-                instantly. *)
-             deliver st cell;
-             if not st.is_guaranteed then begin
-               let vcid = st.vc.Network.vc_id in
-               let ep = cell.epoch in
-               ignore
-                 (Netsim.Engine.schedule engine ~delay:(latency out_l) (fun () ->
-                      if ep = st.epoch then
-                        Flow.Credit.Upstream.on_credit (credit out_l vcid)
-                          Flow.Credit.Increment))
-             end
-           end
-           else begin
-             let s = st.switches.(j) in
-             Queue.add (cell, j + 1) (buffer_q s st.vc.Network.vc_id);
-             if st.is_guaranteed then gbacklog_adj s out_l 1
-           end))
+    Netsim.Engine.post engine ~delay:transit (fun () ->
+        if cell.epoch <> st.epoch || not (link_ok out_l) then
+          st.dropped <- st.dropped + 1
+        else if j = Array.length st.links - 1 then begin
+          (* Final host link: delivery; the sink frees the buffer
+             instantly. *)
+          deliver st cell;
+          if not st.is_guaranteed then begin
+            let vcid = st.vc.Network.vc_id in
+            let ep = cell.epoch in
+            Netsim.Engine.post engine ~delay:(latency out_l) (fun () ->
+                if ep = st.epoch then
+                  Flow.Credit.Upstream.on_credit (credit out_l vcid)
+                    Flow.Credit.Increment)
+          end
+        end
+        else begin
+          let s = st.switches.(j) in
+          Queue.add (cell, j + 1) (buffer_q s st.vc.Network.vc_id);
+          if st.is_guaranteed then gbacklog_adj s out_l 1
+        end)
   in
   (* One slot of switch [s]. *)
   let switch_slot = Array.make n_switches 0 in
@@ -378,9 +375,9 @@ let run net p ~sources ?(events = []) ~duration () =
         phase + int_of_float (Float.round (float_of_int (k + 1) *. float_of_int p.cell_time *. factor))
       in
       if at <= duration then
-        ignore (Netsim.Engine.schedule_at engine ~at (fun () -> tick (k + 1)))
+        Netsim.Engine.post_at engine ~at (fun () -> tick (k + 1))
     in
-    ignore (Netsim.Engine.schedule_at engine ~at:phase (fun () -> tick 0))
+    Netsim.Engine.post_at engine ~at:phase (fun () -> tick 0)
   in
   for s = 0 to n_switches - 1 do
     start_switch s
@@ -406,19 +403,18 @@ let run net p ~sources ?(events = []) ~duration () =
         let gap = max 1 (frame_time / cells) in
         let rec emit () =
           inject st;
-          ignore (Netsim.Engine.schedule engine ~delay:gap emit)
-        in
-        ignore
-          (Netsim.Engine.schedule engine ~delay:(Netsim.Rng.int rng gap) emit)
+          Netsim.Engine.post engine ~delay:gap emit
+     in
+     Netsim.Engine.post engine ~delay:(Netsim.Rng.int rng gap) emit
       | Saturated_be vc ->
         let st = state_of vc.Network.vc_id in
         let rec emit () =
           if Flow.Credit.Upstream.can_send (credit st.links.(0) vc.Network.vc_id)
           then inject st;
-          ignore (Netsim.Engine.schedule engine ~delay:p.cell_time emit)
-        in
-        ignore (Netsim.Engine.schedule engine ~delay:p.cell_time emit)
-      | Paced_be (vc, rate) ->
+          Netsim.Engine.post engine ~delay:p.cell_time emit
+     in
+     Netsim.Engine.post engine ~delay:p.cell_time emit
+| Paced_be (vc, rate) ->
         let st = state_of vc.Network.vc_id in
         let rec emit () =
           if Netsim.Rng.bernoulli rng rate then
@@ -431,10 +427,10 @@ let run net p ~sources ?(events = []) ~duration () =
             st.host_backlog <- st.host_backlog - 1;
             inject st
           end;
-          ignore (Netsim.Engine.schedule engine ~delay:p.cell_time emit)
-        in
-        ignore (Netsim.Engine.schedule engine ~delay:p.cell_time emit)
-      | Packets_be (vc, rate, size) ->
+          Netsim.Engine.post engine ~delay:p.cell_time emit
+     in
+     Netsim.Engine.post engine ~delay:p.cell_time emit
+| Packets_be (vc, rate, size) ->
         let st = state_of vc.Network.vc_id in
         let cells_per_packet = Host.cells_needed size in
         let start_prob = rate /. float_of_int cells_per_packet in
@@ -457,9 +453,9 @@ let run net p ~sources ?(events = []) ~duration () =
              ignore (Queue.pop queue);
              inject ~payload:c st
            | _ -> ());
-          ignore (Netsim.Engine.schedule engine ~delay:p.cell_time emit)
-        in
-        ignore (Netsim.Engine.schedule engine ~delay:p.cell_time emit))
+          Netsim.Engine.post engine ~delay:p.cell_time emit
+     in
+     Netsim.Engine.post engine ~delay:p.cell_time emit)
     sources;
   (* Scheduled control-plane events. *)
   let flush_vc st =
@@ -500,22 +496,21 @@ let run net p ~sources ?(events = []) ~duration () =
   in
   List.iter
     (fun (at, ev) ->
-      ignore
-        (Netsim.Engine.schedule_at engine ~at (fun () ->
-             match ev with
-             | Fail_link lid -> Topo.Graph.fail_link g lid
-             | Fail_switch s -> Topo.Graph.fail_switch g s
-             | Reroute_be ->
-               List.iter
-                 (fun (_, st) -> if not st.is_guaranteed then reroute_vc st)
-                 states;
-               rebuild_be ()
-             | Reroute_guaranteed bwc ->
-               List.iter
-                 (fun (_, st) ->
-                   if st.is_guaranteed then reroute_guaranteed_vc bwc st)
-                 states;
-               rebuild_gmap ())))
+      Netsim.Engine.post_at engine ~at (fun () ->
+          match ev with
+          | Fail_link lid -> Topo.Graph.fail_link g lid
+          | Fail_switch s -> Topo.Graph.fail_switch g s
+          | Reroute_be ->
+            List.iter
+              (fun (_, st) -> if not st.is_guaranteed then reroute_vc st)
+              states;
+            rebuild_be ()
+          | Reroute_guaranteed bwc ->
+            List.iter
+              (fun (_, st) ->
+                if st.is_guaranteed then reroute_guaranteed_vc bwc st)
+              states;
+            rebuild_gmap ()))
     events;
   Netsim.Engine.run_until engine duration;
   let per_vc =

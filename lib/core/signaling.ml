@@ -61,40 +61,37 @@ let setup_with_data net ~src_host ~dst_host p =
            start + p.cell_time + latency j
            + if j >= 1 then p.crossbar_delay else 0
          in
-         ignore
-           (Netsim.Engine.schedule_at engine ~at:arrive_at (fun () ->
-                if j = k then begin
-                  (* Destination host. *)
-                  incr delivered;
-                  if seq <= !last_seq then in_order := false;
-                  last_seq := max !last_seq seq;
-                  if seq = 0 then
-                    first_data_latency :=
-                      Netsim.Time.to_us (Netsim.Engine.now engine - emitted.(0))
-                end
-                else if installed.(j + 1) then forward (j + 1) seq
-                else begin
-                  Queue.add seq backlog.(j + 1);
-                  let b = Queue.length backlog.(j + 1) in
-                  if b > !max_backlog then max_backlog := b
-                end))
+         Netsim.Engine.post_at engine ~at:arrive_at (fun () ->
+             if j = k then begin
+               (* Destination host. *)
+               incr delivered;
+               if seq <= !last_seq then in_order := false;
+               last_seq := max !last_seq seq;
+               if seq = 0 then
+                 first_data_latency :=
+                   Netsim.Time.to_us (Netsim.Engine.now engine - emitted.(0))
+             end
+             else if installed.(j + 1) then forward (j + 1) seq
+             else begin
+               Queue.add seq backlog.(j + 1);
+               let b = Queue.length backlog.(j + 1) in
+               if b > !max_backlog then max_backlog := b
+             end)
        in
        (* The setup cell: software processing at each switch installs
           the entry and releases any backlog, in order, at link rate. *)
        let rec setup_hop j =
          let transit = p.cell_time + latency (j - 1) in
-         ignore
-           (Netsim.Engine.schedule engine ~delay:transit (fun () ->
-                ignore
-                  (Netsim.Engine.schedule engine ~delay:p.proc_delay (fun () ->
-                       installed.(j) <- true;
-                       setup_done := Netsim.Engine.now engine;
-                       while not (Queue.is_empty backlog.(j)) do
-                         (* Serialization inside [forward] spaces the
-                            drained cells one cell time apart. *)
-                         forward j (Queue.pop backlog.(j))
-                       done;
-                       if j < k then setup_hop (j + 1)))))
+         Netsim.Engine.post engine ~delay:transit (fun () ->
+             Netsim.Engine.post engine ~delay:p.proc_delay (fun () ->
+                 installed.(j) <- true;
+                 setup_done := Netsim.Engine.now engine;
+                 while not (Queue.is_empty backlog.(j)) do
+                   (* Serialization inside [forward] spaces the
+                      drained cells one cell time apart. *)
+                   forward j (Queue.pop backlog.(j))
+                 done;
+                 if j < k then setup_hop (j + 1)))
        in
        setup_hop 1;
        (* Data cells follow immediately at the source's rate. *)
@@ -106,7 +103,7 @@ let setup_with_data net ~src_host ~dst_host p =
        for seq = 0 to p.data_cells - 1 do
          let at = p.cell_time + (seq * gap) in
          emitted.(seq) <- at;
-         ignore (Netsim.Engine.schedule_at engine ~at (fun () -> forward 0 seq))
+         Netsim.Engine.post_at engine ~at (fun () -> forward 0 seq)
        done;
        Netsim.Engine.run engine;
        Ok

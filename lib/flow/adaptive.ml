@@ -78,28 +78,24 @@ let run p =
         in_flight.(c) <- in_flight.(c) + 1;
         sent_window.(c) <- sent_window.(c) + 1;
         busy := true;
-        ignore
-          (Netsim.Engine.schedule engine ~delay:p.cell_time (fun () ->
-               busy := false;
-               try_send ()));
+        Netsim.Engine.post engine ~delay:p.cell_time (fun () ->
+            busy := false;
+            try_send ());
         (* Arrival downstream, then forwarding through the crossbar,
            then the credit's return trip. *)
-        ignore
-          (Netsim.Engine.schedule engine ~delay:(p.cell_time + p.latency)
-             (fun () ->
-               incr pool_occupancy;
-               if !pool_occupancy > !max_pool then max_pool := !pool_occupancy;
-               if !pool_occupancy > p.total_buffers then overflowed := true;
-               ignore
-                 (Netsim.Engine.schedule engine ~delay:p.crossbar_delay
-                    (fun () ->
-                      decr pool_occupancy;
-                      delivered.(c) <- delivered.(c) + 1;
-                      ignore
-                        (Netsim.Engine.schedule engine ~delay:p.latency
-                           (fun () ->
-                             in_flight.(c) <- in_flight.(c) - 1;
-                             try_send ()))))))
+        Netsim.Engine.post engine ~delay:(p.cell_time + p.latency)
+          (fun () ->
+            incr pool_occupancy;
+            if !pool_occupancy > !max_pool then max_pool := !pool_occupancy;
+            if !pool_occupancy > p.total_buffers then overflowed := true;
+            Netsim.Engine.post engine ~delay:p.crossbar_delay
+              (fun () ->
+                decr pool_occupancy;
+                delivered.(c) <- delivered.(c) + 1;
+                Netsim.Engine.post engine ~delay:p.latency
+                  (fun () ->
+                    in_flight.(c) <- in_flight.(c) - 1;
+                    try_send ())))
     end
   in
   (* The allocator: move quota from idle circuits to backlogged ones,
@@ -133,9 +129,9 @@ let run p =
        done;
        Array.fill sent_window 0 v 0;
        try_send ();
-       ignore (Netsim.Engine.schedule engine ~delay:window rebalance)
-     in
-     ignore (Netsim.Engine.schedule engine ~delay:window rebalance));
+       Netsim.Engine.post engine ~delay:window rebalance
+  in
+  Netsim.Engine.post engine ~delay:window rebalance);
   (* Kick the sender periodically in case every circuit was blocked on
      quota when a credit came back (try_send is also chained off every
      completion, so this is just a safety net at coarse granularity). *)

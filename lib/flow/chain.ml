@@ -97,13 +97,12 @@ let run ?(obs = Obs.Sink.null) p =
     end;
     if not lost then begin
       let sent_at = now in
-      ignore
-        (Netsim.Engine.schedule engine ~delay:p.latency (fun () ->
-             match msg with
-             | Credit.Increment when sent_at < resync_at.(i) -> ()
-             | _ ->
-               Credit.Upstream.on_credit up.(i) msg;
-               try_send i))
+      Netsim.Engine.post engine ~delay:p.latency (fun () ->
+          match msg with
+          | Credit.Increment when sent_at < resync_at.(i) -> ()
+          | _ ->
+            Credit.Upstream.on_credit up.(i) msg;
+            try_send i)
     end
   and try_send i =
     if
@@ -128,13 +127,11 @@ let run ?(obs = Obs.Sink.null) p =
       (* Crossing the crossbar frees the buffer of the previous hop. *)
       if i >= 1 then deliver_credit (i - 1);
       busy.(i) <- true;
-      ignore
-        (Netsim.Engine.schedule engine ~delay:p.cell_time (fun () ->
-             busy.(i) <- false;
-             try_send i));
+      Netsim.Engine.post engine ~delay:p.cell_time (fun () ->
+          busy.(i) <- false;
+          try_send i);
       let transit = p.cell_time + p.latency + p.crossbar_delay in
-      ignore
-        (Netsim.Engine.schedule engine ~delay:transit (fun () -> arrive i cell))
+      Netsim.Engine.post engine ~delay:transit (fun () -> arrive i cell)
     end
   and arrive i cell =
     Credit.Downstream.on_arrival ds.(i);
@@ -176,9 +173,9 @@ let run ?(obs = Obs.Sink.null) p =
       Queue.add { born = Netsim.Engine.now engine } queue.(0);
       try_send 0
     end;
-    ignore (Netsim.Engine.schedule engine ~delay:gap generate)
-  in
-  generate ();
+    Netsim.Engine.post engine ~delay:gap generate
+in
+generate ();
   (* Upstream-triggered resynchronization (paper §5): the snapshot is
      exchanged over an out-of-band control round trip; we model the
      reply as carrying the downstream's cumulative freed count. *)
@@ -191,24 +188,22 @@ let run ?(obs = Obs.Sink.null) p =
             receipt and travels back. Increments sent before the
             snapshot but arriving after the reply are the ones the
             epoch filter must discard. *)
-         ignore
-           (Netsim.Engine.schedule engine ~delay:p.latency (fun () ->
-                let snapshot = Credit.Downstream.resync_msg ds.(i) in
-                let snap_time = Netsim.Engine.now engine in
-                if obs_on then begin
-                  Obs.Metrics.Counter.incr c_resyncs;
-                  Obs.Sink.instant obs ~name:"resync" ~cat:"flow" ~ts:snap_time
-                    ~tid:i ~v:i
-                end;
-                ignore
-                  (Netsim.Engine.schedule engine ~delay:p.latency (fun () ->
-                       resync_at.(i) <- max resync_at.(i) snap_time;
-                       Credit.Upstream.on_credit up.(i) snapshot;
-                       try_send i))))
+         Netsim.Engine.post engine ~delay:p.latency (fun () ->
+             let snapshot = Credit.Downstream.resync_msg ds.(i) in
+             let snap_time = Netsim.Engine.now engine in
+             if obs_on then begin
+               Obs.Metrics.Counter.incr c_resyncs;
+               Obs.Sink.instant obs ~name:"resync" ~cat:"flow" ~ts:snap_time
+                 ~tid:i ~v:i
+             end;
+             Netsim.Engine.post engine ~delay:p.latency (fun () ->
+                 resync_at.(i) <- max resync_at.(i) snap_time;
+                 Credit.Upstream.on_credit up.(i) snapshot;
+                 try_send i))
        done;
-       ignore (Netsim.Engine.schedule engine ~delay:interval resync)
-     in
-     ignore (Netsim.Engine.schedule engine ~delay:interval resync));
+       Netsim.Engine.post engine ~delay:interval resync
+  in
+  Netsim.Engine.post engine ~delay:interval resync);
   Netsim.Engine.run_until engine p.duration;
   let capacity = p.duration / p.cell_time in
   let overflowed =

@@ -40,57 +40,51 @@ let run ~rng ?(timing = default_timing) req ~iterations =
         if m.match_of_input.(i) < 0 then
           for o = 0 to n - 1 do
             if Request.get req i o then
-              ignore
-                (Netsim.Engine.schedule engine ~delay:timing.wire (fun () ->
-                     requests.(o) <- i :: requests.(o)))
+              Netsim.Engine.post engine ~delay:timing.wire (fun () ->
+                  requests.(o) <- i :: requests.(o))
           done
       done;
       (* Step 2: after the wires settle, each unmatched output arbitrates. *)
-      ignore
-        (Netsim.Engine.schedule engine ~delay:(timing.wire + timing.logic)
-           (fun () ->
-             for o = 0 to n - 1 do
-               if m.match_of_output.(o) < 0 then
-                 match requests.(o) with
-                 | [] -> ()
-                 | reqs ->
-                   let winner = Netsim.Rng.pick rng (List.rev reqs) in
-                   ignore
-                     (Netsim.Engine.schedule engine ~delay:timing.wire
-                        (fun () -> grants.(winner) <- o :: grants.(winner)))
-             done));
+      Netsim.Engine.post engine ~delay:(timing.wire + timing.logic)
+        (fun () ->
+          for o = 0 to n - 1 do
+            if m.match_of_output.(o) < 0 then
+              match requests.(o) with
+              | [] -> ()
+              | reqs ->
+                let winner = Netsim.Rng.pick rng (List.rev reqs) in
+                Netsim.Engine.post engine ~delay:timing.wire
+                  (fun () -> grants.(winner) <- o :: grants.(winner))
+          done);
       (* Step 3: after the grant wires settle, each input accepts one;
          the round boundary is scheduled afterwards so it dispatches
          behind the accept arrivals it shares a timestamp with. *)
-      ignore
-        (Netsim.Engine.schedule engine
-           ~delay:((2 * timing.wire) + (2 * timing.logic))
-           (fun () ->
-             for i = 0 to n - 1 do
-               match grants.(i) with
-               | [] -> ()
-               | gs ->
-                 let o = Netsim.Rng.pick rng (List.rev gs) in
-                 ignore
-                   (Netsim.Engine.schedule engine ~delay:timing.wire (fun () ->
-                        accepts.(o) <- i :: accepts.(o)))
-             done;
-             (* Round boundary: the accepts have landed at the outputs. *)
-             ignore
-               (Netsim.Engine.schedule engine ~delay:timing.wire (fun () ->
-                    let added = ref 0 in
-                    for o = 0 to n - 1 do
-                      match accepts.(o) with
-                      | [ i ] ->
-                        Outcome.add_pair m ~input:i ~output:o;
-                        incr added
-                      | [] -> ()
-                      | _ ->
-                        (* An input accepts exactly one grant, so an
-                           output can see at most one accept. *)
-                        assert false
-                    done;
-                    if !added > 0 then round (k + 1)))))
+      Netsim.Engine.post engine
+        ~delay:((2 * timing.wire) + (2 * timing.logic))
+        (fun () ->
+          for i = 0 to n - 1 do
+            match grants.(i) with
+            | [] -> ()
+            | gs ->
+              let o = Netsim.Rng.pick rng (List.rev gs) in
+              Netsim.Engine.post engine ~delay:timing.wire (fun () ->
+                  accepts.(o) <- i :: accepts.(o))
+          done;
+          (* Round boundary: the accepts have landed at the outputs. *)
+          Netsim.Engine.post engine ~delay:timing.wire (fun () ->
+              let added = ref 0 in
+              for o = 0 to n - 1 do
+                match accepts.(o) with
+                | [ i ] ->
+                  Outcome.add_pair m ~input:i ~output:o;
+                  incr added
+                | [] -> ()
+                | _ ->
+                  (* An input accepts exactly one grant, so an
+                     output can see at most one accept. *)
+                  assert false
+              done;
+              if !added > 0 then round (k + 1)))
     end
   in
   round 0;

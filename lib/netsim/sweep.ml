@@ -1,0 +1,79 @@
+(* Parallel experiment sweeps.
+
+   A sweep fans a per-seed job across Domains (OCaml 5 cores). Jobs
+   must be self-contained — build their own topology, engine, rng and
+   sink from the seed — so each (seed, result) pair is a pure function
+   of the seed and the results are identical whether the sweep runs on
+   one domain or many; only the wall-clock changes. Work is handed out
+   through one Atomic counter (seeds finish at different speeds; a
+   static partition would leave domains idle), and results land in a
+   per-index slot so there is no cross-domain contention beyond the
+   counter.
+
+   [map_obs] gives every job its own enabled sink — the obs layer is
+   single-domain by design, so sinks must not be shared — and merges
+   the per-seed registries into one after the join, on the calling
+   domain. Traces are not merged: a ring buffer per seed has no
+   meaningful global order. *)
+
+let domains_available () = Domain.recommended_domain_count ()
+
+let run_jobs ~domains n job =
+  if n > 0 then begin
+    let d = max 1 (min domains n) in
+    if d = 1 then
+      for i = 0 to n - 1 do
+        job i
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let worker () =
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then job i else continue := false
+        done
+      in
+      let spawned = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join spawned
+    end
+  end
+
+let map ?domains ~seeds f =
+  let domains =
+    match domains with Some d -> d | None -> domains_available ()
+  in
+  let seeds = Array.of_list seeds in
+  let n = Array.length seeds in
+  let results = Array.make n None in
+  run_jobs ~domains n (fun i -> results.(i) <- Some (f seeds.(i)));
+  Array.to_list
+    (Array.mapi
+       (fun i r ->
+         match r with
+         | Some v -> (seeds.(i), v)
+         | None -> assert false)
+       results)
+
+let map_obs ?domains ~seeds f =
+  let domains =
+    match domains with Some d -> d | None -> domains_available ()
+  in
+  let seeds = Array.of_list seeds in
+  let n = Array.length seeds in
+  let sinks = Array.init n (fun _ -> Obs.Sink.create ()) in
+  let results = Array.make n None in
+  run_jobs ~domains n (fun i ->
+      results.(i) <- Some (f seeds.(i) sinks.(i)));
+  let merged = Obs.Metrics.create () in
+  Array.iter
+    (fun sink -> Obs.Metrics.merge_into ~into:merged (Obs.Sink.metrics sink))
+    sinks;
+  let pairs =
+    Array.mapi
+      (fun i r ->
+        match r with Some v -> (seeds.(i), v) | None -> assert false)
+      results
+  in
+  (Array.to_list pairs, merged)

@@ -1,0 +1,33 @@
+(** Parallel multi-seed experiment sweeps over Domains.
+
+    A sweep runs one self-contained job per seed — the job must build
+    everything it touches (topology, engine, rng, sink) from the seed
+    alone — and fans the jobs across OCaml 5 domains. Because jobs
+    share nothing, every per-seed result is identical whether the
+    sweep runs sequentially ([domains = 1]) or in parallel; the tests
+    assert this. Results always come back in the order of the input
+    seed list. *)
+
+val domains_available : unit -> int
+(** [Domain.recommended_domain_count ()]: the parallelism the
+    hardware supports. *)
+
+val map : ?domains:int -> seeds:int list -> (int -> 'a) -> (int * 'a) list
+(** [map ~seeds f] computes [(s, f s)] for every seed, using up to
+    [?domains] domains (default {!domains_available}; [1] forces the
+    sequential fallback — same results, one core). [f] must not touch
+    state shared with other jobs. Exceptions from jobs propagate to
+    the caller. *)
+
+val map_obs :
+  ?domains:int ->
+  seeds:int list ->
+  (int -> Obs.Sink.t -> 'a) ->
+  (int * 'a) list * Obs.Metrics.t
+(** Like {!map}, but each job also receives its own enabled
+    {!Obs.Sink.t} (sinks are single-domain; never share one across
+    jobs). After the join, the per-seed metric registries are merged
+    with {!Obs.Metrics.merge_into} into the returned registry:
+    counters add, histograms merge exactly, gauges combine extrema.
+    Per-seed trace rings are not merged — read a single seed's sink
+    for traces. *)

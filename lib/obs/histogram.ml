@@ -68,6 +68,28 @@ let add t x =
   end
   else t.zero <- t.zero + 1
 
+(* Bucket-wise sum: exact for count/sum/zero/min/max, and percentiles
+   of the merge are as if every sample had been added to [into]
+   directly (buckets are positional, so addition commutes with
+   bucketing). *)
+let merge_into ~into src =
+  if src.count > 0 then begin
+    if into.count = 0 then begin
+      into.vmin <- src.vmin;
+      into.vmax <- src.vmax
+    end
+    else begin
+      if src.vmin < into.vmin then into.vmin <- src.vmin;
+      if src.vmax > into.vmax then into.vmax <- src.vmax
+    end;
+    into.count <- into.count + src.count;
+    into.sum <- into.sum +. src.sum;
+    into.zero <- into.zero + src.zero;
+    for i = 0 to n_buckets - 1 do
+      into.buckets.(i) <- into.buckets.(i) + src.buckets.(i)
+    done
+  end
+
 let count t = t.count
 let sum t = t.sum
 let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count

@@ -15,6 +15,11 @@ val reset : t -> unit
 val add : t -> float -> unit
 (** O(1), allocation-free. *)
 
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] adds [src]'s samples to [into], bucket-wise:
+    afterwards [into] reports exactly what it would had every sample
+    been added to it directly. [src] is unchanged. *)
+
 val count : t -> int
 val sum : t -> float
 val mean : t -> float

@@ -78,6 +78,35 @@ let histogram t name =
     Hashtbl.add t.histograms name h;
     h
 
+(* Fold one registry into another: counters add, histograms merge
+   bucket-wise, gauges combine extrema and set counts ([last] is taken
+   from [src] when it has any sets — merge order decides ties).
+   Instruments missing from [into] are registered. Used by
+   [Netsim.Sweep] to produce one registry for a multi-seed run. *)
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun name (c : Counter.t) -> Counter.add (counter into name) c.value)
+    src.counters;
+  Hashtbl.iter
+    (fun name (g : Gauge.t) ->
+      if g.sets > 0 then begin
+        let d = gauge into name in
+        if d.Gauge.sets = 0 then begin
+          d.Gauge.gmin <- g.gmin;
+          d.Gauge.gmax <- g.gmax
+        end
+        else begin
+          if g.gmin < d.Gauge.gmin then d.Gauge.gmin <- g.gmin;
+          if g.gmax > d.Gauge.gmax then d.Gauge.gmax <- g.gmax
+        end;
+        d.Gauge.last <- g.last;
+        d.Gauge.sets <- d.Gauge.sets + g.sets
+      end)
+    src.gauges;
+  Hashtbl.iter
+    (fun name h -> Histogram.merge_into ~into:(histogram into name) h)
+    src.histograms
+
 let sorted_keys tbl =
   Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
 

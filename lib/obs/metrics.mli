@@ -36,6 +36,12 @@ val counter : t -> string -> Counter.t
 val gauge : t -> string -> Gauge.t
 val histogram : t -> string -> Histogram.t
 
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] folds [src] into [into]: counters add,
+    histograms merge bucket-wise (exact), gauges combine min/max and
+    set counts with [last] taken from [src]. Instruments missing from
+    [into] are registered. [src] is unchanged. *)
+
 val to_json_string : t -> string
 (** All instruments, sorted by name, as a JSON object with
     ["counters"], ["gauges"] and ["histograms"] sections. Histograms

@@ -109,11 +109,10 @@ let run_after_failure ?(proc_delay = Netsim.Time.us 100) ?(radius = 2)
     match latency src dst with
     | None -> ()
     | Some lat ->
-      ignore
-        (Netsim.Engine.schedule engine ~delay:(lat + proc_delay) (fun () ->
-             incr messages;
-             if obs.Obs.Sink.enabled then Obs.Metrics.Counter.incr c_messages;
-             handle ~cfg ~self:dst ~from:src msg))
+      Netsim.Engine.post engine ~delay:(lat + proc_delay) (fun () ->
+          incr messages;
+          if obs.Obs.Sink.enabled then Obs.Metrics.Counter.incr c_messages;
+          handle ~cfg ~self:dst ~from:src msg)
   and finish_collection ~cfg ~self p =
     if not p.sent_report then begin
       p.sent_report <- true;

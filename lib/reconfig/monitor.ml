@@ -77,12 +77,10 @@ let on_ping t =
 
 let rec tick t =
   on_ping t;
-  ignore
-    (Netsim.Engine.schedule t.engine ~delay:t.params.interval (fun () -> tick t))
+  Netsim.Engine.post t.engine ~delay:t.params.interval (fun () -> tick t)
 
 let start t =
-  ignore
-    (Netsim.Engine.schedule t.engine ~delay:t.params.interval (fun () -> tick t))
+  Netsim.Engine.post t.engine ~delay:t.params.interval (fun () -> tick t)
 
 let declared_up t = t.declared_up
 let transitions t = t.transitions

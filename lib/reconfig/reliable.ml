@@ -15,7 +15,8 @@ type 'msg t = {
   mutable next : int;  (* next sequence to assign *)
   mutable highest_sent : int;  (* highest sequence ever transmitted *)
   mutable expected : int;  (* receiver: next in-order sequence *)
-  mutable timer : Netsim.Engine.event_id option;
+  mutable timer : Netsim.Engine.event_id;
+      (* retransmit timer; [Engine.no_event] when disarmed *)
   mutable transmissions : int;
 }
 
@@ -31,25 +32,24 @@ let create ~engine ~rng ~params ~deliver =
     next = 0;
     highest_sent = -1;
     expected = 0;
-    timer = None;
+    timer = Netsim.Engine.no_event;
     transmissions = 0;
   }
 
 let lost t = Netsim.Rng.bernoulli t.rng t.params.loss
 
 let rec arm_timer t =
-  if t.timer = None && t.base < t.next then
+  if t.timer = Netsim.Engine.no_event && t.base < t.next then
     t.timer <-
-      Some
-        (Netsim.Engine.schedule t.engine ~delay:t.params.retransmit_after
-           (fun () ->
-             t.timer <- None;
-             (* Go-back-N: resend the whole window from base. *)
-             let upto = min t.next (t.base + t.params.window) in
-             for seq = t.base to upto - 1 do
-               transmit t seq
-             done;
-             arm_timer t))
+      Netsim.Engine.schedule t.engine ~delay:t.params.retransmit_after
+        (fun () ->
+          t.timer <- Netsim.Engine.no_event;
+          (* Go-back-N: resend the whole window from base. *)
+          let upto = min t.next (t.base + t.params.window) in
+          for seq = t.base to upto - 1 do
+            transmit t seq
+          done;
+          arm_timer t)
 
 and transmit t seq =
   match Hashtbl.find_opt t.buf seq with
@@ -58,9 +58,8 @@ and transmit t seq =
     t.transmissions <- t.transmissions + 1;
     if seq > t.highest_sent then t.highest_sent <- seq;
     if not (lost t) then
-      ignore
-        (Netsim.Engine.schedule t.engine ~delay:t.params.latency (fun () ->
-             receive t seq msg))
+      Netsim.Engine.post t.engine ~delay:t.params.latency (fun () ->
+          receive t seq msg)
 
 and receive t seq msg =
   if seq = t.expected then begin
@@ -70,9 +69,8 @@ and receive t seq msg =
   (* Cumulative acknowledgment (itself droppable). *)
   let ack = t.expected in
   if not (lost t) then
-    ignore
-      (Netsim.Engine.schedule t.engine ~delay:t.params.latency (fun () ->
-           handle_ack t ack))
+    Netsim.Engine.post t.engine ~delay:t.params.latency (fun () ->
+        handle_ack t ack)
 
 and handle_ack t ack =
   if ack > t.base then begin
@@ -80,11 +78,9 @@ and handle_ack t ack =
       Hashtbl.remove t.buf seq
     done;
     t.base <- ack;
-    (match t.timer with
-     | Some id ->
-       Netsim.Engine.cancel t.engine id;
-       t.timer <- None
-     | None -> ());
+    (* Cancelling [no_event] is a no-op, so no disarmed check needed. *)
+    Netsim.Engine.cancel t.engine t.timer;
+    t.timer <- Netsim.Engine.no_event;
     (* The window slid forward: transmit queued messages that now fit. *)
     let upto = min t.next (t.base + t.params.window) in
     for seq = max (t.highest_sent + 1) t.base to upto - 1 do

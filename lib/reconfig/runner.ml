@@ -125,11 +125,10 @@ let run ?(params = default_params) ?(obs = Obs.Sink.null) g ~triggers =
           ~deliver:(fun msg ->
             (* Line-card software handles the message after its
                processing delay. *)
-            ignore
-              (Netsim.Engine.schedule engine ~delay:params.proc_delay
-                 (fun () ->
-                   incr messages;
-                   deliver ~src ~dst msg)))
+            Netsim.Engine.post engine ~delay:params.proc_delay
+              (fun () ->
+                incr messages;
+                deliver ~src ~dst msg))
       in
       Hashtbl.add channels (src, dst) ch;
       ch
@@ -175,15 +174,14 @@ let run ?(params = default_params) ?(obs = Obs.Sink.null) g ~triggers =
   let first_trigger = List.fold_left (fun acc (t, _) -> min acc t) max_int triggers in
   List.iter
     (fun (at, s) ->
-      ignore
-        (Netsim.Engine.schedule_at engine ~at (fun () ->
-             if obs_on then
-               Obs.Sink.instant obs ~name:"trigger" ~cat:"reconfig" ~ts:at
-                 ~tid:s ~v:s;
-             perform s (Proto.initiate nodes.(s) (env_of s));
-             let tag = Proto.current_tag nodes.(s) in
-             if not (Hashtbl.mem joins (s, tag)) then
-               Hashtbl.add joins (s, tag) (Netsim.Engine.now engine))))
+      Netsim.Engine.post_at engine ~at (fun () ->
+          if obs_on then
+            Obs.Sink.instant obs ~name:"trigger" ~cat:"reconfig" ~ts:at
+              ~tid:s ~v:s;
+          perform s (Proto.initiate nodes.(s) (env_of s));
+          let tag = Proto.current_tag nodes.(s) in
+          if not (Hashtbl.mem joins (s, tag)) then
+            Hashtbl.add joins (s, tag) (Netsim.Engine.now engine)))
     triggers;
   Netsim.Engine.run_until engine params.horizon;
   (* Evaluate: the surviving configuration is the largest tag. *)
