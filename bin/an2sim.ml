@@ -746,6 +746,188 @@ let signaling_cmd =
     Term.(const run $ hops_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
+(* churn *)
+
+let churn_cmd =
+  let fault_rate_arg =
+    Arg.(
+      value
+      & opt float 2.0
+      & info [ "fault-rate" ] ~docv:"R"
+          ~doc:
+            "Random link faults per simulated second (Poisson, seeded). 0 \
+             disables random churn.")
+  in
+  let mttr_arg =
+    Arg.(
+      value
+      & opt int 200
+      & info [ "mttr-ms" ] ~docv:"MS"
+          ~doc:"Mean time to repair a randomly failed link, in ms.")
+  in
+  let flap_link_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "flap-link" ] ~docv:"L"
+          ~doc:"Flap link $(docv) for the whole run.")
+  in
+  let flap_period_arg =
+    Arg.(
+      value
+      & opt int 300
+      & info [ "flap-period-ms" ] ~docv:"MS"
+          ~doc:
+            "Full flap cycle length in ms (half down, half up) for \
+             $(b,--flap-link).")
+  in
+  let crash_switch_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-switch" ] ~docv:"S"
+          ~doc:
+            "Crash switch $(docv) a quarter into the run and restart it \
+             $(b,--mttr-ms) x 2 later.")
+  in
+  let loss_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "control-loss" ] ~docv:"P"
+          ~doc:
+            "Control-cell drop probability during the middle half of the \
+             run (a timed control-loss window).")
+  in
+  let duration_arg =
+    Arg.(
+      value
+      & opt int 5000
+      & info [ "duration-ms" ] ~docv:"MS" ~doc:"Observation window in ms.")
+  in
+  let circuits_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "circuits" ] ~docv:"K"
+          ~doc:"Random switch-to-switch circuits whose lost cells we count.")
+  in
+  let switch_links g =
+    List.filter_map
+      (fun l ->
+        match (l.Topo.Graph.a.node, l.Topo.Graph.b.node) with
+        | Topo.Graph.Switch _, Topo.Graph.Switch _ -> Some l.Topo.Graph.link_id
+        | _ -> None)
+      (Topo.Graph.links g)
+  in
+  let run kind switches fault_rate mttr flap_link flap_period crash_switch loss
+      duration_ms circuits sweep jobs seed trace metrics =
+    let duration = Netsim.Time.ms duration_ms in
+    let once ~obs seed =
+      let g = make_topology kind switches in
+      let schedule =
+        List.concat
+          [
+            (if fault_rate > 0.0 then
+               [
+                 Faults.Schedule.Random_churn
+                   {
+                     seed;
+                     start = Netsim.Time.ms 50;
+                     until = duration;
+                     rate = fault_rate;
+                     mean_downtime = Netsim.Time.ms mttr;
+                     links = switch_links g;
+                   };
+               ]
+             else []);
+            (match flap_link with
+             | Some link ->
+               let half = Netsim.Time.ms (max 1 (flap_period / 2)) in
+               [
+                 Faults.Schedule.Flap
+                   {
+                     link;
+                     start = Netsim.Time.ms 100;
+                     until = duration;
+                     down_for = half;
+                     up_for = half;
+                   };
+               ]
+             | None -> []);
+            (match crash_switch with
+             | Some switch ->
+               [
+                 Faults.Schedule.Crash_restart
+                   {
+                     switch;
+                     at = duration / 4;
+                     down_for = Netsim.Time.ms (2 * mttr);
+                   };
+               ]
+             | None -> []);
+            (if loss > 0.0 then
+               [
+                 Faults.Schedule.Control_loss_window
+                   { from_ = duration / 4; until = 3 * duration / 4; loss };
+               ]
+             else []);
+          ]
+      in
+      Faults.Churn.run ~obs ~graph:g
+        { Faults.Churn.default_params with schedule; duration; circuits; seed }
+    in
+    let print_result pre (r : Faults.Churn.result) =
+      Format.printf
+        "%sfaults=%d transitions=%d reconfigs=%d/%d converged, convergence \
+         mean=%.2fms max=%.2fms@."
+        pre r.faults_injected r.transitions r.reconfigs_converged r.reconfigs
+        r.convergence_mean_ms r.convergence_max_ms;
+      Format.printf
+        "%scells-lost=%.0f (%.0f/event) max-skeptic=%d flow-checks=%d \
+         (mean throughput %.3f, lossless=%b) drained=%b@."
+        pre r.cells_lost r.cells_lost_per_event r.max_skeptic_level
+        r.flow_checks r.flow_throughput_mean r.flow_lossless r.drained
+    in
+    if sweep > 0 then begin
+      let seeds = List.init sweep (fun i -> seed + i) in
+      let results =
+        sweep_metrics ~jobs ~seeds ~trace ~metrics (fun s sink ->
+            once ~obs:sink s)
+      in
+      List.iter
+        (fun (s, r) ->
+          Format.printf "seed %d:@." s;
+          print_result "  " r)
+        results;
+      let outs = List.map snd results in
+      Format.printf
+        "sweep of %d seeds: mean convergence %.2f ms, mean cells lost %.0f, \
+         all drained %b@."
+        sweep
+        (mean_over outs (fun r -> r.Faults.Churn.convergence_mean_ms))
+        (mean_over outs (fun r -> r.Faults.Churn.cells_lost))
+        (List.for_all (fun r -> r.Faults.Churn.drained) outs)
+    end
+    else begin
+      let obs = make_sink ~trace ~metrics in
+      print_result "" (once ~obs seed);
+      finish_obs obs ~trace ~metrics
+    end
+  in
+  let doc =
+    "Sustained fault injection and churn: flaps, crashes, control-loss \
+     windows and random link faults against live monitors, skeptics, \
+     reconfigurations and circuits."
+  in
+  Cmd.v (Cmd.info "churn" ~doc)
+    Term.(
+      const run $ kind_arg $ switches_arg $ fault_rate_arg $ mttr_arg
+      $ flap_link_arg $ flap_period_arg $ crash_switch_arg $ loss_arg
+      $ duration_arg $ circuits_arg $ sweep_arg $ jobs_arg $ seed_arg
+      $ trace_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "simulators for the AN2 local area network (Owicki, PODC 1993)" in
@@ -756,5 +938,5 @@ let () =
           [
             topo_cmd; fabric_cmd; reconfig_cmd; local_reconfig_cmd; flow_cmd;
             deadlock_cmd; e2e_cmd; multicast_cmd; adaptive_cmd; signaling_cmd;
-            rebalance_cmd;
+            rebalance_cmd; churn_cmd;
           ]))

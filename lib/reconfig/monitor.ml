@@ -22,6 +22,9 @@ type t = {
   mutable probation_start : Netsim.Time.t option;
   mutable probation_wait : Netsim.Time.t;
   mutable transitions : int;
+  mutable timer : Netsim.Engine.event_id;
+      (* the pending tick; [Engine.no_event] when stopped *)
+  mutable running : bool;
 }
 
 let create ~engine ~params ~link_up ~on_transition =
@@ -36,12 +39,21 @@ let create ~engine ~params ~link_up ~on_transition =
     probation_start = None;
     probation_wait = 0;
     transitions = 0;
+    timer = Netsim.Engine.no_event;
+    running = false;
   }
 
 let declare t up =
   t.declared_up <- up;
   t.transitions <- t.transitions + 1;
   t.on_transition ~up (Netsim.Engine.now t.engine)
+
+(* (Re)open probation. The wait must be taken from the skeptic *now*,
+   not reused from the previous opening: a relapse in between has
+   bumped the suspicion level, so the link owes a doubled wait. *)
+let open_probation t ~now =
+  t.probation_start <- Some now;
+  t.probation_wait <- Skeptic.recovery_wait t.skeptic ~now
 
 let on_ping t =
   let now = Netsim.Engine.now t.engine in
@@ -50,9 +62,8 @@ let on_ping t =
     if not t.declared_up then begin
       match t.probation_start with
       | None ->
-        (* First clean ping since the outage: open probation. *)
-        t.probation_start <- Some now;
-        t.probation_wait <- Skeptic.recovery_wait t.skeptic ~now
+        (* First clean ping since the outage (or since a relapse). *)
+        open_probation t ~now
       | Some since ->
         if now - since >= t.probation_wait then begin
           t.probation_start <- None;
@@ -69,18 +80,36 @@ let on_ping t =
       end
     end
     else if t.probation_start <> None then begin
-      (* Relapse during probation: the skeptic grows warier. *)
+      (* Relapse during probation: the skeptic grows warier, and the
+         next probation (opened by [open_probation]) serves the longer
+         wait that the bumped level now demands. *)
       t.probation_start <- None;
       Skeptic.note_failure t.skeptic ~now
     end
   end
 
 let rec tick t =
+  t.timer <- Netsim.Engine.no_event;
   on_ping t;
-  Netsim.Engine.post t.engine ~delay:t.params.interval (fun () -> tick t)
+  if t.running then arm t
+
+and arm t =
+  t.timer <-
+    Netsim.Engine.schedule t.engine ~delay:t.params.interval (fun () -> tick t)
 
 let start t =
-  Netsim.Engine.post t.engine ~delay:t.params.interval (fun () -> tick t)
+  if not t.running then begin
+    t.running <- true;
+    arm t
+  end
+
+let stop t =
+  t.running <- false;
+  Netsim.Engine.cancel t.engine t.timer;
+  t.timer <- Netsim.Engine.no_event
 
 let declared_up t = t.declared_up
 let transitions t = t.transitions
+let skeptic_level t = Skeptic.level t.skeptic ~now:(Netsim.Engine.now t.engine)
+let in_probation t = t.probation_start <> None
+let probation_wait t = t.probation_wait

@@ -29,8 +29,27 @@ val create :
     starts declaring the link working. *)
 
 val start : t -> unit
-(** Begin pinging. *)
+(** Begin pinging. No-op if already running. *)
+
+val stop : t -> unit
+(** Cancel the pending ping timer and stop re-arming it. A stopped
+    monitor schedules nothing further, so an engine whose only
+    remaining work was the monitor's tick drains to quiescence
+    ([Netsim.Engine.pending] reaches 0). [start] may be called again
+    later; declared state and skeptic history are kept. *)
 
 val declared_up : t -> bool
 val transitions : t -> int
 (** Number of declared state changes so far. *)
+
+val skeptic_level : t -> int
+(** The skeptic's current suspicion level for this link (after decay,
+    at the engine's current time). *)
+
+val in_probation : t -> bool
+(** A recovering link is currently serving probation. *)
+
+val probation_wait : t -> Netsim.Time.t
+(** The wait demanded at the most recent probation opening — recomputed
+    each time probation (re)opens, so after a relapse it reflects the
+    bumped skeptic level (doubling per relapse until the cap). *)

@@ -99,3 +99,5 @@ let send t msg =
 let transmissions t = t.transmissions
 
 let idle t = t.base = t.next
+
+let retransmit_armed t = t.timer <> Netsim.Engine.no_event

@@ -39,3 +39,8 @@ val transmissions : 'msg t -> int
 
 val idle : 'msg t -> bool
 (** No unacknowledged messages outstanding. *)
+
+val retransmit_armed : 'msg t -> bool
+(** The retransmission timer currently holds a scheduled event. The
+    invariant the tests assert: an {!idle} channel has it disarmed, so
+    a quiescent control plane leaves nothing pending on the engine. *)

@@ -12,12 +12,24 @@ type link_state =
   | Working
   | Dead
 
+(* Why a link is dead, as a bitmask. A link can be dead for up to three
+   independent reasons at once: an explicit [fail_link], and a crash of
+   the switch at either endpoint. Fail/restore operations add and
+   remove causes; the link works again only when every cause has been
+   cleared, so overlapping failures compose ([fail_link L; fail_switch
+   S; restore_switch S] leaves [L] dead). Each operation is idempotent:
+   failing twice from the same cause needs only one restore. *)
+let cause_explicit = 1
+let cause_crash_a = 2
+let cause_crash_b = 4
+
 type link = {
   link_id : int;
   a : endpoint;
   b : endpoint;
   latency : Netsim.Time.t;
   mutable state : link_state;
+  mutable fail_causes : int;
 }
 
 type node_info = { n_ports : int; mutable used_ports : int list }
@@ -115,6 +127,7 @@ let connect ?(latency = Netsim.Time.us 1) t n1 n2 =
         b = { node = n2; port = p2 };
         latency;
         state = Working;
+        fail_causes = 0;
       }
     in
     t.n_links <- id + 1;
@@ -139,8 +152,16 @@ let link t id =
 
 let links t = List.rev t.link_list
 
-let fail_link t id = (link t id).state <- Dead
-let restore_link t id = (link t id).state <- Working
+let add_cause l c =
+  l.fail_causes <- l.fail_causes lor c;
+  l.state <- Dead
+
+let remove_cause l c =
+  l.fail_causes <- l.fail_causes land lnot c;
+  l.state <- (if l.fail_causes = 0 then Working else Dead)
+
+let fail_link t id = add_cause (link t id) cause_explicit
+let restore_link t id = remove_cause (link t id) cause_explicit
 
 let incident_links t node =
   match
@@ -151,11 +172,27 @@ let incident_links t node =
   | Some r -> !r
   | None -> invalid_arg "Graph: unknown node"
 
+(* The crash cause for switch [s] on link [l]: which endpoint it is. *)
+let crash_cause l s =
+  if l.a.node = Switch s then cause_crash_a
+  else if l.b.node = Switch s then cause_crash_b
+  else invalid_arg "Graph: switch not on link"
+
 let fail_switch t s =
-  List.iter (fun id -> fail_link t id) (incident_links t (Switch s))
+  List.iter
+    (fun id ->
+      let l = link t id in
+      add_cause l (crash_cause l s))
+    (incident_links t (Switch s))
 
 let restore_switch t s =
-  List.iter (fun id -> restore_link t id) (incident_links t (Switch s))
+  List.iter
+    (fun id ->
+      let l = link t id in
+      remove_cause l (crash_cause l s))
+    (incident_links t (Switch s))
+
+let link_working t id = (link t id).state = Working
 
 let other_end l node =
   if l.a.node = node then l.b

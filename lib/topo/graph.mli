@@ -24,6 +24,12 @@ type link = {
   b : endpoint;
   latency : Netsim.Time.t;
   mutable state : link_state;
+      (** Maintained by the fail/restore operations; read it freely but
+          do not write it — it is derived from [fail_causes]. *)
+  mutable fail_causes : int;
+      (** Bitmask of the independent reasons the link is dead (explicit
+          [fail_link], crash of either endpoint switch). [0] iff
+          [state = Working]. Owned by the fail/restore operations. *)
 }
 
 type t
@@ -59,13 +65,28 @@ val links : t -> link list
 (** All links, in creation order. *)
 
 val fail_link : t -> int -> unit
+(** Kill one link. Failures are {e cause-tracked}: an explicit link
+    fault and a crash of either endpoint switch are independent causes,
+    and the link works again only once every cause has been cleared, so
+    overlapping failures compose — [fail_link l; fail_switch s;
+    restore_switch s] leaves [l] dead. Idempotent per cause. *)
+
 val restore_link : t -> int -> unit
+(** Clear the explicit fault on a link. The link returns to [Working]
+    only if neither endpoint switch is also down. *)
 
 val fail_switch : t -> int -> unit
 (** Kill every link attached to the switch (the "pull the plug" demo
-    of the paper's introduction). *)
+    of the paper's introduction), recording the crash as a per-link
+    cause distinct from explicit link faults. Idempotent. *)
 
 val restore_switch : t -> int -> unit
+(** Clear this switch's crash cause from its incident links. Links
+    failed independently — explicitly or by the other endpoint's crash
+    — stay dead. *)
+
+val link_working : t -> int -> bool
+(** [link_working t id] is [(link t id).state = Working]. *)
 
 val switch_neighbors : t -> int -> (int * int) list
 (** [switch_neighbors t s] lists [(neighbor_switch, link_id)] over

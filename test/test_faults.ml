@@ -1,0 +1,263 @@
+(* Fault-schedule and churn subsystem tests.
+
+   The schedule layer must be deterministic (same schedule, same
+   timeline), drive the cause-tracked graph correctly under
+   overlapping faults, and leave nothing pending once cancelled; the
+   churn runner must be a pure function of its parameters so that
+   sequential and parallel sweeps agree byte for byte. *)
+
+let ms = Netsim.Time.ms
+let s = Netsim.Time.s
+
+(* ------------------------------------------------------------------ *)
+(* Schedule expansion                                                 *)
+
+let compound_schedule =
+  [
+    Faults.Schedule.At (ms 10, Faults.Schedule.Fail_link 0);
+    Faults.Schedule.Flap
+      { link = 1; start = ms 20; until = ms 200; down_for = ms 30; up_for = ms 20 };
+    Faults.Schedule.Crash_restart { switch = 2; at = ms 50; down_for = ms 60 };
+    Faults.Schedule.Control_loss_window { from_ = ms 40; until = ms 140; loss = 0.3 };
+    Faults.Schedule.Random_churn
+      {
+        seed = 7;
+        start = ms 0;
+        until = ms 300;
+        rate = 20.0;
+        mean_downtime = ms 25;
+        links = [ 0; 1; 2 ];
+      };
+  ]
+
+let test_expand_deterministic () =
+  let a = Faults.Schedule.expand compound_schedule in
+  let b = Faults.Schedule.expand compound_schedule in
+  Alcotest.(check bool) "same timeline" true (a = b);
+  Alcotest.(check bool) "non-empty" true (List.length a > 10);
+  let rec sorted = function
+    | (t1, _) :: ((t2, _) :: _ as rest) -> t1 <= t2 && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by time" true (sorted a)
+
+let test_expand_flap () =
+  let timeline =
+    Faults.Schedule.expand
+      [
+        Faults.Schedule.Flap
+          { link = 5; start = ms 10; until = ms 100; down_for = ms 20; up_for = ms 10 };
+      ]
+  in
+  let expected =
+    [
+      (ms 10, Faults.Schedule.Fail_link 5);
+      (ms 30, Faults.Schedule.Restore_link 5);
+      (ms 40, Faults.Schedule.Fail_link 5);
+      (ms 60, Faults.Schedule.Restore_link 5);
+      (ms 70, Faults.Schedule.Fail_link 5);
+      (ms 90, Faults.Schedule.Restore_link 5);
+      (ms 100, Faults.Schedule.Restore_link 5);
+    ]
+  in
+  Alcotest.(check bool) "flap pattern" true (timeline = expected)
+
+let test_expand_crash_and_window () =
+  let timeline =
+    Faults.Schedule.expand
+      [
+        Faults.Schedule.Crash_restart { switch = 3; at = ms 10; down_for = ms 40 };
+        Faults.Schedule.Control_loss_window
+          { from_ = ms 20; until = ms 30; loss = 0.5 };
+      ]
+  in
+  let expected =
+    [
+      (ms 10, Faults.Schedule.Fail_switch 3);
+      (ms 20, Faults.Schedule.Set_control_loss 0.5);
+      (ms 30, Faults.Schedule.Set_control_loss 0.0);
+      (ms 50, Faults.Schedule.Restore_switch 3);
+    ]
+  in
+  Alcotest.(check bool) "crash + window" true (timeline = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+
+let test_driver_applies_actions () =
+  let engine = Netsim.Engine.create () in
+  let g = Topo.Build.linear 3 in
+  let timeline =
+    Faults.Schedule.expand
+      [
+        Faults.Schedule.At (ms 10, Faults.Schedule.Fail_link 0);
+        Faults.Schedule.At (ms 30, Faults.Schedule.Restore_link 0);
+        Faults.Schedule.Control_loss_window
+          { from_ = ms 5; until = ms 25; loss = 0.4 };
+      ]
+  in
+  let driver = Faults.Schedule.install ~engine ~graph:g timeline in
+  Netsim.Engine.run_until engine (ms 20);
+  Alcotest.(check bool) "link 0 dead mid-window" false
+    (Topo.Graph.link_working g 0);
+  Alcotest.(check (float 1e-9)) "loss active" 0.4
+    (Faults.Schedule.control_loss driver);
+  Netsim.Engine.run engine;
+  Alcotest.(check bool) "link 0 restored" true (Topo.Graph.link_working g 0);
+  Alcotest.(check (float 1e-9)) "loss reset" 0.0
+    (Faults.Schedule.control_loss driver);
+  Alcotest.(check int) "all injected" 4 (Faults.Schedule.injected driver);
+  Alcotest.(check int) "none remaining" 0 (Faults.Schedule.remaining driver);
+  Alcotest.(check int) "engine drained" 0 (Netsim.Engine.pending engine)
+
+let test_driver_overlapping_faults () =
+  (* The tentpole composition bug, exercised through the schedule
+     layer: an explicit link fault overlapping a switch crash must
+     survive the crash's restore. *)
+  let engine = Netsim.Engine.create () in
+  let g = Topo.Build.linear 3 in
+  let timeline =
+    Faults.Schedule.expand
+      [
+        Faults.Schedule.At (ms 10, Faults.Schedule.Fail_link 0);
+        Faults.Schedule.Crash_restart { switch = 1; at = ms 20; down_for = ms 30 };
+        Faults.Schedule.At (ms 40, Faults.Schedule.Restore_link 0);
+      ]
+  in
+  let _driver = Faults.Schedule.install ~engine ~graph:g timeline in
+  Netsim.Engine.run_until engine (ms 25);
+  Alcotest.(check bool) "link 0 dead (explicit + crash)" false
+    (Topo.Graph.link_working g 0);
+  Alcotest.(check bool) "link 1 dead (crash)" false (Topo.Graph.link_working g 1);
+  Netsim.Engine.run_until engine (ms 45);
+  Alcotest.(check bool) "link 0 still dead: crash cause open" false
+    (Topo.Graph.link_working g 0);
+  Netsim.Engine.run engine;
+  Alcotest.(check bool) "link 0 working after crash restore" true
+    (Topo.Graph.link_working g 0);
+  Alcotest.(check bool) "link 1 working after crash restore" true
+    (Topo.Graph.link_working g 1)
+
+let test_driver_cancel_drains () =
+  let engine = Netsim.Engine.create () in
+  let g = Topo.Build.linear 3 in
+  let timeline =
+    Faults.Schedule.expand
+      [
+        Faults.Schedule.Flap
+          { link = 0; start = ms 10; until = s 10; down_for = ms 10; up_for = ms 10 };
+      ]
+  in
+  let driver = Faults.Schedule.install ~engine ~graph:g timeline in
+  Netsim.Engine.run_until engine (ms 35);
+  Alcotest.(check bool) "some injected" true (Faults.Schedule.injected driver > 0);
+  Alcotest.(check bool) "some remaining" true
+    (Faults.Schedule.remaining driver > 0);
+  Faults.Schedule.cancel driver;
+  Alcotest.(check int) "none remaining after cancel" 0
+    (Faults.Schedule.remaining driver);
+  Alcotest.(check int) "engine drained after cancel" 0
+    (Netsim.Engine.pending engine)
+
+let test_driver_rejects_past () =
+  let engine = Netsim.Engine.create () in
+  let g = Topo.Build.linear 3 in
+  Netsim.Engine.post engine ~delay:(ms 10) (fun () -> ());
+  Netsim.Engine.run engine;
+  Alcotest.check_raises "past action rejected"
+    (Invalid_argument "Schedule.install: action in the past") (fun () ->
+      ignore
+        (Faults.Schedule.install ~engine ~graph:g
+           [ (ms 5, Faults.Schedule.Fail_link 0) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Churn runner                                                       *)
+
+let churn_params seed =
+  {
+    Faults.Churn.default_params with
+    schedule =
+      [
+        Faults.Schedule.Flap
+          { link = 0; start = ms 100; until = s 1; down_for = ms 150; up_for = ms 150 };
+        Faults.Schedule.Crash_restart { switch = 2; at = ms 300; down_for = ms 400 };
+        Faults.Schedule.Control_loss_window
+          { from_ = ms 200; until = ms 800; loss = 0.1 };
+      ];
+    duration = s 2;
+    circuits = 4;
+    seed;
+  }
+
+let test_churn_smoke () =
+  let r = Faults.Churn.run ~graph:(Topo.Build.ring 6) (churn_params 42) in
+  Alcotest.(check bool) "faults injected" true (r.Faults.Churn.faults_injected > 0);
+  Alcotest.(check bool) "monitors saw transitions" true
+    (r.Faults.Churn.transitions > 0);
+  Alcotest.(check bool) "reconfigurations ran" true (r.Faults.Churn.reconfigs > 0);
+  Alcotest.(check bool) "at least one converged" true
+    (r.Faults.Churn.reconfigs_converged > 0);
+  Alcotest.(check bool) "convergence time positive" true
+    (r.Faults.Churn.convergence_mean_ms > 0.0);
+  Alcotest.(check bool) "flow checks lossless" true r.Faults.Churn.flow_lossless;
+  Alcotest.(check bool) "engine drained" true r.Faults.Churn.drained
+
+let test_churn_deterministic () =
+  let a = Faults.Churn.run ~graph:(Topo.Build.ring 6) (churn_params 42) in
+  let b = Faults.Churn.run ~graph:(Topo.Build.ring 6) (churn_params 42) in
+  Alcotest.(check bool) "identical results" true (a = b)
+
+let churn_job seed =
+  let p =
+    {
+      (churn_params seed) with
+      schedule =
+        Faults.Schedule.Random_churn
+          {
+            seed;
+            start = ms 50;
+            until = s 1;
+            rate = 5.0;
+            mean_downtime = ms 100;
+            links = [ 0; 1; 2; 3 ];
+          }
+        :: (churn_params seed).Faults.Churn.schedule;
+    }
+  in
+  Faults.Churn.run ~graph:(Topo.Build.ring 6) p
+
+let test_churn_sweep_seq_par_identical () =
+  let seeds = [ 1; 2; 3; 4 ] in
+  let seq = Netsim.Sweep.map ~domains:1 ~seeds churn_job in
+  let par = Netsim.Sweep.map ~domains:2 ~seeds churn_job in
+  Alcotest.(check bool) "seq = par" true (seq = par)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "expand deterministic" `Quick
+            test_expand_deterministic;
+          Alcotest.test_case "flap expansion" `Quick test_expand_flap;
+          Alcotest.test_case "crash + control window" `Quick
+            test_expand_crash_and_window;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "applies actions" `Quick test_driver_applies_actions;
+          Alcotest.test_case "overlapping faults compose" `Quick
+            test_driver_overlapping_faults;
+          Alcotest.test_case "cancel drains engine" `Quick
+            test_driver_cancel_drains;
+          Alcotest.test_case "rejects past actions" `Quick
+            test_driver_rejects_past;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "smoke" `Quick test_churn_smoke;
+          Alcotest.test_case "deterministic" `Quick test_churn_deterministic;
+          Alcotest.test_case "sweep seq/par identical" `Quick
+            test_churn_sweep_seq_par_identical;
+        ] );
+    ]

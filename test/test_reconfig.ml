@@ -294,6 +294,50 @@ let test_reliable_survives_loss =
       List.rev !received = List.init k (fun i -> i + 1)
       && Reconfig.Reliable.idle ch)
 
+let test_reliable_exactly_once_random_windows =
+  (* The satellite property: whatever the loss rate and go-back-N
+     window, every message is delivered exactly once, in order, and a
+     drained channel leaves its retransmit timer disarmed. *)
+  qtest ~count:100 "exactly-once in-order; idle => timer disarmed"
+    (QCheck.make
+       ~print:(fun (seed, loss, window, k) ->
+         Printf.sprintf "seed=%d loss=%.2f window=%d k=%d" seed loss window k)
+       QCheck.Gen.(
+         quad (int_range 0 20_000) (float_range 0.0 0.6) (int_range 1 8)
+           (int_range 1 50)))
+    (fun (seed, loss, window, k) ->
+      let engine = Netsim.Engine.create () in
+      let rng = Netsim.Rng.create seed in
+      let received = ref [] in
+      let ch =
+        Reconfig.Reliable.create ~engine ~rng
+          ~params:
+            { Reconfig.Reliable.latency = Netsim.Time.us 1; loss;
+              retransmit_after = Netsim.Time.us 50; window }
+          ~deliver:(fun msg -> received := msg :: !received)
+      in
+      for i = 1 to k do
+        Reconfig.Reliable.send ch i
+      done;
+      (* Probe the idle => disarmed invariant mid-flight too, not just
+         at quiescence. *)
+      let invariant_ok = ref true in
+      let rec probe n =
+        if Reconfig.Reliable.idle ch && Reconfig.Reliable.retransmit_armed ch
+        then invariant_ok := false;
+        if n > 0 then
+          Netsim.Engine.post engine ~delay:(Netsim.Time.us 7) (fun () ->
+              probe (n - 1))
+      in
+      probe 100;
+      Netsim.Engine.run engine;
+      (* exactly once, in order: the received list IS 1..k *)
+      List.rev !received = List.init k (fun i -> i + 1)
+      && !invariant_ok
+      && Reconfig.Reliable.idle ch
+      && (not (Reconfig.Reliable.retransmit_armed ch))
+      && Netsim.Engine.pending engine = 0)
+
 let test_reliable_retransmits () =
   let engine, ch, received = reliable_pair ~loss:0.5 ~seed:7 in
   for i = 1 to 10 do
@@ -516,6 +560,80 @@ let test_monitor_no_false_alarms () =
   Alcotest.(check int) "no transitions" 0 (List.length transitions);
   Alcotest.(check bool) "still up" true (Reconfig.Monitor.declared_up m)
 
+let test_monitor_stop_drains_engine () =
+  (* A monitor's self-reposting tick must be cancellable, or any engine
+     hosting one never drains. *)
+  let engine = Netsim.Engine.create () in
+  let m =
+    Reconfig.Monitor.create ~engine ~params:Reconfig.Monitor.default_params
+      ~link_up:(fun () -> true)
+      ~on_transition:(fun ~up:_ _ -> ())
+  in
+  Reconfig.Monitor.start m;
+  Netsim.Engine.run_until engine (Netsim.Time.s 1);
+  (* The next tick is always pending while running... *)
+  Alcotest.(check int) "tick pending" 1 (Netsim.Engine.pending engine);
+  Reconfig.Monitor.stop m;
+  (* ...and gone once stopped: the engine is quiescent. *)
+  Alcotest.(check int) "drained after stop" 0 (Netsim.Engine.pending engine);
+  Netsim.Engine.run engine;
+  Alcotest.(check bool) "no further ticks" true
+    (Netsim.Engine.pending engine = 0);
+  (* Restart keeps working: pings resume. *)
+  Reconfig.Monitor.start m;
+  Alcotest.(check int) "re-armed" 1 (Netsim.Engine.pending engine);
+  Reconfig.Monitor.stop m;
+  Alcotest.(check int) "re-drained" 0 (Netsim.Engine.pending engine)
+
+let test_monitor_relapse_doubles_probation () =
+  (* Flap storm: each relapse during probation bumps the skeptic, and
+     the *reopened* probation must serve the doubled wait — the wait
+     may not be left at the value computed when probation first
+     opened. *)
+  let interval = Netsim.Time.ms 10 in
+  let params =
+    { Reconfig.Monitor.interval; miss_threshold = 1;
+      skeptic =
+        { Reconfig.Skeptic.base_wait = Netsim.Time.ms 100; max_level = 10;
+          decay = Netsim.Time.s 3600 } }
+  in
+  let engine = Netsim.Engine.create () in
+  let up = ref true in
+  let m =
+    Reconfig.Monitor.create ~engine ~params
+      ~link_up:(fun () -> !up)
+      ~on_transition:(fun ~up:_ _ -> ())
+  in
+  Reconfig.Monitor.start m;
+  (* Ping k lands at time k*interval; toggle just before selected pings. *)
+  let set at v = Netsim.Engine.post_at engine ~at (fun () -> up := v) in
+  let before k = (k * interval) - Netsim.Time.ms 1 in
+  set (before 1) false;  (* ping 1: miss -> declared down, level 1 *)
+  set (before 2) true;   (* ping 2: probation opens, wait 200ms *)
+  let expected = ref [] and got = ref [] in
+  let check_wait k ms =
+    expected := Netsim.Time.ms ms :: !expected;
+    Netsim.Engine.post_at engine
+      ~at:((k * interval) + Netsim.Time.ms 1)
+      (fun () -> got := Reconfig.Monitor.probation_wait m :: !got)
+  in
+  check_wait 2 200;
+  set (before 3) false;  (* ping 3: relapse, level 2 *)
+  set (before 4) true;   (* ping 4: probation reopens, wait must be 400ms *)
+  check_wait 4 400;
+  set (before 5) false;  (* ping 5: relapse, level 3 *)
+  set (before 6) true;   (* ping 6: reopen, wait 800ms *)
+  check_wait 6 800;
+  Netsim.Engine.run_until engine (Netsim.Time.s 2);
+  Reconfig.Monitor.stop m;
+  Alcotest.(check (list int)) "wait doubles per relapse" !expected !got;
+  (* After the last reopen the link stays clean for its 800 ms, so the
+     monitor eventually re-declares it up. *)
+  Alcotest.(check bool) "eventually recovered" true
+    (Reconfig.Monitor.declared_up m);
+  Alcotest.(check int) "engine quiescent after stop" 0
+    (Netsim.Engine.pending engine)
+
 let () =
   Alcotest.run "reconfig"
     [
@@ -554,6 +672,7 @@ let () =
           Alcotest.test_case "lossless in order" `Quick
             test_reliable_lossless_in_order;
           test_reliable_survives_loss;
+          test_reliable_exactly_once_random_windows;
           Alcotest.test_case "retransmits" `Quick test_reliable_retransmits;
           Alcotest.test_case "reconfig under 20% loss" `Quick
             test_runner_under_control_loss;
@@ -584,5 +703,9 @@ let () =
           Alcotest.test_case "flapping damped (paper)" `Quick
             test_monitor_flapping_damped;
           Alcotest.test_case "no false alarms" `Quick test_monitor_no_false_alarms;
+          Alcotest.test_case "stop drains the engine" `Quick
+            test_monitor_stop_drains_engine;
+          Alcotest.test_case "relapse doubles probation" `Quick
+            test_monitor_relapse_doubles_probation;
         ] );
     ]

@@ -74,6 +74,108 @@ let test_graph_fail_switch () =
   Topo.Graph.restore_switch g 0;
   Alcotest.(check bool) "restored" true (Topo.Graph.switch_connected g)
 
+let test_overlapping_failures_compose () =
+  (* The regression of record: an explicitly failed link must survive a
+     crash-and-restart of its endpoint switch. *)
+  let g = Topo.Build.linear 3 in
+  let l01 = 0 and l12 = 1 in
+  Topo.Graph.fail_link g l01;
+  Topo.Graph.fail_switch g 1;
+  Topo.Graph.restore_switch g 1;
+  Alcotest.(check bool) "explicitly failed link stays dead" false
+    (Topo.Graph.link_working g l01);
+  Alcotest.(check bool) "crash-only link revived" true
+    (Topo.Graph.link_working g l12);
+  Topo.Graph.restore_link g l01;
+  Alcotest.(check bool) "explicit restore completes the repair" true
+    (Topo.Graph.link_working g l01)
+
+let test_overlapping_switch_crashes () =
+  (* Both endpoints of a link crash; the link works again only after
+     both restart. *)
+  let g = Topo.Build.linear 2 in
+  Topo.Graph.fail_switch g 0;
+  Topo.Graph.fail_switch g 1;
+  Topo.Graph.restore_switch g 0;
+  Alcotest.(check bool) "other endpoint still down" false
+    (Topo.Graph.link_working g 0);
+  Topo.Graph.restore_switch g 1;
+  Alcotest.(check bool) "both restored" true (Topo.Graph.link_working g 0)
+
+let test_restore_link_under_crash () =
+  (* restore_link clears only the explicit cause; a crashed endpoint
+     keeps the link down until the switch restarts. *)
+  let g = Topo.Build.linear 2 in
+  Topo.Graph.fail_switch g 0;
+  Topo.Graph.fail_link g 0;
+  Topo.Graph.restore_link g 0;
+  Alcotest.(check bool) "crash cause remains" false (Topo.Graph.link_working g 0);
+  Topo.Graph.restore_switch g 0;
+  Alcotest.(check bool) "now working" true (Topo.Graph.link_working g 0)
+
+let test_fail_restore_idempotent () =
+  let g = Topo.Build.linear 2 in
+  Topo.Graph.fail_link g 0;
+  Topo.Graph.fail_link g 0;
+  Topo.Graph.restore_link g 0;
+  Alcotest.(check bool) "double fail, one restore" true
+    (Topo.Graph.link_working g 0);
+  Topo.Graph.fail_switch g 0;
+  Topo.Graph.fail_switch g 0;
+  Topo.Graph.restore_switch g 0;
+  Alcotest.(check bool) "double crash, one restart" true
+    (Topo.Graph.link_working g 0)
+
+let test_failures_compose_random =
+  (* Model check: apply a random fail/restore word to the real graph
+     and to a per-link cause-set model; working sets must agree. *)
+  qtest ~count:200 "cause-tracked fail/restore matches the set model"
+    (QCheck.make
+       ~print:(fun (seed, k) -> Printf.sprintf "seed=%d ops=%d" seed k)
+       QCheck.Gen.(pair (int_range 0 10_000) (int_range 1 60)))
+    (fun (seed, k) ->
+      let rng = Netsim.Rng.create seed in
+      let g = Topo.Build.src_lan () in
+      let links = Topo.Graph.links g in
+      let n_links = List.length links in
+      let n_sw = Topo.Graph.switch_count g in
+      (* model: per link, the set of active causes *)
+      let model = Array.make n_links [] in
+      let touching s =
+        List.filter_map
+          (fun (l : Topo.Graph.link) ->
+            if l.a.node = Topo.Graph.Switch s || l.b.node = Topo.Graph.Switch s
+            then Some l.link_id
+            else None)
+          links
+      in
+      let add lid c = if not (List.mem c model.(lid)) then model.(lid) <- c :: model.(lid) in
+      let remove lid c = model.(lid) <- List.filter (( <> ) c) model.(lid) in
+      let ok = ref true in
+      for _ = 1 to k do
+        (match Netsim.Rng.int rng 4 with
+         | 0 ->
+           let l = Netsim.Rng.int rng n_links in
+           Topo.Graph.fail_link g l;
+           add l `Explicit
+         | 1 ->
+           let l = Netsim.Rng.int rng n_links in
+           Topo.Graph.restore_link g l;
+           remove l `Explicit
+         | 2 ->
+           let s = Netsim.Rng.int rng n_sw in
+           Topo.Graph.fail_switch g s;
+           List.iter (fun l -> add l (`Crash s)) (touching s)
+         | _ ->
+           let s = Netsim.Rng.int rng n_sw in
+           Topo.Graph.restore_switch g s;
+           List.iter (fun l -> remove l (`Crash s)) (touching s));
+        for l = 0 to n_links - 1 do
+          if Topo.Graph.link_working g l <> (model.(l) = []) then ok := false
+        done
+      done;
+      !ok)
+
 let test_to_dot () =
   let g = Topo.Build.linear 3 in
   ignore (Topo.Graph.connect g (Host (Topo.Graph.add_host g)) (Switch 0));
@@ -393,6 +495,15 @@ let () =
           Alcotest.test_case "distinct ports" `Quick test_graph_distinct_ports;
           Alcotest.test_case "fail/restore link" `Quick test_graph_fail_restore;
           Alcotest.test_case "fail switch" `Quick test_graph_fail_switch;
+          Alcotest.test_case "overlapping failures compose" `Quick
+            test_overlapping_failures_compose;
+          Alcotest.test_case "overlapping switch crashes" `Quick
+            test_overlapping_switch_crashes;
+          Alcotest.test_case "restore under crash" `Quick
+            test_restore_link_under_crash;
+          Alcotest.test_case "fail/restore idempotent" `Quick
+            test_fail_restore_idempotent;
+          test_failures_compose_random;
           Alcotest.test_case "other_end" `Quick test_other_end;
           Alcotest.test_case "to_dot" `Quick test_to_dot;
         ] );
