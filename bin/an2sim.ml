@@ -928,6 +928,157 @@ let churn_cmd =
       $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
+(* partition *)
+
+let partition_cmd =
+  let circuits_arg =
+    Arg.(
+      value
+      & opt int 12
+      & info [ "circuits" ] ~docv:"K"
+          ~doc:"Best-effort circuits over random host pairs.")
+  in
+  let split_arg =
+    Arg.(
+      value
+      & opt int 100
+      & info [ "split-ms" ] ~docv:"MS" ~doc:"When the separator is cut.")
+  in
+  let heal_arg =
+    Arg.(
+      value
+      & opt int 400
+      & info [ "heal-ms" ] ~docv:"MS" ~doc:"When the cut links are restored.")
+  in
+  let detect_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "detect-ms" ] ~docv:"MS"
+          ~doc:"Failure/repair detection delay at the adjacent switches.")
+  in
+  let extra_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "extra-reconfigs" ] ~docv:"N"
+          ~doc:
+            "Additional reconfiguration rounds on the B side while split \
+             (drives its epoch past A's).")
+  in
+  let one_sided_arg =
+    Arg.(
+      value & flag
+      & info [ "one-sided" ]
+          ~doc:
+            "Only the low-epoch side detects the heal, so convergence \
+             requires the stale-invite Reject path.")
+  in
+  let pace_arg =
+    Arg.(
+      value
+      & opt int 500
+      & info [ "pace-us" ] ~docv:"US"
+          ~doc:"Gap between re-admissions after the heal (0 = naive storm).")
+  in
+  let run kind switches circuits split_ms heal_ms detect_ms extra one_sided
+      pace_us sweep jobs seed trace metrics =
+    let params base_seed =
+      {
+        Faults.Partition.default_params with
+        circuits;
+        split_at = Netsim.Time.ms split_ms;
+        heal_at = Netsim.Time.ms heal_ms;
+        detection_delay = Netsim.Time.ms detect_ms;
+        extra_reconfigs = extra;
+        one_sided_heal = one_sided;
+        lifecycle =
+          { An2.Lifecycle.default_params with pace = Netsim.Time.us pace_us };
+        seed = base_seed;
+      }
+    in
+    let once ~obs seed =
+      Faults.Partition.run ~obs ~graph:(make_topology kind switches)
+        (params seed)
+    in
+    let print_result pre (r : Faults.Partition.result) =
+      Format.printf
+        "%ssplit: %d|%d switches, %d cut links, converged=%b %a vs %a \
+         divergent=%b@."
+        pre r.switches_a r.switches_b r.cut_links r.split_converged
+        Reconfig.Tag.pp r.tag_a Reconfig.Tag.pp r.tag_b r.divergent;
+      Format.printf
+        "%scircuits: %d intra (preserved %.3f, lost %.0f cells), %d cross \
+         (lost %.0f); split gc reclaimed %d, leaks=%d@."
+        pre r.intra_circuits r.intra_preserved r.cells_lost_intra
+        r.cross_circuits r.cells_lost_cross r.split_gc_reclaimed
+        r.leaks_after_split_gc;
+      Format.printf
+        "%sheal: converged=%b agreement=%b topology=%b tag=%a reconciled=%b \
+         in %.2fms (%d msgs)@."
+        pre r.heal_converged r.heal_agreement r.heal_topology_correct
+        Reconfig.Tag.pp r.heal_tag r.heal_reconciled
+        (Netsim.Time.to_ms r.heal_elapsed)
+        r.messages;
+      Format.printf
+        "%sreadmit: %d ok, %d failed in %.2fms; backlog=%d attempts=%d \
+         crankbacks=%d timeouts=%d retries=%d gc=%d leaks=%d served=%b \
+         drained=%b@."
+        pre r.readmitted r.readmit_failed
+        (Netsim.Time.to_ms r.readmit_elapsed)
+        r.worst_signaling_backlog r.setup_attempts r.crankbacks r.timeouts
+        r.retries r.gc_reclaimed_total r.leaks_final r.all_served_at_end
+        r.drained
+    in
+    if sweep > 0 then begin
+      let seeds = List.init sweep (fun i -> seed + i) in
+      let results =
+        sweep_metrics ~jobs ~seeds ~trace ~metrics (fun s sink ->
+            once ~obs:sink s)
+      in
+      List.iter
+        (fun (s, r) ->
+          Format.printf "seed %d:@." s;
+          print_result "  " r)
+        results;
+      let outs = List.map snd results in
+      let all f = List.for_all f outs in
+      Format.printf
+        "sweep of %d seeds: healed %b, reconciled %b, mean heal %.2fms, \
+         mean intra preserved %.3f, zero leaks %b, all drained %b@."
+        sweep
+        (all (fun r ->
+             r.Faults.Partition.heal_converged
+             && r.Faults.Partition.heal_agreement
+             && r.Faults.Partition.heal_topology_correct))
+        (all (fun r -> r.Faults.Partition.heal_reconciled))
+        (mean_over outs (fun r ->
+             Netsim.Time.to_ms r.Faults.Partition.heal_elapsed))
+        (mean_over outs (fun r -> r.Faults.Partition.intra_preserved))
+        (all (fun r ->
+             r.Faults.Partition.leaks_after_split_gc = 0
+             && r.Faults.Partition.leaks_final = 0))
+        (all (fun r -> r.Faults.Partition.drained))
+    end
+    else begin
+      let obs = make_sink ~trace ~metrics in
+      print_result "" (once ~obs seed);
+      finish_obs obs ~trace ~metrics
+    end
+  in
+  let doc =
+    "Partition-and-heal survivability: cut a separator, let both sides \
+     reconfigure to divergent epochs while intra-side circuits keep \
+     serving, then heal, reconcile tags, sweep orphans and re-admit dark \
+     circuits with paced setups."
+  in
+  Cmd.v (Cmd.info "partition" ~doc)
+    Term.(
+      const run $ kind_arg $ switches_arg $ circuits_arg $ split_arg
+      $ heal_arg $ detect_arg $ extra_arg $ one_sided_arg $ pace_arg
+      $ sweep_arg $ jobs_arg $ seed_arg $ trace_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "simulators for the AN2 local area network (Owicki, PODC 1993)" in
@@ -938,5 +1089,5 @@ let () =
           [
             topo_cmd; fabric_cmd; reconfig_cmd; local_reconfig_cmd; flow_cmd;
             deadlock_cmd; e2e_cmd; multicast_cmd; adaptive_cmd; signaling_cmd;
-            rebalance_cmd; churn_cmd;
+            rebalance_cmd; churn_cmd; partition_cmd;
           ]))

@@ -1,0 +1,438 @@
+type routing =
+  | Shortest
+  | Updown
+
+type params = {
+  proc_delay : Netsim.Time.t;
+  setup_timeout : Netsim.Time.t;
+  max_attempts : int;
+  backoff_base : Netsim.Time.t;
+  backoff_max : Netsim.Time.t;
+  jitter : float;
+  pace : Netsim.Time.t;
+  routing : routing;
+  seed : int;
+}
+
+let default_params =
+  {
+    proc_delay = Netsim.Time.us 100;
+    setup_timeout = Netsim.Time.ms 20;
+    max_attempts = 8;
+    backoff_base = Netsim.Time.ms 1;
+    backoff_max = Netsim.Time.ms 100;
+    jitter = 0.2;
+    pace = Netsim.Time.us 500;
+    routing = Shortest;
+    seed = 0;
+  }
+
+type stats = {
+  setups : int;
+  established : int;
+  failed : int;
+  attempts : int;
+  crankbacks : int;
+  timeouts : int;
+  retries : int;
+  worst_backlog : int;
+  gc_reclaimed : int;
+  gc_runs : int;
+}
+
+type t = {
+  engine : Netsim.Engine.t;
+  net : Network.t;
+  params : params;
+  rng : Netsim.Rng.t;
+  (* Per-switch signaling processor: cells are handled one at a time. *)
+  busy_until : Netsim.Time.t array;
+  queue_len : int array;
+  mutable worst_backlog : int;
+  mutable in_flight : int;
+  mutable setups : int;
+  mutable established : int;
+  mutable failed : int;
+  mutable attempts : int;
+  mutable crankbacks : int;
+  mutable timeouts : int;
+  mutable retries : int;
+  mutable gc_reclaimed : int;
+  mutable gc_runs : int;
+  obs : Obs.Sink.t;
+  c_established : Obs.Metrics.Counter.t;
+  c_failed : Obs.Metrics.Counter.t;
+  c_attempts : Obs.Metrics.Counter.t;
+  c_crankbacks : Obs.Metrics.Counter.t;
+  c_timeouts : Obs.Metrics.Counter.t;
+  c_retries : Obs.Metrics.Counter.t;
+  c_gc_reclaimed : Obs.Metrics.Counter.t;
+  g_backlog : Obs.Metrics.Gauge.t;
+}
+
+let create ?(obs = Obs.Sink.null) ~engine net params =
+  let n = Topo.Graph.switch_count (Network.graph net) in
+  {
+    engine;
+    net;
+    params;
+    rng = Netsim.Rng.create params.seed;
+    busy_until = Array.make n 0;
+    queue_len = Array.make n 0;
+    worst_backlog = 0;
+    in_flight = 0;
+    setups = 0;
+    established = 0;
+    failed = 0;
+    attempts = 0;
+    crankbacks = 0;
+    timeouts = 0;
+    retries = 0;
+    gc_reclaimed = 0;
+    gc_runs = 0;
+    obs;
+    c_established = Obs.Sink.counter obs "lifecycle.established";
+    c_failed = Obs.Sink.counter obs "lifecycle.failed";
+    c_attempts = Obs.Sink.counter obs "lifecycle.attempts";
+    c_crankbacks = Obs.Sink.counter obs "lifecycle.crankbacks";
+    c_timeouts = Obs.Sink.counter obs "lifecycle.timeouts";
+    c_retries = Obs.Sink.counter obs "lifecycle.retries";
+    c_gc_reclaimed = Obs.Sink.counter obs "lifecycle.gc_reclaimed";
+    g_backlog = Obs.Sink.gauge obs "lifecycle.worst_signaling_backlog";
+  }
+
+let in_flight t = t.in_flight
+
+let stats t =
+  {
+    setups = t.setups;
+    established = t.established;
+    failed = t.failed;
+    attempts = t.attempts;
+    crankbacks = t.crankbacks;
+    timeouts = t.timeouts;
+    retries = t.retries;
+    worst_backlog = t.worst_backlog;
+    gc_reclaimed = t.gc_reclaimed;
+    gc_runs = t.gc_runs;
+  }
+
+let obs_on t = t.obs.Obs.Sink.enabled
+
+(* A switch participates in signaling while it has any working link;
+   fail_switch kills them all, so a crashed switch is silent. *)
+let switch_alive g s =
+  Topo.Graph.switch_neighbors g s <> [] || Topo.Graph.hosts_of_switch g s <> []
+
+let route_for t ~src_host ~dst_host =
+  let g = Network.graph t.net in
+  match
+    ( Network.host_attachment t.net src_host,
+      Network.host_attachment t.net dst_host )
+  with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (a, _), Ok (b, _) ->
+    let path =
+      match t.params.routing with
+      | Shortest -> Topo.Paths.route g ~src:a ~dst:b
+      | Updown ->
+        (* Orientation rooted at the source attachment: any root gives
+           a deadlock-free up*/down* discipline, and the source is
+           always in its own component. *)
+        let orient = Topo.Updown.orient g (Topo.Spanning.bfs g ~root:a) in
+        Topo.Updown.route g orient ~src:a ~dst:b
+    in
+    (match path with
+     | None -> Error (Printf.sprintf "hosts %d and %d are partitioned" src_host dst_host)
+     | Some switches ->
+       (match Network.links_of_switch_path t.net ~src_host ~dst_host switches with
+        | Error e -> Error e
+        | Ok links -> Ok (switches, links)))
+
+(* One in-progress setup. [epoch] stamps the current attempt: events
+   belonging to an abandoned attempt (timeout fired, source moved on)
+   compare their stamp and evaporate. *)
+type pending = {
+  vc : Network.vc;
+  on_done : (Network.vc, string) result -> unit;
+  mutable attempt : int;
+  mutable epoch : int;
+  mutable timer : Netsim.Engine.event_id;
+  mutable path_switches : int array;
+  mutable path_links : int array;
+  mutable resolved : bool;
+}
+
+(* Occupy switch [s]'s signaling processor for one cell; [k] runs when
+   the processor gets to it. The queue includes the cell in service. *)
+let process_at t s k =
+  t.queue_len.(s) <- t.queue_len.(s) + 1;
+  if t.queue_len.(s) > t.worst_backlog then begin
+    t.worst_backlog <- t.queue_len.(s);
+    if obs_on t then Obs.Metrics.Gauge.set t.g_backlog (float_of_int t.worst_backlog)
+  end;
+  let start = max (Netsim.Engine.now t.engine) t.busy_until.(s) in
+  let finish = start + t.params.proc_delay in
+  t.busy_until.(s) <- finish;
+  Netsim.Engine.post_at t.engine ~at:finish (fun () ->
+      t.queue_len.(s) <- t.queue_len.(s) - 1;
+      k ())
+
+let latency g lid = (Topo.Graph.link g lid).Topo.Graph.latency
+
+let finish t p result =
+  if not p.resolved then begin
+    p.resolved <- true;
+    Netsim.Engine.cancel t.engine p.timer;
+    p.timer <- Netsim.Engine.no_event;
+    t.in_flight <- t.in_flight - 1;
+    (match result with
+     | Ok _ ->
+       t.established <- t.established + 1;
+       if obs_on t then Obs.Metrics.Counter.incr t.c_established
+     | Error _ ->
+       t.failed <- t.failed + 1;
+       p.vc.Network.paged_out <- true;
+       if obs_on t then Obs.Metrics.Counter.incr t.c_failed);
+    p.on_done result
+  end
+
+let rec start_attempt t p =
+  if p.resolved then ()
+  else if p.attempt >= t.params.max_attempts then
+    finish t p
+      (Error
+         (Printf.sprintf "vc %d: gave up after %d attempts" p.vc.Network.vc_id
+            p.attempt))
+  else begin
+    p.attempt <- p.attempt + 1;
+    p.epoch <- p.epoch + 1;
+    t.attempts <- t.attempts + 1;
+    if obs_on t then Obs.Metrics.Counter.incr t.c_attempts;
+    match
+      route_for t ~src_host:p.vc.Network.src_host ~dst_host:p.vc.Network.dst_host
+    with
+    | Error _ ->
+      (* No route right now (partition, dead attachment). The topology
+         may heal before we run out of attempts. *)
+      retry t p
+    | Ok (switches, links) ->
+      Network.assign_route t.net p.vc ~switches ~links;
+      p.path_switches <- Array.of_list switches;
+      p.path_links <- Array.of_list links;
+      let epoch = p.epoch in
+      p.timer <-
+        Netsim.Engine.schedule t.engine ~delay:t.params.setup_timeout (fun () ->
+            on_timeout t p epoch);
+      let g = Network.graph t.net in
+      (* The setup cell leaves the source host over its attachment. *)
+      if Topo.Graph.link_working g p.path_links.(0) then
+        Netsim.Engine.post t.engine ~delay:(latency g p.path_links.(0))
+          (fun () -> setup_arrives t p epoch 0)
+      (* else: dead attachment mid-flight; the timeout recovers. *)
+  end
+
+and retry t p =
+  if p.resolved then ()
+  else if p.attempt >= t.params.max_attempts then
+    (* Out of attempts: fail now rather than after one more backoff. *)
+    finish t p
+      (Error
+         (Printf.sprintf "vc %d: gave up after %d attempts" p.vc.Network.vc_id
+            p.attempt))
+  else begin
+    t.retries <- t.retries + 1;
+    if obs_on t then Obs.Metrics.Counter.incr t.c_retries;
+    (* Exponential backoff with seeded jitter: base * 2^(attempt-1),
+       capped, scaled by a uniform factor in [1-j, 1+j]. *)
+    let shift = min (p.attempt - 1) 20 in
+    let raw = min t.params.backoff_max (t.params.backoff_base * (1 lsl shift)) in
+    let factor =
+      1.0 +. (t.params.jitter *. ((2.0 *. Netsim.Rng.float t.rng 1.0) -. 1.0))
+    in
+    let delay = max 1 (int_of_float (float_of_int raw *. factor)) in
+    Netsim.Engine.post t.engine ~delay (fun () -> start_attempt t p)
+  end
+
+and on_timeout t p epoch =
+  if (not p.resolved) && p.epoch = epoch then begin
+    t.timeouts <- t.timeouts + 1;
+    if obs_on t then Obs.Metrics.Counter.incr t.c_timeouts;
+    (* Abandon the crawl. Entries it installed stay behind as orphans
+       until the next gc — the paper's switches forget circuits only
+       when told to. *)
+    p.epoch <- p.epoch + 1;
+    p.vc.Network.paged_out <- true;
+    retry t p
+  end
+
+(* Setup cell arrives at path hop [i] (switch p.path_switches.(i)). *)
+and setup_arrives t p epoch i =
+  let s = p.path_switches.(i) in
+  process_at t s (fun () ->
+      if p.resolved || p.epoch <> epoch then ()
+      else begin
+        let g = Network.graph t.net in
+        if not (switch_alive g s) then ()
+          (* Crashed switch swallows the cell; the timeout recovers. *)
+        else begin
+          Network.install_entry t.net p.vc ~switch:s;
+          let out = p.path_links.(i + 1) in
+          if not (Topo.Graph.link_working g out) then crankback t p epoch i
+          else if i + 1 < Array.length p.path_switches then
+            Netsim.Engine.post t.engine ~delay:(latency g out) (fun () ->
+                setup_arrives t p epoch (i + 1))
+          else
+            (* Last switch: the cell reaches the destination host, which
+               acknowledges immediately (§2: data may follow the setup
+               cell; the ack closes the loop for the source). *)
+            Netsim.Engine.post t.engine ~delay:(2 * latency g out) (fun () ->
+                ack_arrives t p epoch i)
+        end
+      end)
+
+(* Ack crawls back toward the source through hop [i]. *)
+and ack_arrives t p epoch i =
+  let s = p.path_switches.(i) in
+  process_at t s (fun () ->
+      if p.resolved || p.epoch <> epoch then ()
+      else begin
+        let g = Network.graph t.net in
+        let back = p.path_links.(i) in
+        if not (switch_alive g s) || not (Topo.Graph.link_working g back) then ()
+          (* Swallowed ack: the source times out and retries; the fully
+             installed path becomes orphan entries for gc. *)
+        else if i = 0 then
+          Netsim.Engine.post t.engine ~delay:(latency g back) (fun () ->
+              if (not p.resolved) && p.epoch = epoch then finish t p (Ok p.vc))
+        else
+          Netsim.Engine.post t.engine ~delay:(latency g back) (fun () ->
+              ack_arrives t p epoch (i - 1))
+      end)
+
+(* Dead next link discovered at path hop [i]: undo the entry just
+   installed there (same processing slot), then walk a release cell
+   back over the installed prefix, uninstalling at each switch; at the
+   source, back off and retry on a route recomputed around the
+   failure. A dead link or switch on the way back swallows the release
+   — the remaining prefix stays as orphans and the timeout recovers. *)
+and crankback t p epoch i =
+  t.crankbacks <- t.crankbacks + 1;
+  if obs_on t then Obs.Metrics.Counter.incr t.c_crankbacks;
+  let g = Network.graph t.net in
+  Network.uninstall_entry t.net p.vc ~switch:p.path_switches.(i);
+  (* [step j]: the release cell leaves switch index [j] backwards. *)
+  let rec step j =
+    let back = p.path_links.(j) in
+    if not (Topo.Graph.link_working g back) then ()
+    else if j = 0 then
+      Netsim.Engine.post t.engine ~delay:(latency g back) (fun () ->
+          if (not p.resolved) && p.epoch = epoch then begin
+            p.epoch <- p.epoch + 1;
+            Netsim.Engine.cancel t.engine p.timer;
+            p.timer <- Netsim.Engine.no_event;
+            retry t p
+          end)
+    else
+      Netsim.Engine.post t.engine ~delay:(latency g back) (fun () ->
+          let prev = p.path_switches.(j - 1) in
+          process_at t prev (fun () ->
+              if p.resolved || p.epoch <> epoch then ()
+              else if not (switch_alive g prev) then ()
+              else begin
+                Network.uninstall_entry t.net p.vc ~switch:prev;
+                step (j - 1)
+              end))
+  in
+  step i
+
+let submit t vc ~on_done =
+  t.setups <- t.setups + 1;
+  t.in_flight <- t.in_flight + 1;
+  let p =
+    {
+      vc;
+      on_done;
+      attempt = 0;
+      epoch = 0;
+      timer = Netsim.Engine.no_event;
+      path_switches = [||];
+      path_links = [||];
+      resolved = false;
+    }
+  in
+  start_attempt t p
+
+let setup t ~src_host ~dst_host ~on_done =
+  let vc = Network.register_best_effort t.net ~src_host ~dst_host in
+  submit t vc ~on_done
+
+let readmit t ?(on_circuit = fun _ -> ()) vcs ~on_done =
+  let remaining = ref (List.length vcs) in
+  if !remaining = 0 then on_done ()
+  else
+    List.iteri
+      (fun i vc ->
+        Netsim.Engine.post t.engine ~delay:(i * t.params.pace) (fun () ->
+            submit t vc ~on_done:(fun r ->
+                on_circuit r;
+                decr remaining;
+                if !remaining = 0 then on_done ())))
+      vcs
+
+(* An installed table entry is legitimate iff its circuit exists, is
+   not dark, the switch carries that exact entry on the circuit's
+   current path, and every link of that path works. Everything else is
+   an orphan: crashed-switch leftovers, timed-out attempts, entries of
+   circuits a reconfiguration broke. *)
+let orphan_entries t =
+  let g = Network.graph t.net in
+  let n = Topo.Graph.switch_count g in
+  let orphans = ref [] in
+  let broken = ref [] in
+  Network.iter_vcs t.net (fun vc ->
+      if
+        (not vc.Network.paged_out)
+        && not
+             (vc.Network.links <> []
+             && List.for_all (Topo.Graph.link_working g) vc.Network.links)
+      then broken := vc :: !broken);
+  for s = 0 to n - 1 do
+    List.iter
+      (fun (vc_id, entry) ->
+        let keep =
+          match Network.find_vc t.net vc_id with
+          | None -> false
+          | Some vc ->
+            (not vc.Network.paged_out)
+            && (not (List.exists (fun b -> b.Network.vc_id = vc_id) !broken))
+            && List.exists
+                 (fun (s', e) -> s' = s && e = entry)
+                 (Network.table_entries vc)
+        in
+        if not keep then orphans := (s, vc_id) :: !orphans)
+      (Network.table_bindings t.net s)
+  done;
+  (!orphans, !broken)
+
+let audit t = fst (orphan_entries t) |> List.length
+
+let gc t =
+  let orphans, broken = orphan_entries t in
+  List.iter
+    (fun (s, vc_id) -> Network.remove_entry t.net ~switch:s ~vc_id)
+    orphans;
+  (* Circuits whose installed path died need re-establishment: mark
+     them dark so [dark]/[readmit] pick them up. *)
+  List.iter (fun vc -> vc.Network.paged_out <- true) broken;
+  let reclaimed = List.length orphans in
+  t.gc_reclaimed <- t.gc_reclaimed + reclaimed;
+  t.gc_runs <- t.gc_runs + 1;
+  if obs_on t then
+    Obs.Metrics.Counter.add t.c_gc_reclaimed reclaimed;
+  reclaimed
+
+let dark t =
+  let acc = ref [] in
+  Network.iter_vcs t.net (fun vc -> if vc.Network.paged_out then acc := vc :: !acc);
+  List.sort (fun a b -> compare a.Network.vc_id b.Network.vc_id) !acc

@@ -1,0 +1,121 @@
+(** Circuit lifecycle recovery: setup with timeout, retry and
+    crankback; orphaned-entry garbage collection; paced re-admission
+    (paper §2).
+
+    {!Signaling} models one happy-path setup in isolation. This layer
+    runs setups on a shared engine against the live {!Network} state,
+    with the failure handling the paper's circuit story needs:
+
+    - the setup cell crawls the path one switch at a time, paying the
+      ~100 us line-card signaling processing per hop on a {e per-switch
+      serialized processor} (concurrent setups queue; the worst queue
+      depth is the signaling backlog this module measures);
+    - a switch that is dead when the cell arrives swallows it, and the
+      source's {e setup timeout} fires;
+    - a dead {e next link} discovered mid-crawl triggers {e crankback}:
+      a release cell walks back uninstalling the entries installed so
+      far, and the source retries on a route recomputed around the
+      failure (optionally up*/down*-restricted);
+    - retries use exponential backoff with seeded jitter and are
+      bounded by [max_attempts], so a setup always ends in [Ok] or a
+      terminal [Error] — no live-lock;
+    - attempts abandoned by timeout leave their installed entries
+      behind as {e orphans}; {!gc} sweeps them (and the entries of
+      circuits whose path a reconfiguration broke), and {!audit}
+      proves none remain;
+    - {!readmit} re-establishes a batch of dark circuits after repair,
+      pacing admissions so the storm does not melt the signaling
+      plane.
+
+    All randomness (jitter) comes from the seed in {!params}; runs are
+    deterministic and safe inside {!Netsim.Sweep}. *)
+
+type routing =
+  | Shortest  (** unrestricted shortest path, as {!Network.find_route} *)
+  | Updown
+      (** up*/down*-legal path w.r.t. a BFS tree rooted at the source
+          attachment — the deadlock-free alternate-route discipline of
+          §5, exercised by crankback *)
+
+type params = {
+  proc_delay : Netsim.Time.t;
+      (** line-card signaling processing per setup/release/ack hop *)
+  setup_timeout : Netsim.Time.t;  (** per attempt, armed at the source *)
+  max_attempts : int;  (** total attempts before a terminal error *)
+  backoff_base : Netsim.Time.t;  (** first retry delay *)
+  backoff_max : Netsim.Time.t;  (** exponential backoff cap *)
+  jitter : float;
+      (** retry delay is scaled by a uniform factor in [1 - jitter,
+          1 + jitter] so colliding retries decorrelate *)
+  pace : Netsim.Time.t;
+      (** gap between successive {!readmit} admissions; 0 = naive
+          storm, everything at once *)
+  routing : routing;
+  seed : int;  (** jitter randomness *)
+}
+
+val default_params : params
+(** 100 us/hop, 20 ms timeout, 8 attempts, 1 ms backoff doubling to a
+    100 ms cap, 20% jitter, 500 us pacing, shortest-path routing. *)
+
+type stats = {
+  setups : int;  (** circuits handed to the layer (fresh + readmitted) *)
+  established : int;
+  failed : int;  (** terminal errors *)
+  attempts : int;  (** route-and-crawl attempts started *)
+  crankbacks : int;  (** releases triggered by a dead link mid-crawl *)
+  timeouts : int;  (** source timeouts (swallowed cell or ack) *)
+  retries : int;  (** backoff retries scheduled *)
+  worst_backlog : int;
+      (** deepest per-switch signaling queue observed, setup, release
+          and ack cells included *)
+  gc_reclaimed : int;  (** orphaned table entries swept, total *)
+  gc_runs : int;
+}
+
+type t
+
+val create : ?obs:Obs.Sink.t -> engine:Netsim.Engine.t -> Network.t -> params -> t
+(** The engine is shared with the caller's scenario: setups interleave
+    with whatever else is on the timeline. With an enabled [obs] sink,
+    counts mirror {!stats} under [lifecycle.*] and the backlog is
+    gauged. *)
+
+val setup :
+  t -> src_host:int -> dst_host:int ->
+  on_done:((Network.vc, string) result -> unit) -> unit
+(** Start establishing a fresh best-effort circuit. [on_done] fires on
+    the engine timeline once the setup either completes (circuit
+    installed end to end, ack received) or fails terminally. The vc is
+    allocated immediately (visible dark via {!Network.find_vc}) so a
+    timed-out attempt's orphaned entries stay attributable. *)
+
+val readmit :
+  t ->
+  ?on_circuit:((Network.vc, string) result -> unit) ->
+  Network.vc list -> on_done:(unit -> unit) -> unit
+(** Re-establish existing (dark) circuits, admitting one every
+    [params.pace] (all at once when 0). [on_circuit] fires as each
+    individual readmission resolves (e.g. to close a loss-accounting
+    window); [on_done] fires once every one has reached [Ok] or a
+    terminal error. *)
+
+val gc : t -> int
+(** Sweep every switch's routing table, dropping entries whose circuit
+    is gone, paged out, routed elsewhere, or whose installed path
+    crosses a dead link (such circuits are marked dark — they need
+    re-establishment, see {!dark}). Returns the number of entries
+    reclaimed. Run it after each reconfiguration, as the paper's
+    switches do when a new topology arrives. *)
+
+val audit : t -> int
+(** Count the table entries {!gc} would reclaim, without touching
+    anything. 0 after a gc — the zero-leak check. *)
+
+val dark : t -> Network.vc list
+(** Paged-out circuits awaiting re-admission, in vc-id order. *)
+
+val in_flight : t -> int
+(** Setups started but not yet resolved. *)
+
+val stats : t -> stats

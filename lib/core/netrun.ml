@@ -47,6 +47,7 @@ type result = {
   per_vc : (int * vc_stats) list;
   max_guaranteed_backlog : int;
   guaranteed_backlog_frames : float;
+  dark_circuits : int;
 }
 
 (* Mutable per-circuit simulation state. *)
@@ -55,6 +56,7 @@ type vc_state = {
   mutable links : int array;  (* l_0 .. l_k; l_0 and l_k are host links *)
   mutable switches : int array;  (* s_1 .. s_k *)
   mutable epoch : int;
+  mutable dark : bool;  (* a reroute failed and left the circuit unserved *)
   is_guaranteed : bool;
   (* host-side *)
   mutable sent : int;
@@ -81,12 +83,13 @@ type simcell = {
 let vc_of_source = function
   | Cbr vc | Saturated_be vc | Paced_be (vc, _) | Packets_be (vc, _, _) -> vc
 
-let run net p ~sources ?(events = []) ~duration () =
+let run ?(obs = Obs.Sink.null) net p ~sources ?(events = []) ~duration () =
   let g = Network.graph net in
   let frame = Network.frame_length net in
   let frame_time = frame * p.cell_time in
   let n_switches = Topo.Graph.switch_count g in
   let engine = Netsim.Engine.create () in
+  let c_dark = Obs.Sink.counter obs "netrun.dark_circuits" in
   let rng = Netsim.Rng.create p.seed in
   (* Circuit states. *)
   let states =
@@ -99,6 +102,7 @@ let run net p ~sources ?(events = []) ~duration () =
             links = Array.of_list vc.Network.links;
             switches = Array.of_list vc.Network.switches;
             epoch = 0;
+            dark = false;
             is_guaranteed =
               (match vc.Network.cls with
                | Network.Guaranteed _ -> true
@@ -472,15 +476,27 @@ let run net p ~sources ?(events = []) ~duration () =
       (fun lid -> Hashtbl.remove credits (lid, st.vc.Network.vc_id))
       st.links
   in
+  (* A failed reroute leaves the circuit dark: it keeps its broken
+     path, drops every cell, and is reported in the run outcome (plus
+     the [netrun.dark_circuits] counter) instead of being silently
+     forgotten. A later successful reroute — e.g. after the partition
+     heals and another Reroute event fires — clears the mark. *)
+  let went_dark st =
+    if not st.dark then begin
+      st.dark <- true;
+      if obs.Obs.Sink.enabled then Obs.Metrics.Counter.incr c_dark
+    end
+  in
   let reroute_vc st =
     if Array.exists (fun lid -> not (link_ok lid)) st.links then begin
       flush_vc st;
       st.epoch <- st.epoch + 1;
       match Network.reroute net st.vc with
       | Ok () ->
+        st.dark <- false;
         st.links <- Array.of_list st.vc.Network.links;
         st.switches <- Array.of_list st.vc.Network.switches
-      | Error _ -> ()  (* partitioned: the circuit stays dark *)
+      | Error _ -> went_dark st
     end
   in
   let reroute_guaranteed_vc bwc st =
@@ -489,9 +505,10 @@ let run net p ~sources ?(events = []) ~duration () =
       st.epoch <- st.epoch + 1;
       match Bandwidth_central.reroute_after_failure bwc st.vc with
       | Ok () ->
+        st.dark <- false;
         st.links <- Array.of_list st.vc.Network.links;
         st.switches <- Array.of_list st.vc.Network.switches
-      | Error _ -> ()
+      | Error _ -> went_dark st
     end
   in
   List.iter
@@ -544,4 +561,6 @@ let run net p ~sources ?(events = []) ~duration () =
     per_vc;
     max_guaranteed_backlog = !max_gbacklog;
     guaranteed_backlog_frames = float_of_int !max_gbacklog /. float_of_int frame;
+    dark_circuits =
+      List.fold_left (fun acc (_, st) -> if st.dark then acc + 1 else acc) 0 states;
   }

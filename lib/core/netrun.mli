@@ -78,9 +78,16 @@ type result = {
           cells (the paper bounds it by 2 frames synchronized, ~4
           unsynchronized) *)
   guaranteed_backlog_frames : float;  (** same, in frames *)
+  dark_circuits : int;
+      (** circuits whose last reroute attempt failed (typically because
+          the failure partitioned their endpoints): they stop serving
+          and drop every cell until a later reroute succeeds. Also
+          counted on the [netrun.dark_circuits] obs counter as each
+          circuit goes dark. *)
 }
 
 val run :
+  ?obs:Obs.Sink.t ->
   Network.t ->
   params ->
   sources:source list ->

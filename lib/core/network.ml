@@ -126,6 +126,38 @@ let setup_best_effort t ~src_host ~dst_host =
        install t vc;
        Ok vc)
 
+let register_best_effort t ~src_host ~dst_host =
+  let vc =
+    {
+      vc_id = t.next_vc;
+      src_host;
+      dst_host;
+      cls = Best_effort;
+      switches = [];
+      links = [];
+      paged_out = true;
+    }
+  in
+  t.next_vc <- t.next_vc + 1;
+  Hashtbl.add t.vcs vc.vc_id vc;
+  vc
+
+let assign_route _t vc ~switches ~links =
+  vc.switches <- switches;
+  vc.links <- links;
+  vc.paged_out <- false
+
+let install_entry t vc ~switch =
+  match List.assoc_opt switch (table_entries vc) with
+  | Some entry -> Hashtbl.replace t.tables.(switch) vc.vc_id entry
+  | None -> invalid_arg "Network.install_entry: switch not on the circuit's path"
+
+let uninstall_entry t vc ~switch = Hashtbl.remove t.tables.(switch) vc.vc_id
+let remove_entry t ~switch ~vc_id = Hashtbl.remove t.tables.(switch) vc_id
+
+let table_bindings t s =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tables.(s) [])
+
 let register_guaranteed t ~src_host ~dst_host ~cells ~switches ~links =
   let vc =
     {

@@ -46,6 +46,35 @@ val setup_best_effort : t -> src_host:int -> dst_host:int -> (vc, string) result
     routing-table entry at every switch on it (the signaling-cell
     processing of §2). *)
 
+val register_best_effort : t -> src_host:int -> dst_host:int -> vc
+(** Allocate a best-effort circuit identity with no route and no table
+    entries (it starts paged out). Used by {!Lifecycle}, which installs
+    entries hop by hop as its signaling crawl progresses rather than
+    atomically. *)
+
+val assign_route : t -> vc -> switches:int list -> links:int list -> unit
+(** Point the circuit at a path (clearing [paged_out]) without touching
+    any routing table — entry installation is the caller's job, e.g.
+    one switch at a time via {!install_entry}. *)
+
+val install_entry : t -> vc -> switch:int -> unit
+(** Install the circuit's routing-table entry at one switch of its
+    current path (raises [Invalid_argument] if the switch is not on
+    it) — one hop of setup-cell processing. *)
+
+val uninstall_entry : t -> vc -> switch:int -> unit
+(** Drop the circuit's entry at one switch, if present — one hop of a
+    crankback release. *)
+
+val remove_entry : t -> switch:int -> vc_id:int -> unit
+(** Drop an entry by raw id — for sweeping orphans whose circuit no
+    longer exists. *)
+
+val table_bindings : t -> int -> (int * (int * int)) list
+(** All [(vc_id, (in_link, out_link))] entries currently installed at a
+    switch, sorted — including orphans whose circuit is gone, which is
+    what {!Lifecycle.gc} sweeps for. *)
+
 val register_guaranteed :
   t ->
   src_host:int ->

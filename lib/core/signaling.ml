@@ -21,9 +21,11 @@ type outcome = {
   delivered : int;
   in_order : bool;
   max_buffered_awaiting_entry : int;
+  dropped : int;
+  setup_completed : bool;
 }
 
-let setup_with_data net ~src_host ~dst_host p =
+let setup_with_data ?(fail_at = []) net ~src_host ~dst_host p =
   if p.data_rate <= 0.0 || p.data_rate > 1.0 then
     invalid_arg "Signaling.setup_with_data: bad rate";
   match Network.find_route net ~src_host ~dst_host with
@@ -37,6 +39,19 @@ let setup_with_data net ~src_host ~dst_host p =
        let links = Array.of_list links in
        let latency j = (Topo.Graph.link g links.(j)).Topo.Graph.latency in
        let engine = Netsim.Engine.create () in
+       (* Scheduled mid-crawl link deaths, applied on this run's own
+          timeline and undone afterwards (only links we actually
+          killed). *)
+       let we_failed = ref [] in
+       List.iter
+         (fun (at, lid) ->
+           Netsim.Engine.post_at engine ~at (fun () ->
+               if Topo.Graph.link_working g lid then begin
+                 Topo.Graph.fail_link g lid;
+                 we_failed := lid :: !we_failed
+               end))
+         fail_at;
+       let dropped = ref 0 in
        (* Per switch position 1..k: is the table entry installed, and
           the backlog of data cells awaiting it. *)
        let installed = Array.make (k + 1) false in
@@ -54,6 +69,11 @@ let setup_with_data net ~src_host ~dst_host p =
           ahead of cells that arrive while it drains. *)
        let next_free = Array.make (k + 1) 0 in
        let rec forward j seq =
+         if not (Topo.Graph.link_working g links.(j)) then incr dropped
+           (* The outgoing link is dead at departure: the cell is lost
+              on the floor, exactly what the lifecycle layer's
+              timeout/crankback machinery exists to recover from. *)
+         else begin
          let now = Netsim.Engine.now engine in
          let start = max now next_free.(j) in
          next_free.(j) <- start + p.cell_time;
@@ -77,10 +97,17 @@ let setup_with_data net ~src_host ~dst_host p =
                let b = Queue.length backlog.(j + 1) in
                if b > !max_backlog then max_backlog := b
              end)
+         end
        in
        (* The setup cell: software processing at each switch installs
           the entry and releases any backlog, in order, at link rate. *)
        let rec setup_hop j =
+         if not (Topo.Graph.link_working g links.(j - 1)) then ()
+           (* Setup cell swallowed by a dead link: the crawl stalls and
+              [setup_completed] stays false. Cells already buffered at
+              later hops stay buffered — the switch holds them until a
+              table entry arrives that never will. *)
+         else
          let transit = p.cell_time + latency (j - 1) in
          Netsim.Engine.post engine ~delay:transit (fun () ->
              Netsim.Engine.post engine ~delay:p.proc_delay (fun () ->
@@ -106,6 +133,7 @@ let setup_with_data net ~src_host ~dst_host p =
          Netsim.Engine.post_at engine ~at (fun () -> forward 0 seq)
        done;
        Netsim.Engine.run engine;
+       List.iter (Topo.Graph.restore_link g) !we_failed;
        Ok
          {
            setup_time_us = Netsim.Time.to_us !setup_done;
@@ -113,4 +141,6 @@ let setup_with_data net ~src_host ~dst_host p =
            delivered = !delivered;
            in_order = !in_order;
            max_buffered_awaiting_entry = !max_backlog;
+           dropped = !dropped;
+           setup_completed = installed.(k);
          })

@@ -36,9 +36,26 @@ type outcome = {
   in_order : bool;  (** cells arrived in emission order *)
   max_buffered_awaiting_entry : int;
       (** worst backlog at any switch waiting for its table entry *)
+  dropped : int;
+      (** cells lost at the departure side of a link that died
+          mid-run (cells stranded in a buffer behind a stalled setup
+          are neither delivered nor dropped) *)
+  setup_completed : bool;
+      (** the setup cell reached the last switch and installed its
+          entry; false when a scheduled failure swallowed it *)
 }
 
 val setup_with_data :
+  ?fail_at:(Netsim.Time.t * int) list ->
   Network.t -> src_host:int -> dst_host:int -> params -> (outcome, string) result
 (** Run the setup + immediate-data scenario over the hosts' shortest
-    route. Fails only if the hosts are disconnected. *)
+    route. Returns [Error] only if the hosts are disconnected at the
+    start.
+
+    [fail_at] kills the given link ids at the given times on the run's
+    internal timeline, modelling a link dying mid-crawl: the setup cell
+    or data cells crossing it afterwards are lost ([dropped],
+    [setup_completed]). This module deliberately has no recovery — the
+    stall is the observable symptom; {!Lifecycle} layers timeout, retry
+    and crankback on top. Links killed here are restored before
+    returning. *)

@@ -13,6 +13,7 @@ type message =
   | Ack of Tag.t * bool
   | Report of Tag.t * edge list
   | Distribute of Tag.t * edge list
+  | Reject of Tag.t * Tag.t
 
 let pp_message fmt = function
   | Invite t -> Format.fprintf fmt "Invite%a" Tag.pp t
@@ -20,6 +21,8 @@ let pp_message fmt = function
   | Report (t, es) -> Format.fprintf fmt "Report%a[%d]" Tag.pp t (List.length es)
   | Distribute (t, es) ->
     Format.fprintf fmt "Distribute%a[%d]" Tag.pp t (List.length es)
+  | Reject (stale, newer) ->
+    Format.fprintf fmt "Reject%a>%a" Tag.pp stale Tag.pp newer
 
 type node = {
   id : int;
@@ -97,8 +100,8 @@ let after_acks n env =
   n.acks_done <- true;
   if collection_done n then finish_collection n env else []
 
-let initiate n env =
-  let tag = Tag.next n.tag ~initiator:n.id in
+let initiate_from n env base =
+  let tag = Tag.next base ~initiator:n.id in
   reset_for n tag None;
   match env.neighbors () with
   | [] ->
@@ -108,6 +111,8 @@ let initiate n env =
   | neighbors ->
     n.pending_acks <- List.length neighbors;
     List.map (fun s -> Send { dst = s; msg = Invite tag }) neighbors
+
+let initiate n env = initiate_from n env n.tag
 
 let handle_invite n env ~from tag =
   if Tag.(tag > n.tag) then begin
@@ -123,9 +128,22 @@ let handle_invite n env ~from tag =
   end
   else if Tag.equal tag n.tag then [ Send { dst = from; msg = Ack (tag, false) } ]
   else
-    (* Stale configuration: ignore entirely; the inviter will abort
-       once the newer configuration reaches it. *)
-    []
+    (* Stale configuration. Ignoring it silently is only safe while the
+       newer configuration is still actively propagating; after a
+       partition heals, this side may have completed long ago and would
+       never contact the inviter, leaving it waiting for an Ack forever.
+       Tell the inviter which tag it lost to so it can restart above
+       it. *)
+    [ Send { dst = from; msg = Reject (tag, n.tag) } ]
+
+let handle_reject n env ~stale ~newer =
+  (* Only meaningful if we are still in the configuration that was
+     rejected; once the tag has moved (we joined a newer flood, or a
+     previous Reject already restarted us) later Rejects for the old
+     tag are dropped, which keeps the restart self-limiting. *)
+  if Tag.equal stale n.tag && Tag.(newer > n.tag) then
+    initiate_from n env newer
+  else []
 
 let handle_ack n env ~from tag accepted =
   if Tag.equal tag n.tag && not n.acks_done && n.pending_acks > 0 then begin
@@ -168,3 +186,4 @@ let handle n env ~from msg =
   | Ack (tag, accepted) -> handle_ack n env ~from tag accepted
   | Report (tag, edges) -> handle_report n env ~from tag edges
   | Distribute (tag, topology) -> handle_distribute n ~from tag topology
+  | Reject (stale, newer) -> handle_reject n env ~stale ~newer

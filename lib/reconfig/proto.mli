@@ -14,7 +14,11 @@
 
     Overlapping reconfigurations are resolved by tags: a switch joins
     any configuration with a larger tag than its current one, aborting
-    its previous activity, and ignores smaller-tagged messages. *)
+    its previous activity. A smaller-tagged invitation is answered with
+    {!message.Reject} carrying the newer tag, so an initiator that has
+    been isolated from the winning configuration (the healed-partition
+    case) restarts with an epoch above everything either side saw
+    instead of hanging. *)
 
 (** An undirected topology fact, as discovered during collection. *)
 type edge =
@@ -29,6 +33,12 @@ type message =
   | Ack of Tag.t * bool  (** [true] = accepted, sender became our child *)
   | Report of Tag.t * edge list  (** collection, child to parent *)
   | Distribute of Tag.t * edge list  (** distribution, parent to child *)
+  | Reject of Tag.t * Tag.t
+      (** [(stale, newer)]: the invite carrying [stale] lost to a
+          configuration tagged [newer] that is no longer propagating.
+          Sent back so the inviter can restart above [newer] — without
+          it, an initiator on the low-epoch side of a healed partition
+          waits forever for Acks that will never come. *)
 
 val pp_message : Format.formatter -> message -> unit
 

@@ -15,6 +15,13 @@ let default_params =
     seed = 0;
   }
 
+type switch_view = {
+  view_tag : Tag.t;
+  view_completed : Tag.t option;
+  view_completed_at : Netsim.Time.t;
+  view_topology_ok : bool;
+}
+
 type outcome = {
   converged : bool;
   final_tag : Tag.t;
@@ -28,7 +35,15 @@ type outcome = {
   phase_propagation : Netsim.Time.t;
   phase_collection : Netsim.Time.t;
   phase_distribution : Netsim.Time.t;
+  switch_views : switch_view array;
+  completions : (int * Tag.t * Netsim.Time.t * bool) list;
 }
+
+type event =
+  [ `Fail_link of int
+  | `Restore_link of int
+  | `Fail_switch of int
+  | `Restore_switch of int ]
 
 (* The true working topology as the protocol should discover it:
    switch links and host attachments of the component containing
@@ -63,18 +78,21 @@ let true_topology g ~root =
   ( in_component,
     List.sort_uniq Proto.compare_edge (List.map Proto.normalize_edge !edges) )
 
-let run ?(params = default_params) ?(obs = Obs.Sink.null) g ~triggers =
+let run ?(params = default_params) ?(obs = Obs.Sink.null) ?(events = []) g
+    ~triggers =
   if triggers = [] then invalid_arg "Runner.run: no triggers";
   let n = Topo.Graph.switch_count g in
   let engine = Netsim.Engine.create ~obs () in
   let nodes = Array.init n (fun id -> Proto.create_node ~id) in
   let messages = ref 0 in
+  let completions_log = ref [] in
   let obs_on = obs.Obs.Sink.enabled in
   let c_messages = Obs.Sink.counter obs "reconfig.messages" in
   let c_invite = Obs.Sink.counter obs "reconfig.msg.invite" in
   let c_ack = Obs.Sink.counter obs "reconfig.msg.ack" in
   let c_report = Obs.Sink.counter obs "reconfig.msg.report" in
   let c_distribute = Obs.Sink.counter obs "reconfig.msg.distribute" in
+  let c_reject = Obs.Sink.counter obs "reconfig.msg.reject" in
   let c_wire = Obs.Sink.counter obs "reconfig.wire_transmissions" in
   let c_completed = Obs.Sink.counter obs "reconfig.switches.completed" in
   let g_converged = Obs.Sink.gauge obs "reconfig.converged" in
@@ -136,16 +154,30 @@ let run ?(params = default_params) ?(obs = Obs.Sink.null) g ~triggers =
     List.iter
       (function
         | Proto.Completed tag ->
-          completion.(src) <- Some (tag, Netsim.Engine.now engine);
+          let at = Netsim.Engine.now engine in
+          completion.(src) <- Some (tag, at);
+          (* Judge the learned topology against the truth of this
+             switch's component as the graph stands right now — with
+             mid-run [events] the graph at completion time is the one
+             this configuration was discovering. *)
+          let ok =
+            match Proto.completed nodes.(src) with
+            | Some (t, topo) when Tag.equal t tag ->
+              let _, truth = true_topology g ~root:src in
+              topo = truth
+            | _ -> false
+          in
+          completions_log := (src, tag, at, ok) :: !completions_log;
           if obs_on then begin
             Obs.Metrics.Counter.incr c_completed;
             Obs.Sink.instant obs ~name:"completed" ~cat:"reconfig"
               ~ts:(Netsim.Engine.now engine) ~tid:src ~v:src
           end
         | Proto.Send { dst; msg } ->
-          (* A message only travels if the link still works on arrival;
-             we check at send time, which is equivalent here because
-             link states do not change during a protocol run. *)
+          (* A message only travels if the link works at send time; a
+             cell handed to a link that [events] killed is lost on the
+             floor (cells already in flight when a link dies still
+             arrive — they are on the wire). *)
           (match link_latency src dst with
            | None -> ()
            | Some latency -> Reliable.send (channel ~src ~dst latency) msg))
@@ -158,7 +190,8 @@ let run ?(params = default_params) ?(obs = Obs.Sink.null) g ~triggers =
          | Proto.Invite _ -> c_invite
          | Proto.Ack _ -> c_ack
          | Proto.Report _ -> c_report
-         | Proto.Distribute _ -> c_distribute)
+         | Proto.Distribute _ -> c_distribute
+         | Proto.Reject _ -> c_reject)
     end;
     let before = Proto.current_tag nodes.(dst) in
     perform dst (Proto.handle nodes.(dst) (env_of dst) ~from:src msg);
@@ -171,6 +204,18 @@ let run ?(params = default_params) ?(obs = Obs.Sink.null) g ~triggers =
           ~ts:(Netsim.Engine.now engine) ~tid:dst ~v:dst
     end
   in
+  (* Mid-run topology changes, posted before the triggers so an event
+     and a trigger at the same instant see the event first (detection
+     follows the change). *)
+  List.iter
+    (fun (at, ev) ->
+      Netsim.Engine.post_at engine ~at (fun () ->
+          match ev with
+          | `Fail_link lid -> Topo.Graph.fail_link g lid
+          | `Restore_link lid -> Topo.Graph.restore_link g lid
+          | `Fail_switch s -> Topo.Graph.fail_switch g s
+          | `Restore_switch s -> Topo.Graph.restore_switch g s))
+    events;
   let first_trigger = List.fold_left (fun acc (t, _) -> min acc t) max_int triggers in
   List.iter
     (fun (at, s) ->
@@ -262,6 +307,31 @@ let run ?(params = default_params) ?(obs = Obs.Sink.null) g ~triggers =
     Obs.Sink.span obs ~name:"phase.distribution" ~cat:"reconfig" ~ts:root_done
       ~dur:distribution ~tid:1000 ~v:root
   end;
+  (* Per-switch view for callers evaluating more than one component at
+     once (a partitioned network converges per component; the global
+     max-tag evaluation above only covers the winner's side). Each
+     completed topology is judged against the truth of that switch's
+     own component. *)
+  let switch_views =
+    Array.init n (fun s ->
+        let view_tag = Proto.current_tag nodes.(s) in
+        match (Proto.completed nodes.(s), completion.(s)) with
+        | Some (t, topo), Some (t', at) when Tag.equal t t' ->
+          let _, truth_s = true_topology g ~root:s in
+          {
+            view_tag;
+            view_completed = Some t;
+            view_completed_at = at;
+            view_topology_ok = topo = truth_s;
+          }
+        | _ ->
+          {
+            view_tag;
+            view_completed = None;
+            view_completed_at = 0;
+            view_topology_ok = false;
+          })
+  in
   {
     converged = !all_done;
     final_tag;
@@ -275,6 +345,8 @@ let run ?(params = default_params) ?(obs = Obs.Sink.null) g ~triggers =
     phase_propagation = max 0 (!last_join - first_trigger);
     phase_collection = max 0 (root_done - !last_join);
     phase_distribution = max 0 (!last_done - root_done);
+    switch_views;
+    completions = List.rev !completions_log;
   }
 
 let run_after_failure ?(params = default_params)

@@ -18,6 +18,20 @@ val default_params : params
 (** 100 us processing per message (AN1-era line-card processor),
     1 s horizon, lossless control plane, 1 ms retransmission timer. *)
 
+type switch_view = {
+  view_tag : Tag.t;  (** the configuration tag the switch ended in *)
+  view_completed : Tag.t option;
+      (** tag of the last configuration it finished, if any *)
+  view_completed_at : Netsim.Time.t;  (** when (0 if never) *)
+  view_topology_ok : bool;
+      (** its learned topology equals the true working topology of its
+          own component *)
+}
+(** One switch's final state, judged against {e its own} component —
+    the unit a caller needs to evaluate a partitioned run, where each
+    side converges to a different tag and the global [final_tag]
+    evaluation only covers the winner's side. *)
+
 type outcome = {
   converged : bool;
       (** every switch in the initiator's component finished the final
@@ -41,11 +55,32 @@ type outcome = {
       (** last join to the root learning the full topology (phase 2) *)
   phase_distribution : Netsim.Time.t;
       (** root to the last switch receiving the topology (phase 3) *)
+  switch_views : switch_view array;  (** indexed by switch id *)
+  completions : (int * Tag.t * Netsim.Time.t * bool) list;
+      (** chronological [(switch, tag, time, topology_ok)] log of every
+          configuration completion during the run, including
+          configurations later superseded — the raw material for
+          evaluating a multi-phase run (split then heal) where the
+          final state alone cannot show what each component agreed on
+          mid-run. [topology_ok] is judged against the switch's
+          component {e as the graph stood at completion time}. *)
 }
+
+type event =
+  [ `Fail_link of int
+  | `Restore_link of int
+  | `Fail_switch of int
+  | `Restore_switch of int ]
+
+val true_topology : Topo.Graph.t -> root:int -> bool array * Proto.edge list
+(** [(in_component, edges)]: membership and the sorted working
+    switch-link and host-attachment edges of the component containing
+    [root] — what the protocol should discover from that side. *)
 
 val run :
   ?params:params ->
   ?obs:Obs.Sink.t ->
+  ?events:(Netsim.Time.t * event) list ->
   Topo.Graph.t ->
   triggers:(Netsim.Time.t * int) list ->
   outcome
@@ -53,6 +88,15 @@ val run :
     trigger and runs to quiescence. The topology should already
     reflect the failure (use {!Topo.Graph.fail_link} first); triggers
     model the moment the adjacent switches detect the change.
+
+    [events] applies further topology changes {e during} the run, with
+    protocol state persisting across them — one run can cut a
+    separator, let both components reconfigure to divergent epochs,
+    restore the cut, and drive the heal-time tag reconciliation (the
+    {!Proto.message.Reject} path), with the [completions] log recording
+    what each side agreed on in between. Control cells handed to a
+    dead link are lost; an event and a trigger at the same instant see
+    the event applied first.
 
     With an enabled [obs] sink (default {!Obs.Sink.null}) the run
     counts delivered protocol messages total and per type

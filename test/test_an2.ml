@@ -573,6 +573,43 @@ let test_signaling_partitioned () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "must fail across a partition"
 
+let test_signaling_link_dies_mid_crawl () =
+  (* Kill the s1-s2 link while the setup cell is between s0 and s1:
+     the crawl stalls, the circuit never completes, and the cells the
+     source kept pumping toward the stall are dropped at the dead
+     link. No recovery here by design — Lifecycle owns that. *)
+  let net, h1, h2 = signaling_net 4 in
+  match
+    An2.Signaling.setup_with_data net ~src_host:h1 ~dst_host:h2
+      ~fail_at:[ (Netsim.Time.us 150, 1) ]
+      An2.Signaling.default_params
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check bool) "setup never completed" false r.setup_completed;
+    Alcotest.(check int) "nothing delivered" 0 r.delivered;
+    Alcotest.(check bool) "cells dropped at the dead link" true (r.dropped > 0)
+
+let test_signaling_late_failure_after_setup () =
+  (* A failure after the crawl has passed: the crawl completes at
+     ~407 us, and the only link still carrying data after that is the
+     last hop, draining the backlog that piled up behind the crawl
+     until ~443 us. Killing it at 420 us means setup completes yet the
+     tail of the stream is lost at the dead link. *)
+  let net, h1, h2 = signaling_net 4 in
+  match
+    An2.Signaling.setup_with_data net ~src_host:h1 ~dst_host:h2
+      ~fail_at:[ (Netsim.Time.us 420, 4) ]
+      An2.Signaling.default_params
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check bool) "setup completed" true r.setup_completed;
+    Alcotest.(check bool) "some cells lost" true (r.dropped > 0);
+    Alcotest.(check bool) "some cells delivered first" true (r.delivered > 0);
+    Alcotest.(check bool) "conservation" true
+      (r.delivered + r.dropped <= An2.Signaling.default_params.data_cells)
+
 (* ------------------------------------------------------------------ *)
 (* Load rebalancing *)
 
@@ -953,6 +990,10 @@ let () =
           Alcotest.test_case "slow source never queues" `Quick
             test_signaling_slow_source_never_queues;
           Alcotest.test_case "partitioned" `Quick test_signaling_partitioned;
+          Alcotest.test_case "link dies mid-crawl" `Quick
+            test_signaling_link_dies_mid_crawl;
+          Alcotest.test_case "late failure after setup" `Quick
+            test_signaling_late_failure_after_setup;
         ] );
       ( "rebalance",
         [

@@ -81,6 +81,84 @@ let test_expand_crash_and_window () =
   in
   Alcotest.(check bool) "crash + window" true (timeline = expected)
 
+(* Property: expansion is deterministic, time-sorted, and idempotent —
+   re-expanding a timeline (each entry wrapped back as a one-shot)
+   reproduces it exactly. *)
+
+let schedule_gen =
+  let open QCheck.Gen in
+  let time lo hi = map ms (int_range lo hi) in
+  let action =
+    oneof
+      [
+        map (fun l -> Faults.Schedule.Fail_link l) (int_range 0 7);
+        map (fun l -> Faults.Schedule.Restore_link l) (int_range 0 7);
+        map (fun s -> Faults.Schedule.Fail_switch s) (int_range 0 5);
+        map (fun s -> Faults.Schedule.Restore_switch s) (int_range 0 5);
+      ]
+  in
+  let item =
+    oneof
+      [
+        map2 (fun t a -> Faults.Schedule.At (t, a)) (time 0 500) action;
+        map2
+          (fun link (start, len, down, up) ->
+            Faults.Schedule.Flap
+              {
+                link;
+                start;
+                until = start + len;
+                down_for = down;
+                up_for = up;
+              })
+          (int_range 0 7)
+          (quad (time 0 200) (time 1 300) (time 1 50) (time 1 50));
+        map2
+          (fun switch (at, down_for) ->
+            Faults.Schedule.Crash_restart { switch; at; down_for })
+          (int_range 0 5)
+          (pair (time 0 300) (time 1 100));
+        map2
+          (fun seed (start, len, rate) ->
+            Faults.Schedule.Random_churn
+              {
+                seed;
+                start;
+                until = start + len;
+                rate = float_of_int rate;
+                mean_downtime = ms 20;
+                links = [ 0; 1; 2; 3 ];
+              })
+          (int_range 0 1000)
+          (triple (time 0 100) (time 1 400) (int_range 1 50));
+      ]
+  in
+  list_size (int_range 0 8) item
+
+let schedule_arbitrary = QCheck.make schedule_gen
+
+let rec time_sorted = function
+  | (t1, _) :: ((t2, _) :: _ as rest) -> t1 <= t2 && time_sorted rest
+  | _ -> true
+
+let prop_expand_deterministic =
+  QCheck.Test.make ~count:200 ~name:"expand deterministic" schedule_arbitrary
+    (fun sched ->
+      Faults.Schedule.expand sched = Faults.Schedule.expand sched)
+
+let prop_expand_sorted =
+  QCheck.Test.make ~count:200 ~name:"expand time-sorted" schedule_arbitrary
+    (fun sched -> time_sorted (Faults.Schedule.expand sched))
+
+let prop_expand_idempotent =
+  QCheck.Test.make ~count:200 ~name:"expand idempotent on one-shots"
+    schedule_arbitrary (fun sched ->
+      let timeline = Faults.Schedule.expand sched in
+      let as_one_shots =
+        List.map (fun (t, a) -> Faults.Schedule.At (t, a)) timeline
+      in
+      Faults.Schedule.expand as_one_shots = timeline)
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 
@@ -232,6 +310,110 @@ let test_churn_sweep_seq_par_identical () =
   let par = Netsim.Sweep.map ~domains:2 ~seeds churn_job in
   Alcotest.(check bool) "seq = par" true (seq = par)
 
+(* ------------------------------------------------------------------ *)
+(* Partition and heal                                                 *)
+
+let partition_params =
+  { Faults.Partition.default_params with circuits = 8; seed = 5 }
+
+let test_separator_bisects () =
+  let g = Topo.Build.src_lan () in
+  let in_b, cut = Faults.Partition.find_separator g in
+  let b = Array.fold_left (fun a x -> if x then a + 1 else a) 0 in_b in
+  Alcotest.(check bool) "both sides populated" true
+    (b > 0 && b < Topo.Graph.switch_count g);
+  Alcotest.(check bool) "cut non-empty" true (cut <> []);
+  List.iter (Topo.Graph.fail_link g) cut;
+  (* Each side stays internally connected once the cut is down. *)
+  let a_root = ref (-1) and b_root = ref (-1) in
+  Array.iteri
+    (fun s inb ->
+      if inb && !b_root < 0 then b_root := s;
+      if (not inb) && !a_root < 0 then a_root := s)
+    in_b;
+  let expect_side root want =
+    Alcotest.(check int)
+      (Printf.sprintf "component of %d" root)
+      want
+      (Topo.Graph.reachable_switches g root)
+  in
+  expect_side !a_root (Topo.Graph.switch_count g - b);
+  expect_side !b_root b;
+  List.iter (Topo.Graph.restore_link g) cut
+
+let test_partition_split_and_heal () =
+  let r =
+    Faults.Partition.run ~graph:(Topo.Build.src_lan ()) partition_params
+  in
+  Alcotest.(check bool) "both sides converged while split" true
+    r.Faults.Partition.split_converged;
+  Alcotest.(check bool) "divergent tags while split" true
+    r.Faults.Partition.divergent;
+  Alcotest.(check bool) "heal converged" true r.Faults.Partition.heal_converged;
+  Alcotest.(check bool) "heal agreement" true r.Faults.Partition.heal_agreement;
+  Alcotest.(check bool) "heal topology correct" true
+    r.Faults.Partition.heal_topology_correct;
+  Alcotest.(check bool) "healed tag above both sides" true
+    r.Faults.Partition.heal_reconciled;
+  Alcotest.(check int) "no leaks after split gc" 0
+    r.Faults.Partition.leaks_after_split_gc;
+  Alcotest.(check int) "no leaks at end" 0 r.Faults.Partition.leaks_final;
+  Alcotest.(check int) "no terminal readmit failures" 0
+    r.Faults.Partition.readmit_failed;
+  Alcotest.(check bool) "every circuit serving at the end" true
+    r.Faults.Partition.all_served_at_end;
+  Alcotest.(check bool) "no setup in flight" true r.Faults.Partition.drained;
+  Alcotest.(check bool) "intra traffic mostly preserved" true
+    (r.Faults.Partition.intra_preserved >= 0.9)
+
+let test_partition_one_sided_heal () =
+  (* Only the low-epoch side notices the restore: convergence then
+     depends on the Reject path re-seeding its initiator above the
+     quiescent high side. *)
+  let r =
+    Faults.Partition.run
+      ~graph:(Topo.Build.src_lan ())
+      { partition_params with one_sided_heal = true }
+  in
+  Alcotest.(check bool) "divergent while split" true
+    r.Faults.Partition.divergent;
+  Alcotest.(check bool) "heal converged via reject" true
+    r.Faults.Partition.heal_converged;
+  Alcotest.(check bool) "heal agreement" true r.Faults.Partition.heal_agreement;
+  Alcotest.(check bool) "healed tag above both sides" true
+    r.Faults.Partition.heal_reconciled
+
+let test_partition_intra_reroute () =
+  (* A graph where some same-side circuits route through the other
+     side: the split breaks them, their side's reconfiguration reroutes
+     them inside the component, and the loss is bounded by the reroute
+     window — graceful degradation, not an outage until the heal. *)
+  let graph () =
+    let rng = Netsim.Rng.create 4 in
+    let n = 6 + Netsim.Rng.int rng 5 in
+    Topo.Build.random_connected ~rng ~switches:n ~extra_links:(n / 2)
+  in
+  let r =
+    Faults.Partition.run ~graph:(graph ())
+      { Faults.Partition.default_params with circuits = 20; seed = 2 }
+  in
+  Alcotest.(check bool) "some intra circuits crossed the cut" true
+    (r.Faults.Partition.cells_lost_intra > 0.0);
+  Alcotest.(check bool) "but were rerouted quickly" true
+    (r.Faults.Partition.intra_preserved > 0.99);
+  Alcotest.(check bool) "cross circuits lost the split window" true
+    (r.Faults.Partition.cells_lost_cross > 100.0);
+  Alcotest.(check bool) "heal converged" true r.Faults.Partition.heal_converged;
+  Alcotest.(check int) "no leaks" 0 r.Faults.Partition.leaks_final;
+  Alcotest.(check bool) "all served at end" true
+    r.Faults.Partition.all_served_at_end
+
+let test_partition_deterministic () =
+  let run () =
+    Faults.Partition.run ~graph:(Topo.Build.src_lan ()) partition_params
+  in
+  Alcotest.(check bool) "identical results" true (run () = run ())
+
 let () =
   Alcotest.run "faults"
     [
@@ -242,6 +424,9 @@ let () =
           Alcotest.test_case "flap expansion" `Quick test_expand_flap;
           Alcotest.test_case "crash + control window" `Quick
             test_expand_crash_and_window;
+          QCheck_alcotest.to_alcotest prop_expand_deterministic;
+          QCheck_alcotest.to_alcotest prop_expand_sorted;
+          QCheck_alcotest.to_alcotest prop_expand_idempotent;
         ] );
       ( "driver",
         [
@@ -259,5 +444,16 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_churn_deterministic;
           Alcotest.test_case "sweep seq/par identical" `Quick
             test_churn_sweep_seq_par_identical;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "separator bisects" `Quick test_separator_bisects;
+          Alcotest.test_case "split and heal" `Quick
+            test_partition_split_and_heal;
+          Alcotest.test_case "one-sided heal (reject path)" `Quick
+            test_partition_one_sided_heal;
+          Alcotest.test_case "intra circuits reroute, not die" `Quick
+            test_partition_intra_reroute;
+          Alcotest.test_case "deterministic" `Quick test_partition_deterministic;
         ] );
     ]

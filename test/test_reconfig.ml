@@ -22,6 +22,35 @@ let test_tag_next () =
   Alcotest.(check int) "epoch bumped" 5 t.Reconfig.Tag.epoch;
   Alcotest.(check int) "initiator set" 2 t.Reconfig.Tag.initiator
 
+let tag_gen =
+  QCheck.Gen.(
+    map2
+      (fun epoch initiator -> { Reconfig.Tag.epoch; initiator })
+      (int_range 0 1000) (int_range 0 63))
+
+let tag_next_strictly_greater =
+  qtest ~count:200 "next strictly greater"
+    (QCheck.make QCheck.Gen.(pair tag_gen (int_range 0 63)))
+    (fun (t, initiator) -> Reconfig.Tag.(next t ~initiator > t))
+
+let tag_compare_total_order =
+  qtest ~count:500 "compare is a total order"
+    (QCheck.make QCheck.Gen.(triple tag_gen tag_gen tag_gen))
+    (fun (a, b, c) ->
+      let sign x = compare x 0 in
+      let antisym =
+        sign (Reconfig.Tag.compare a b) = -sign (Reconfig.Tag.compare b a)
+      in
+      let eq_consistent =
+        (Reconfig.Tag.compare a b = 0) = Reconfig.Tag.equal a b
+      in
+      let trans =
+        (not
+           (Reconfig.Tag.compare a b <= 0 && Reconfig.Tag.compare b c <= 0))
+        || Reconfig.Tag.compare a c <= 0
+      in
+      antisym && eq_consistent && trans)
+
 (* ------------------------------------------------------------------ *)
 (* Proto unit tests (no engine: hand-driven actions) *)
 
@@ -86,7 +115,7 @@ let test_proto_two_nodes_by_hand () =
     Alcotest.(check int) "one edge" 1 (List.length topo_a)
   | _ -> Alcotest.fail "both must complete"
 
-let test_proto_stale_invite_ignored () =
+let test_proto_stale_invite_rejected () =
   let n = Reconfig.Proto.create_node ~id:3 in
   let env =
     { Reconfig.Proto.neighbors = (fun () -> [ 0 ]); local_edges = (fun () -> []) }
@@ -95,12 +124,19 @@ let test_proto_stale_invite_ignored () =
   ignore
     (Reconfig.Proto.handle n env ~from:0
        (Reconfig.Proto.Invite { Reconfig.Tag.epoch = 5; initiator = 0 }));
-  (* A stale epoch-2 invite produces no actions at all. *)
-  let acts =
-    Reconfig.Proto.handle n env ~from:0
-      (Reconfig.Proto.Invite { Reconfig.Tag.epoch = 2; initiator = 9 })
-  in
-  Alcotest.(check int) "ignored" 0 (List.length acts);
+  (* A stale epoch-2 invite is answered with Reject carrying both the
+     stale tag and the newer one, so a healed-away initiator learns
+     what it must exceed instead of hanging on silence. *)
+  let stale = { Reconfig.Tag.epoch = 2; initiator = 9 } in
+  (let acts =
+     Reconfig.Proto.handle n env ~from:9 (Reconfig.Proto.Invite stale)
+   in
+   match acts with
+   | [ Reconfig.Proto.Send
+         { dst = 9; msg = Reconfig.Proto.Reject (s, newer) } ] ->
+     Alcotest.(check bool) "stale tag echoed" true (Reconfig.Tag.equal s stale);
+     Alcotest.(check int) "newer epoch" 5 newer.Reconfig.Tag.epoch
+   | _ -> Alcotest.fail "expected a reject");
   (* An equal-tag invite is declined. *)
   let acts2 =
     Reconfig.Proto.handle n env ~from:0
@@ -109,6 +145,34 @@ let test_proto_stale_invite_ignored () =
   match acts2 with
   | [ Reconfig.Proto.Send { msg = Reconfig.Proto.Ack (_, false); _ } ] -> ()
   | _ -> Alcotest.fail "expected decline"
+
+let test_proto_reject_reinitiates () =
+  (* The rejected initiator restarts above the newer tag — but only if
+     the reject still refers to its current attempt. *)
+  let n = Reconfig.Proto.create_node ~id:2 in
+  let env =
+    { Reconfig.Proto.neighbors = (fun () -> [ 0; 1 ]);
+      local_edges = (fun () -> []) }
+  in
+  let mine =
+    match Reconfig.Proto.initiate n env with
+    | Reconfig.Proto.Send { msg = Reconfig.Proto.Invite t; _ } :: _ -> t
+    | _ -> Alcotest.fail "expected invites"
+  in
+  let newer = { Reconfig.Tag.epoch = 7; initiator = 0 } in
+  (match
+     Reconfig.Proto.handle n env ~from:0 (Reconfig.Proto.Reject (mine, newer))
+   with
+  | Reconfig.Proto.Send { msg = Reconfig.Proto.Invite t; _ } :: _ ->
+    Alcotest.(check bool) "restarted above the newer tag" true
+      Reconfig.Tag.(t > newer);
+    Alcotest.(check int) "own id as initiator" 2 t.Reconfig.Tag.initiator
+  | _ -> Alcotest.fail "expected a re-initiation");
+  (* A reject for a superseded attempt is a no-op: the node moved on. *)
+  let acts =
+    Reconfig.Proto.handle n env ~from:1 (Reconfig.Proto.Reject (mine, newer))
+  in
+  Alcotest.(check int) "stale reject dropped" 0 (List.length acts)
 
 let test_edge_normalization () =
   Alcotest.(check bool) "sw edges normalized equal" true
@@ -215,6 +279,55 @@ let test_runner_sequential_epochs () =
      stored-tag rule tested at the proto level. *)
   let o2 = Reconfig.Runner.run g ~triggers:[ (0, 3) ] in
   Alcotest.(check bool) "second run converges" true o2.converged
+
+let test_runner_split_heal_events () =
+  (* One run spanning a partition and its heal, via mid-run events: a
+     ring of 6 cut at links 0 and 3 splits into {1,2,3} / {4,5,0}; each
+     side reconfigures to its own tag, then the heal (detected only on
+     one side, so the other must be pried loose by Reject) converges
+     everyone onto a tag above both. *)
+  let g = Topo.Build.ring 6 in
+  let split = Netsim.Time.ms 10 and heal = Netsim.Time.ms 60 in
+  let d = Netsim.Time.ms 1 in
+  let o =
+    Reconfig.Runner.run g
+      ~events:
+        [ (split, `Fail_link 0); (split, `Fail_link 3);
+          (heal, `Restore_link 0); (heal, `Restore_link 3) ]
+      ~triggers:
+        [ (split + d, 1); (split + d, 4);
+          (* two extra rounds push {1,2,3} to epoch 3, so the heal
+             initiator's epoch-2 attempt is strictly below it *)
+          (split + Netsim.Time.ms 20, 2);
+          (split + Netsim.Time.ms 30, 2);
+          (* only the low-epoch side notices the restore: convergence
+             requires the Reject path *)
+          (heal + d, 4) ]
+  in
+  Alcotest.(check bool) "heal converged" true o.converged;
+  Alcotest.(check bool) "heal agreement" true o.agreement;
+  Alcotest.(check bool) "heal topology correct" true o.topology_correct;
+  (* The completion log shows the divergent mid-run tags. *)
+  let in_split (_, _, at, _) = at > split && at < heal in
+  let side_tag members =
+    List.fold_left
+      (fun acc (s, tag, _, _) ->
+        if List.mem s members then Some tag else acc)
+      None
+      (List.filter in_split o.completions)
+  in
+  (match (side_tag [ 1; 2; 3 ], side_tag [ 4; 5; 0 ]) with
+  | Some ta, Some tb ->
+    Alcotest.(check bool) "divergent while split" false
+      (Reconfig.Tag.equal ta tb);
+    Alcotest.(check bool) "heal tag above both" true
+      Reconfig.Tag.(o.final_tag > ta && o.final_tag > tb)
+  | _ -> Alcotest.fail "both sides should have completed while split");
+  (* Every split-phase completion matched its component's topology at
+     that moment. *)
+  Alcotest.(check bool) "split completions component-correct" true
+    (List.for_all (fun (_, _, _, ok) -> ok)
+       (List.filter in_split o.completions))
 
 let test_runner_after_link_failure () =
   let g = Topo.Build.src_lan () in
@@ -641,13 +754,17 @@ let () =
         [
           Alcotest.test_case "ordering" `Quick test_tag_ordering;
           Alcotest.test_case "next" `Quick test_tag_next;
+          tag_next_strictly_greater;
+          tag_compare_total_order;
         ] );
       ( "proto",
         [
           Alcotest.test_case "isolated node" `Quick test_proto_isolated_node;
           Alcotest.test_case "two nodes by hand" `Quick test_proto_two_nodes_by_hand;
-          Alcotest.test_case "stale invite ignored" `Quick
-            test_proto_stale_invite_ignored;
+          Alcotest.test_case "stale invite rejected" `Quick
+            test_proto_stale_invite_rejected;
+          Alcotest.test_case "reject re-initiates" `Quick
+            test_proto_reject_reinitiates;
           Alcotest.test_case "edge normalization" `Quick test_edge_normalization;
         ] );
       ( "runner",
@@ -662,6 +779,8 @@ let () =
           test_runner_overlapping;
           Alcotest.test_case "three-way overlap" `Quick test_runner_three_way_overlap;
           Alcotest.test_case "sequential runs" `Quick test_runner_sequential_epochs;
+          Alcotest.test_case "split/heal via events" `Quick
+            test_runner_split_heal_events;
           Alcotest.test_case "link failure" `Quick test_runner_after_link_failure;
           Alcotest.test_case "pull the plug (paper)" `Slow test_runner_pull_the_plug;
           Alcotest.test_case "partition" `Quick test_runner_partition;
