@@ -218,7 +218,10 @@ let sweep_bench ~seeds =
   let seq, seq_seconds =
     time (fun () -> Netsim.Sweep.map ~domains:1 ~seeds:seed_list reconfig_job)
   in
-  let domains = Netsim.Sweep.domains_available () in
+  (* Genuinely parallel even on a single-core box: force at least two
+     domains so the "parallel" row never silently degenerates into a
+     second sequential run, and record the count actually used. *)
+  let domains = max 2 (Netsim.Sweep.domains_available ()) in
   let par, par_seconds =
     time (fun () -> Netsim.Sweep.map ~domains ~seeds:seed_list reconfig_job)
   in
@@ -232,9 +235,152 @@ let sweep_bench ~seeds =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Intra-run: the same SRC-LAN control-plane pattern, but the switches
+   are split across a [Netsim.Cluster] — one pooled engine per
+   partition advancing in conservative windows of the partitioning's
+   lookahead — and driven by 1, 2 and 4 worker domains. Every
+   message rides its link's real latency, which is >= the lookahead by
+   construction, so cross-partition hops are legal cluster sends; the
+   retransmit-timer churn stays partition-local, as it does in the
+   reliable channels. Per-engine dispatch counts must be identical at
+   every domain count (the cluster's determinism contract), so the
+   speedup rows measure the same computation. *)
+
+type intra_run = {
+  domains_used : int;
+  intra_events : int;
+  seconds : float;
+  intra_events_per_sec : float;
+}
+
+type intra_result = {
+  intra_partitions : int;
+  lookahead_ns : int;
+  cores_available : int;
+  runs : intra_run list;
+  intra_deterministic : bool;
+      (* per-engine dispatch counts agree across all domain counts *)
+  reconfig_macro_deterministic : bool;
+      (* full protocol runner at partitions=4: outcome at domains=1
+         equals outcome at domains=4 *)
+}
+
+let intra_macro ~parts ~domains ~horizon =
+  let g = Topo.Build.src_lan () in
+  let n = Topo.Graph.switch_count g in
+  let part = Topo.Partition.assign g ~parts in
+  let parts = 1 + Array.fold_left max 0 part in
+  let lookahead =
+    match Topo.Partition.lookahead g part with
+    | Some l when l >= 1 -> l
+    | _ -> failwith "intra_macro: partitioning has no positive lookahead"
+  in
+  let cl = Netsim.Cluster.create ~parts ~lookahead () in
+  let engines = Array.init parts (Netsim.Cluster.engine cl) in
+  let nbrs =
+    Array.init n (fun s -> Array.of_list (Topo.Graph.switch_neighbors g s))
+  in
+  let chan_base = Array.make n 0 in
+  let channels = ref 0 in
+  for s = 0 to n - 1 do
+    chan_base.(s) <- !channels;
+    channels := !channels + Array.length nbrs.(s)
+  done;
+  let channels = !channels in
+  (* Each slot of these arrays is owned by exactly one partition (its
+     switch's), so domains never race on them. *)
+  let timers = Array.make channels Netsim.Engine.no_event in
+  let rr = Array.make n 0 in
+  let msg_thunk = Array.make n noop in
+  let chan_thunk = Array.make channels noop in
+  let retransmit_after = Netsim.Time.ms 10 in
+  let msg s =
+    let k = nbrs.(s) in
+    let j = rr.(s) in
+    let d, lid = k.(j) in
+    rr.(s) <- (if j + 1 = Array.length k then 0 else j + 1);
+    let c = chan_base.(s) + j in
+    let e = engines.(part.(s)) in
+    Netsim.Engine.cancel e timers.(c);
+    timers.(c) <-
+      Netsim.Engine.schedule e ~delay:retransmit_after chan_thunk.(c);
+    let lat = (Topo.Graph.link g lid).latency in
+    if part.(d) = part.(s) then Netsim.Engine.post e ~delay:lat msg_thunk.(d)
+    else Netsim.Cluster.send cl ~src:part.(s) ~dst:part.(d) ~delay:lat
+        msg_thunk.(d)
+  in
+  for s = 0 to n - 1 do
+    msg_thunk.(s) <- (fun () -> msg s);
+    for j = 0 to Array.length nbrs.(s) - 1 do
+      chan_thunk.(chan_base.(s) + j) <- (fun () -> msg s)
+    done;
+    Netsim.Engine.post engines.(part.(s)) ~delay:0 msg_thunk.(s)
+  done;
+  let t0 = Unix.gettimeofday () in
+  Netsim.Cluster.run ~domains cl ~horizon;
+  let seconds = Unix.gettimeofday () -. t0 in
+  let per_engine = Array.map Netsim.Engine.dispatched engines in
+  let intra_events = Array.fold_left ( + ) 0 per_engine in
+  ( {
+      domains_used = domains;
+      intra_events;
+      seconds;
+      intra_events_per_sec = float_of_int intra_events /. seconds;
+    },
+    per_engine )
+
+let reconfig_cluster_outcome ~domains =
+  let g = Topo.Build.src_lan () in
+  let params =
+    {
+      Reconfig.Runner.default_params with
+      control_loss = 0.05;
+      retransmit_after = Netsim.Time.ms 1;
+      seed = 11;
+    }
+  in
+  let o =
+    Reconfig.Runner.run_after_failure ~params ~partitions:4 ~domains g
+      ~fail:(`Switch 4)
+  in
+  (o.converged, o.elapsed, o.messages, o.wire_transmissions)
+
+let intra_bench ~parts ~horizon =
+  let counts = ref [] in
+  let runs =
+    List.map
+      (fun domains ->
+        let r, per_engine = intra_macro ~parts ~domains ~horizon in
+        counts := per_engine :: !counts;
+        r)
+      [ 1; 2; 4 ]
+  in
+  let intra_deterministic =
+    match !counts with
+    | [] -> false
+    | ref_counts :: rest -> List.for_all (( = ) ref_counts) rest
+  in
+  let reconfig_macro_deterministic =
+    reconfig_cluster_outcome ~domains:1 = reconfig_cluster_outcome ~domains:4
+  in
+  let g = Topo.Build.src_lan () in
+  let part = Topo.Partition.assign g ~parts in
+  let lookahead_ns =
+    match Topo.Partition.lookahead g part with Some l -> l | None -> 0
+  in
+  {
+    intra_partitions = parts;
+    lookahead_ns;
+    cores_available = Netsim.Sweep.domains_available ();
+    runs;
+    intra_deterministic;
+    reconfig_macro_deterministic;
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let write_json ~file ~smoke ~samples ~(mac_ref : macro) ~(mac_pool : macro)
-    ~(sw : sweep_result) =
+    ~(sw : sweep_result) ~(intra : intra_result) =
   let oc = open_out file in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -270,6 +416,35 @@ let write_json ~file ~smoke ~samples ~(mac_ref : macro) ~(mac_pool : macro)
   p "    \"par_seconds\": %.3f,\n" sw.par_seconds;
   p "    \"speedup\": %.2f,\n" sw.sweep_speedup;
   p "    \"deterministic\": %b\n" sw.deterministic;
+  p "  },\n";
+  p "  \"intra\": {\n";
+  p "    \"model\": \"srclan-control-plane-partitioned\",\n";
+  p "    \"partitions\": %d,\n" intra.intra_partitions;
+  p "    \"lookahead_ns\": %d,\n" intra.lookahead_ns;
+  p "    \"cores_available\": %d,\n" intra.cores_available;
+  let base =
+    match
+      List.find_opt (fun r -> r.domains_used = 1) intra.runs
+    with
+    | Some r -> r.intra_events_per_sec
+    | None -> nan
+  in
+  p "    \"runs\": [\n";
+  List.iteri
+    (fun k r ->
+      p
+        "      { \"domains\": %d, \"events\": %d, \"seconds\": %.3f, \
+         \"events_per_sec\": %.0f, \"mev_per_sec\": %.3f, \
+         \"speedup_vs_1_domain\": %.2f }%s\n"
+        r.domains_used r.intra_events r.seconds r.intra_events_per_sec
+        (r.intra_events_per_sec /. 1e6)
+        (r.intra_events_per_sec /. base)
+        (if k = List.length intra.runs - 1 then "" else ","))
+    intra.runs;
+  p "    ],\n";
+  p "    \"deterministic\": %b,\n" intra.intra_deterministic;
+  p "    \"reconfig_macro_deterministic\": %b\n"
+    intra.reconfig_macro_deterministic;
   p "  },\n";
   let find engine name =
     List.find (fun s -> s.engine = engine && s.name = name) samples
@@ -319,6 +494,13 @@ let () =
   let mac_pool = Macro_pooled.run ~events_target in
   let mac_ref = Macro_reference.run ~events_target in
   let sw = sweep_bench ~seeds:sweep_seeds in
+  (* Horizon sized so the partitioned macro dispatches on the order of
+     [events_target] events: each switch keeps one message in flight
+     hopping every link latency. *)
+  let intra_horizon =
+    if !smoke then Netsim.Time.ms 20 else Netsim.Time.ms 100
+  in
+  let intra = intra_bench ~parts:4 ~horizon:intra_horizon in
   Printf.printf "micro (%d ops each):\n" ops;
   List.iter
     (fun s ->
@@ -337,5 +519,15 @@ let () =
      deterministic %b\n"
     sw.seeds sw.seq_seconds sw.par_seconds sw.domains sw.sweep_speedup
     sw.deterministic;
-  write_json ~file:!out ~smoke:!smoke ~samples ~mac_ref ~mac_pool ~sw;
+  Printf.printf "intra srclan-control, %d partitions (%d cores available):\n"
+    intra.intra_partitions intra.cores_available;
+  List.iter
+    (fun r ->
+      Printf.printf "  %d domains: %d events in %.2fs = %.2f Mev/s\n"
+        r.domains_used r.intra_events r.seconds
+        (r.intra_events_per_sec /. 1e6))
+    intra.runs;
+  Printf.printf "intra deterministic %b, reconfig macro deterministic %b\n"
+    intra.intra_deterministic intra.reconfig_macro_deterministic;
+  write_json ~file:!out ~smoke:!smoke ~samples ~mac_ref ~mac_pool ~sw ~intra;
   Printf.printf "wrote %s\n" !out

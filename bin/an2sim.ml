@@ -66,19 +66,57 @@ let sweep_arg =
           "Run $(docv) seeds (seed, seed+1, ...) across domains and report \
            per-seed results plus aggregates. 0 disables.")
 
+(* Parallelism knobs must be explicit and sane: a zero or negative
+   count is a user error, not something to clamp silently. *)
+let positive_int what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 1 -> Ok v
+    | Some v -> Error (`Msg (Printf.sprintf "%s must be >= 1 (got %d)" what v))
+    | None -> Error (`Msg (Printf.sprintf "%s expects an integer" what))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
     value
-    & opt int 0
+    & opt (some (positive_int "--jobs")) None
     & info [ "jobs" ] ~docv:"J"
-        ~doc:"Domains to use for $(b,--sweep) (default: all cores).")
+        ~doc:"Domains to use for $(b,--sweep) (>= 1; default: all cores).")
+
+(* Intra-run parallelism: split the switches of ONE run into
+   --partitions engine partitions (Netsim.Cluster) and drive them with
+   --par-domains worker domains. For a fixed partition count the
+   output is byte-identical at every --par-domains value. *)
+let partitions_arg =
+  Arg.(
+    value
+    & opt (positive_int "--partitions") 1
+    & info [ "partitions" ] ~docv:"P"
+        ~doc:
+          "Engine partitions for intra-run parallel simulation (>= 1; 1 = \
+           classic single engine). Fixed $(docv) gives identical output at \
+           every $(b,--par-domains) value.")
+
+let par_domains_arg =
+  Arg.(
+    value
+    & opt (positive_int "--par-domains") 1
+    & info [ "par-domains" ] ~docv:"D"
+        ~doc:
+          "Worker domains driving the engine partitions of one run (>= 1; \
+           capped at $(b,--partitions)). Does not affect output.")
 
 let sweep_metrics ~jobs ~seeds ~trace ~metrics job =
   if trace <> None then
     prerr_endline
       "an2sim: --trace is ignored with --sweep (per-seed traces are not \
        merged)";
-  let domains = if jobs > 0 then jobs else Netsim.Sweep.domains_available () in
+  let domains =
+    match jobs with
+    | Some j -> j
+    | None -> Netsim.Sweep.domains_available ()
+  in
   let results, merged = Netsim.Sweep.map_obs ~domains ~seeds job in
   (match metrics with
    | Some file -> Obs.Metrics.write_json file merged
@@ -236,8 +274,8 @@ let reconfig_cmd =
             "Control-cell drop probability (the reliable layer retransmits, \
              so the protocol still converges).")
   in
-  let run kind switches fail_switch fail_link loss sweep jobs seed trace
-      metrics =
+  let run kind switches fail_switch fail_link loss partitions par_domains
+      sweep jobs seed trace metrics =
     let once ~obs seed =
       let g = make_topology kind switches in
       let params =
@@ -245,10 +283,14 @@ let reconfig_cmd =
       in
       match (fail_switch, fail_link) with
       | Some s, _ ->
-        Reconfig.Runner.run_after_failure ~params ~obs g ~fail:(`Switch s)
+        Reconfig.Runner.run_after_failure ~params ~obs ~partitions
+          ~domains:par_domains g ~fail:(`Switch s)
       | None, Some l ->
-        Reconfig.Runner.run_after_failure ~params ~obs g ~fail:(`Link l)
-      | None, None -> Reconfig.Runner.run ~params ~obs g ~triggers:[ (0, 0) ]
+        Reconfig.Runner.run_after_failure ~params ~obs ~partitions
+          ~domains:par_domains g ~fail:(`Link l)
+      | None, None ->
+        Reconfig.Runner.run ~params ~obs ~partitions ~domains:par_domains g
+          ~triggers:[ (0, 0) ]
     in
     if sweep > 0 then begin
       let seeds = List.init sweep (fun i -> seed + i) in
@@ -292,7 +334,8 @@ let reconfig_cmd =
   Cmd.v (Cmd.info "reconfig" ~doc)
     Term.(
       const run $ kind_arg $ switches_arg $ fail_switch_arg $ fail_link_arg
-      $ loss_arg $ sweep_arg $ jobs_arg $ seed_arg $ trace_arg $ metrics_arg)
+      $ loss_arg $ partitions_arg $ par_domains_arg $ sweep_arg $ jobs_arg
+      $ seed_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* flow *)
@@ -429,7 +472,8 @@ let e2e_cmd =
   let ms_arg =
     Arg.(value & opt int 10 & info [ "duration-ms" ] ~docv:"MS" ~doc:"Run length.")
   in
-  let run hops cbr be packets ms sweep jobs seed trace metrics =
+  let run hops cbr be packets ms partitions par_domains sweep jobs seed trace
+      metrics =
     (* Everything is rebuilt from the seed inside [once] so sweep jobs
        share no state. *)
     let once ~obs seed =
@@ -458,7 +502,8 @@ let e2e_cmd =
         failwith "nothing to run: pass --cbr, --be and/or --packets";
       let p = { An2.Netrun.default_params with seed } in
       let r =
-        An2.Netrun.run net p ~sources:!sources ~duration:(Netsim.Time.ms ms) ()
+        An2.Netrun.run ~partitions ~domains:par_domains net p
+          ~sources:!sources ~duration:(Netsim.Time.ms ms) ()
       in
       if Obs.Sink.enabled obs then begin
         List.iter
@@ -541,7 +586,8 @@ let e2e_cmd =
   Cmd.v (Cmd.info "e2e" ~doc)
     Term.(
       const run $ hops_arg $ cbr_arg $ be_arg $ packets_arg $ ms_arg
-      $ sweep_arg $ jobs_arg $ seed_arg $ trace_arg $ metrics_arg)
+      $ partitions_arg $ par_domains_arg $ sweep_arg $ jobs_arg $ seed_arg
+      $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* local-reconfig *)
@@ -821,7 +867,7 @@ let churn_cmd =
       (Topo.Graph.links g)
   in
   let run kind switches fault_rate mttr flap_link flap_period crash_switch loss
-      duration_ms circuits sweep jobs seed trace metrics =
+      duration_ms circuits partitions par_domains sweep jobs seed trace metrics =
     let duration = Netsim.Time.ms duration_ms in
     let once ~obs seed =
       let g = make_topology kind switches in
@@ -875,7 +921,15 @@ let churn_cmd =
           ]
       in
       Faults.Churn.run ~obs ~graph:g
-        { Faults.Churn.default_params with schedule; duration; circuits; seed }
+        {
+          Faults.Churn.default_params with
+          schedule;
+          duration;
+          circuits;
+          partitions;
+          domains = par_domains;
+          seed;
+        }
     in
     let print_result pre (r : Faults.Churn.result) =
       Format.printf
@@ -924,8 +978,8 @@ let churn_cmd =
     Term.(
       const run $ kind_arg $ switches_arg $ fault_rate_arg $ mttr_arg
       $ flap_link_arg $ flap_period_arg $ crash_switch_arg $ loss_arg
-      $ duration_arg $ circuits_arg $ sweep_arg $ jobs_arg $ seed_arg
-      $ trace_arg $ metrics_arg)
+      $ duration_arg $ circuits_arg $ partitions_arg $ par_domains_arg
+      $ sweep_arg $ jobs_arg $ seed_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* partition *)

@@ -50,7 +50,11 @@ type result = {
   dark_circuits : int;
 }
 
-(* Mutable per-circuit simulation state. *)
+(* Mutable per-circuit simulation state. In a partitioned run each
+   field is written by exactly one engine partition: source-side
+   counters by the partition of the first switch, delivery-side
+   statistics by the partition of the last; [dropped] has one slot per
+   partition because any switch along the path may drop. *)
 type vc_state = {
   vc : Network.vc;
   mutable links : int array;  (* l_0 .. l_k; l_0 and l_k are host links *)
@@ -61,14 +65,13 @@ type vc_state = {
   (* host-side *)
   mutable sent : int;
   mutable delivered : int;
-  mutable dropped : int;
+  dropped : int array;  (* cells lost to link/switch failures, per partition *)
   mutable host_backlog : int;  (* paced sources queue cells at the host *)
   latencies : Netsim.Stats.Distribution.t;
   (* Packet sources: controller-level bookkeeping. *)
   mutable packets_sent : int;
   mutable packets_delivered : int;
   packet_latencies : Netsim.Stats.Distribution.t;
-  packet_starts : (int, Netsim.Time.t) Hashtbl.t;
   reassembly : Host.Reassembly.t;
   window_delivered : int array;
 }
@@ -78,19 +81,86 @@ type simcell = {
   born : Netsim.Time.t;
   epoch : int;
   payload : Host.cell option;  (* set for packet sources *)
+  pstart : Netsim.Time.t;
+      (* packet segmentation instant; carried in the cell so the
+         destination partition never reads source-side tables *)
 }
 
 let vc_of_source = function
   | Cbr vc | Saturated_be vc | Paced_be (vc, _) | Packets_be (vc, _, _) -> vc
 
-let run ?(obs = Obs.Sink.null) net p ~sources ?(events = []) ~duration () =
+let run ?(obs = Obs.Sink.null) ?(partitions = 1) ?(domains = 1) net p ~sources
+    ?(events = []) ~duration () =
+  if partitions < 1 then invalid_arg "Netrun.run: partitions must be >= 1";
+  if domains < 1 then invalid_arg "Netrun.run: domains must be >= 1";
   let g = Network.graph net in
   let frame = Network.frame_length net in
   let frame_time = frame * p.cell_time in
   let n_switches = Topo.Graph.switch_count g in
-  let engine = Netsim.Engine.create () in
+  (* Partitioned execution: switches split across engines coupled at
+     the minimum cross-partition link latency. Mid-run [events] mutate
+     the graph and reroute circuits across partition boundaries, which
+     the conservative windows cannot express — scenario runs keep the
+     classic single engine. *)
+  let partitions = min partitions (max 1 n_switches) in
+  if partitions > 1 && events <> [] then
+    invalid_arg "Netrun.run: events require partitions = 1";
+  let part =
+    if partitions > 1 then Topo.Partition.assign g ~parts:partitions
+    else Array.make n_switches 0
+  in
+  let parts = 1 + Array.fold_left max 0 part in
+  let cluster =
+    if parts > 1 then begin
+      let lookahead =
+        match Topo.Partition.lookahead g part with
+        | Some l when l >= 1 -> l
+        | _ ->
+          invalid_arg
+            "Netrun.run: partitioning has no positive cross-partition lookahead"
+      in
+      Some (Netsim.Cluster.create ~parts ~lookahead ())
+    end
+    else None
+  in
+  let engines =
+    match cluster with
+    | Some cl -> Array.init parts (Netsim.Cluster.engine cl)
+    | None -> [| Netsim.Engine.create () |]
+  in
+  (* Schedule [thunk] on partition [dst], [delay] after partition
+     [src]'s current instant. Every cross-partition post below rides a
+     link latency, which is >= the cluster lookahead by construction. *)
+  let post ~src ~dst ~delay thunk =
+    match cluster with
+    | Some cl -> Netsim.Cluster.send cl ~src ~dst ~delay thunk
+    | None -> Netsim.Engine.post engines.(0) ~delay thunk
+  in
   let c_dark = Obs.Sink.counter obs "netrun.dark_circuits" in
+  (* Setup-time randomness (clock phases, skew, initial source offsets)
+     comes from one stream drawn single-threadedly here. Run-time
+     randomness (PIM, source pacing) must be drawn by the partition
+     that owns the drawing component: the classic path aliases every
+     slot to the same stream — byte-identical with the single-engine
+     versions — while a partitioned run gives each switch and each
+     source its own seeded stream, making the draws (and the result) a
+     pure function of the partition map, never of the domain count. *)
   let rng = Netsim.Rng.create p.seed in
+  let pim_rngs =
+    if parts = 1 then Array.make n_switches rng
+    else
+      Array.init n_switches (fun s ->
+          Netsim.Rng.create (p.seed + ((s + 1) * 0x9e3779b97f4a7c1)))
+  in
+  let src_rngs =
+    if parts = 1 then Array.of_list (List.map (fun _ -> rng) sources)
+    else
+      Array.of_list
+        (List.mapi
+           (fun i _ ->
+             Netsim.Rng.create (p.seed + ((i + 1) * 0x2545f4914f6cdd1)))
+           sources)
+  in
   (* Circuit states. *)
   let states =
     List.map
@@ -109,46 +179,64 @@ let run ?(obs = Obs.Sink.null) net p ~sources ?(events = []) ~duration () =
                | Network.Best_effort -> false);
             sent = 0;
             delivered = 0;
-            dropped = 0;
+            dropped = Array.make parts 0;
             host_backlog = 0;
             latencies = Netsim.Stats.Distribution.create ();
             packets_sent = 0;
             packets_delivered = 0;
             packet_latencies = Netsim.Stats.Distribution.create ();
-            packet_starts = Hashtbl.create 32;
             reassembly = Host.Reassembly.create ();
             window_delivered = Array.make 10 0;
           } ))
       sources
   in
   let state_of id = List.assoc id states in
-  (* Buffers at switches: (switch, vc) -> queued (cell, position). The
-     position j in 1..k says the cell sits at the j-th switch of its
-     path. *)
-  let buffers : (int * int, (simcell * int) Queue.t) Hashtbl.t =
-    Hashtbl.create 64
+  (* The partition owning the place a cell departs from when it leaves
+     position [j] of its path (a host shares its switch's partition),
+     and the one where it arrives. *)
+  let up_part st j = part.(st.switches.(max 0 (j - 1))) in
+  let down_part st j =
+    let last = Array.length st.links - 1 in
+    part.(st.switches.(if j = last then j - 1 else j))
+  in
+  (* Buffers at switches: (switch, vc) -> queued (cell, position), in
+     the owning partition's table. The position j in 1..k says the
+     cell sits at the j-th switch of its path. *)
+  let buffers : (int * int, (simcell * int) Queue.t) Hashtbl.t array =
+    Array.init parts (fun _ -> Hashtbl.create 64)
   in
   let buffer_q s vcid =
-    match Hashtbl.find_opt buffers (s, vcid) with
+    let tbl = buffers.(part.(s)) in
+    match Hashtbl.find_opt tbl (s, vcid) with
     | Some q -> q
     | None ->
       let q = Queue.create () in
-      Hashtbl.add buffers (s, vcid) q;
+      Hashtbl.add tbl (s, vcid) q;
       q
   in
-  (* Best-effort credits: (link, vc) -> upstream window. *)
-  let credits : (int * int, Flow.Credit.Upstream.t) Hashtbl.t = Hashtbl.create 64 in
-  let credit lid vcid =
-    match Hashtbl.find_opt credits (lid, vcid) with
+  (* Best-effort credits: (link, vc) -> upstream window, held by the
+     partition of the link's upstream endpoint on that circuit — the
+     only partition that ever touches it. *)
+  let credits : (int * int, Flow.Credit.Upstream.t) Hashtbl.t array =
+    Array.init parts (fun _ -> Hashtbl.create 64)
+  in
+  let credit pt lid vcid =
+    let tbl = credits.(pt) in
+    match Hashtbl.find_opt tbl (lid, vcid) with
     | Some c -> c
     | None ->
       let c = Flow.Credit.Upstream.create ~total:p.be_credits in
-      Hashtbl.add credits (lid, vcid) c;
+      Hashtbl.add tbl (lid, vcid) c;
       c
   in
-  (* Guaranteed service map per switch: (in_port, out_port) -> vc ids. *)
+  (* Guaranteed service map per switch: (in_port, out_port) -> vc ids.
+     Built before the engines start and (cluster runs reject events)
+     only read afterwards, so one shared table is safe; the round-robin
+     cursors are written per slot, hence per partition. *)
   let gmap : (int * int * int, int list ref) Hashtbl.t = Hashtbl.create 64 in
-  let grr : (int * int * int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let grr : (int * int * int, int ref) Hashtbl.t array =
+    Array.init parts (fun _ -> Hashtbl.create 64)
+  in
   let rebuild_gmap () =
     Hashtbl.reset gmap;
     List.iter
@@ -178,27 +266,32 @@ let run ?(obs = Obs.Sink.null) net p ~sources ?(events = []) ~duration () =
   in
   rebuild_be ();
   (* Guaranteed backlog per (switch, in_link) line card. *)
-  let gbacklog : (int * int, int ref) Hashtbl.t = Hashtbl.create 64 in
-  let max_gbacklog = ref 0 in
+  let gbacklog : (int * int, int ref) Hashtbl.t array =
+    Array.init parts (fun _ -> Hashtbl.create 64)
+  in
+  let max_gbacklog = Array.make parts 0 in
   let gbacklog_adj s in_l d =
+    let pt = part.(s) in
     let r =
-      match Hashtbl.find_opt gbacklog (s, in_l) with
+      match Hashtbl.find_opt gbacklog.(pt) (s, in_l) with
       | Some r -> r
       | None ->
         let r = ref 0 in
-        Hashtbl.add gbacklog (s, in_l) r;
+        Hashtbl.add gbacklog.(pt) (s, in_l) r;
         r
     in
     r := !r + d;
-    if !r > !max_gbacklog then max_gbacklog := !r
+    if !r > max_gbacklog.(pt) then max_gbacklog.(pt) <- !r
   in
   let link_ok lid = (Topo.Graph.link g lid).Topo.Graph.state = Topo.Graph.Working in
   let latency lid = (Topo.Graph.link g lid).Topo.Graph.latency in
-  let deliver st (cell : simcell) =
+  let deliver pt st (cell : simcell) =
     st.delivered <- st.delivered + 1;
-    let now = Netsim.Engine.now engine in
-    let w = now * 10 / max 1 duration in
-    if w >= 0 && w < 10 then
+    let now = Netsim.Engine.now engines.(pt) in
+    (* A delivery at the closing instant (now = duration) belongs to
+       the last tenth, not to a phantom eleventh bucket. *)
+    let w = min 9 (now * 10 / max 1 duration) in
+    if w >= 0 then
       st.window_delivered.(w) <- st.window_delivered.(w) + 1;
     Netsim.Stats.Distribution.add st.latencies (Netsim.Time.to_us (now - cell.born));
     (* Destination controller: reassemble packet sources. *)
@@ -206,14 +299,10 @@ let run ?(obs = Obs.Sink.null) net p ~sources ?(events = []) ~duration () =
     | None -> ()
     | Some c ->
       (match Host.Reassembly.push st.reassembly c with
-       | Some (Ok p) ->
+       | Some (Ok _) ->
          st.packets_delivered <- st.packets_delivered + 1;
-         (match Hashtbl.find_opt st.packet_starts p.Host.packet_id with
-          | Some start ->
-            Hashtbl.remove st.packet_starts p.Host.packet_id;
-            Netsim.Stats.Distribution.add st.packet_latencies
-              (Netsim.Time.to_us (now - start))
-          | None -> ())
+         Netsim.Stats.Distribution.add st.packet_latencies
+           (Netsim.Time.to_us (now - cell.pstart))
        | Some (Error _) ->
          (* A cell was dropped mid-packet (failure window); the rest of
             the packet is waste, already counted as cell drops. *)
@@ -221,10 +310,13 @@ let run ?(obs = Obs.Sink.null) net p ~sources ?(events = []) ~duration () =
        | None -> ())
   in
   (* Transmit [cell] sitting at switch position [j] of its path (or
-     j = 0 for host injection) onto link links.(j). *)
+     j = 0 for host injection) onto link links.(j). Runs on the
+     partition of the departing node. *)
   let transmit st (cell : simcell) j =
+    let sp = up_part st j in
     let out_l = st.links.(j) in
-    if not st.is_guaranteed then Flow.Credit.Upstream.on_send (credit out_l cell.st.vc.Network.vc_id);
+    if not st.is_guaranteed then
+      Flow.Credit.Upstream.on_send (credit sp out_l cell.st.vc.Network.vc_id);
     (* Departing switch j >= 1 frees the upstream buffer of link j-1. *)
     if j >= 1 then begin
       let in_l = st.links.(j - 1) in
@@ -233,29 +325,31 @@ let run ?(obs = Obs.Sink.null) net p ~sources ?(events = []) ~duration () =
         let lat = latency in_l in
         let vcid = st.vc.Network.vc_id in
         let ep = cell.epoch in
-        Netsim.Engine.post engine ~delay:lat (fun () ->
+        let cp = up_part st (j - 1) in
+        post ~src:sp ~dst:cp ~delay:lat (fun () ->
             if ep = st.epoch then
-              Flow.Credit.Upstream.on_credit (credit in_l vcid)
+              Flow.Credit.Upstream.on_credit (credit cp in_l vcid)
                 Flow.Credit.Increment)
       end
     end;
+    let dp = down_part st j in
     let transit =
       p.cell_time + latency out_l
       + if j >= 1 then p.crossbar_delay else 0
     in
-    Netsim.Engine.post engine ~delay:transit (fun () ->
+    post ~src:sp ~dst:dp ~delay:transit (fun () ->
         if cell.epoch <> st.epoch || not (link_ok out_l) then
-          st.dropped <- st.dropped + 1
+          st.dropped.(dp) <- st.dropped.(dp) + 1
         else if j = Array.length st.links - 1 then begin
           (* Final host link: delivery; the sink frees the buffer
              instantly. *)
-          deliver st cell;
+          deliver dp st cell;
           if not st.is_guaranteed then begin
             let vcid = st.vc.Network.vc_id in
             let ep = cell.epoch in
-            Netsim.Engine.post engine ~delay:(latency out_l) (fun () ->
+            post ~src:dp ~dst:dp ~delay:(latency out_l) (fun () ->
                 if ep = st.epoch then
-                  Flow.Credit.Upstream.on_credit (credit out_l vcid)
+                  Flow.Credit.Upstream.on_credit (credit dp out_l vcid)
                     Flow.Credit.Increment)
           end
         end
@@ -283,11 +377,11 @@ let run ?(obs = Obs.Sink.null) net p ~sources ?(events = []) ~duration () =
          | None -> ()
          | Some vcs ->
            let rrr =
-             match Hashtbl.find_opt grr key with
+             match Hashtbl.find_opt grr.(part.(s)) key with
              | Some r -> r
              | None ->
                let r = ref 0 in
-               Hashtbl.add grr key r;
+               Hashtbl.add grr.(part.(s)) key r;
                r
            in
            let vl = !vcs in
@@ -335,7 +429,8 @@ let run ?(obs = Obs.Sink.null) net p ~sources ?(events = []) ~duration () =
               if
                 (not used_in.(in_port))
                 && (not used_out.(out_port))
-                && Flow.Credit.Upstream.can_send (credit st.links.(j) vcid)
+                && Flow.Credit.Upstream.can_send
+                     (credit (part.(s)) st.links.(j) vcid)
               then begin
                 Matching.Request.set req in_port out_port true;
                 match Hashtbl.find_opt by_pair (in_port, out_port) with
@@ -344,7 +439,7 @@ let run ?(obs = Obs.Sink.null) net p ~sources ?(events = []) ~duration () =
               end
             end)
         bes;
-      let m = Matching.Pim.run ~rng req ~iterations:3 in
+      let m = Matching.Pim.run ~rng:pim_rngs.(s) req ~iterations:3 in
       for in_port = 0 to ports - 1 do
         let out_port = m.Matching.Outcome.match_of_input.(in_port) in
         if out_port >= 0 && not used_in.(in_port) then begin
@@ -366,6 +461,7 @@ let run ?(obs = Obs.Sink.null) net p ~sources ?(events = []) ~duration () =
      by computing each tick's absolute time in float so sub-ns drift
      accumulates correctly. *)
   let start_switch s =
+    let eng = engines.(part.(s)) in
     let phase = Netsim.Rng.int rng frame_time in
     let factor =
       if p.synchronized then 1.0
@@ -379,26 +475,29 @@ let run ?(obs = Obs.Sink.null) net p ~sources ?(events = []) ~duration () =
         phase + int_of_float (Float.round (float_of_int (k + 1) *. float_of_int p.cell_time *. factor))
       in
       if at <= duration then
-        Netsim.Engine.post_at engine ~at (fun () -> tick (k + 1))
+        Netsim.Engine.post_at eng ~at (fun () -> tick (k + 1))
     in
-    Netsim.Engine.post_at engine ~at:phase (fun () -> tick 0)
+    Netsim.Engine.post_at eng ~at:phase (fun () -> tick 0)
   in
   for s = 0 to n_switches - 1 do
     start_switch s
   done;
-  (* Host sources. *)
-  let inject ?payload st =
+  (* Host sources: each runs on the partition of its first switch. *)
+  let inject ?payload ?(pstart = 0) st =
     st.sent <- st.sent + 1;
-    let cell =
-      { st; born = Netsim.Engine.now engine; epoch = st.epoch; payload }
-    in
+    let born = Netsim.Engine.now engines.(up_part st 0) in
+    let cell = { st; born; epoch = st.epoch; payload; pstart } in
     transmit st cell 0
   in
-  List.iter
-    (fun src ->
+  List.iteri
+    (fun i src ->
+      let vc = vc_of_source src in
+      let st = state_of vc.Network.vc_id in
+      let sp = up_part st 0 in
+      let eng = engines.(sp) in
+      let srng = src_rngs.(i) in
       match src with
-      | Cbr vc ->
-        let st = state_of vc.Network.vc_id in
+      | Cbr _ ->
         let cells =
           match vc.Network.cls with
           | Network.Guaranteed c -> c
@@ -407,73 +506,71 @@ let run ?(obs = Obs.Sink.null) net p ~sources ?(events = []) ~duration () =
         let gap = max 1 (frame_time / cells) in
         let rec emit () =
           inject st;
-          Netsim.Engine.post engine ~delay:gap emit
-     in
-     Netsim.Engine.post engine ~delay:(Netsim.Rng.int rng gap) emit
-      | Saturated_be vc ->
-        let st = state_of vc.Network.vc_id in
+          Netsim.Engine.post eng ~delay:gap emit
+        in
+        Netsim.Engine.post eng ~delay:(Netsim.Rng.int rng gap) emit
+      | Saturated_be _ ->
         let rec emit () =
-          if Flow.Credit.Upstream.can_send (credit st.links.(0) vc.Network.vc_id)
+          if Flow.Credit.Upstream.can_send (credit sp st.links.(0) vc.Network.vc_id)
           then inject st;
-          Netsim.Engine.post engine ~delay:p.cell_time emit
-     in
-     Netsim.Engine.post engine ~delay:p.cell_time emit
-| Paced_be (vc, rate) ->
-        let st = state_of vc.Network.vc_id in
+          Netsim.Engine.post eng ~delay:p.cell_time emit
+        in
+        Netsim.Engine.post eng ~delay:p.cell_time emit
+      | Paced_be (_, rate) ->
         let rec emit () =
-          if Netsim.Rng.bernoulli rng rate then
+          if Netsim.Rng.bernoulli srng rate then
             st.host_backlog <- st.host_backlog + 1;
           if
             st.host_backlog > 0
             && Flow.Credit.Upstream.can_send
-                 (credit st.links.(0) vc.Network.vc_id)
+                 (credit sp st.links.(0) vc.Network.vc_id)
           then begin
             st.host_backlog <- st.host_backlog - 1;
             inject st
           end;
-          Netsim.Engine.post engine ~delay:p.cell_time emit
-     in
-     Netsim.Engine.post engine ~delay:p.cell_time emit
-| Packets_be (vc, rate, size) ->
-        let st = state_of vc.Network.vc_id in
+          Netsim.Engine.post eng ~delay:p.cell_time emit
+        in
+        Netsim.Engine.post eng ~delay:p.cell_time emit
+      | Packets_be (_, rate, size) ->
         let cells_per_packet = Host.cells_needed size in
         let start_prob = rate /. float_of_int cells_per_packet in
-        let queue : Host.cell Queue.t = Queue.create () in
+        let queue : (Host.cell * Netsim.Time.t) Queue.t = Queue.create () in
         let next_pid = ref 0 in
         let rec emit () =
-          if Netsim.Rng.bernoulli rng start_prob then begin
+          if Netsim.Rng.bernoulli srng start_prob then begin
             let pid = !next_pid in
             incr next_pid;
             st.packets_sent <- st.packets_sent + 1;
-            Hashtbl.replace st.packet_starts pid (Netsim.Engine.now engine);
+            let start = Netsim.Engine.now eng in
             List.iter
-              (fun c -> Queue.add c queue)
+              (fun c -> Queue.add (c, start) queue)
               (Host.segment { Host.packet_id = pid; size } ~vc:vc.Network.vc_id)
           end;
           (match Queue.peek_opt queue with
-           | Some c
+           | Some (c, start)
              when Flow.Credit.Upstream.can_send
-                    (credit st.links.(0) vc.Network.vc_id) ->
+                    (credit sp st.links.(0) vc.Network.vc_id) ->
              ignore (Queue.pop queue);
-             inject ~payload:c st
+             inject ~payload:c ~pstart:start st
            | _ -> ());
-          Netsim.Engine.post engine ~delay:p.cell_time emit
-     in
-     Netsim.Engine.post engine ~delay:p.cell_time emit)
+          Netsim.Engine.post eng ~delay:p.cell_time emit
+        in
+        Netsim.Engine.post eng ~delay:p.cell_time emit)
     sources;
-  (* Scheduled control-plane events. *)
+  (* Scheduled control-plane events (classic single-partition path
+     only, so partition 0 owns every table they touch). *)
   let flush_vc st =
     Array.iter
       (fun s ->
-        match Hashtbl.find_opt buffers (s, st.vc.Network.vc_id) with
+        match Hashtbl.find_opt buffers.(0) (s, st.vc.Network.vc_id) with
         | Some q ->
-          st.dropped <- st.dropped + Queue.length q;
+          st.dropped.(0) <- st.dropped.(0) + Queue.length q;
           Queue.clear q
         | None -> ())
       st.switches;
     (* Fresh credit windows for the new path. *)
     Array.iter
-      (fun lid -> Hashtbl.remove credits (lid, st.vc.Network.vc_id))
+      (fun lid -> Hashtbl.remove credits.(0) (lid, st.vc.Network.vc_id))
       st.links
   in
   (* A failed reroute leaves the circuit dark: it keeps its broken
@@ -513,7 +610,7 @@ let run ?(obs = Obs.Sink.null) net p ~sources ?(events = []) ~duration () =
   in
   List.iter
     (fun (at, ev) ->
-      Netsim.Engine.post_at engine ~at (fun () ->
+      Netsim.Engine.post_at engines.(0) ~at (fun () ->
           match ev with
           | Fail_link lid -> Topo.Graph.fail_link g lid
           | Fail_switch s -> Topo.Graph.fail_switch g s
@@ -529,7 +626,9 @@ let run ?(obs = Obs.Sink.null) net p ~sources ?(events = []) ~duration () =
               states;
             rebuild_gmap ()))
     events;
-  Netsim.Engine.run_until engine duration;
+  (match cluster with
+   | Some cl -> Netsim.Cluster.run ~domains cl ~horizon:duration
+   | None -> Netsim.Engine.run_until engines.(0) duration);
   let per_vc =
     List.map
       (fun (id, st) ->
@@ -538,7 +637,7 @@ let run ?(obs = Obs.Sink.null) net p ~sources ?(events = []) ~duration () =
           {
             sent = st.sent;
             delivered = st.delivered;
-            dropped = st.dropped;
+            dropped = Array.fold_left ( + ) 0 st.dropped;
             mean_latency_us = Netsim.Stats.Distribution.mean d;
             p99_latency_us = Netsim.Stats.Distribution.percentile d 99.0;
             max_latency_us = Netsim.Stats.Distribution.max d;
@@ -559,8 +658,9 @@ let run ?(obs = Obs.Sink.null) net p ~sources ?(events = []) ~duration () =
   in
   {
     per_vc;
-    max_guaranteed_backlog = !max_gbacklog;
-    guaranteed_backlog_frames = float_of_int !max_gbacklog /. float_of_int frame;
+    max_guaranteed_backlog = Array.fold_left max 0 max_gbacklog;
+    guaranteed_backlog_frames =
+      float_of_int (Array.fold_left max 0 max_gbacklog) /. float_of_int frame;
     dark_circuits =
       List.fold_left (fun acc (_, st) -> if st.dark then acc + 1 else acc) 0 states;
   }

@@ -88,6 +88,8 @@ type result = {
 
 val run :
   ?obs:Obs.Sink.t ->
+  ?partitions:int ->
+  ?domains:int ->
   Network.t ->
   params ->
   sources:source list ->
@@ -95,3 +97,19 @@ val run :
   duration:Netsim.Time.t ->
   unit ->
   result
+(** [partitions] (default 1) > 1 runs the switches on a
+    {!Netsim.Cluster}: {!Topo.Partition.assign} splits them (clamped
+    to the switch count), each group gets its own engine, hosts share
+    their switch's partition, and every cell or credit crossing a
+    partition rides its link's latency, which is >= the cluster
+    lookahead by construction. [domains] (default 1) bounds the worker
+    domains; {b for a fixed [partitions] the result is identical for
+    every [domains]} — all mutable state is owned by exactly one
+    partition. The classic [partitions = 1] path is byte-identical to
+    earlier single-engine versions; a partitioned run draws its PIM and
+    source-pacing randomness from per-switch/per-source streams, so its
+    (equally deterministic) numbers differ from the classic stream's.
+    Raises [Invalid_argument] if [partitions < 1] or [domains < 1], if
+    a multi-partition split has no positive cross-partition lookahead,
+    or if [events] are combined with [partitions > 1] — mid-run
+    topology mutation and rerouting need the classic single engine. *)

@@ -6,6 +6,8 @@ type params = {
   monitor : Reconfig.Monitor.params;
   protocol : Reconfig.Runner.params;
   flow_check : bool;
+  partitions : int;
+  domains : int;
   seed : int;
 }
 
@@ -18,6 +20,8 @@ let default_params =
     monitor = Reconfig.Monitor.default_params;
     protocol = Reconfig.Runner.default_params;
     flow_check = true;
+    partitions = 1;
+    domains = 1;
     seed = 1;
   }
 
@@ -220,7 +224,7 @@ let run ?(obs = Obs.Sink.null) ~graph p =
               control_loss = Schedule.control_loss driver;
               seed = p.seed + (7919 * !reconfigs);
             }
-          graph
+          ~partitions:p.partitions ~domains:p.domains graph
           ~triggers:(List.map (fun s -> (0, s)) batch)
       in
       messages := !messages + outcome.Reconfig.Runner.messages;

@@ -34,12 +34,18 @@ type params = {
   flow_check : bool;
       (** validate each successful reroute with a short credit
           flow-control run over the new path length *)
+  partitions : int;
+      (** engine partitions for each nested reconfiguration run (see
+          {!Reconfig.Runner.run}); the outer churn timeline stays on
+          one engine *)
+  domains : int;  (** worker domains for those nested runs *)
   seed : int;
 }
 
 val default_params : params
 (** Empty schedule, 10 s window, 8 circuits at 10k cells/s, default
-    monitor and protocol parameters, flow checks on, seed 1. *)
+    monitor and protocol parameters, flow checks on, one partition and
+    one domain, seed 1. *)
 
 type result = {
   faults_injected : int;  (** schedule actions applied *)

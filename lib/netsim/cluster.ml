@@ -1,0 +1,234 @@
+(* Conservative windowed coupling of pooled engines.
+
+   The run loop is SPMD: every worker domain executes the same round
+   structure — drain inbound mailboxes for the partitions it owns,
+   barrier, (worker 0 only) decide the next command, barrier, obey the
+   command. All scheduling decisions are functions of simulation
+   content alone, so the dispatch sequence of every engine is
+   identical at any worker count:
+
+     round:
+       barrier (every window of the previous round has finished)
+       decide  worker 0, alone: drain every mailbox into its
+               destination engine — destinations in order, sources
+               0..parts-1 within each, FIFO within each mailbox —
+               then t_min := min over engines of next_time; run
+               barrier actions due at or before t_min (engines caught
+               up, single-threaded); then either Stop (nothing left
+               at <= horizon) or Window (min (t_min+L-1) horizon
+               (next_action-1))
+       barrier (the command and the drains are published)
+       obey    each owner runs run_until window_end on its engines
+
+   Draining inside the leader phase, not concurrently with windows,
+   is what makes the mailboxes safely non-atomic: a fast worker
+   looping around must not replay a mailbox another partition is
+   still filling mid-window.
+
+   Safety: an event at time t in window [w, w+L) can only reach
+   another partition through [send], which requires delay >= L, so
+   its arrival time t + delay >= w + L lies beyond the window end
+   w + L - 1; draining at the next barrier therefore never inserts
+   into an engine's past. Mailboxes are plain SPSC arrays: the
+   barrier's Atomic/Mutex synchronization orders the producer's
+   window-phase stores before the consumer's drain-phase loads.
+
+   The barrier is sense-counting over a generation number: arrive
+   under the mutex, last arrival bumps the generation and broadcasts;
+   waiters spin briefly on an Atomic mirror of the generation (cheap
+   when all cores are busy simulating) before falling back to the
+   condition variable. An exception in any event or action poisons
+   the run: the failing worker records it (first wins), keeps
+   participating in barriers so nobody deadlocks, the next decide
+   issues Stop, and the caller re-raises after joining. *)
+
+type command = Stop | Window of int
+
+type t = {
+  parts : int;
+  lookahead : int;
+  engines : Engine.t array;
+  mailboxes : Mailbox.t array array;  (* .(src).(dst) *)
+  actions : (unit -> unit) Mheap.t;
+  mutable command : command;  (* leader-written between barriers *)
+  mutable parties : int;
+  m : Mutex.t;
+  c : Condition.t;
+  mutable bcount : int;
+  mutable bgen : int;
+  bgen_a : int Atomic.t;
+  failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+let create ?sinks ~parts ~lookahead () =
+  if parts < 1 then invalid_arg "Cluster.create: parts must be >= 1";
+  if lookahead < 1 then
+    invalid_arg "Cluster.create: lookahead must be positive";
+  (match sinks with
+   | Some a when Array.length a < parts ->
+     invalid_arg "Cluster.create: fewer sinks than parts"
+   | _ -> ());
+  let sink p =
+    match sinks with Some a -> a.(p) | None -> Obs.Sink.null
+  in
+  {
+    parts;
+    lookahead;
+    engines = Array.init parts (fun p -> Engine.create ~obs:(sink p) ());
+    mailboxes =
+      Array.init parts (fun _ -> Array.init parts (fun _ -> Mailbox.create ()));
+    actions = Mheap.create ();
+    command = Stop;
+    parties = 1;
+    m = Mutex.create ();
+    c = Condition.create ();
+    bcount = 0;
+    bgen = 0;
+    bgen_a = Atomic.make 0;
+    failure = Atomic.make None;
+  }
+
+let parts t = t.parts
+
+let lookahead t = t.lookahead
+
+let engine t p = t.engines.(p)
+
+let send t ~src ~dst ~delay thunk =
+  if src = dst then Engine.post t.engines.(src) ~delay thunk
+  else begin
+    if delay < t.lookahead then
+      invalid_arg
+        (Printf.sprintf "Cluster.send: delay %d below lookahead %d" delay
+           t.lookahead);
+    let at = Engine.now t.engines.(src) + delay in
+    Mailbox.push t.mailboxes.(src).(dst) ~at thunk
+  end
+
+let at_barrier t ~at thunk =
+  if at < 0 then invalid_arg "Cluster.at_barrier: negative time";
+  Mheap.add t.actions ~prio:at thunk
+
+let await t =
+  Mutex.lock t.m;
+  t.bcount <- t.bcount + 1;
+  if t.bcount = t.parties then begin
+    t.bcount <- 0;
+    t.bgen <- t.bgen + 1;
+    Atomic.set t.bgen_a t.bgen;
+    Condition.broadcast t.c;
+    Mutex.unlock t.m
+  end
+  else begin
+    let target = t.bgen + 1 in
+    Mutex.unlock t.m;
+    let spins = ref 0 in
+    while Atomic.get t.bgen_a < target && !spins < 2000 do
+      incr spins;
+      Domain.cpu_relax ()
+    done;
+    if Atomic.get t.bgen_a < target then begin
+      Mutex.lock t.m;
+      while t.bgen < target do
+        Condition.wait t.c t.m
+      done;
+      Mutex.unlock t.m
+    end
+  end
+
+let poison t ex =
+  let payload = Some (ex, Printexc.get_raw_backtrace ()) in
+  ignore (Atomic.compare_and_set t.failure None payload : bool)
+
+(* Leader-only, between barriers: every engine quiescent. Replays
+   cross-partition mailboxes, runs due barrier actions (which may post
+   events and further actions), then picks Stop or the next window. *)
+let drain_all t =
+  for dst = 0 to t.parts - 1 do
+    let e = t.engines.(dst) in
+    for src = 0 to t.parts - 1 do
+      Mailbox.drain t.mailboxes.(src).(dst) (fun ~at thunk ->
+          Engine.post_at e ~at thunk)
+    done
+  done
+
+let decide t ~horizon =
+  drain_all t;
+  if Atomic.get t.failure <> None then t.command <- Stop
+  else begin
+    let rec go () =
+      let t_min =
+        Array.fold_left
+          (fun acc e -> min acc (Engine.next_time e))
+          max_int t.engines
+      in
+      let due = match Mheap.min_prio t.actions with
+        | Some g when g <= horizon && g <= t_min -> Some g
+        | _ -> None
+      in
+      match due with
+      | Some g ->
+        (* Actions at [g] precede engine events at [g]; catch clocks
+           up so actions observe every engine at (just before) [g]. *)
+        Array.iter (fun e -> Engine.run_until e (g - 1)) t.engines;
+        let rec pop_due () =
+          if Atomic.get t.failure = None then
+            match Mheap.min_prio t.actions with
+            | Some g' when g' = g ->
+              (match Mheap.pop t.actions with
+               | Some (_, act) -> ( try act () with ex -> poison t ex)
+               | None -> ());
+              pop_due ()
+            | _ -> ()
+        in
+        pop_due ();
+        if Atomic.get t.failure <> None then t.command <- Stop else go ()
+      | None ->
+        if t_min > horizon then begin
+          Array.iter (fun e -> Engine.run_until e horizon) t.engines;
+          t.command <- Stop
+        end
+        else begin
+          let end_ = min (t_min + t.lookahead - 1) horizon in
+          let end_ =
+            match Mheap.min_prio t.actions with
+            | Some g when g <= horizon -> min end_ (g - 1)
+            | _ -> end_
+          in
+          t.command <- Window end_
+        end
+    in
+    go ()
+  end
+
+let run ?(domains = 1) t ~horizon =
+  if domains < 1 then invalid_arg "Cluster.run: domains must be >= 1";
+  let workers = min domains t.parts in
+  t.parties <- workers;
+  let worker w =
+    let continue = ref true in
+    while !continue do
+      await t;
+      if w = 0 then decide t ~horizon;
+      await t;
+      match t.command with
+      | Stop -> continue := false
+      | Window end_ ->
+        let p = ref w in
+        while !p < t.parts do
+          (try Engine.run_until t.engines.(!p) end_
+           with ex -> poison t ex);
+          p := !p + workers
+        done
+    done
+  in
+  let spawned =
+    Array.init (workers - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+  in
+  worker 0;
+  Array.iter Domain.join spawned;
+  match Atomic.get t.failure with
+  | Some (ex, bt) ->
+    Atomic.set t.failure None;
+    Printexc.raise_with_backtrace ex bt
+  | None -> ()

@@ -83,6 +83,12 @@ let create ?(obs = Obs.Sink.null) () =
 
 let now t = t.clock
 
+(* Conservative: a cancelled corpse at the heap root reports its key
+   even though firing it runs nothing. Callers (the cluster window
+   loop) only need a lower bound on the next dispatch time, and the
+   corpse's key is exactly that. *)
+let next_time t = Eheap.min_time t.queue
+
 let pending t = t.live
 
 let dispatched t = t.dispatched_total

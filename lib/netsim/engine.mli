@@ -37,6 +37,13 @@ val create : ?obs:Obs.Sink.t -> unit -> t
 val now : t -> Time.t
 (** Current simulated time. *)
 
+val next_time : t -> Time.t
+(** Time of the earliest queued entry, [max_int] when the queue is
+    empty. A lower bound on the next dispatch: a
+    cancelled corpse awaiting reaping reports its key even though
+    firing it runs nothing. This is what the {!Cluster} window loop
+    uses to pick the next conservative window. *)
+
 val schedule : t -> delay:Time.t -> (unit -> unit) -> event_id
 (** [schedule t ~delay f] runs [f] at [now t + delay]. [delay] must be
     non-negative. Returns a handle usable with {!cancel}. *)

@@ -1,0 +1,39 @@
+(* Growable flat-array SPSC mailbox. Plain (non-atomic) fields are
+   safe because the cluster protocol phase-separates producer and
+   consumer with a barrier whose Atomic operations order the accesses:
+   every push happens-before the barrier, which happens-before the
+   drain, and vice versa for the next round. *)
+
+let noop () = ()
+
+type t = {
+  mutable at : int array;
+  mutable thunks : (unit -> unit) array;
+  mutable len : int;
+}
+
+let create () = { at = [||]; thunks = [||]; len = 0 }
+
+let grow t =
+  let cap = Array.length t.at in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  let nat = Array.make ncap 0 and nthunks = Array.make ncap noop in
+  Array.blit t.at 0 nat 0 cap;
+  Array.blit t.thunks 0 nthunks 0 cap;
+  t.at <- nat;
+  t.thunks <- nthunks
+
+let push t ~at thunk =
+  if t.len = Array.length t.at then grow t;
+  t.at.(t.len) <- at;
+  t.thunks.(t.len) <- thunk;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let drain t f =
+  for i = 0 to t.len - 1 do
+    f ~at:t.at.(i) t.thunks.(i);
+    t.thunks.(i) <- noop
+  done;
+  t.len <- 0

@@ -1,0 +1,33 @@
+(** Single-producer/single-consumer event mailbox between cluster
+    partitions.
+
+    A mailbox carries cross-partition events — (absolute time, thunk)
+    pairs — from the engine of one partition to the engine of another.
+    It is deliberately {e not} a concurrent queue: the cluster's
+    window protocol guarantees that all pushes (by the producer
+    partition, during a window) and all drains (by the cluster leader,
+    between windows) are separated by a barrier, and the barrier's
+    synchronization makes the plain array stores visible to the
+    drainer. Within a phase only one domain touches the mailbox, so
+    no atomics are needed on the hot path.
+
+    FIFO order is preserved: {!drain} replays pushes in push order,
+    which is what gives cross-partition events a deterministic
+    insertion order (and hence deterministic FIFO tie-breaking) in the
+    destination engine, independent of how many domains the cluster
+    runs on. *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> at:Time.t -> (unit -> unit) -> unit
+(** Append an event destined for absolute time [at]. Producer side
+    only. *)
+
+val length : t -> int
+
+val drain : t -> (at:Time.t -> (unit -> unit) -> unit) -> unit
+(** [drain t f] calls [f ~at thunk] for every queued event in push
+    order, then empties the mailbox (thunk slots are cleared so the
+    closures can be collected). Consumer side only. *)

@@ -27,16 +27,34 @@ let run_jobs ~domains n job =
       done
     else begin
       let next = Atomic.make 0 in
+      (* A raising job must not kill its domain silently (a spawned
+         domain's exception would only surface at [join], and the
+         caller's own worker would skip the join entirely, leaking
+         domains). Record the first failure, let every worker wind
+         down, join, then re-raise on the calling domain. *)
+      let failure = Atomic.make None in
+      let guarded i =
+        try job i
+        with ex ->
+          let payload = Some (ex, Printexc.get_raw_backtrace ()) in
+          ignore (Atomic.compare_and_set failure None payload : bool)
+      in
       let worker () =
         let continue = ref true in
         while !continue do
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n then job i else continue := false
+          if Atomic.get failure <> None then continue := false
+          else begin
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then guarded i else continue := false
+          end
         done
       in
       let spawned = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
       worker ();
-      Array.iter Domain.join spawned
+      Array.iter Domain.join spawned;
+      match Atomic.get failure with
+      | Some (ex, bt) -> Printexc.raise_with_backtrace ex bt
+      | None -> ()
     end
   end
 

@@ -16,8 +16,9 @@ val map : ?domains:int -> seeds:int list -> (int -> 'a) -> (int * 'a) list
 (** [map ~seeds f] computes [(s, f s)] for every seed, using up to
     [?domains] domains (default {!domains_available}; [1] forces the
     sequential fallback — same results, one core). [f] must not touch
-    state shared with other jobs. Exceptions from jobs propagate to
-    the caller. *)
+    state shared with other jobs. If a job raises, no further jobs are
+    started, every domain is joined, and the first exception (with its
+    backtrace) is re-raised on the calling domain. *)
 
 val map_obs :
   ?domains:int ->

@@ -5,10 +5,25 @@ type 'msg params = {
   window : int;
 }
 
+(* The transport split. Sender-side state (window buffer, timers,
+   acks) only ever moves through [sched_local]/[cancel_local]/
+   [post_back]; receiver-side state only through [post_fwd]. In a
+   {!Netsim.Cluster} run the two ends live on different domains, so
+   the loss draws are split too: [lost_fwd] is drawn where [transmit]
+   runs (sender), [lost_back] where [receive] runs (receiver). *)
+type wire = {
+  sched_local : delay:Netsim.Time.t -> (unit -> unit) -> Netsim.Engine.event_id;
+  cancel_local : Netsim.Engine.event_id -> unit;
+  post_fwd : (unit -> unit) -> unit;
+  post_back : (unit -> unit) -> unit;
+  lost_fwd : unit -> bool;
+  lost_back : unit -> bool;
+}
+
 type 'msg t = {
-  engine : Netsim.Engine.t;
-  rng : Netsim.Rng.t;
-  params : 'msg params;
+  wire : wire;
+  retransmit_after : Netsim.Time.t;
+  window : int;
   deliver : 'msg -> unit;
   buf : (int, 'msg) Hashtbl.t;  (* unacknowledged, by sequence *)
   mutable base : int;  (* oldest unacknowledged sequence *)
@@ -20,12 +35,12 @@ type 'msg t = {
   mutable transmissions : int;
 }
 
-let create ~engine ~rng ~params ~deliver =
-  if params.window < 1 then invalid_arg "Reliable.create: window >= 1";
+let create_over ~wire ~retransmit_after ~window ~deliver =
+  if window < 1 then invalid_arg "Reliable.create: window >= 1";
   {
-    engine;
-    rng;
-    params;
+    wire;
+    retransmit_after;
+    window;
     deliver;
     buf = Hashtbl.create 16;
     base = 0;
@@ -36,16 +51,31 @@ let create ~engine ~rng ~params ~deliver =
     transmissions = 0;
   }
 
-let lost t = Netsim.Rng.bernoulli t.rng t.params.loss
+let wire_over ~engine ~rng ~params =
+  {
+    sched_local =
+      (fun ~delay thunk -> Netsim.Engine.schedule engine ~delay thunk);
+    cancel_local = (fun id -> Netsim.Engine.cancel engine id);
+    post_fwd =
+      (fun thunk -> Netsim.Engine.post engine ~delay:params.latency thunk);
+    post_back =
+      (fun thunk -> Netsim.Engine.post engine ~delay:params.latency thunk);
+    lost_fwd = (fun () -> Netsim.Rng.bernoulli rng params.loss);
+    lost_back = (fun () -> Netsim.Rng.bernoulli rng params.loss);
+  }
+
+let create ~engine ~rng ~params ~deliver =
+  create_over
+    ~wire:(wire_over ~engine ~rng ~params)
+    ~retransmit_after:params.retransmit_after ~window:params.window ~deliver
 
 let rec arm_timer t =
   if t.timer = Netsim.Engine.no_event && t.base < t.next then
     t.timer <-
-      Netsim.Engine.schedule t.engine ~delay:t.params.retransmit_after
-        (fun () ->
+      t.wire.sched_local ~delay:t.retransmit_after (fun () ->
           t.timer <- Netsim.Engine.no_event;
           (* Go-back-N: resend the whole window from base. *)
-          let upto = min t.next (t.base + t.params.window) in
+          let upto = min t.next (t.base + t.window) in
           for seq = t.base to upto - 1 do
             transmit t seq
           done;
@@ -57,9 +87,8 @@ and transmit t seq =
   | Some msg ->
     t.transmissions <- t.transmissions + 1;
     if seq > t.highest_sent then t.highest_sent <- seq;
-    if not (lost t) then
-      Netsim.Engine.post t.engine ~delay:t.params.latency (fun () ->
-          receive t seq msg)
+    if not (t.wire.lost_fwd ()) then
+      t.wire.post_fwd (fun () -> receive t seq msg)
 
 and receive t seq msg =
   if seq = t.expected then begin
@@ -68,9 +97,8 @@ and receive t seq msg =
   end;
   (* Cumulative acknowledgment (itself droppable). *)
   let ack = t.expected in
-  if not (lost t) then
-    Netsim.Engine.post t.engine ~delay:t.params.latency (fun () ->
-        handle_ack t ack)
+  if not (t.wire.lost_back ()) then
+    t.wire.post_back (fun () -> handle_ack t ack)
 
 and handle_ack t ack =
   if ack > t.base then begin
@@ -79,10 +107,10 @@ and handle_ack t ack =
     done;
     t.base <- ack;
     (* Cancelling [no_event] is a no-op, so no disarmed check needed. *)
-    Netsim.Engine.cancel t.engine t.timer;
+    t.wire.cancel_local t.timer;
     t.timer <- Netsim.Engine.no_event;
     (* The window slid forward: transmit queued messages that now fit. *)
-    let upto = min t.next (t.base + t.params.window) in
+    let upto = min t.next (t.base + t.window) in
     for seq = max (t.highest_sent + 1) t.base to upto - 1 do
       transmit t seq
     done;
@@ -93,7 +121,7 @@ let send t msg =
   let seq = t.next in
   t.next <- seq + 1;
   Hashtbl.add t.buf seq msg;
-  if seq < t.base + t.params.window then transmit t seq;
+  if seq < t.base + t.window then transmit t seq;
   arm_timer t
 
 let transmissions t = t.transmissions

@@ -21,14 +21,45 @@ type 'msg params = {
   window : int;  (** go-back-N window size *)
 }
 
+type wire = {
+  sched_local : delay:Netsim.Time.t -> (unit -> unit) -> Netsim.Engine.event_id;
+      (** Cancellable scheduling at the {e sender}: retransmit timers. *)
+  cancel_local : Netsim.Engine.event_id -> unit;
+  post_fwd : (unit -> unit) -> unit;
+      (** Run a thunk at the {e receiver}, one wire latency later. *)
+  post_back : (unit -> unit) -> unit;
+      (** Run a thunk back at the {e sender}, one wire latency later. *)
+  lost_fwd : unit -> bool;
+      (** Per-transmission drop draw, made at the sender. *)
+  lost_back : unit -> bool;
+      (** Per-acknowledgment drop draw, made at the receiver. *)
+}
+(** How the channel touches the world. The protocol core partitions
+    its state: everything reached through [sched_local]/[post_back]
+    belongs to the sender, everything reached through [post_fwd] to
+    the receiver — so the two ends of a channel may live on different
+    {!Netsim.Cluster} partitions (and domains), with the cross-
+    partition hops carried by [Cluster.send] at the wire latency. *)
+
 val create :
   engine:Netsim.Engine.t ->
   rng:Netsim.Rng.t ->
   params:'msg params ->
   deliver:('msg -> unit) ->
   'msg t
-(** One direction of one link: [deliver] fires exactly once per sent
-    message, in order, at the receiver. *)
+(** One direction of one link on a single engine: [deliver] fires
+    exactly once per sent message, in order, at the receiver.
+    Equivalent to {!create_over} over a wire whose two ends share
+    [engine] and draw both loss coins from [rng]. *)
+
+val create_over :
+  wire:wire ->
+  retransmit_after:Netsim.Time.t ->
+  window:int ->
+  deliver:('msg -> unit) ->
+  'msg t
+(** Same protocol over an explicit transport. [deliver] runs at the
+    receiving end (inside a [post_fwd] thunk). *)
 
 val send : 'msg t -> 'msg -> unit
 (** Queue a message; it is retransmitted until acknowledged. *)

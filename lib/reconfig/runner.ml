@@ -78,9 +78,135 @@ let true_topology g ~root =
   ( in_component,
     List.sort_uniq Proto.compare_edge (List.map Proto.normalize_edge !edges) )
 
-let run ?(params = default_params) ?(obs = Obs.Sink.null) ?(events = []) g
-    ~triggers =
-  if triggers = [] then invalid_arg "Runner.run: no triggers";
+(* Post-run judgment, shared by the single-engine and cluster paths:
+   everything it reads is quiescent by the time it runs on the calling
+   domain. [find_join] abstracts where the per-(switch, tag) first-join
+   times live (one table classically, one per partition clustered). *)
+let evaluate ~obs ~g ~nodes ~first_trigger ~completion ~find_join ~messages
+    ~wire_transmissions ~completions =
+  let n = Topo.Graph.switch_count g in
+  let obs_on = obs.Obs.Sink.enabled in
+  let c_wire = Obs.Sink.counter obs "reconfig.wire_transmissions" in
+  let g_converged = Obs.Sink.gauge obs "reconfig.converged" in
+  (* Evaluate: the surviving configuration is the largest tag. *)
+  let final_tag =
+    Array.fold_left
+      (fun acc node ->
+        let t = Proto.current_tag node in
+        if Tag.(t > acc) then t else acc)
+      Tag.zero nodes
+  in
+  let root = final_tag.Tag.initiator in
+  let in_component, truth = true_topology g ~root in
+  let all_done = ref true
+  and last_done = ref first_trigger
+  and agreement = ref true
+  and topology_correct = ref true in
+  for s = 0 to n - 1 do
+    if in_component.(s) then
+      match completion.(s) with
+      | Some (t, at) when Tag.equal t final_tag ->
+        if at > !last_done then last_done := at;
+        (match Proto.completed nodes.(s) with
+         | Some (_, topo) ->
+           if topo <> truth then begin
+             agreement := false;
+             topology_correct := false
+           end
+         | None -> all_done := false)
+      | _ -> all_done := false
+  done;
+  (* Depth of the propagation-order tree, following parent pointers. *)
+  let tree_depth =
+    if not !all_done then -1
+    else begin
+      let rec depth_of s guard =
+        if guard > n then n
+        else
+          match Proto.parent nodes.(s) with
+          | None -> 0
+          | Some p -> 1 + depth_of p (guard + 1)
+      in
+      let best = ref 0 in
+      for s = 0 to n - 1 do
+        if in_component.(s) then begin
+          let d = depth_of s 0 in
+          if d > !best then best := d
+        end
+      done;
+      !best
+    end
+  in
+  let bfs_depth = Topo.Spanning.height (Topo.Spanning.bfs g ~root) in
+  (* Phase boundaries of the winning configuration. *)
+  let last_join = ref first_trigger in
+  for s = 0 to n - 1 do
+    if in_component.(s) then
+      match find_join s final_tag with
+      | Some at when at > !last_join -> last_join := at
+      | _ -> ()
+  done;
+  let root_done =
+    match completion.(root) with Some (_, at) -> at | None -> !last_join
+  in
+  if obs_on then begin
+    Obs.Metrics.Counter.set c_wire wire_transmissions;
+    Obs.Metrics.Gauge.set g_converged (if !all_done then 1.0 else 0.0);
+    (* Phase spans of the winning configuration, on their own track. *)
+    let propagation = max 0 (!last_join - first_trigger) in
+    let collection = max 0 (root_done - !last_join) in
+    let distribution = max 0 (!last_done - root_done) in
+    Obs.Sink.span obs ~name:"phase.propagation" ~cat:"reconfig"
+      ~ts:first_trigger ~dur:propagation ~tid:1000 ~v:root;
+    Obs.Sink.span obs ~name:"phase.collection" ~cat:"reconfig" ~ts:!last_join
+      ~dur:collection ~tid:1000 ~v:root;
+    Obs.Sink.span obs ~name:"phase.distribution" ~cat:"reconfig" ~ts:root_done
+      ~dur:distribution ~tid:1000 ~v:root
+  end;
+  (* Per-switch view for callers evaluating more than one component at
+     once (a partitioned network converges per component; the global
+     max-tag evaluation above only covers the winner's side). Each
+     completed topology is judged against the truth of that switch's
+     own component. *)
+  let switch_views =
+    Array.init n (fun s ->
+        let view_tag = Proto.current_tag nodes.(s) in
+        match (Proto.completed nodes.(s), completion.(s)) with
+        | Some (t, topo), Some (t', at) when Tag.equal t t' ->
+          let _, truth_s = true_topology g ~root:s in
+          {
+            view_tag;
+            view_completed = Some t;
+            view_completed_at = at;
+            view_topology_ok = topo = truth_s;
+          }
+        | _ ->
+          {
+            view_tag;
+            view_completed = None;
+            view_completed_at = 0;
+            view_topology_ok = false;
+          })
+  in
+  {
+    converged = !all_done;
+    final_tag;
+    elapsed = (if !all_done then !last_done - first_trigger else 0);
+    messages;
+    wire_transmissions;
+    agreement = !all_done && !agreement;
+    topology_correct = !all_done && !topology_correct;
+    tree_depth;
+    bfs_depth;
+    phase_propagation = max 0 (!last_join - first_trigger);
+    phase_collection = max 0 (root_done - !last_join);
+    phase_distribution = max 0 (!last_done - root_done);
+    switch_views;
+    completions;
+  }
+
+(* The classic path: the whole network on one pooled engine. *)
+let run_single ~params ~obs ~events g ~triggers =
   let n = Topo.Graph.switch_count g in
   let engine = Netsim.Engine.create ~obs () in
   let nodes = Array.init n (fun id -> Proto.create_node ~id) in
@@ -93,9 +219,7 @@ let run ?(params = default_params) ?(obs = Obs.Sink.null) ?(events = []) g
   let c_report = Obs.Sink.counter obs "reconfig.msg.report" in
   let c_distribute = Obs.Sink.counter obs "reconfig.msg.distribute" in
   let c_reject = Obs.Sink.counter obs "reconfig.msg.reject" in
-  let c_wire = Obs.Sink.counter obs "reconfig.wire_transmissions" in
   let c_completed = Obs.Sink.counter obs "reconfig.switches.completed" in
-  let g_converged = Obs.Sink.gauge obs "reconfig.converged" in
   let completion = Array.make n None in
   (* First time each switch joined each configuration (for the phase
      breakdown of the winning one). *)
@@ -229,128 +353,239 @@ let run ?(params = default_params) ?(obs = Obs.Sink.null) ?(events = []) g
             Hashtbl.add joins (s, tag) (Netsim.Engine.now engine)))
     triggers;
   Netsim.Engine.run_until engine params.horizon;
-  (* Evaluate: the surviving configuration is the largest tag. *)
-  let final_tag =
-    Array.fold_left
-      (fun acc node ->
-        let t = Proto.current_tag node in
-        if Tag.(t > acc) then t else acc)
-      Tag.zero nodes
-  in
-  let root = final_tag.Tag.initiator in
-  let in_component, truth = true_topology g ~root in
-  let all_done = ref true
-  and last_done = ref first_trigger
-  and agreement = ref true
-  and topology_correct = ref true in
-  for s = 0 to n - 1 do
-    if in_component.(s) then
-      match completion.(s) with
-      | Some (t, at) when Tag.equal t final_tag ->
-        if at > !last_done then last_done := at;
-        (match Proto.completed nodes.(s) with
-         | Some (_, topo) ->
-           if topo <> truth then begin
-             agreement := false;
-             topology_correct := false
-           end
-         | None -> all_done := false)
-      | _ -> all_done := false
-  done;
-  (* Depth of the propagation-order tree, following parent pointers. *)
-  let tree_depth =
-    if not !all_done then -1
-    else begin
-      let rec depth_of s guard =
-        if guard > n then n
-        else
-          match Proto.parent nodes.(s) with
-          | None -> 0
-          | Some p -> 1 + depth_of p (guard + 1)
-      in
-      let best = ref 0 in
-      for s = 0 to n - 1 do
-        if in_component.(s) then begin
-          let d = depth_of s 0 in
-          if d > !best then best := d
-        end
-      done;
-      !best
-    end
-  in
-  let bfs_depth = Topo.Spanning.height (Topo.Spanning.bfs g ~root) in
-  (* Phase boundaries of the winning configuration. *)
-  let last_join = ref first_trigger in
-  for s = 0 to n - 1 do
-    if in_component.(s) then
-      match Hashtbl.find_opt joins (s, final_tag) with
-      | Some at when at > !last_join -> last_join := at
-      | _ -> ()
-  done;
-  let root_done =
-    match completion.(root) with Some (_, at) -> at | None -> !last_join
-  in
   let wire_transmissions =
     Hashtbl.fold (fun _ ch acc -> acc + Reliable.transmissions ch) channels 0
   in
-  if obs_on then begin
-    Obs.Metrics.Counter.set c_wire wire_transmissions;
-    Obs.Metrics.Gauge.set g_converged (if !all_done then 1.0 else 0.0);
-    (* Phase spans of the winning configuration, on their own track. *)
-    let propagation = max 0 (!last_join - first_trigger) in
-    let collection = max 0 (root_done - !last_join) in
-    let distribution = max 0 (!last_done - root_done) in
-    Obs.Sink.span obs ~name:"phase.propagation" ~cat:"reconfig"
-      ~ts:first_trigger ~dur:propagation ~tid:1000 ~v:root;
-    Obs.Sink.span obs ~name:"phase.collection" ~cat:"reconfig" ~ts:!last_join
-      ~dur:collection ~tid:1000 ~v:root;
-    Obs.Sink.span obs ~name:"phase.distribution" ~cat:"reconfig" ~ts:root_done
-      ~dur:distribution ~tid:1000 ~v:root
-  end;
-  (* Per-switch view for callers evaluating more than one component at
-     once (a partitioned network converges per component; the global
-     max-tag evaluation above only covers the winner's side). Each
-     completed topology is judged against the truth of that switch's
-     own component. *)
-  let switch_views =
-    Array.init n (fun s ->
-        let view_tag = Proto.current_tag nodes.(s) in
-        match (Proto.completed nodes.(s), completion.(s)) with
-        | Some (t, topo), Some (t', at) when Tag.equal t t' ->
-          let _, truth_s = true_topology g ~root:s in
-          {
-            view_tag;
-            view_completed = Some t;
-            view_completed_at = at;
-            view_topology_ok = topo = truth_s;
-          }
-        | _ ->
-          {
-            view_tag;
-            view_completed = None;
-            view_completed_at = 0;
-            view_topology_ok = false;
-          })
+  evaluate ~obs ~g ~nodes ~first_trigger ~completion
+    ~find_join:(fun s tag -> Hashtbl.find_opt joins (s, tag))
+    ~messages:!messages ~wire_transmissions
+    ~completions:(List.rev !completions_log)
+
+(* The cluster path: switches partitioned across engines, one
+   conservative window per cross-partition latency. State ownership is
+   strict — everything a switch's protocol events touch (its node,
+   its partition's rng, message counter, joins table, channel table
+   and completion log) belongs to its partition and is only ever
+   mutated from that partition's engine; the shared [completion] array
+   is written at distinct indices; the graph is only mutated by
+   at-barrier actions while every engine is quiescent. That ownership
+   is what makes the run race-free and its outcome independent of the
+   domain count. *)
+let run_cluster ~params ~obs ~events ~partitions ~domains g ~triggers =
+  let n = Topo.Graph.switch_count g in
+  let part = Topo.Partition.assign g ~parts:partitions in
+  let parts = 1 + Array.fold_left max 0 part in
+  let lookahead =
+    match Topo.Partition.lookahead g part with
+    | Some l when l >= 1 -> l
+    | _ ->
+      invalid_arg
+        "Runner.run: partitioning has no positive cross-partition lookahead"
   in
-  {
-    converged = !all_done;
-    final_tag;
-    elapsed = (if !all_done then !last_done - first_trigger else 0);
-    messages = !messages;
-    wire_transmissions;
-    agreement = !all_done && !agreement;
-    topology_correct = !all_done && !topology_correct;
-    tree_depth;
-    bfs_depth;
-    phase_propagation = max 0 (!last_join - first_trigger);
-    phase_collection = max 0 (root_done - !last_join);
-    phase_distribution = max 0 (!last_done - root_done);
-    switch_views;
-    completions = List.rev !completions_log;
-  }
+  let obs_on = obs.Obs.Sink.enabled in
+  let sinks =
+    Array.init parts (fun _ ->
+        if obs_on then Obs.Sink.create () else Obs.Sink.null)
+  in
+  let cl = Netsim.Cluster.create ~sinks ~parts ~lookahead () in
+  let engines = Array.init parts (Netsim.Cluster.engine cl) in
+  let nodes = Array.init n (fun id -> Proto.create_node ~id) in
+  let messages = Array.make parts 0 in
+  let completions_log = Array.make parts [] in
+  let completion = Array.make n None in
+  let joins : (int * Tag.t, Netsim.Time.t) Hashtbl.t array =
+    Array.init parts (fun _ -> Hashtbl.create 64)
+  in
+  (* Independent loss stream per partition: a partition's draws happen
+     in its own deterministic event order, so the streams stay stable
+     at any domain count. *)
+  let rngs =
+    Array.init parts (fun p ->
+        Netsim.Rng.create (params.seed + ((p + 1) * 0x2545f4914f6cdd1)))
+  in
+  let channels : (int * int, Proto.message Reliable.t) Hashtbl.t array =
+    Array.init parts (fun _ -> Hashtbl.create 64)
+  in
+  let pcounter name = Array.map (fun s -> Obs.Sink.counter s name) sinks in
+  let c_messages = pcounter "reconfig.messages" in
+  let c_invite = pcounter "reconfig.msg.invite" in
+  let c_ack = pcounter "reconfig.msg.ack" in
+  let c_report = pcounter "reconfig.msg.report" in
+  let c_distribute = pcounter "reconfig.msg.distribute" in
+  let c_reject = pcounter "reconfig.msg.reject" in
+  let c_completed = pcounter "reconfig.switches.completed" in
+  let env_of id =
+    {
+      Proto.neighbors =
+        (fun () -> List.map fst (Topo.Graph.switch_neighbors g id));
+      local_edges =
+        (fun () ->
+          List.map (fun (s', _) -> Proto.Sw_edge (id, s'))
+            (Topo.Graph.switch_neighbors g id)
+          @ List.map (fun (h, _) -> Proto.Host_edge (id, h))
+              (Topo.Graph.hosts_of_switch g id));
+    }
+  in
+  let link_latency src dst =
+    match
+      List.find_opt (fun (s', _) -> s' = dst) (Topo.Graph.switch_neighbors g src)
+    with
+    | Some (_, lid) -> Some (Topo.Graph.link g lid).Topo.Graph.latency
+    | None -> None
+  in
+  (* Control messages cross partitions through the cluster's send
+     hook; an inter-switch link's latency is >= the lookahead by
+     construction, so every hop of the reliable channel is admissible.
+     Sender-side channel state lives with the sending switch,
+     receiver-side state with the receiving one. *)
+  let rec channel ~src ~dst latency =
+    let sp = part.(src) and dp = part.(dst) in
+    match Hashtbl.find_opt channels.(sp) (src, dst) with
+    | Some ch -> ch
+    | None ->
+      let wire =
+        {
+          Reliable.sched_local =
+            (fun ~delay thunk -> Netsim.Engine.schedule engines.(sp) ~delay thunk);
+          cancel_local = (fun id -> Netsim.Engine.cancel engines.(sp) id);
+          post_fwd =
+            (fun thunk ->
+              Netsim.Cluster.send cl ~src:sp ~dst:dp ~delay:latency thunk);
+          post_back =
+            (fun thunk ->
+              Netsim.Cluster.send cl ~src:dp ~dst:sp ~delay:latency thunk);
+          lost_fwd =
+            (fun () -> Netsim.Rng.bernoulli rngs.(sp) params.control_loss);
+          lost_back =
+            (fun () -> Netsim.Rng.bernoulli rngs.(dp) params.control_loss);
+        }
+      in
+      let ch =
+        Reliable.create_over ~wire ~retransmit_after:params.retransmit_after
+          ~window:32
+          ~deliver:(fun msg ->
+            Netsim.Engine.post engines.(dp) ~delay:params.proc_delay
+              (fun () ->
+                messages.(dp) <- messages.(dp) + 1;
+                deliver ~src ~dst msg))
+      in
+      Hashtbl.add channels.(sp) (src, dst) ch;
+      ch
+  and perform src actions =
+    let sp = part.(src) in
+    List.iter
+      (function
+        | Proto.Completed tag ->
+          let at = Netsim.Engine.now engines.(sp) in
+          completion.(src) <- Some (tag, at);
+          let ok =
+            match Proto.completed nodes.(src) with
+            | Some (t, topo) when Tag.equal t tag ->
+              let _, truth = true_topology g ~root:src in
+              topo = truth
+            | _ -> false
+          in
+          completions_log.(sp) <- (src, tag, at, ok) :: completions_log.(sp);
+          if obs_on then begin
+            Obs.Metrics.Counter.incr c_completed.(sp);
+            Obs.Sink.instant sinks.(sp) ~name:"completed" ~cat:"reconfig"
+              ~ts:at ~tid:src ~v:src
+          end
+        | Proto.Send { dst; msg } ->
+          (match link_latency src dst with
+           | None -> ()
+           | Some latency -> Reliable.send (channel ~src ~dst latency) msg))
+      actions
+  and deliver ~src ~dst msg =
+    let dp = part.(dst) in
+    if obs_on then begin
+      Obs.Metrics.Counter.incr c_messages.(dp);
+      Obs.Metrics.Counter.incr
+        (match msg with
+         | Proto.Invite _ -> c_invite.(dp)
+         | Proto.Ack _ -> c_ack.(dp)
+         | Proto.Report _ -> c_report.(dp)
+         | Proto.Distribute _ -> c_distribute.(dp)
+         | Proto.Reject _ -> c_reject.(dp))
+    end;
+    let before = Proto.current_tag nodes.(dst) in
+    perform dst (Proto.handle nodes.(dst) (env_of dst) ~from:src msg);
+    let after = Proto.current_tag nodes.(dst) in
+    if (not (Tag.equal before after)) && not (Hashtbl.mem joins.(dp) (dst, after))
+    then begin
+      Hashtbl.add joins.(dp) (dst, after) (Netsim.Engine.now engines.(dp));
+      if obs_on then
+        Obs.Sink.instant sinks.(dp) ~name:"join" ~cat:"reconfig"
+          ~ts:(Netsim.Engine.now engines.(dp)) ~tid:dst ~v:dst
+    end
+  in
+  (* Topology mutations are global state: they run between windows,
+     alone, exactly like the classic path runs them ahead of same-time
+     protocol events. *)
+  List.iter
+    (fun (at, ev) ->
+      Netsim.Cluster.at_barrier cl ~at (fun () ->
+          match ev with
+          | `Fail_link lid -> Topo.Graph.fail_link g lid
+          | `Restore_link lid -> Topo.Graph.restore_link g lid
+          | `Fail_switch s -> Topo.Graph.fail_switch g s
+          | `Restore_switch s -> Topo.Graph.restore_switch g s))
+    events;
+  let first_trigger =
+    List.fold_left (fun acc (t, _) -> min acc t) max_int triggers
+  in
+  List.iter
+    (fun (at, s) ->
+      let sp = part.(s) in
+      Netsim.Engine.post_at engines.(sp) ~at (fun () ->
+          if obs_on then
+            Obs.Sink.instant sinks.(sp) ~name:"trigger" ~cat:"reconfig" ~ts:at
+              ~tid:s ~v:s;
+          perform s (Proto.initiate nodes.(s) (env_of s));
+          let tag = Proto.current_tag nodes.(s) in
+          if not (Hashtbl.mem joins.(sp) (s, tag)) then
+            Hashtbl.add joins.(sp) (s, tag) (Netsim.Engine.now engines.(sp))))
+    triggers;
+  Netsim.Cluster.run ~domains cl ~horizon:params.horizon;
+  (* Join: merge per-partition observations back into the caller's
+     sink and logs, in fixed partition order. *)
+  if obs_on then
+    Array.iter
+      (fun s ->
+        Obs.Metrics.merge_into ~into:(Obs.Sink.metrics obs)
+          (Obs.Sink.metrics s))
+      sinks;
+  let messages_total = Array.fold_left ( + ) 0 messages in
+  let wire_transmissions =
+    Array.fold_left
+      (fun acc tbl ->
+        Hashtbl.fold (fun _ ch a -> a + Reliable.transmissions ch) tbl acc)
+      0 channels
+  in
+  let completions =
+    List.sort
+      (fun (s1, t1, a1, _) (s2, t2, a2, _) ->
+        match compare (a1 : int) a2 with
+        | 0 -> (
+          match compare (s1 : int) s2 with 0 -> Tag.compare t1 t2 | c -> c)
+        | c -> c)
+      (List.concat_map List.rev (Array.to_list completions_log))
+  in
+  evaluate ~obs ~g ~nodes ~first_trigger ~completion
+    ~find_join:(fun s tag -> Hashtbl.find_opt joins.(part.(s)) (s, tag))
+    ~messages:messages_total ~wire_transmissions ~completions
+
+let run ?(params = default_params) ?(obs = Obs.Sink.null) ?(events = [])
+    ?(partitions = 1) ?(domains = 1) g ~triggers =
+  if triggers = [] then invalid_arg "Runner.run: no triggers";
+  if partitions < 1 then invalid_arg "Runner.run: partitions must be >= 1";
+  if domains < 1 then invalid_arg "Runner.run: domains must be >= 1";
+  let partitions = min partitions (max 1 (Topo.Graph.switch_count g)) in
+  if partitions = 1 then run_single ~params ~obs ~events g ~triggers
+  else run_cluster ~params ~obs ~events ~partitions ~domains g ~triggers
 
 let run_after_failure ?(params = default_params)
-    ?(detection_delay = Netsim.Time.ms 100) ?obs g ~fail =
+    ?(detection_delay = Netsim.Time.ms 100) ?obs ?partitions ?domains g ~fail =
   (* Which switches see a working link die? *)
   let affected_of_link lid =
     let l = Topo.Graph.link g lid in
@@ -383,7 +618,7 @@ let run_after_failure ?(params = default_params)
   in
   if survivors = [] then invalid_arg "Runner.run_after_failure: nothing detects";
   let triggers = List.map (fun s -> (detection_delay, s)) survivors in
-  let outcome = run ~params ?obs g ~triggers in
+  let outcome = run ~params ?obs ?partitions ?domains g ~triggers in
   (* Count elapsed from the failure itself (time 0). *)
   if outcome.converged then
     { outcome with elapsed = outcome.elapsed + detection_delay }

@@ -81,6 +81,8 @@ val run :
   ?params:params ->
   ?obs:Obs.Sink.t ->
   ?events:(Netsim.Time.t * event) list ->
+  ?partitions:int ->
+  ?domains:int ->
   Topo.Graph.t ->
   triggers:(Netsim.Time.t * int) list ->
   outcome
@@ -88,6 +90,23 @@ val run :
     trigger and runs to quiescence. The topology should already
     reflect the failure (use {!Topo.Graph.fail_link} first); triggers
     model the moment the adjacent switches detect the change.
+
+    [partitions] (default 1) > 1 runs the control plane on a
+    {!Netsim.Cluster}: switches are split by {!Topo.Partition.assign}
+    (clamped to the switch count), each group simulates on its own
+    engine, and inter-switch control messages cross partitions through
+    the cluster's send hook at their link latency. [domains] (default
+    1) bounds the worker domains of that cluster. {b For a fixed
+    [partitions], the outcome is identical for every [domains]} — the
+    per-partition loss streams, message logs and observation sinks all
+    belong to exactly one partition, so nothing about the result
+    depends on the parallelism; the tests and the CI determinism smoke
+    assert byte-equality. Outcomes at [partitions = 1] and
+    [partitions = N] differ (legitimately) in loss-draw streams and
+    completion tie order, not in protocol correctness. Raises
+    [Invalid_argument] if [partitions < 1] or [domains < 1], or when a
+    multi-partition split has no positive cross-partition lookahead
+    (zero-latency cut links).
 
     [events] applies further topology changes {e during} the run, with
     protocol state persisting across them — one run can cut a
@@ -110,6 +129,8 @@ val run_after_failure :
   ?params:params ->
   ?detection_delay:Netsim.Time.t ->
   ?obs:Obs.Sink.t ->
+  ?partitions:int ->
+  ?domains:int ->
   Topo.Graph.t ->
   fail:[ `Link of int | `Switch of int ] ->
   outcome
@@ -117,4 +138,4 @@ val run_after_failure :
     every switch that lost a working link initiate after
     [detection_delay] (default 100 ms of ping-based detection, the
     dominant term in AN1's <200 ms figure). [elapsed] includes the
-    detection delay. *)
+    detection delay. [partitions]/[domains] as in {!run}. *)

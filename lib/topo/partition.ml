@@ -1,0 +1,131 @@
+(* Balanced latency-weighted region growing.
+
+   1. Seeds: farthest-point traversal. The first seed is switch 0;
+      each further seed is the switch whose latency-distance to the
+      nearest existing seed is largest (unreached switches count as
+      infinitely far, so disconnected components get seeds first).
+      Ties break toward the smallest id.
+
+   2. Growth: one multi-source Dijkstra over all seeds at once, each
+      pop assigning a switch to the seed's region unless the region
+      already holds ceil(n/parts) switches. The {!Netsim.Mheap} pops
+      FIFO among equal distances, so the whole growth is
+      deterministic.
+
+   3. Fixup: switches no unfull region reached (capacity shadowing,
+      isolated switches) go to the currently smallest region in id
+      order, so the result is total and stays balanced. *)
+
+(* Adjacency over every switch-to-switch link, dead or alive. *)
+let switch_adjacency g =
+  let n = Graph.switch_count g in
+  let adj = Array.make n [] in
+  List.iter
+    (fun l ->
+      match (l.Graph.a.Graph.node, l.Graph.b.Graph.node) with
+      | Graph.Switch a, Graph.Switch b ->
+        adj.(a) <- (b, l.Graph.latency) :: adj.(a);
+        adj.(b) <- (a, l.Graph.latency) :: adj.(b)
+      | _ -> ())
+    (Graph.links g);
+  Array.map List.rev adj
+
+(* Single-source Dijkstra refining [dist] (min over all sources so
+   far). *)
+let relax_from adj dist src =
+  let heap = Netsim.Mheap.create () in
+  if dist.(src) > 0 then begin
+    dist.(src) <- 0;
+    Netsim.Mheap.add heap ~prio:0 src
+  end;
+  let continue = ref true in
+  while !continue do
+    match Netsim.Mheap.pop heap with
+    | None -> continue := false
+    | Some (d, s) ->
+      if d = dist.(s) then
+        List.iter
+          (fun (s', w) ->
+            let d' = d + w in
+            if d' < dist.(s') then begin
+              dist.(s') <- d';
+              Netsim.Mheap.add heap ~prio:d' s'
+            end)
+          adj.(s)
+  done
+
+let assign g ~parts =
+  if parts < 1 then invalid_arg "Partition.assign: parts must be >= 1";
+  let n = Graph.switch_count g in
+  if n = 0 then invalid_arg "Partition.assign: graph has no switches";
+  let parts = min parts n in
+  if parts = 1 then Array.make n 0
+  else begin
+    let adj = switch_adjacency g in
+    (* Farthest-point seeds. *)
+    let seeds = Array.make parts 0 in
+    let seeded = Array.make n false in
+    seeded.(0) <- true;
+    let dist = Array.make n max_int in
+    relax_from adj dist 0;
+    for k = 1 to parts - 1 do
+      (* Farthest unseeded switch; restricting to unseeded ones keeps
+         seeds distinct even across zero-latency links. *)
+      let best = ref (-1) and best_d = ref min_int in
+      for s = 0 to n - 1 do
+        if (not seeded.(s)) && dist.(s) > !best_d then begin
+          best := s;
+          best_d := dist.(s)
+        end
+      done;
+      seeds.(k) <- !best;
+      seeded.(!best) <- true;
+      relax_from adj dist !best
+    done;
+    (* Balanced multi-source growth. *)
+    let cap = (n + parts - 1) / parts in
+    let part = Array.make n (-1) in
+    let size = Array.make parts 0 in
+    let heap = Netsim.Mheap.create () in
+    Array.iteri
+      (fun k seed -> Netsim.Mheap.add heap ~prio:0 (seed, k))
+      seeds;
+    let continue = ref true in
+    while !continue do
+      match Netsim.Mheap.pop heap with
+      | None -> continue := false
+      | Some (d, (s, k)) ->
+        if part.(s) < 0 && size.(k) < cap then begin
+          part.(s) <- k;
+          size.(k) <- size.(k) + 1;
+          List.iter
+            (fun (s', w) ->
+              if part.(s') < 0 then
+                Netsim.Mheap.add heap ~prio:(d + w) (s', k))
+            adj.(s)
+        end
+    done;
+    (* Fixup: anything unreached joins the smallest region. *)
+    for s = 0 to n - 1 do
+      if part.(s) < 0 then begin
+        let k = ref 0 in
+        for k' = 1 to parts - 1 do
+          if size.(k') < size.(!k) then k := k'
+        done;
+        part.(s) <- !k;
+        size.(!k) <- size.(!k) + 1
+      end
+    done;
+    part
+  end
+
+let lookahead g part =
+  List.fold_left
+    (fun acc l ->
+      match (l.Graph.a.Graph.node, l.Graph.b.Graph.node) with
+      | Graph.Switch a, Graph.Switch b when part.(a) <> part.(b) ->
+        (match acc with
+         | Some m when m <= l.Graph.latency -> acc
+         | _ -> Some l.Graph.latency)
+      | _ -> acc)
+    None (Graph.links g)
