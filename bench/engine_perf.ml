@@ -329,7 +329,7 @@ let intra_macro ~parts ~domains ~horizon =
     },
     per_engine )
 
-let reconfig_cluster_outcome ~domains =
+let reconfig_cluster_run ~obs ~domains =
   let g = Topo.Build.src_lan () in
   let params =
     {
@@ -340,10 +340,69 @@ let reconfig_cluster_outcome ~domains =
     }
   in
   let o =
-    Reconfig.Runner.run_after_failure ~params ~partitions:4 ~domains g
+    Reconfig.Runner.run_after_failure ~params ~obs ~partitions:4 ~domains g
       ~fail:(`Switch 4)
   in
   (o.converged, o.elapsed, o.messages, o.wire_transmissions)
+
+let reconfig_cluster_outcome ~domains =
+  reconfig_cluster_run ~obs:Obs.Sink.null ~domains
+
+(* Observability cost on the partitioned macro: the same reconfig run
+   with a null sink vs a full sink (metrics + trace + Parprof window
+   profiler + flow tracing), plus the per-domain busy/wait split the
+   profiler reports. Timed over [repeats] runs, keeping the best. *)
+type parprof_result = {
+  obs_off_seconds : float;
+  obs_on_seconds : float;
+  obs_overhead_pct : float;
+  obs_outcome_identical : bool;
+  domain_split : (int * float * float) array;
+      (* (domain, busy %, barrier-wait %) of its profiled wall time *)
+}
+
+let parprof_bench ~repeats =
+  let best obs_of =
+    let rec go k best_s last =
+      if k = 0 then (best_s, Option.get last)
+      else
+        let obs = obs_of () in
+        let t0 = Unix.gettimeofday () in
+        let o = reconfig_cluster_run ~obs ~domains:4 in
+        let s = Unix.gettimeofday () -. t0 in
+        go (k - 1) (Float.min best_s s) (Some (o, obs))
+    in
+    go repeats infinity None
+  in
+  let off_seconds, (off_outcome, _) = best (fun () -> Obs.Sink.null) in
+  let on_seconds, (on_outcome, obs) = best (fun () -> Obs.Sink.create ()) in
+  let m = Obs.Sink.metrics obs in
+  let cval name = Obs.Metrics.Counter.value (Obs.Metrics.counter m name) in
+  let workers = max 1 (cval "parprof.workers") in
+  let parts = max workers (cval "parprof.parts") in
+  let domain_split =
+    Array.init workers (fun d ->
+        let busy = ref 0 in
+        let p = ref d in
+        while !p < parts do
+          busy := !busy + cval (Printf.sprintf "parprof.p%d.busy_ns" !p);
+          p := !p + workers
+        done;
+        let wait = cval (Printf.sprintf "parprof.d%d.wait_ns" d) in
+        let total = float_of_int (!busy + wait) in
+        if total > 0.0 then
+          ( d,
+            100.0 *. float_of_int !busy /. total,
+            100.0 *. float_of_int wait /. total )
+        else (d, 0.0, 0.0))
+  in
+  {
+    obs_off_seconds = off_seconds;
+    obs_on_seconds = on_seconds;
+    obs_overhead_pct = 100.0 *. ((on_seconds /. off_seconds) -. 1.0);
+    obs_outcome_identical = off_outcome = on_outcome;
+    domain_split;
+  }
 
 let intra_bench ~parts ~horizon =
   let counts = ref [] in
@@ -380,7 +439,7 @@ let intra_bench ~parts ~horizon =
 (* ------------------------------------------------------------------ *)
 
 let write_json ~file ~smoke ~samples ~(mac_ref : macro) ~(mac_pool : macro)
-    ~(sw : sweep_result) ~(intra : intra_result) =
+    ~(sw : sweep_result) ~(intra : intra_result) ~(pp : parprof_result) =
   let oc = open_out file in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -445,6 +504,21 @@ let write_json ~file ~smoke ~samples ~(mac_ref : macro) ~(mac_pool : macro)
   p "    \"deterministic\": %b,\n" intra.intra_deterministic;
   p "    \"reconfig_macro_deterministic\": %b\n"
     intra.reconfig_macro_deterministic;
+  p "  },\n";
+  p "  \"parprof\": {\n";
+  p "    \"model\": \"reconfig-srclan-fail-switch-4-partitions-4-domains\",\n";
+  p "    \"obs_off_seconds\": %.4f,\n" pp.obs_off_seconds;
+  p "    \"obs_on_seconds\": %.4f,\n" pp.obs_on_seconds;
+  p "    \"obs_overhead_pct\": %.1f,\n" pp.obs_overhead_pct;
+  p "    \"obs_outcome_identical\": %b,\n" pp.obs_outcome_identical;
+  p "    \"domains\": [\n";
+  Array.iteri
+    (fun k (d, busy, wait) ->
+      p "      { \"domain\": %d, \"busy_pct\": %.1f, \"barrier_wait_pct\": %.1f }%s\n"
+        d busy wait
+        (if k = Array.length pp.domain_split - 1 then "" else ","))
+    pp.domain_split;
+  p "    ]\n";
   p "  },\n";
   let find engine name =
     List.find (fun s -> s.engine = engine && s.name = name) samples
@@ -529,5 +603,17 @@ let () =
     intra.runs;
   Printf.printf "intra deterministic %b, reconfig macro deterministic %b\n"
     intra.intra_deterministic intra.reconfig_macro_deterministic;
-  write_json ~file:!out ~smoke:!smoke ~samples ~mac_ref ~mac_pool ~sw ~intra;
+  let pp = parprof_bench ~repeats:(if !smoke then 2 else 5) in
+  Printf.printf
+    "parprof reconfig 4x4: obs off %.3fs, obs on %.3fs (overhead %.1f%%), \
+     outcome identical %b\n"
+    pp.obs_off_seconds pp.obs_on_seconds pp.obs_overhead_pct
+    pp.obs_outcome_identical;
+  Array.iter
+    (fun (d, busy, wait) ->
+      Printf.printf "  domain %d: busy %.1f%%, barrier wait %.1f%%\n" d busy
+        wait)
+    pp.domain_split;
+  write_json ~file:!out ~smoke:!smoke ~samples ~mac_ref ~mac_pool ~sw ~intra
+    ~pp;
   Printf.printf "wrote %s\n" !out

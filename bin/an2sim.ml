@@ -107,6 +107,36 @@ let par_domains_arg =
           "Worker domains driving the engine partitions of one run (>= 1; \
            capped at $(b,--partitions)). Does not affect output.")
 
+(* Flight recorder: --heartbeat FILE appends a snapshot of the merged
+   metrics registry every --heartbeat-ms of simulated time and writes
+   the JSONL after the run. Asking for heartbeats enables the sink
+   even without --trace/--metrics. *)
+let heartbeat_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "heartbeat" ] ~docv:"FILE"
+        ~doc:
+          "Record a flight-recorder snapshot of the metrics registry every \
+           $(b,--heartbeat-ms) of simulated time and write the JSONL to \
+           $(docv).")
+
+let heartbeat_ms_arg =
+  Arg.(
+    value
+    & opt (positive_int "--heartbeat-ms") 10
+    & info [ "heartbeat-ms" ] ~docv:"N"
+        ~doc:"Simulated milliseconds between flight-recorder snapshots.")
+
+let make_heartbeat ~heartbeat ~heartbeat_ms =
+  match heartbeat with
+  | None -> None
+  | Some file -> Some (file, (Netsim.Time.ms heartbeat_ms, Obs.Flight.create ()))
+
+let finish_heartbeat = function
+  | None -> ()
+  | Some (file, (_, flight)) -> Obs.Flight.write file flight
+
 let sweep_metrics ~jobs ~seeds ~trace ~metrics job =
   if trace <> None then
     prerr_endline
@@ -275,24 +305,27 @@ let reconfig_cmd =
              so the protocol still converges).")
   in
   let run kind switches fail_switch fail_link loss partitions par_domains
-      sweep jobs seed trace metrics =
-    let once ~obs seed =
+      sweep jobs seed trace metrics heartbeat heartbeat_ms =
+    let once ~obs ?heartbeat seed =
       let g = make_topology kind switches in
       let params =
         { Reconfig.Runner.default_params with control_loss = loss; seed }
       in
       match (fail_switch, fail_link) with
       | Some s, _ ->
-        Reconfig.Runner.run_after_failure ~params ~obs ~partitions
+        Reconfig.Runner.run_after_failure ~params ~obs ?heartbeat ~partitions
           ~domains:par_domains g ~fail:(`Switch s)
       | None, Some l ->
-        Reconfig.Runner.run_after_failure ~params ~obs ~partitions
+        Reconfig.Runner.run_after_failure ~params ~obs ?heartbeat ~partitions
           ~domains:par_domains g ~fail:(`Link l)
       | None, None ->
-        Reconfig.Runner.run ~params ~obs ~partitions ~domains:par_domains g
-          ~triggers:[ (0, 0) ]
+        Reconfig.Runner.run ~params ~obs ?heartbeat ~partitions
+          ~domains:par_domains g ~triggers:[ (0, 0) ]
     in
     if sweep > 0 then begin
+      if heartbeat <> None then
+        prerr_endline
+          "an2sim: --heartbeat is ignored with --sweep (one recorder per run)";
       let seeds = List.init sweep (fun i -> seed + i) in
       let results =
         sweep_metrics ~jobs ~seeds ~trace ~metrics (fun s sink ->
@@ -319,15 +352,20 @@ let reconfig_cmd =
              float_of_int o.Reconfig.Runner.wire_transmissions))
     end
     else begin
-      let obs = make_sink ~trace ~metrics in
-      let outcome = once ~obs seed in
+      let obs =
+        if heartbeat <> None then Obs.Sink.create ()
+        else make_sink ~trace ~metrics
+      in
+      let hb = make_heartbeat ~heartbeat ~heartbeat_ms in
+      let outcome = once ~obs ?heartbeat:(Option.map snd hb) seed in
       Format.printf
         "converged=%b elapsed=%a messages=%d agreement=%b topology-correct=%b@."
         outcome.converged Netsim.Time.pp outcome.elapsed outcome.messages
         outcome.agreement outcome.topology_correct;
       Format.printf "winning tag=%a propagation-tree depth=%d (BFS %d)@."
         Reconfig.Tag.pp outcome.final_tag outcome.tree_depth outcome.bfs_depth;
-      finish_obs obs ~trace ~metrics
+      finish_obs obs ~trace ~metrics;
+      finish_heartbeat hb
     end
   in
   let doc = "Run the distributed reconfiguration protocol." in
@@ -335,7 +373,7 @@ let reconfig_cmd =
     Term.(
       const run $ kind_arg $ switches_arg $ fail_switch_arg $ fail_link_arg
       $ loss_arg $ partitions_arg $ par_domains_arg $ sweep_arg $ jobs_arg
-      $ seed_arg $ trace_arg $ metrics_arg)
+      $ seed_arg $ trace_arg $ metrics_arg $ heartbeat_arg $ heartbeat_ms_arg)
 
 (* ------------------------------------------------------------------ *)
 (* flow *)
@@ -473,15 +511,15 @@ let e2e_cmd =
     Arg.(value & opt int 10 & info [ "duration-ms" ] ~docv:"MS" ~doc:"Run length.")
   in
   let run hops cbr be packets ms partitions par_domains sweep jobs seed trace
-      metrics =
+      metrics heartbeat heartbeat_ms =
     (* Everything is rebuilt from the seed inside [once] so sweep jobs
        share no state. *)
-    let once ~obs seed =
+    let once ~obs ?heartbeat seed =
       let frame = 128 in
       let g = Topo.Build.linear hops in
       let h1, h2 = Topo.Build.with_host_pair g in
       let net = An2.Network.create ~frame g in
-      let bwc = An2.Bandwidth_central.create net in
+      let bwc = An2.Bandwidth_central.create ~obs net in
       let sources = ref [] in
       if cbr > 0 then begin
         match An2.Bandwidth_central.request bwc ~src_host:h1 ~dst_host:h2 ~cells:cbr with
@@ -502,7 +540,7 @@ let e2e_cmd =
         failwith "nothing to run: pass --cbr, --be and/or --packets";
       let p = { An2.Netrun.default_params with seed } in
       let r =
-        An2.Netrun.run ~partitions ~domains:par_domains net p
+        An2.Netrun.run ~obs ?heartbeat ~partitions ~domains:par_domains net p
           ~sources:!sources ~duration:(Netsim.Time.ms ms) ()
       in
       if Obs.Sink.enabled obs then begin
@@ -529,6 +567,9 @@ let e2e_cmd =
       r
     in
     if sweep > 0 then begin
+      if heartbeat <> None then
+        prerr_endline
+          "an2sim: --heartbeat is ignored with --sweep (one recorder per run)";
       let seeds = List.init sweep (fun i -> seed + i) in
       let results =
         sweep_metrics ~jobs ~seeds ~trace ~metrics (fun s sink ->
@@ -563,8 +604,12 @@ let e2e_cmd =
         worst
     end
     else begin
-      let obs = make_sink ~trace ~metrics in
-      let r = once ~obs seed in
+      let obs =
+        if heartbeat <> None then Obs.Sink.create ()
+        else make_sink ~trace ~metrics
+      in
+      let hb = make_heartbeat ~heartbeat ~heartbeat_ms in
+      let r = once ~obs ?heartbeat:(Option.map snd hb) seed in
       List.iter
         (fun (id, (s : An2.Netrun.vc_stats)) ->
           Format.printf
@@ -579,7 +624,8 @@ let e2e_cmd =
         r.per_vc;
       Format.printf "worst guaranteed backlog: %d cells (%.2f frames)@."
         r.max_guaranteed_backlog r.guaranteed_backlog_frames;
-      finish_obs obs ~trace ~metrics
+      finish_obs obs ~trace ~metrics;
+      finish_heartbeat hb
     end
   in
   let doc = "End-to-end run over a chain: guaranteed + best-effort traffic." in
@@ -587,7 +633,7 @@ let e2e_cmd =
     Term.(
       const run $ hops_arg $ cbr_arg $ be_arg $ packets_arg $ ms_arg
       $ partitions_arg $ par_domains_arg $ sweep_arg $ jobs_arg $ seed_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ heartbeat_arg $ heartbeat_ms_arg)
 
 (* ------------------------------------------------------------------ *)
 (* local-reconfig *)
@@ -1036,7 +1082,7 @@ let partition_cmd =
           ~doc:"Gap between re-admissions after the heal (0 = naive storm).")
   in
   let run kind switches circuits split_ms heal_ms detect_ms extra one_sided
-      pace_us sweep jobs seed trace metrics =
+      pace_us partitions par_domains sweep jobs seed trace metrics =
     let params base_seed =
       {
         Faults.Partition.default_params with
@@ -1048,6 +1094,8 @@ let partition_cmd =
         one_sided_heal = one_sided;
         lifecycle =
           { An2.Lifecycle.default_params with pace = Netsim.Time.us pace_us };
+        partitions;
+        domains = par_domains;
         seed = base_seed;
       }
     in
@@ -1130,7 +1178,211 @@ let partition_cmd =
     Term.(
       const run $ kind_arg $ switches_arg $ circuits_arg $ split_arg
       $ heal_arg $ detect_arg $ extra_arg $ one_sided_arg $ pace_arg
-      $ sweep_arg $ jobs_arg $ seed_arg $ trace_arg $ metrics_arg)
+      $ partitions_arg $ par_domains_arg $ sweep_arg $ jobs_arg $ seed_arg
+      $ trace_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* report: render a metrics / heartbeat / trace bundle produced by the
+   other subcommands into a human-readable run summary. *)
+
+let report_cmd =
+  let metrics_in_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Metrics JSON written by a run's $(b,--metrics).")
+  in
+  let heartbeat_in_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "heartbeat" ] ~docv:"FILE"
+          ~doc:"Flight-recorder JSONL written by a run's $(b,--heartbeat).")
+  in
+  let trace_in_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Chrome trace JSON written by a run's $(b,--trace).")
+  in
+  let read_file file =
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let counters_of json =
+    List.map (fun (k, v) -> (k, Obs.Json.num v)) (Obs.Json.obj (Obs.Json.member "counters" json))
+  in
+  let counter counters name = List.assoc_opt name counters in
+  let report_metrics json =
+    let counters = counters_of json in
+    (* Per-domain utilization, when the run carried the Parprof window
+       profiler (partitioned runs). Partition p is driven by worker
+       domain (p mod workers) every window. *)
+    (match counter counters "parprof.workers" with
+     | None ->
+       print_endline
+         "per-domain profile: none (no parprof.* counters; run with \
+          --partitions/--par-domains > 1)"
+     | Some w ->
+       let workers = int_of_float w in
+       let parts =
+         match counter counters "parprof.parts" with
+         | Some p -> int_of_float p
+         | None -> workers
+       in
+       Printf.printf "per-domain profile: %d partitions on %d worker domains" parts workers;
+       (match counter counters "parprof.lookahead_ns" with
+        | Some l -> Printf.printf ", lookahead %.0f ns\n" l
+        | None -> print_newline ());
+       for d = 0 to workers - 1 do
+         let owned =
+           List.filter (fun p -> p mod workers = d) (List.init parts Fun.id)
+         in
+         let sum fmt =
+           List.fold_left
+             (fun acc p ->
+               match counter counters (Printf.sprintf fmt p) with
+               | Some v -> acc +. v
+               | None -> acc)
+             0.0 owned
+         in
+         let busy = sum (format_of_string "parprof.p%d.busy_ns") in
+         let dispatched = sum (format_of_string "parprof.p%d.dispatched") in
+         let windows =
+           match counter counters (Printf.sprintf "parprof.p%d.windows" (List.hd owned)) with
+           | Some v -> v
+           | None -> 0.0
+         in
+         let wait =
+           match counter counters (Printf.sprintf "parprof.d%d.wait_ns" d) with
+           | Some v -> v
+           | None -> 0.0
+         in
+         let util =
+           if busy +. wait > 0.0 then 100.0 *. busy /. (busy +. wait) else 0.0
+         in
+         Printf.printf
+           "domain %d: partitions [%s]; busy %.2f ms, barrier wait %.2f ms, \
+            utilization %.1f%%, %.0f events over %.0f windows\n"
+           d
+           (String.concat "," (List.map string_of_int owned))
+           (busy /. 1e6) (wait /. 1e6) util dispatched windows
+       done);
+    (* Headline counters and the busiest histograms. *)
+    let top n cmp l =
+      let sorted = List.sort cmp l in
+      List.filteri (fun i _ -> i < n) sorted
+    in
+    let nonzero = List.filter (fun (_, v) -> v <> 0.0) counters in
+    if nonzero <> [] then begin
+      print_endline "top counters:";
+      List.iter
+        (fun (k, v) -> Printf.printf "  %-44s %.0f\n" k v)
+        (top 12 (fun (_, a) (_, b) -> compare b a) nonzero)
+    end;
+    let hists = Obs.Json.obj (Obs.Json.member "histograms" json) in
+    let hcount h = try Obs.Json.num (Obs.Json.member "count" h) with _ -> 0.0 in
+    let busy = List.filter (fun (_, h) -> hcount h > 0.0) hists in
+    if busy <> [] then begin
+      print_endline "top histograms (by samples):";
+      List.iter
+        (fun (k, h) ->
+          let f name =
+            match Obs.Json.member_opt name h with
+            | Some (Obs.Json.Num v) -> Printf.sprintf "%.4g" v
+            | _ -> "-"
+          in
+          Printf.printf "  %-44s count=%.0f mean=%s p50=%s p90=%s p99=%s\n" k
+            (hcount h) (f "mean") (f "p50") (f "p90") (f "p99"))
+        (top 8 (fun (_, a) (_, b) -> compare (hcount b) (hcount a)) busy)
+    end
+  in
+  let report_heartbeat text =
+    let lines =
+      List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
+    in
+    match lines with
+    | [] -> print_endline "heartbeat: empty recording"
+    | first :: _ ->
+      let last = List.nth lines (List.length lines - 1) in
+      let jf = Obs.Json.parse first and jl = Obs.Json.parse last in
+      let t j = Obs.Json.num (Obs.Json.member "t" j) in
+      Printf.printf "heartbeat: %d snapshots (label %S) from t=%.3f ms to t=%.3f ms\n"
+        (List.length lines)
+        (Obs.Json.str (Obs.Json.member "label" jf))
+        (t jf /. 1e6) (t jl /. 1e6);
+      let cf = counters_of (Obs.Json.member "metrics" jf)
+      and cl = counters_of (Obs.Json.member "metrics" jl) in
+      let deltas =
+        List.filter_map
+          (fun (k, v) ->
+            let v0 = match counter cf k with Some x -> x | None -> 0.0 in
+            if v -. v0 <> 0.0 then Some (k, v0, v -. v0) else None)
+          cl
+        |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+      in
+      (match deltas with
+       | [] -> print_endline "  no counter movement between first and last snapshot"
+       | _ ->
+         print_endline "  counter movement, first -> last snapshot:";
+         List.iteri
+           (fun i (k, v0, d) ->
+             if i < 12 then
+               Printf.printf "    %-42s %+.0f (from %.0f)\n" k d v0)
+           deltas)
+  in
+  let report_trace json =
+    let events = Obs.Json.arr (Obs.Json.member "traceEvents" json) in
+    let count ph =
+      List.length
+        (List.filter
+           (fun e ->
+             match Obs.Json.member_opt "ph" e with
+             | Some (Obs.Json.Str s) -> s = ph
+             | _ -> false)
+           events)
+    in
+    let spans = count "X" and instants = count "i" and counters = count "C" in
+    let fs = count "s" and ft = count "t" and ff = count "f" in
+    Printf.printf
+      "trace: %d events (%d spans, %d instants, %d counter samples)\n"
+      (List.length events) spans instants counters;
+    if fs + ft + ff > 0 then
+      Printf.printf
+        "  causal flows: %d started, %d relay steps, %d delivered\n" fs ft ff;
+    match
+      Obs.Json.member_opt "otherData" json
+      |> Fun.flip Option.bind (Obs.Json.member_opt "dropped")
+    with
+    | Some (Obs.Json.Num d) when d > 0.0 ->
+      Printf.printf "  (ring dropped %.0f older events)\n" d
+    | _ -> ()
+  in
+  let run metrics heartbeat trace =
+    if metrics = None && heartbeat = None && trace = None then
+      failwith "an2sim report: pass at least one of --metrics, --heartbeat, --trace";
+    (match metrics with
+     | Some file -> report_metrics (Obs.Json.parse (read_file file))
+     | None -> ());
+    (match heartbeat with
+     | Some file -> report_heartbeat (read_file file)
+     | None -> ());
+    (match trace with
+     | Some file -> report_trace (Obs.Json.parse (read_file file))
+     | None -> ())
+  in
+  let doc =
+    "Render a run's --metrics / --heartbeat / --trace files into a \
+     human-readable summary (per-domain utilization, top instruments, \
+     counter movement, causal-flow counts)."
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const run $ metrics_in_arg $ heartbeat_in_arg $ trace_in_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1143,5 +1395,5 @@ let () =
           [
             topo_cmd; fabric_cmd; reconfig_cmd; local_reconfig_cmd; flow_cmd;
             deadlock_cmd; e2e_cmd; multicast_cmd; adaptive_cmd; signaling_cmd;
-            rebalance_cmd; churn_cmd; partition_cmd;
+            rebalance_cmd; churn_cmd; partition_cmd; report_cmd;
           ]))

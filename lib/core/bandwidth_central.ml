@@ -1,6 +1,13 @@
 type t = {
   net : Network.t;
   reserved : (int, int) Hashtbl.t;  (* link id -> cells per frame *)
+  obs : Obs.Sink.t;
+  c_requests : Obs.Metrics.Counter.t;
+  c_granted : Obs.Metrics.Counter.t;
+  c_denied_no_route : Obs.Metrics.Counter.t;
+  c_denied_no_capacity : Obs.Metrics.Counter.t;
+  c_releases : Obs.Metrics.Counter.t;
+  c_reroutes : Obs.Metrics.Counter.t;
 }
 
 type denial =
@@ -11,7 +18,24 @@ let pp_denial fmt = function
   | No_route -> Format.pp_print_string fmt "no route"
   | No_capacity -> Format.pp_print_string fmt "insufficient capacity"
 
-let create net = { net; reserved = Hashtbl.create 64 }
+let create ?(obs = Obs.Sink.null) net =
+  {
+    net;
+    reserved = Hashtbl.create 64;
+    obs;
+    c_requests = Obs.Sink.counter obs "bwc.requests";
+    c_granted = Obs.Sink.counter obs "bwc.granted";
+    c_denied_no_route = Obs.Sink.counter obs "bwc.denied_no_route";
+    c_denied_no_capacity = Obs.Sink.counter obs "bwc.denied_no_capacity";
+    c_releases = Obs.Sink.counter obs "bwc.releases";
+    c_reroutes = Obs.Sink.counter obs "bwc.reroutes";
+  }
+
+let obs_on t = t.obs.Obs.Sink.enabled
+
+let count_denial t = function
+  | No_route -> Obs.Metrics.Counter.incr t.c_denied_no_route
+  | No_capacity -> Obs.Metrics.Counter.incr t.c_denied_no_capacity
 
 let reserved t lid =
   match Hashtbl.find_opt t.reserved lid with Some c -> c | None -> 0
@@ -80,26 +104,36 @@ let install_schedules t vc cells =
 let request t ~src_host ~dst_host ~cells =
   if cells < 1 || cells > Network.frame_length t.net then
     invalid_arg "Bandwidth_central.request: bad cell count";
-  match capacity_route t ~src_host ~dst_host ~cells with
-  | Error d -> Error d
-  | Ok switches ->
-    (match
-       Network.links_of_switch_path t.net ~src_host ~dst_host switches
-     with
-     | Error _ -> Error No_route
-     | Ok links ->
-       let vc =
-         Network.register_guaranteed t.net ~src_host ~dst_host ~cells ~switches
-           ~links
-       in
-       List.iter (fun lid -> add_reserved t lid cells) links;
-       install_schedules t vc cells;
-       Ok vc)
+  if obs_on t then Obs.Metrics.Counter.incr t.c_requests;
+  let outcome =
+    match capacity_route t ~src_host ~dst_host ~cells with
+    | Error d -> Error d
+    | Ok switches ->
+      (match
+         Network.links_of_switch_path t.net ~src_host ~dst_host switches
+       with
+       | Error _ -> Error No_route
+       | Ok links ->
+         let vc =
+           Network.register_guaranteed t.net ~src_host ~dst_host ~cells
+             ~switches ~links
+         in
+         List.iter (fun lid -> add_reserved t lid cells) links;
+         install_schedules t vc cells;
+         Ok vc)
+  in
+  if obs_on t then begin
+    match outcome with
+    | Ok _ -> Obs.Metrics.Counter.incr t.c_granted
+    | Error d -> count_denial t d
+  end;
+  outcome
 
 let release t vc =
   match vc.Network.cls with
   | Network.Best_effort -> invalid_arg "Bandwidth_central.release: not guaranteed"
   | Network.Guaranteed cells ->
+    if obs_on t then Obs.Metrics.Counter.incr t.c_releases;
     List.iter
       (fun lid -> Hashtbl.replace t.reserved lid (max 0 (reserved t lid - cells)))
       vc.Network.links;
@@ -123,6 +157,7 @@ let reroute_after_failure t vc =
   match vc.Network.cls with
   | Network.Best_effort -> invalid_arg "Bandwidth_central.reroute: not guaranteed"
   | Network.Guaranteed cells ->
+    if obs_on t then Obs.Metrics.Counter.incr t.c_reroutes;
     (* Free the dead path's resources but keep the circuit's identity:
        re-admission must rewire this record, or line cards holding it
        (and the hosts) would keep talking into the old path. *)
@@ -134,6 +169,7 @@ let reroute_after_failure t vc =
     let dissolve d =
       (* No admissible replacement path: the circuit is gone (its
          resources are already returned). *)
+      if obs_on t then count_denial t d;
       Network.teardown t.net vc;
       Error d
     in

@@ -18,8 +18,12 @@ type denial =
 
 val pp_denial : Format.formatter -> denial -> unit
 
-val create : Network.t -> t
-(** Link capacity is the network's frame length (cells per frame). *)
+val create : ?obs:Obs.Sink.t -> Network.t -> t
+(** Link capacity is the network's frame length (cells per frame).
+    With an enabled [obs] sink (default {!Obs.Sink.null}) admission
+    traffic is counted under [bwc.*]: [requests], [granted],
+    [denied_no_route], [denied_no_capacity], [releases], and
+    [reroutes] (a denied reroute also counts as a denial). *)
 
 val reserved : t -> int -> int
 (** Cells per frame currently reserved on a link. *)

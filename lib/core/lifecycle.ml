@@ -68,6 +68,8 @@ type t = {
   c_retries : Obs.Metrics.Counter.t;
   c_gc_reclaimed : Obs.Metrics.Counter.t;
   g_backlog : Obs.Metrics.Gauge.t;
+  h_setup_latency : Obs.Histogram.t;
+  h_backlog : Obs.Histogram.t;
 }
 
 let create ?(obs = Obs.Sink.null) ~engine net params =
@@ -99,6 +101,8 @@ let create ?(obs = Obs.Sink.null) ~engine net params =
     c_retries = Obs.Sink.counter obs "lifecycle.retries";
     c_gc_reclaimed = Obs.Sink.counter obs "lifecycle.gc_reclaimed";
     g_backlog = Obs.Sink.gauge obs "lifecycle.worst_signaling_backlog";
+    h_setup_latency = Obs.Sink.histogram obs "lifecycle.setup_latency_us";
+    h_backlog = Obs.Sink.histogram obs "lifecycle.signaling_backlog";
   }
 
 let in_flight t = t.in_flight
@@ -155,6 +159,8 @@ let route_for t ~src_host ~dst_host =
 type pending = {
   vc : Network.vc;
   on_done : (Network.vc, string) result -> unit;
+  submitted_at : Netsim.Time.t;
+  mutable attempt_started_at : Netsim.Time.t;
   mutable attempt : int;
   mutable epoch : int;
   mutable timer : Netsim.Engine.event_id;
@@ -167,6 +173,8 @@ type pending = {
    the processor gets to it. The queue includes the cell in service. *)
 let process_at t s k =
   t.queue_len.(s) <- t.queue_len.(s) + 1;
+  if obs_on t then
+    Obs.Histogram.add t.h_backlog (float_of_int t.queue_len.(s));
   if t.queue_len.(s) > t.worst_backlog then begin
     t.worst_backlog <- t.queue_len.(s);
     if obs_on t then Obs.Metrics.Gauge.set t.g_backlog (float_of_int t.worst_backlog)
@@ -189,7 +197,17 @@ let finish t p result =
     (match result with
      | Ok _ ->
        t.established <- t.established + 1;
-       if obs_on t then Obs.Metrics.Counter.incr t.c_established
+       if obs_on t then begin
+         Obs.Metrics.Counter.incr t.c_established;
+         let now = Netsim.Engine.now t.engine in
+         Obs.Histogram.add t.h_setup_latency
+           (Netsim.Time.to_us (now - p.submitted_at));
+         (* The winning crawl: from this attempt's first setup cell to
+            the ack closing the loop at the source. *)
+         Obs.Sink.span t.obs ~name:"phase.crawl" ~cat:"lifecycle"
+           ~ts:p.attempt_started_at ~dur:(now - p.attempt_started_at)
+           ~tid:p.vc.Network.vc_id ~v:p.attempt
+       end
      | Error _ ->
        t.failed <- t.failed + 1;
        p.vc.Network.paged_out <- true;
@@ -208,6 +226,7 @@ let rec start_attempt t p =
     p.attempt <- p.attempt + 1;
     p.epoch <- p.epoch + 1;
     t.attempts <- t.attempts + 1;
+    p.attempt_started_at <- Netsim.Engine.now t.engine;
     if obs_on t then Obs.Metrics.Counter.incr t.c_attempts;
     match
       route_for t ~src_host:p.vc.Network.src_host ~dst_host:p.vc.Network.dst_host
@@ -243,6 +262,7 @@ and retry t p =
   else begin
     t.retries <- t.retries + 1;
     if obs_on t then Obs.Metrics.Counter.incr t.c_retries;
+    let retry_at = Netsim.Engine.now t.engine in
     (* Exponential backoff with seeded jitter: base * 2^(attempt-1),
        capped, scaled by a uniform factor in [1-j, 1+j]. *)
     let shift = min (p.attempt - 1) 20 in
@@ -251,6 +271,10 @@ and retry t p =
       1.0 +. (t.params.jitter *. ((2.0 *. Netsim.Rng.float t.rng 1.0) -. 1.0))
     in
     let delay = max 1 (int_of_float (float_of_int raw *. factor)) in
+    (* The backoff itself as a span: gaps between crawl spans on a
+       circuit's track are attributable to waiting, not signaling. *)
+    Obs.Sink.span t.obs ~name:"phase.retry" ~cat:"lifecycle" ~ts:retry_at
+      ~dur:delay ~tid:p.vc.Network.vc_id ~v:p.attempt;
     Netsim.Engine.post t.engine ~delay (fun () -> start_attempt t p)
   end
 
@@ -318,7 +342,11 @@ and ack_arrives t p epoch i =
    — the remaining prefix stays as orphans and the timeout recovers. *)
 and crankback t p epoch i =
   t.crankbacks <- t.crankbacks + 1;
-  if obs_on t then Obs.Metrics.Counter.incr t.c_crankbacks;
+  if obs_on t then begin
+    Obs.Metrics.Counter.incr t.c_crankbacks;
+    Obs.Sink.instant t.obs ~name:"phase.crankback" ~cat:"lifecycle"
+      ~ts:(Netsim.Engine.now t.engine) ~tid:p.vc.Network.vc_id ~v:i
+  end;
   let g = Network.graph t.net in
   Network.uninstall_entry t.net p.vc ~switch:p.path_switches.(i);
   (* [step j]: the release cell leaves switch index [j] backwards. *)
@@ -353,6 +381,8 @@ let submit t vc ~on_done =
     {
       vc;
       on_done;
+      submitted_at = Netsim.Engine.now t.engine;
+      attempt_started_at = Netsim.Engine.now t.engine;
       attempt = 0;
       epoch = 0;
       timer = Netsim.Engine.no_event;
@@ -428,8 +458,11 @@ let gc t =
   let reclaimed = List.length orphans in
   t.gc_reclaimed <- t.gc_reclaimed + reclaimed;
   t.gc_runs <- t.gc_runs + 1;
-  if obs_on t then
+  if obs_on t then begin
     Obs.Metrics.Counter.add t.c_gc_reclaimed reclaimed;
+    Obs.Sink.instant t.obs ~name:"phase.gc" ~cat:"lifecycle"
+      ~ts:(Netsim.Engine.now t.engine) ~tid:0 ~v:reclaimed
+  end;
   reclaimed
 
 let dark t =

@@ -79,7 +79,14 @@ val create : ?obs:Obs.Sink.t -> engine:Netsim.Engine.t -> Network.t -> params ->
 (** The engine is shared with the caller's scenario: setups interleave
     with whatever else is on the timeline. With an enabled [obs] sink,
     counts mirror {!stats} under [lifecycle.*] and the backlog is
-    gauged. *)
+    gauged; additionally [lifecycle.setup_latency_us] histograms
+    submit-to-established latency, [lifecycle.signaling_backlog]
+    histograms the per-switch queue depth seen by every signaling
+    cell, and the trace records per-circuit phase activity (cat
+    ["lifecycle"], tid = vc id): a [phase.crawl] span over the winning
+    attempt, [phase.retry] spans covering each backoff wait,
+    [phase.crankback] instants at dead-link discoveries, and
+    [phase.gc] instants carrying the reclaimed-entry count. *)
 
 val setup :
   t -> src_host:int -> dst_host:int ->

@@ -89,8 +89,8 @@ type simcell = {
 let vc_of_source = function
   | Cbr vc | Saturated_be vc | Paced_be (vc, _) | Packets_be (vc, _, _) -> vc
 
-let run ?(obs = Obs.Sink.null) ?(partitions = 1) ?(domains = 1) net p ~sources
-    ?(events = []) ~duration () =
+let run ?(obs = Obs.Sink.null) ?heartbeat ?(partitions = 1) ?(domains = 1) net
+    p ~sources ?(events = []) ~duration () =
   if partitions < 1 then invalid_arg "Netrun.run: partitions must be >= 1";
   if domains < 1 then invalid_arg "Netrun.run: domains must be >= 1";
   let g = Network.graph net in
@@ -110,6 +110,13 @@ let run ?(obs = Obs.Sink.null) ?(partitions = 1) ?(domains = 1) net p ~sources
     else Array.make n_switches 0
   in
   let parts = 1 + Array.fold_left max 0 part in
+  let obs_on = obs.Obs.Sink.enabled in
+  (* One sink per partition (merged back into [obs] after the run in
+     partition order), so data-plane observations never cross domains. *)
+  let sinks =
+    Array.init parts (fun _ ->
+        if obs_on then Obs.Sink.create () else Obs.Sink.null)
+  in
   let cluster =
     if parts > 1 then begin
       let lookahead =
@@ -119,15 +126,34 @@ let run ?(obs = Obs.Sink.null) ?(partitions = 1) ?(domains = 1) net p ~sources
           invalid_arg
             "Netrun.run: partitioning has no positive cross-partition lookahead"
       in
-      Some (Netsim.Cluster.create ~parts ~lookahead ())
+      Some (Netsim.Cluster.create ~sinks ~parts ~lookahead ())
     end
     else None
   in
   let engines =
     match cluster with
     | Some cl -> Array.init parts (Netsim.Cluster.engine cl)
-    | None -> [| Netsim.Engine.create () |]
+    | None -> [| Netsim.Engine.create ~obs () |]
   in
+  let snapshot () =
+    let m = Obs.Metrics.create () in
+    Obs.Metrics.merge_into ~into:m (Obs.Sink.metrics obs);
+    if parts > 1 then
+      Array.iter
+        (fun s -> Obs.Metrics.merge_into ~into:m (Obs.Sink.metrics s))
+        sinks;
+    m
+  in
+  (match heartbeat with
+   | None -> ()
+   | Some (every, flight) -> (
+     match cluster with
+     | Some cl ->
+       Netsim.Heartbeat.attach_cluster cl ~every ~horizon:duration ~flight
+         ~label:"netrun" ~snapshot
+     | None ->
+       Netsim.Heartbeat.attach_engine engines.(0) ~every ~horizon:duration
+         ~flight ~label:"netrun" ~snapshot));
   (* Schedule [thunk] on partition [dst], [delay] after partition
      [src]'s current instant. Every cross-partition post below rides a
      link latency, which is >= the cluster lookahead by construction. *)
@@ -629,6 +655,10 @@ let run ?(obs = Obs.Sink.null) ?(partitions = 1) ?(domains = 1) net p ~sources
   (match cluster with
    | Some cl -> Netsim.Cluster.run ~domains cl ~horizon:duration
    | None -> Netsim.Engine.run_until engines.(0) duration);
+  (* Join: per-partition metrics and trace rings fold back into the
+     caller's sink in fixed partition order. *)
+  if obs_on && parts > 1 then
+    Array.iter (fun s -> Obs.Sink.merge_into ~into:obs s) sinks;
   let per_vc =
     List.map
       (fun (id, st) ->

@@ -88,6 +88,7 @@ type result = {
 
 val run :
   ?obs:Obs.Sink.t ->
+  ?heartbeat:Netsim.Time.t * Obs.Flight.t ->
   ?partitions:int ->
   ?domains:int ->
   Network.t ->
@@ -112,4 +113,13 @@ val run :
     Raises [Invalid_argument] if [partitions < 1] or [domains < 1], if
     a multi-partition split has no positive cross-partition lookahead,
     or if [events] are combined with [partitions > 1] — mid-run
-    topology mutation and rerouting need the classic single engine. *)
+    topology mutation and rerouting need the classic single engine.
+
+    With an enabled [obs] sink, a partitioned run gives each partition
+    its own sink (fed to the cluster, so the [Obs.Parprof] window
+    profiler and cross-partition flow tracing are live) and merges
+    metrics and trace rings back into [obs] in partition order after
+    the run; the classic path feeds [obs] straight to its engine.
+    [heartbeat = (every, flight)] appends a merged-registry snapshot
+    to [flight] every [every] simulated nanoseconds. Neither changes
+    the simulation's result. *)

@@ -224,7 +224,7 @@ let run ?(obs = Obs.Sink.null) ~graph p =
               control_loss = Schedule.control_loss driver;
               seed = p.seed + (7919 * !reconfigs);
             }
-          ~partitions:p.partitions ~domains:p.domains graph
+          ~obs ~partitions:p.partitions ~domains:p.domains graph
           ~triggers:(List.map (fun s -> (0, s)) batch)
       in
       messages := !messages + outcome.Reconfig.Runner.messages;

@@ -8,6 +8,8 @@ type params = {
   one_sided_heal : bool;
   protocol : Reconfig.Runner.params;
   lifecycle : An2.Lifecycle.params;
+  partitions : int;
+  domains : int;
   seed : int;
 }
 
@@ -22,6 +24,8 @@ let default_params =
     one_sided_heal = false;
     protocol = Reconfig.Runner.default_params;
     lifecycle = An2.Lifecycle.default_params;
+    partitions = 1;
+    domains = 1;
     seed = 1;
   }
 
@@ -194,7 +198,7 @@ let run ?(obs = Obs.Sink.null) ~graph p =
   let outcome =
     Reconfig.Runner.run
       ~params:{ p.protocol with horizon; seed = p.protocol.Reconfig.Runner.seed + p.seed }
-      ~obs ~events g
+      ~obs ~events ~partitions:p.partitions ~domains:p.domains g
       ~triggers:(split_triggers @ extra_triggers @ heal_triggers)
   in
   (* Evaluate the split phase from the completion log: on each side,

@@ -38,6 +38,10 @@ type params = {
           path, because B completed long ago and initiates nothing *)
   protocol : Reconfig.Runner.params;
   lifecycle : An2.Lifecycle.params;  (** pacing, timeout, backoff, gc *)
+  partitions : int;
+      (** engine partitions for the spanning control-plane run (see
+          {!Reconfig.Runner.run}); 1 = classic single engine *)
+  domains : int;  (** worker domains for that run *)
   seed : int;
 }
 

@@ -48,6 +48,12 @@ type t = {
   parts : int;
   lookahead : int;
   engines : Engine.t array;
+  sinks : Obs.Sink.t array;
+  obs_on : bool;
+  prof : Obs.Parprof.t;
+  flow_seq : int array;
+      (* per-src causal-trace sequence; written only by the domain
+         running src's window (or setup code), like the mailboxes *)
   mailboxes : Mailbox.t array array;  (* .(src).(dst) *)
   actions : (unit -> unit) Mheap.t;
   mutable command : command;  (* leader-written between barriers *)
@@ -71,10 +77,15 @@ let create ?sinks ~parts ~lookahead () =
   let sink p =
     match sinks with Some a -> a.(p) | None -> Obs.Sink.null
   in
+  let sinks = Array.init parts sink in
   {
     parts;
     lookahead;
-    engines = Array.init parts (fun p -> Engine.create ~obs:(sink p) ());
+    engines = Array.init parts (fun p -> Engine.create ~obs:sinks.(p) ());
+    sinks;
+    obs_on = Array.exists Obs.Sink.enabled sinks;
+    prof = Obs.Parprof.create sinks;
+    flow_seq = Array.make parts 0;
     mailboxes =
       Array.init parts (fun _ -> Array.init parts (fun _ -> Mailbox.create ()));
     actions = Mheap.create ();
@@ -102,7 +113,21 @@ let send t ~src ~dst ~delay thunk =
         (Printf.sprintf "Cluster.send: delay %d below lookahead %d" delay
            t.lookahead);
     let at = Engine.now t.engines.(src) + delay in
-    Mailbox.push t.mailboxes.(src).(dst) ~at thunk
+    if t.obs_on then begin
+      (* Causal flow id: (src+1, seq) packed so it is never 0 (the
+         mailbox's tracing-off sentinel). Emitted on the enqueuing
+         partition's own sink; the matching step/end phases follow at
+         leader drain and destination dispatch. *)
+      let seq = t.flow_seq.(src) in
+      t.flow_seq.(src) <- seq + 1;
+      let id = ((src + 1) lsl 40) lor (seq land ((1 lsl 40) - 1)) in
+      Obs.Sink.flow_start t.sinks.(src) ~name:"xsend" ~cat:"cluster"
+        ~ts:(Engine.now t.engines.(src))
+        ~tid:src ~id;
+      Obs.Parprof.enqueue t.prof ~src;
+      Mailbox.push t.mailboxes.(src).(dst) ~at ~flow:id thunk
+    end
+    else Mailbox.push t.mailboxes.(src).(dst) ~at ~flow:0 thunk
   end
 
 let at_barrier t ~at thunk =
@@ -146,9 +171,28 @@ let poison t ex =
 let drain_all t =
   for dst = 0 to t.parts - 1 do
     let e = t.engines.(dst) in
+    if t.obs_on then begin
+      let depth = ref 0 in
+      for src = 0 to t.parts - 1 do
+        depth := !depth + Mailbox.length t.mailboxes.(src).(dst)
+      done;
+      Obs.Parprof.drain t.prof ~dst ~depth:!depth
+    end;
     for src = 0 to t.parts - 1 do
-      Mailbox.drain t.mailboxes.(src).(dst) (fun ~at thunk ->
-          Engine.post_at e ~at thunk)
+      Mailbox.drain t.mailboxes.(src).(dst) (fun ~at ~flow thunk ->
+          if flow <> 0 then begin
+            (* Leader-side hop of the causal flow: the drain itself,
+               stamped at the destination clock; the closing phase
+               fires when the destination dispatches the event. The
+               wrapper closure only exists on the obs-on path. *)
+            Obs.Sink.flow_step t.sinks.(dst) ~name:"xdrain" ~cat:"cluster"
+              ~ts:(Engine.now e) ~tid:dst ~id:flow;
+            Engine.post_at e ~at (fun () ->
+                Obs.Sink.flow_end t.sinks.(dst) ~name:"xdispatch"
+                  ~cat:"cluster" ~ts:at ~tid:dst ~id:flow;
+                thunk ())
+          end
+          else Engine.post_at e ~at thunk)
     done
   done
 
@@ -205,19 +249,64 @@ let run ?(domains = 1) t ~horizon =
   if domains < 1 then invalid_arg "Cluster.run: domains must be >= 1";
   let workers = min domains t.parts in
   t.parties <- workers;
+  if t.obs_on then
+    Obs.Parprof.set_topology t.prof ~workers ~lookahead:t.lookahead;
   let worker w =
     let continue = ref true in
+    (* Wall nanoseconds this worker has spent in barriers since it
+       last owned its home sink (partition w) — reported from the
+       obey phase, where ownership is certain. *)
+    let pending_wait = ref 0 in
+    let await_timed () =
+      if t.obs_on then begin
+        let w0 = Unix.gettimeofday () in
+        await t;
+        pending_wait :=
+          !pending_wait
+          + int_of_float ((Unix.gettimeofday () -. w0) *. 1e9)
+      end
+      else await t
+    in
     while !continue do
-      await t;
-      if w = 0 then decide t ~horizon;
-      await t;
+      await_timed ();
+      if w = 0 then begin
+        (* The leader touches every engine while draining mailboxes
+           and catching clocks up: take ownership of all sinks for
+           the decide phase (the surrounding barriers order the
+           handoff with the workers' claims). *)
+        if t.obs_on then Array.iter Obs.Sink.claim t.sinks;
+        decide t ~horizon
+      end;
+      await_timed ();
       match t.command with
       | Stop -> continue := false
       | Window end_ ->
         let p = ref w in
         while !p < t.parts do
-          (try Engine.run_until t.engines.(!p) end_
-           with ex -> poison t ex);
+          let e = t.engines.(!p) in
+          if t.obs_on then begin
+            Obs.Sink.claim t.sinks.(!p);
+            if !p = w && !pending_wait > 0 then begin
+              (* Worker w always owns partition w (w < workers <=
+                 parts), so its wait series lands on sink w. *)
+              Obs.Parprof.barrier_wait t.prof ~worker:w ~ts:(Engine.now e)
+                ~wait_ns:!pending_wait;
+              pending_wait := 0
+            end;
+            let start_ts = Engine.now e in
+            let d0 = Engine.dispatched e in
+            let w0 = Unix.gettimeofday () in
+            (try Engine.run_until e end_ with ex -> poison t ex);
+            let busy_ns =
+              int_of_float ((Unix.gettimeofday () -. w0) *. 1e9)
+            in
+            Obs.Parprof.window t.prof ~part:!p ~start_ts ~end_ts:end_
+              ~busy_ns
+              ~dispatched:(Engine.dispatched e - d0)
+          end
+          else begin
+            try Engine.run_until e end_ with ex -> poison t ex
+          end;
           p := !p + workers
         done
     done
@@ -227,6 +316,8 @@ let run ?(domains = 1) t ~horizon =
   in
   worker 0;
   Array.iter Domain.join spawned;
+  (* Back to single-domain use: the caller may merge or re-run. *)
+  if t.obs_on then Array.iter Obs.Sink.release t.sinks;
   match Atomic.get t.failure with
   | Some (ex, bt) ->
     Atomic.set t.failure None;

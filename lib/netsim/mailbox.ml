@@ -8,24 +8,30 @@ let noop () = ()
 
 type t = {
   mutable at : int array;
+  mutable flows : int array;
   mutable thunks : (unit -> unit) array;
   mutable len : int;
 }
 
-let create () = { at = [||]; thunks = [||]; len = 0 }
+let create () = { at = [||]; flows = [||]; thunks = [||]; len = 0 }
 
 let grow t =
   let cap = Array.length t.at in
   let ncap = if cap = 0 then 16 else cap * 2 in
-  let nat = Array.make ncap 0 and nthunks = Array.make ncap noop in
+  let nat = Array.make ncap 0
+  and nflows = Array.make ncap 0
+  and nthunks = Array.make ncap noop in
   Array.blit t.at 0 nat 0 cap;
+  Array.blit t.flows 0 nflows 0 cap;
   Array.blit t.thunks 0 nthunks 0 cap;
   t.at <- nat;
+  t.flows <- nflows;
   t.thunks <- nthunks
 
-let push t ~at thunk =
+let push t ~at ~flow thunk =
   if t.len = Array.length t.at then grow t;
   t.at.(t.len) <- at;
+  t.flows.(t.len) <- flow;
   t.thunks.(t.len) <- thunk;
   t.len <- t.len + 1
 
@@ -33,7 +39,7 @@ let length t = t.len
 
 let drain t f =
   for i = 0 to t.len - 1 do
-    f ~at:t.at.(i) t.thunks.(i);
+    f ~at:t.at.(i) ~flow:t.flows.(i) t.thunks.(i);
     t.thunks.(i) <- noop
   done;
   t.len <- 0

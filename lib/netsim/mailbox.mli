@@ -21,13 +21,14 @@ type t
 
 val create : unit -> t
 
-val push : t -> at:Time.t -> (unit -> unit) -> unit
-(** Append an event destined for absolute time [at]. Producer side
-    only. *)
+val push : t -> at:Time.t -> flow:int -> (unit -> unit) -> unit
+(** Append an event destined for absolute time [at]. [flow] is an
+    opaque tag carried alongside (the cluster's causal-trace flow id;
+    0 when tracing is off). Producer side only. *)
 
 val length : t -> int
 
-val drain : t -> (at:Time.t -> (unit -> unit) -> unit) -> unit
-(** [drain t f] calls [f ~at thunk] for every queued event in push
-    order, then empties the mailbox (thunk slots are cleared so the
-    closures can be collected). Consumer side only. *)
+val drain : t -> (at:Time.t -> flow:int -> (unit -> unit) -> unit) -> unit
+(** [drain t f] calls [f ~at ~flow thunk] for every queued event in
+    push order, then empties the mailbox (thunk slots are cleared so
+    the closures can be collected). Consumer side only. *)

@@ -1,0 +1,33 @@
+(* Flight recorder: an append-only buffer of metrics-registry
+   snapshots, one JSON object per line (JSONL). The recorder itself
+   knows nothing about engines or clusters — drivers that decide
+   *when* to snapshot live with the simulation layers (see
+   [Netsim.Heartbeat]); this module only renders and accumulates. *)
+
+type t = {
+  buf : Buffer.t;
+  mutable snapshots : int;
+}
+
+let create () = { buf = Buffer.create 4096; snapshots = 0 }
+
+(* [Metrics.to_json_buffer] pretty-prints across lines; JSONL needs
+   one object per line. Control characters inside string values are
+   \u-escaped by the metrics exporter, so every raw newline in the
+   rendering is inter-token whitespace and can simply be dropped. *)
+let record t ~now ~label metrics =
+  Printf.bprintf t.buf "{\"t\":%d,\"label\":\"%s\",\"metrics\":" now
+    (Metrics.json_escape label);
+  String.iter
+    (fun c -> if c <> '\n' then Buffer.add_char t.buf c)
+    (Metrics.to_json_string metrics);
+  Buffer.add_string t.buf "}\n";
+  t.snapshots <- t.snapshots + 1
+
+let snapshots t = t.snapshots
+let to_string t = Buffer.contents t.buf
+
+let write file t =
+  let oc = open_out file in
+  Buffer.output_buffer oc t.buf;
+  close_out oc

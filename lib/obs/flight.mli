@@ -1,0 +1,27 @@
+(** Flight recorder: periodic snapshots of a metrics registry,
+    accumulated as JSONL (one [{"t":<sim-time>,"label":...,
+    "metrics":{...}}] object per line).
+
+    The recorder is a passive accumulator — the drivers that decide
+    when to snapshot (every N sim-seconds on an engine, or at window
+    barriers on a cluster) live in [Netsim.Heartbeat], keeping this
+    library free of simulation dependencies. Not domain-safe: record
+    from one domain at a time (heartbeat drivers run on the engine /
+    cluster-leader domain). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> now:int -> label:string -> Metrics.t -> unit
+(** Append one snapshot line. [now] is the simulation timestamp in
+    the caller's unit (nanoseconds for engine-driven runs). *)
+
+val snapshots : t -> int
+(** Snapshot lines recorded so far. *)
+
+val to_string : t -> string
+(** The accumulated JSONL. *)
+
+val write : string -> t -> unit
+(** Write the accumulated JSONL to [file]. *)

@@ -1,0 +1,163 @@
+(* A minimal JSON parser — the repo deliberately has no JSON library,
+   and the exporters hand-print their output, so round-trip tests and
+   the [an2sim report] renderer parse it back by hand. Only what
+   Chrome-trace/metrics/heartbeat JSON needs: objects, arrays, strings
+   (with escapes), numbers, true/false/null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+let parse (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () <> c then fail (Printf.sprintf "expected %c" c);
+    advance ()
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+         | '"' -> Buffer.add_char b '"'
+         | '\\' -> Buffer.add_char b '\\'
+         | '/' -> Buffer.add_char b '/'
+         | 'n' -> Buffer.add_char b '\n'
+         | 't' -> Buffer.add_char b '\t'
+         | 'r' -> Buffer.add_char b '\r'
+         | 'b' -> Buffer.add_char b '\b'
+         | 'f' -> Buffer.add_char b '\012'
+         | 'u' ->
+           advance ();
+           let code = int_of_string ("0x" ^ String.sub s (!pos) 4) in
+           pos := !pos + 3;
+           (* Exporters only \u-escape control characters. *)
+           Buffer.add_char b (Char.chr (code land 0xff))
+         | c -> fail (Printf.sprintf "bad escape %c" c));
+        advance ();
+        loop ()
+      | '\255' -> fail "unterminated string"
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while num_char (peek ()) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    Num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (key, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ()
+          | '}' -> advance ()
+          | _ -> fail "expected , or }"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements ()
+          | ']' -> advance ()
+          | _ -> fail "expected , or ]"
+        in
+        elements ();
+        Arr (List.rev !items)
+      end
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function
+  | Obj fields -> (
+    match List.assoc_opt key fields with
+    | Some v -> v
+    | None -> raise (Bad ("missing key " ^ key)))
+  | _ -> raise (Bad "not an object")
+
+let member_opt key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let str = function Str s -> s | _ -> raise (Bad "not a string")
+let num = function Num x -> x | _ -> raise (Bad "not a number")
+let arr = function Arr l -> l | _ -> raise (Bad "not an array")
+let obj = function Obj l -> l | _ -> raise (Bad "not an object")

@@ -1,0 +1,34 @@
+(** A minimal JSON reader for the observability exporters' own output.
+
+    The repo deliberately carries no JSON library — the exporters
+    hand-print their JSON — so the round-trip tests and the
+    [an2sim report] renderer parse it back with this. Supports
+    exactly what Chrome-trace / metrics / heartbeat JSON needs:
+    objects, arrays, strings with escapes, numbers, true/false/null.
+    Not a general-purpose parser (e.g. [\uXXXX] escapes above 0xff
+    are truncated — the exporters only emit them for control
+    characters). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+val parse : string -> t
+(** Raises {!Bad} on malformed input or trailing garbage. *)
+
+val member : string -> t -> t
+(** Field of an object; raises {!Bad} when missing or not an object. *)
+
+val member_opt : string -> t -> t option
+
+val str : t -> string
+val num : t -> float
+val arr : t -> t list
+val obj : t -> (string * t) list
+(** Coercions; each raises {!Bad} on the wrong constructor. *)

@@ -38,6 +38,7 @@ module Gauge = struct
   let last g = g.last
   let min g = g.gmin
   let max g = g.gmax
+  let sets g = g.sets
   let name g = g.name
 end
 

@@ -4,7 +4,15 @@
     Instruments are looked up by name once, at component construction,
     and updated by direct mutation afterwards — updates are
     allocation-free and involve no table lookup. Registering a name
-    twice returns the same instrument. *)
+    twice returns the same instrument.
+
+    {b Domain safety:} a registry and its instruments are plain
+    unsynchronized mutable state. At most one domain may update a
+    given registry at a time; parallel runs give each partition its
+    own registry and fold them together after the join with
+    {!merge_into}, in a fixed partition order so the result is
+    deterministic (order only affects gauges' [last]). See
+    [Obs.Sink] for the ownership discipline. *)
 
 module Counter : sig
   type t
@@ -25,6 +33,10 @@ module Gauge : sig
   val last : t -> float
   val min : t -> float
   val max : t -> float
+
+  val sets : t -> int
+  (** Number of [set] calls recorded (summed by [merge_into]). *)
+
   val name : t -> string
 end
 

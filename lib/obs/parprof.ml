@@ -1,0 +1,110 @@
+(* Per-partition window profiler for conservatively-windowed parallel
+   runs. One instrument bundle per partition, each registered on that
+   partition's own sink so updates stay single-domain (see the
+   ownership rule in [Sink]); merging the sinks in partition order
+   after the run yields the combined registry, with names suffixed
+   [parprof.pN.*] / [parprof.dW.*] so per-partition and per-worker
+   series survive the merge.
+
+   All update functions are no-ops when the sinks are disabled; the
+   caller is expected to guard its own timing reads (wall clocks,
+   dispatch-counter deltas) the same way so the off path allocates
+   nothing. *)
+
+type t = {
+  on : bool;
+  sinks : Sink.t array;
+  (* per partition *)
+  busy : Metrics.Counter.t array;
+  windows : Metrics.Counter.t array;
+  dispatched : Metrics.Counter.t array;
+  enqueued : Metrics.Counter.t array;
+  drained : Metrics.Counter.t array;
+  depth : Metrics.Gauge.t array;
+  per_window : Histogram.t array;
+  (* per worker domain; worker w's instruments live on sink w (a
+     worker always owns partition w, since w < workers <= parts) *)
+  wait : Metrics.Counter.t array;
+  wait_hist : Histogram.t array;
+}
+
+let npart t = Array.length t.sinks
+
+let create sinks =
+  let parts = Array.length sinks in
+  let per f = Array.init parts f in
+  {
+    on = Array.exists Sink.enabled sinks;
+    sinks;
+    busy =
+      per (fun p -> Sink.counter sinks.(p) (Printf.sprintf "parprof.p%d.busy_ns" p));
+    windows =
+      per (fun p -> Sink.counter sinks.(p) (Printf.sprintf "parprof.p%d.windows" p));
+    dispatched =
+      per (fun p ->
+          Sink.counter sinks.(p) (Printf.sprintf "parprof.p%d.dispatched" p));
+    enqueued =
+      per (fun p ->
+          Sink.counter sinks.(p) (Printf.sprintf "parprof.p%d.mailbox_enqueued" p));
+    drained =
+      per (fun p ->
+          Sink.counter sinks.(p) (Printf.sprintf "parprof.p%d.mailbox_drained" p));
+    depth =
+      per (fun p ->
+          Sink.gauge sinks.(p) (Printf.sprintf "parprof.p%d.mailbox_depth" p));
+    per_window =
+      per (fun p ->
+          Sink.histogram sinks.(p)
+            (Printf.sprintf "parprof.p%d.events_per_window" p));
+    wait =
+      per (fun w -> Sink.counter sinks.(w) (Printf.sprintf "parprof.d%d.wait_ns" w));
+    wait_hist =
+      per (fun w ->
+          Sink.histogram sinks.(w)
+            (Printf.sprintf "parprof.d%d.barrier_wait_ns" w));
+  }
+
+let enabled t = t.on
+
+(* Topology facts ride on partition 0's sink as set-style counters so
+   a report can recover the partition->worker mapping from the merged
+   registry alone. *)
+let set_topology t ~workers ~lookahead =
+  if t.on then begin
+    Metrics.Counter.set (Sink.counter t.sinks.(0) "parprof.parts") (npart t);
+    Metrics.Counter.set (Sink.counter t.sinks.(0) "parprof.workers") workers;
+    Metrics.Counter.set
+      (Sink.counter t.sinks.(0) "parprof.lookahead_ns")
+      lookahead
+  end
+
+let window t ~part ~start_ts ~end_ts ~busy_ns ~dispatched =
+  if t.on then begin
+    Metrics.Counter.add t.busy.(part) busy_ns;
+    Metrics.Counter.incr t.windows.(part);
+    Metrics.Counter.add t.dispatched.(part) dispatched;
+    Histogram.add t.per_window.(part) (float_of_int dispatched);
+    (* Sim-time span on the partition's track; [v] carries the
+       dispatch count so the slice is self-describing in Chrome. *)
+    Sink.span t.sinks.(part) ~name:"window" ~cat:"parprof" ~ts:start_ts
+      ~dur:(end_ts - start_ts + 1) ~tid:part ~v:dispatched
+  end
+
+let barrier_wait t ~worker ~ts ~wait_ns =
+  if t.on then begin
+    Metrics.Counter.add t.wait.(worker) wait_ns;
+    Histogram.add t.wait_hist.(worker) (float_of_int wait_ns);
+    (* Wall-clock duration pinned at the sim-time barrier: the track
+       shows where in sim time each worker stalled, and for how long
+       in real time. *)
+    Sink.span t.sinks.(worker) ~name:"barrier.wait" ~cat:"parprof" ~ts
+      ~dur:wait_ns ~tid:worker ~v:wait_ns
+  end
+
+let enqueue t ~src = if t.on then Metrics.Counter.incr t.enqueued.(src)
+
+let drain t ~dst ~depth =
+  if t.on && depth > 0 then begin
+    Metrics.Counter.add t.drained.(dst) depth;
+    Metrics.Gauge.set t.depth.(dst) (float_of_int depth)
+  end

@@ -1,0 +1,52 @@
+(** Per-partition window profiler for conservatively-windowed
+    parallel simulation runs.
+
+    One instrument bundle per partition, registered against that
+    partition's own sink (names suffixed [parprof.pN.*]; per-worker
+    barrier-wait series as [parprof.dW.*], recorded on sink [W] —
+    legal because worker [w] always owns partition [w]). Merging the
+    sinks in fixed partition order after the run yields one registry
+    in which every per-partition and per-worker series survives.
+
+    Captured per conservative window: busy wall-time vs barrier-wait
+    wall-time, events dispatched (the lookahead-efficiency series —
+    dispatched events per window), mailbox enqueue/drain counts and
+    drain depth. [window] also emits a sim-time Chrome span on the
+    partition's track so load imbalance is visible at a glance.
+
+    Every update is a no-op when the sinks are disabled; callers must
+    guard their own clock reads the same way so disabled runs stay
+    allocation-free. *)
+
+type t
+
+val create : Sink.t array -> t
+(** One bundle per element of [sinks] (the cluster's per-partition
+    sinks). Registration happens here, once; with disabled sinks the
+    result is inert. *)
+
+val enabled : t -> bool
+
+val set_topology : t -> workers:int -> lookahead:int -> unit
+(** Record [parprof.parts], [parprof.workers] and
+    [parprof.lookahead_ns] on partition 0's sink, so a report can
+    recover the partition-to-worker mapping ([p mod workers]) from
+    the merged registry alone. *)
+
+val window :
+  t -> part:int -> start_ts:int -> end_ts:int -> busy_ns:int ->
+  dispatched:int -> unit
+(** One conservative window advanced on [part]: sim-time bounds
+    (inclusive), wall-clock busy nanoseconds, and the events
+    dispatched in it. *)
+
+val barrier_wait : t -> worker:int -> ts:int -> wait_ns:int -> unit
+(** One barrier arrival by [worker]: wall-clock nanoseconds spent
+    waiting, pinned at sim time [ts]. *)
+
+val enqueue : t -> src:int -> unit
+(** A cross-partition send enqueued by [src]. *)
+
+val drain : t -> dst:int -> depth:int -> unit
+(** [depth] events drained from [dst]'s mailbox by the leader
+    (no-op when [depth = 0]). *)

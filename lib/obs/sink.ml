@@ -2,6 +2,7 @@ type t = {
   enabled : bool;
   metrics : Metrics.t;
   trace : Trace.t;
+  mutable owner : int;
 }
 
 (* Shared disabled sink. Layers register their instruments against its
@@ -10,28 +11,76 @@ type t = {
    costs one immutable-field load and a well-predicted branch, and
    allocates nothing. *)
 let null =
-  { enabled = false; metrics = Metrics.create (); trace = Trace.create ~capacity:1 () }
+  {
+    enabled = false;
+    metrics = Metrics.create ();
+    trace = Trace.create ~capacity:1 ();
+    owner = -1;
+  }
 
 let create ?trace_capacity () =
   {
     enabled = true;
     metrics = Metrics.create ();
     trace = Trace.create ?capacity:trace_capacity ();
+    owner = -1;
   }
 
 let enabled t = t.enabled
 let metrics t = t.metrics
 let trace t = t.trace
 
+let claim t = if t.enabled then t.owner <- (Domain.self () :> int)
+let release t = if t.enabled then t.owner <- -1
+let owner t = t.owner
+
+(* The ownership check runs only on the enabled path: the registries
+   and ring are plain mutable state, so two domains emitting into one
+   sink would corrupt it silently. [Domain.self] returns an immediate;
+   the comparison costs two loads. *)
+let check_owner t =
+  assert (t.owner = -1 || t.owner = (Domain.self () :> int))
+
+let span t ~name ~cat ~ts ~dur ~tid ~v =
+  if t.enabled then begin
+    check_owner t;
+    Trace.span t.trace ~name ~cat ~ts ~dur ~tid ~v
+  end
+
+let instant t ~name ~cat ~ts ~tid ~v =
+  if t.enabled then begin
+    check_owner t;
+    Trace.instant t.trace ~name ~cat ~ts ~tid ~v
+  end
+
+let sample t ~name ~cat ~ts ~v =
+  if t.enabled then begin
+    check_owner t;
+    Trace.counter t.trace ~name ~cat ~ts ~v
+  end
+
+let flow_start t ~name ~cat ~ts ~tid ~id =
+  if t.enabled then begin
+    check_owner t;
+    Trace.flow_start t.trace ~name ~cat ~ts ~tid ~id
+  end
+
+let flow_step t ~name ~cat ~ts ~tid ~id =
+  if t.enabled then begin
+    check_owner t;
+    Trace.flow_step t.trace ~name ~cat ~ts ~tid ~id
+  end
+
+let flow_end t ~name ~cat ~ts ~tid ~id =
+  if t.enabled then begin
+    check_owner t;
+    Trace.flow_end t.trace ~name ~cat ~ts ~tid ~id
+  end
+
 let counter t name = Metrics.counter t.metrics name
 let gauge t name = Metrics.gauge t.metrics name
 let histogram t name = Metrics.histogram t.metrics name
 
-let span t ~name ~cat ~ts ~dur ~tid ~v =
-  if t.enabled then Trace.span t.trace ~name ~cat ~ts ~dur ~tid ~v
-
-let instant t ~name ~cat ~ts ~tid ~v =
-  if t.enabled then Trace.instant t.trace ~name ~cat ~ts ~tid ~v
-
-let sample t ~name ~cat ~ts ~v =
-  if t.enabled then Trace.counter t.trace ~name ~cat ~ts ~v
+let merge_into ~into src =
+  Metrics.merge_into ~into:into.metrics src.metrics;
+  Trace.merge_into ~into:into.trace src.trace

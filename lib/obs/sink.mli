@@ -6,12 +6,31 @@
     guard every hot-path update with {!enabled}: the disabled path is
     one load and one branch, with no allocation — cheap enough to
     leave compiled into the fabric slot loop (the overhead is measured
-    by [bench/perf.ml]). *)
+    by [bench/perf.ml]).
+
+    {1 Domain safety}
+
+    A sink is single-domain mutable state: the registry's instruments
+    are updated by plain stores and the trace ring by unsynchronized
+    array writes, so at any moment {b at most one domain may emit into
+    a given sink}. Parallel layers give each partition its own sink
+    and merge them afterwards in a fixed partition order (see
+    {!merge_into} and [Obs.Metrics.merge_into]). Ownership is
+    phase-scoped rather than fixed: a cluster's leader domain claims
+    every partition sink while it drains mailboxes between windows,
+    then each worker claims the sinks of the partitions it advances —
+    the barriers between phases order the handoff. {!claim} records
+    the owning domain so the debug assertion in each emission
+    catches cross-domain sharing instead of silently corrupting the
+    ring; code compiled with [-noassert] pays nothing. *)
 
 type t = {
   enabled : bool;
   metrics : Metrics.t;
   trace : Trace.t;
+  mutable owner : int;
+      (** Domain id currently allowed to emit, or [-1] when unclaimed
+          (single-domain use never claims and is never checked). *)
 }
 
 val null : t
@@ -24,14 +43,39 @@ val enabled : t -> bool
 val metrics : t -> Metrics.t
 val trace : t -> Trace.t
 
+val claim : t -> unit
+(** Record the calling domain as the sink's owner. Call at each
+    ownership-phase boundary (the caller's barriers must order the
+    handoff); no-op on a disabled sink. *)
+
+val release : t -> unit
+(** Return the sink to the unclaimed state ([owner = -1]). *)
+
+val owner : t -> int
+
 val counter : t -> string -> Metrics.Counter.t
 val gauge : t -> string -> Metrics.Gauge.t
 val histogram : t -> string -> Histogram.t
 (** Instrument registration: valid (and cheap) on a disabled sink, so
-    layers can register unconditionally at construction. *)
+    layers can register unconditionally at construction. Registration
+    is construction-time only and must happen before the sink is
+    shared across domains. *)
 
 val span : t -> name:string -> cat:string -> ts:int -> dur:int -> tid:int -> v:int -> unit
 val instant : t -> name:string -> cat:string -> ts:int -> tid:int -> v:int -> unit
 val sample : t -> name:string -> cat:string -> ts:int -> v:int -> unit
 (** Trace emission, each a no-op when the sink is disabled. [sample]
-    emits a Chrome counter-track event. *)
+    emits a Chrome counter-track event. On the enabled path a debug
+    assertion checks the calling domain owns the sink. *)
+
+val flow_start : t -> name:string -> cat:string -> ts:int -> tid:int -> id:int -> unit
+val flow_step : t -> name:string -> cat:string -> ts:int -> tid:int -> id:int -> unit
+val flow_end : t -> name:string -> cat:string -> ts:int -> tid:int -> id:int -> unit
+(** Chrome flow phases (see [Obs.Trace]): arrows joining the events
+    that share [id], used to follow a cross-partition send from
+    enqueue to dispatch. No-ops when disabled. *)
+
+val merge_into : into:t -> t -> unit
+(** Merge [src]'s metrics (via [Obs.Metrics.merge_into]) and replay
+    its trace ring into [into]. Call after parallel work has joined,
+    in a fixed partition order. *)

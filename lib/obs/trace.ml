@@ -6,7 +6,7 @@
    in chrome://tracing or https://ui.perfetto.dev — or a plain-text
    dump. *)
 
-type kind = Span | Instant | Counter
+type kind = Span | Instant | Counter | Flow_start | Flow_step | Flow_end
 
 type t = {
   capacity : int;
@@ -54,6 +54,17 @@ let instant t ~name ~cat ~ts ~tid ~v =
 let counter t ~name ~cat ~ts ~v =
   emit t ~kind:Counter ~name ~cat ~ts ~dur:0 ~tid:0 ~v
 
+(* Flow phases share the ring: [v] carries the flow id that Chrome
+   uses to join start -> step -> end across thread tracks. *)
+let flow_start t ~name ~cat ~ts ~tid ~id =
+  emit t ~kind:Flow_start ~name ~cat ~ts ~dur:0 ~tid ~v:id
+
+let flow_step t ~name ~cat ~ts ~tid ~id =
+  emit t ~kind:Flow_step ~name ~cat ~ts ~dur:0 ~tid ~v:id
+
+let flow_end t ~name ~cat ~ts ~tid ~id =
+  emit t ~kind:Flow_end ~name ~cat ~ts ~dur:0 ~tid ~v:id
+
 let total t = t.total
 let length t = if t.total < t.capacity then t.total else t.capacity
 let dropped t = if t.total > t.capacity then t.total - t.capacity else 0
@@ -86,6 +97,15 @@ let iter t f =
       }
   done
 
+(* Replay [src]'s retained events into [into], oldest first. Used to
+   gather per-partition trace rings into one exportable ring after a
+   parallel run; callers merge in a fixed partition order so the
+   combined trace is deterministic for a deterministic run. *)
+let merge_into ~into src =
+  iter src (fun e ->
+      emit into ~kind:e.ekind ~name:e.ename ~cat:e.ecat ~ts:e.ets ~dur:e.edur
+        ~tid:e.etid ~v:e.ev)
+
 let json_escape = Metrics.json_escape
 
 let to_chrome_buffer ?(ts_scale = 1.0) t b =
@@ -114,6 +134,20 @@ let to_chrome_buffer ?(ts_scale = 1.0) t b =
        | Counter ->
          common ();
          Printf.bprintf b ",\"ph\":\"C\",\"ts\":%.3f"
+           (float_of_int e.ets *. ts_scale)
+       | Flow_start ->
+         common ();
+         Printf.bprintf b ",\"ph\":\"s\",\"id\":%d,\"ts\":%.3f" e.ev
+           (float_of_int e.ets *. ts_scale)
+       | Flow_step ->
+         common ();
+         Printf.bprintf b ",\"ph\":\"t\",\"id\":%d,\"ts\":%.3f" e.ev
+           (float_of_int e.ets *. ts_scale)
+       | Flow_end ->
+         common ();
+         (* bp:e binds the flow arrow to the enclosing slice's end. *)
+         Printf.bprintf b ",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"ts\":%.3f"
+           e.ev
            (float_of_int e.ets *. ts_scale));
       Printf.bprintf b ",\"args\":{\"v\":%d}}" e.ev);
   Printf.bprintf b "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":%d}}\n"
@@ -136,7 +170,13 @@ let pp fmt t =
     (total t) (dropped t);
   iter t (fun e ->
       let k =
-        match e.ekind with Span -> "span" | Instant -> "inst" | Counter -> "ctr "
+        match e.ekind with
+        | Span -> "span"
+        | Instant -> "inst"
+        | Counter -> "ctr "
+        | Flow_start -> "flo>"
+        | Flow_step -> "flo-"
+        | Flow_end -> "flo<"
       in
       Format.fprintf fmt "  %s ts=%-10d dur=%-8d tid=%-3d v=%-10d %s/%s@." k
         e.ets e.edur e.etid e.ev e.ecat e.ename)

@@ -10,7 +10,7 @@
 
 type t
 
-type kind = Span | Instant | Counter
+type kind = Span | Instant | Counter | Flow_start | Flow_step | Flow_end
 
 val create : ?capacity:int -> unit -> t
 (** Default capacity: 65536 events. *)
@@ -25,6 +25,15 @@ val emit :
 val span : t -> name:string -> cat:string -> ts:int -> dur:int -> tid:int -> v:int -> unit
 val instant : t -> name:string -> cat:string -> ts:int -> tid:int -> v:int -> unit
 val counter : t -> name:string -> cat:string -> ts:int -> v:int -> unit
+
+val flow_start : t -> name:string -> cat:string -> ts:int -> tid:int -> id:int -> unit
+val flow_step : t -> name:string -> cat:string -> ts:int -> tid:int -> id:int -> unit
+val flow_end : t -> name:string -> cat:string -> ts:int -> tid:int -> id:int -> unit
+(** Chrome flow phases ([ph] ["s"]/["t"]/["f"]): arrows joining events
+    that share [id] across thread tracks — used to link a
+    cross-partition send from enqueue through leader drain to
+    destination dispatch. [flow_end] binds to the enclosing slice's
+    end ([bp:"e"]). The id rides in the event's [v] slot. *)
 
 val total : t -> int
 (** Events emitted over the trace's lifetime. *)
@@ -47,6 +56,11 @@ type event = {
 
 val iter : t -> (event -> unit) -> unit
 (** Retained events, oldest first. *)
+
+val merge_into : into:t -> t -> unit
+(** Replay [src]'s retained events into [into], oldest first. Callers
+    gathering per-partition rings must merge in a fixed partition
+    order so the combined trace is deterministic. *)
 
 val to_chrome_string : ?ts_scale:float -> t -> string
 (** Chrome [trace_event] JSON (the ["traceEvents"] array form), as

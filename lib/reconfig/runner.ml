@@ -206,9 +206,18 @@ let evaluate ~obs ~g ~nodes ~first_trigger ~completion ~find_join ~messages
   }
 
 (* The classic path: the whole network on one pooled engine. *)
-let run_single ~params ~obs ~events g ~triggers =
+let run_single ~params ~obs ~heartbeat ~events g ~triggers =
   let n = Topo.Graph.switch_count g in
   let engine = Netsim.Engine.create ~obs () in
+  (match heartbeat with
+   | None -> ()
+   | Some (every, flight) ->
+     Netsim.Heartbeat.attach_engine engine ~every ~horizon:params.horizon
+       ~flight ~label:"reconfig"
+       ~snapshot:(fun () ->
+         let m = Obs.Metrics.create () in
+         Obs.Metrics.merge_into ~into:m (Obs.Sink.metrics obs);
+         m));
   let nodes = Array.init n (fun id -> Proto.create_node ~id) in
   let messages = ref 0 in
   let completions_log = ref [] in
@@ -371,7 +380,8 @@ let run_single ~params ~obs ~events g ~triggers =
    at-barrier actions while every engine is quiescent. That ownership
    is what makes the run race-free and its outcome independent of the
    domain count. *)
-let run_cluster ~params ~obs ~events ~partitions ~domains g ~triggers =
+let run_cluster ~params ~obs ~heartbeat ~events ~partitions ~domains g
+    ~triggers =
   let n = Topo.Graph.switch_count g in
   let part = Topo.Partition.assign g ~parts:partitions in
   let parts = 1 + Array.fold_left max 0 part in
@@ -388,6 +398,21 @@ let run_cluster ~params ~obs ~events ~partitions ~domains g ~triggers =
         if obs_on then Obs.Sink.create () else Obs.Sink.null)
   in
   let cl = Netsim.Cluster.create ~sinks ~parts ~lookahead () in
+  (match heartbeat with
+   | None -> ()
+   | Some (every, flight) ->
+     (* Snapshots run as barrier actions on the leader, every engine
+        quiescent: folding the caller's sink and each partition sink
+        into a fresh registry is a complete point-in-time view. *)
+     Netsim.Heartbeat.attach_cluster cl ~every ~horizon:params.horizon
+       ~flight ~label:"reconfig"
+       ~snapshot:(fun () ->
+         let m = Obs.Metrics.create () in
+         Obs.Metrics.merge_into ~into:m (Obs.Sink.metrics obs);
+         Array.iter
+           (fun s -> Obs.Metrics.merge_into ~into:m (Obs.Sink.metrics s))
+           sinks;
+         m));
   let engines = Array.init parts (Netsim.Cluster.engine cl) in
   let nodes = Array.init n (fun id -> Proto.create_node ~id) in
   let messages = Array.make parts 0 in
@@ -547,14 +572,11 @@ let run_cluster ~params ~obs ~events ~partitions ~domains g ~triggers =
             Hashtbl.add joins.(sp) (s, tag) (Netsim.Engine.now engines.(sp))))
     triggers;
   Netsim.Cluster.run ~domains cl ~horizon:params.horizon;
-  (* Join: merge per-partition observations back into the caller's
-     sink and logs, in fixed partition order. *)
+  (* Join: merge per-partition observations — metrics and trace rings
+     both — back into the caller's sink and logs, in fixed partition
+     order. *)
   if obs_on then
-    Array.iter
-      (fun s ->
-        Obs.Metrics.merge_into ~into:(Obs.Sink.metrics obs)
-          (Obs.Sink.metrics s))
-      sinks;
+    Array.iter (fun s -> Obs.Sink.merge_into ~into:obs s) sinks;
   let messages_total = Array.fold_left ( + ) 0 messages in
   let wire_transmissions =
     Array.fold_left
@@ -575,17 +597,20 @@ let run_cluster ~params ~obs ~events ~partitions ~domains g ~triggers =
     ~find_join:(fun s tag -> Hashtbl.find_opt joins.(part.(s)) (s, tag))
     ~messages:messages_total ~wire_transmissions ~completions
 
-let run ?(params = default_params) ?(obs = Obs.Sink.null) ?(events = [])
-    ?(partitions = 1) ?(domains = 1) g ~triggers =
+let run ?(params = default_params) ?(obs = Obs.Sink.null) ?heartbeat
+    ?(events = []) ?(partitions = 1) ?(domains = 1) g ~triggers =
   if triggers = [] then invalid_arg "Runner.run: no triggers";
   if partitions < 1 then invalid_arg "Runner.run: partitions must be >= 1";
   if domains < 1 then invalid_arg "Runner.run: domains must be >= 1";
   let partitions = min partitions (max 1 (Topo.Graph.switch_count g)) in
-  if partitions = 1 then run_single ~params ~obs ~events g ~triggers
-  else run_cluster ~params ~obs ~events ~partitions ~domains g ~triggers
+  if partitions = 1 then run_single ~params ~obs ~heartbeat ~events g ~triggers
+  else
+    run_cluster ~params ~obs ~heartbeat ~events ~partitions ~domains g
+      ~triggers
 
 let run_after_failure ?(params = default_params)
-    ?(detection_delay = Netsim.Time.ms 100) ?obs ?partitions ?domains g ~fail =
+    ?(detection_delay = Netsim.Time.ms 100) ?obs ?heartbeat ?partitions
+    ?domains g ~fail =
   (* Which switches see a working link die? *)
   let affected_of_link lid =
     let l = Topo.Graph.link g lid in
@@ -618,7 +643,7 @@ let run_after_failure ?(params = default_params)
   in
   if survivors = [] then invalid_arg "Runner.run_after_failure: nothing detects";
   let triggers = List.map (fun s -> (detection_delay, s)) survivors in
-  let outcome = run ~params ?obs ?partitions ?domains g ~triggers in
+  let outcome = run ~params ?obs ?heartbeat ?partitions ?domains g ~triggers in
   (* Count elapsed from the failure itself (time 0). *)
   if outcome.converged then
     { outcome with elapsed = outcome.elapsed + detection_delay }

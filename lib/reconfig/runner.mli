@@ -80,6 +80,7 @@ val true_topology : Topo.Graph.t -> root:int -> bool array * Proto.edge list
 val run :
   ?params:params ->
   ?obs:Obs.Sink.t ->
+  ?heartbeat:Netsim.Time.t * Obs.Flight.t ->
   ?events:(Netsim.Time.t * event) list ->
   ?partitions:int ->
   ?domains:int ->
@@ -123,12 +124,22 @@ val run :
     switches, gauges convergence, traces trigger/join/completed
     instants per switch, and emits the three phase spans of the
     winning configuration. The sink is also passed to the underlying
-    {!Netsim.Engine}. Timestamps are simulated nanoseconds. *)
+    {!Netsim.Engine}. Timestamps are simulated nanoseconds.
+
+    On the cluster path each partition gets its own sink (merged back
+    into [obs] — metrics and trace ring both — in partition order
+    after the run), the cluster's [Obs.Parprof] window profiler and
+    causal flow tracing are active, and [heartbeat = (every, flight)]
+    appends a snapshot of the merged registries to [flight] every
+    [every] simulated nanoseconds (classically, snapshots ride as
+    plain engine events). Neither observability nor heartbeats change
+    the simulation's output. *)
 
 val run_after_failure :
   ?params:params ->
   ?detection_delay:Netsim.Time.t ->
   ?obs:Obs.Sink.t ->
+  ?heartbeat:Netsim.Time.t * Obs.Flight.t ->
   ?partitions:int ->
   ?domains:int ->
   Topo.Graph.t ->

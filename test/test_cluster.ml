@@ -13,13 +13,19 @@ let test_mailbox_fifo () =
   let mb = Netsim.Mailbox.create () in
   let seen = ref [] in
   for i = 0 to 99 do
-    Netsim.Mailbox.push mb ~at:(1000 - i) (fun () -> seen := i :: !seen)
+    Netsim.Mailbox.push mb ~at:(1000 - i) ~flow:i (fun () -> seen := i :: !seen)
   done;
   Alcotest.(check int) "length" 100 (Netsim.Mailbox.length mb);
   let order = ref [] in
-  Netsim.Mailbox.drain mb (fun ~at thunk ->
+  let flows = ref [] in
+  Netsim.Mailbox.drain mb (fun ~at ~flow thunk ->
       order := at :: !order;
+      flows := flow :: !flows;
       thunk ());
+  Alcotest.(check (list int))
+    "flow tags ride along in push order"
+    (List.init 100 (fun i -> i))
+    (List.rev !flows);
   Alcotest.(check int) "drained" 0 (Netsim.Mailbox.length mb);
   Alcotest.(check (list int))
     "drain replays pushes in push order"
@@ -30,7 +36,7 @@ let test_mailbox_fifo () =
     (List.init 100 (fun i -> i))
     (List.rev !seen);
   (* Reusable after a drain. *)
-  Netsim.Mailbox.push mb ~at:7 (fun () -> ());
+  Netsim.Mailbox.push mb ~at:7 ~flow:0 (fun () -> ());
   Alcotest.(check int) "refill" 1 (Netsim.Mailbox.length mb)
 
 (* ------------------------------------------------------------------ *)

@@ -5,166 +5,10 @@
 let qtest ?(count = 200) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
 
-(* ------------------------------------------------------------------ *)
-(* A minimal JSON parser — the repo deliberately has no JSON library,
-   and the exporters hand-print their output, so the round-trip tests
-   parse it back by hand. Only what Chrome-trace/metrics JSON needs:
-   objects, arrays, strings (with escapes), numbers, true/false/null. *)
-
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
-
-  exception Bad of string
-
-  let parse (s : string) : t =
-    let n = String.length s in
-    let pos = ref 0 in
-    let peek () = if !pos < n then s.[!pos] else '\255' in
-    let advance () = incr pos in
-    let fail msg = raise (Bad (Printf.sprintf "%s at %d" msg !pos)) in
-    let rec skip_ws () =
-      match peek () with
-      | ' ' | '\t' | '\n' | '\r' ->
-        advance ();
-        skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      if peek () <> c then fail (Printf.sprintf "expected %c" c);
-      advance ()
-    in
-    let literal word v =
-      String.iter expect word;
-      v
-    in
-    let parse_string () =
-      expect '"';
-      let b = Buffer.create 16 in
-      let rec loop () =
-        match peek () with
-        | '"' -> advance ()
-        | '\\' ->
-          advance ();
-          (match peek () with
-           | '"' -> Buffer.add_char b '"'
-           | '\\' -> Buffer.add_char b '\\'
-           | '/' -> Buffer.add_char b '/'
-           | 'n' -> Buffer.add_char b '\n'
-           | 't' -> Buffer.add_char b '\t'
-           | 'r' -> Buffer.add_char b '\r'
-           | 'b' -> Buffer.add_char b '\b'
-           | 'f' -> Buffer.add_char b '\012'
-           | 'u' ->
-             advance ();
-             let code = int_of_string ("0x" ^ String.sub s (!pos) 4) in
-             pos := !pos + 3;
-             (* Exporters only \u-escape control characters. *)
-             Buffer.add_char b (Char.chr (code land 0xff))
-           | c -> fail (Printf.sprintf "bad escape %c" c));
-          advance ();
-          loop ()
-        | '\255' -> fail "unterminated string"
-        | c ->
-          Buffer.add_char b c;
-          advance ();
-          loop ()
-      in
-      loop ();
-      Buffer.contents b
-    in
-    let parse_number () =
-      let start = !pos in
-      let num_char c =
-        (c >= '0' && c <= '9')
-        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-      in
-      while num_char (peek ()) do
-        advance ()
-      done;
-      if !pos = start then fail "expected number";
-      Num (float_of_string (String.sub s start (!pos - start)))
-    in
-    let rec parse_value () =
-      skip_ws ();
-      match peek () with
-      | '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = '}' then begin
-          advance ();
-          Obj []
-        end
-        else begin
-          let fields = ref [] in
-          let rec members () =
-            skip_ws ();
-            let key = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            fields := (key, v) :: !fields;
-            skip_ws ();
-            match peek () with
-            | ',' ->
-              advance ();
-              members ()
-            | '}' -> advance ()
-            | _ -> fail "expected , or }"
-          in
-          members ();
-          Obj (List.rev !fields)
-        end
-      | '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = ']' then begin
-          advance ();
-          Arr []
-        end
-        else begin
-          let items = ref [] in
-          let rec elements () =
-            let v = parse_value () in
-            items := v :: !items;
-            skip_ws ();
-            match peek () with
-            | ',' ->
-              advance ();
-              elements ()
-            | ']' -> advance ()
-            | _ -> fail "expected , or ]"
-          in
-          elements ();
-          Arr (List.rev !items)
-        end
-      | '"' -> Str (parse_string ())
-      | 't' -> literal "true" (Bool true)
-      | 'f' -> literal "false" (Bool false)
-      | 'n' -> literal "null" Null
-      | _ -> parse_number ()
-    in
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing garbage";
-    v
-
-  let member key = function
-    | Obj fields -> (
-      match List.assoc_opt key fields with
-      | Some v -> v
-      | None -> raise (Bad ("missing key " ^ key)))
-    | _ -> raise (Bad "not an object")
-
-  let str = function Str s -> s | _ -> raise (Bad "not a string")
-  let num = function Num x -> x | _ -> raise (Bad "not a number")
-  let arr = function Arr l -> l | _ -> raise (Bad "not an array")
-end
+(* The exporters' output is parsed back with the library's own reader
+   (Obs.Json, also behind [an2sim report]); aliased so the round-trip
+   tests below read naturally. *)
+module Json = Obs.Json
 
 (* ------------------------------------------------------------------ *)
 (* Histogram *)
@@ -302,6 +146,38 @@ let test_metrics_json_export () =
   let p50 = Json.(num (member "p50" hist)) in
   Alcotest.(check bool) "hist p50 near 51" true (abs_float (p50 -. 51.0) <= 1.0)
 
+(* Every flight-recorder line must be a self-contained JSON object
+   wrapping a full metrics snapshot. *)
+let test_flight_jsonl_roundtrip () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.Counter.add (Obs.Metrics.counter m "msgs") 7;
+  Obs.Metrics.Gauge.set (Obs.Metrics.gauge m "depth") 2.5;
+  let f = Obs.Flight.create () in
+  Obs.Flight.record f ~now:1_000 ~label:"run" m;
+  Obs.Metrics.Counter.add (Obs.Metrics.counter m "msgs") 3;
+  Obs.Flight.record f ~now:2_000 ~label:"run" m;
+  Alcotest.(check int) "two snapshots" 2 (Obs.Flight.snapshots f);
+  let lines =
+    List.filter
+      (fun l -> l <> "")
+      (String.split_on_char '\n' (Obs.Flight.to_string f))
+  in
+  Alcotest.(check int) "two lines" 2 (List.length lines);
+  let parsed = List.map Json.parse lines in
+  Alcotest.(check (list (float 0.0))) "timestamps"
+    [ 1_000.; 2_000. ]
+    (List.map (fun j -> Json.(num (member "t" j))) parsed);
+  Alcotest.(check (list (float 0.0))) "counter advances between lines"
+    [ 7.; 10. ]
+    (List.map
+       (fun j ->
+         Json.(num (member "msgs" (member "counters" (member "metrics" j)))))
+       parsed);
+  List.iter
+    (fun j ->
+      Alcotest.(check string) "label" "run" Json.(str (member "label" j)))
+    parsed
+
 let test_metrics_same_instrument () =
   let m = Obs.Metrics.create () in
   let a = Obs.Metrics.counter m "x" in
@@ -325,6 +201,129 @@ let test_enabled_sink_records () =
   let s = Obs.Sink.create () in
   Obs.Sink.instant s ~name:"i" ~cat:"c" ~ts:0 ~tid:0 ~v:0;
   Alcotest.(check int) "event recorded" 1 (Obs.Trace.total (Obs.Sink.trace s))
+
+(* Chrome flow phases: s (start) / t (step) / f (end, bound to the
+   enclosing slice's end) sharing one id — what the cluster emits to
+   link a cross-partition send's enqueue, drain and dispatch. *)
+let test_flow_phases_roundtrip () =
+  let s = Obs.Sink.create () in
+  Obs.Sink.flow_start s ~name:"xsend" ~cat:"cluster" ~ts:10 ~tid:0 ~id:4242;
+  Obs.Sink.flow_step s ~name:"xdrain" ~cat:"cluster" ~ts:20 ~tid:1 ~id:4242;
+  Obs.Sink.flow_end s ~name:"xdispatch" ~cat:"cluster" ~ts:30 ~tid:1 ~id:4242;
+  let json =
+    Json.parse (Obs.Trace.to_chrome_string ~ts_scale:1e-3 (Obs.Sink.trace s))
+  in
+  let events = Json.(arr (member "traceEvents" json)) in
+  Alcotest.(check (list string)) "phases"
+    [ "s"; "t"; "f" ]
+    (List.map (fun e -> Json.(str (member "ph" e))) events);
+  Alcotest.(check (list (float 0.0))) "one flow id across the arrow"
+    [ 4242.; 4242.; 4242. ]
+    (List.map (fun e -> Json.(num (member "id" e))) events);
+  (match events with
+   | [ st; step; fin ] ->
+     Alcotest.(check bool) "no bp on s" true (Json.member_opt "bp" st = None);
+     Alcotest.(check bool) "no bp on t" true (Json.member_opt "bp" step = None);
+     Alcotest.(check string) "f binds to enclosing slice end" "e"
+       Json.(str (member "bp" fin))
+   | _ -> Alcotest.fail "expected exactly 3 events");
+  Alcotest.(check (list string)) "hop names survive"
+    [ "xsend"; "xdrain"; "xdispatch" ]
+    (List.map (fun e -> Json.(str (member "name" e))) events)
+
+(* The cluster merges per-partition sinks back into the caller's sink
+   in fixed partition order. For everything except a gauge's [last]
+   (explicitly order-dependent) that must equal single-sink recording
+   of the interleaved stream: counters sum, gauge extrema and set
+   counts combine, histograms merge bucket-wise exactly, and the
+   merged trace retains every event. *)
+let test_merge_order_equivalence =
+  qtest "per-partition merge == interleaved single sink" ~count:200
+    QCheck.(list (tup3 (int_range 0 2) (int_range 0 2) (int_range 1 100)))
+    (fun ops ->
+      let apply sink (kind, v) =
+        match kind with
+        | 0 -> Obs.Metrics.Counter.add (Obs.Sink.counter sink "c") v
+        | 1 -> Obs.Metrics.Gauge.set (Obs.Sink.gauge sink "g") (float_of_int v)
+        | _ ->
+          Obs.Histogram.add (Obs.Sink.histogram sink "h") (float_of_int v);
+          Obs.Sink.instant sink ~name:"i" ~cat:"t" ~ts:v ~tid:0 ~v
+      in
+      let single = Obs.Sink.create () in
+      let parts = Array.init 3 (fun _ -> Obs.Sink.create ()) in
+      List.iter
+        (fun (part, kind, v) ->
+          apply single (kind, v);
+          apply parts.(part) (kind, v))
+        ops;
+      let merged = Obs.Sink.create () in
+      Array.iter (fun p -> Obs.Sink.merge_into ~into:merged p) parts;
+      let ms = Obs.Sink.metrics single and mm = Obs.Sink.metrics merged in
+      let counters_eq =
+        Obs.Metrics.Counter.value (Obs.Metrics.counter ms "c")
+        = Obs.Metrics.Counter.value (Obs.Metrics.counter mm "c")
+      in
+      let gs = Obs.Metrics.gauge ms "g" and gm = Obs.Metrics.gauge mm "g" in
+      let gauges_eq =
+        Obs.Metrics.Gauge.sets gs = Obs.Metrics.Gauge.sets gm
+        && (Obs.Metrics.Gauge.sets gs = 0
+            || Obs.Metrics.Gauge.min gs = Obs.Metrics.Gauge.min gm
+               && Obs.Metrics.Gauge.max gs = Obs.Metrics.Gauge.max gm)
+      in
+      let hs = Obs.Metrics.histogram ms "h"
+      and hm = Obs.Metrics.histogram mm "h" in
+      let hists_eq =
+        Obs.Histogram.count hs = Obs.Histogram.count hm
+        && Obs.Histogram.sum hs = Obs.Histogram.sum hm
+        && (Obs.Histogram.count hs = 0
+            || List.for_all
+                 (fun p ->
+                   Obs.Histogram.percentile hs p
+                   = Obs.Histogram.percentile hm p)
+                 [ 50.0; 90.0; 99.0 ])
+      in
+      let traces_eq =
+        Obs.Trace.total (Obs.Sink.trace single)
+        = Obs.Trace.total (Obs.Sink.trace merged)
+      in
+      counters_eq && gauges_eq && hists_eq && traces_eq)
+
+(* The debug ownership assertion: once a domain claims a sink, another
+   domain emitting into it must trip Assert_failure (compiled out
+   under -noassert, so probe first). *)
+let test_cross_domain_claim_asserts () =
+  let assertions_on =
+    try
+      assert (Sys.opaque_identity 1 = 2);
+      false
+    with Assert_failure _ -> true
+  in
+  if not assertions_on then ()
+  else begin
+    let s = Obs.Sink.create () in
+    Obs.Sink.claim s;
+    (* The claiming domain may emit freely... *)
+    Obs.Sink.instant s ~name:"mine" ~cat:"t" ~ts:0 ~tid:0 ~v:0;
+    (* ...a foreign domain must not. *)
+    let tripped =
+      Domain.join
+        (Domain.spawn (fun () ->
+             try
+               Obs.Sink.instant s ~name:"theirs" ~cat:"t" ~ts:1 ~tid:0 ~v:0;
+               false
+             with Assert_failure _ -> true))
+    in
+    Alcotest.(check bool) "cross-domain emit trips the assertion" true tripped;
+    Obs.Sink.release s;
+    (* Released: any domain may use it again (e.g. the merge phase). *)
+    let ok =
+      Domain.join
+        (Domain.spawn (fun () ->
+             Obs.Sink.instant s ~name:"later" ~cat:"t" ~ts:2 ~tid:0 ~v:0;
+             true))
+    in
+    Alcotest.(check bool) "release reopens the sink" true ok
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Engine.pending (live-count semantics) *)
@@ -393,6 +392,8 @@ let () =
       ( "metrics",
         [
           Alcotest.test_case "JSON export" `Quick test_metrics_json_export;
+          Alcotest.test_case "flight recorder JSONL" `Quick
+            test_flight_jsonl_roundtrip;
           Alcotest.test_case "same name, same instrument" `Quick
             test_metrics_same_instrument;
         ] );
@@ -402,6 +403,11 @@ let () =
             test_null_sink_is_noop;
           Alcotest.test_case "enabled sink records" `Quick
             test_enabled_sink_records;
+          Alcotest.test_case "flow phases round-trip" `Quick
+            test_flow_phases_roundtrip;
+          test_merge_order_equivalence;
+          Alcotest.test_case "cross-domain claim asserts" `Quick
+            test_cross_domain_claim_asserts;
         ] );
       ( "engine",
         [
