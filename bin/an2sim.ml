@@ -157,7 +157,7 @@ let mean_over outs f =
   List.fold_left (fun a o -> a +. f o) 0.0 outs
   /. float_of_int (max 1 (List.length outs))
 
-let make_topology kind switches =
+let make_topology_flat kind switches =
   match kind with
   | "linear" -> Topo.Build.linear switches
   | "ring" -> Topo.Build.ring switches
@@ -178,12 +178,42 @@ let make_topology kind switches =
     Topo.Build.random_connected ~rng ~switches ~extra_links:(switches / 2)
   | other -> Fmt.failwith "unknown topology kind %S" other
 
+(* "fat-tree:K" and "clos:RADIX:TIERS" carry their size in the kind
+   string, so --switches is ignored for them. These return pod
+   metadata; the flat kinds have none. *)
+let make_topology_pods kind switches =
+  let arity name s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> Fmt.failwith "bad %s parameter %S (want an integer)" name s
+  in
+  match String.split_on_char ':' kind with
+  | [ "fat-tree" ] ->
+    let g, pods = Topo.Build.fat_tree ~k:8 in
+    (g, Some pods)
+  | [ "fat-tree"; k ] ->
+    let g, pods = Topo.Build.fat_tree ~k:(arity "fat-tree" k) in
+    (g, Some pods)
+  | [ "clos"; r ] ->
+    let g, pods = Topo.Build.folded_clos ~radix:(arity "clos" r) ~tiers:3 in
+    (g, Some pods)
+  | [ "clos"; r; t ] ->
+    let g, pods =
+      Topo.Build.folded_clos ~radix:(arity "clos" r) ~tiers:(arity "clos" t)
+    in
+    (g, Some pods)
+  | _ -> (make_topology_flat kind switches, None)
+
+let make_topology kind switches = fst (make_topology_pods kind switches)
+
 let kind_arg =
   let doc =
     "Topology: linear, ring, star, grid, torus, hypercube, leaf-spine, \
-     src-lan, random."
+     src-lan, random, fat-tree:K (k-ary fat-tree with dual-homed hosts), \
+     clos:RADIX[:TIERS] (folded Clos; TIERS is 2 or 3). The sized kinds \
+     ignore $(b,--switches)."
   in
-  Arg.(value & opt string "src-lan" & info [ "kind" ] ~docv:"KIND" ~doc)
+  Arg.(value & opt string "src-lan" & info [ "kind"; "topo" ] ~docv:"KIND" ~doc)
 
 let switches_arg =
   Arg.(value & opt int 10 & info [ "switches" ] ~docv:"N" ~doc:"Switch count.")
@@ -195,10 +225,22 @@ let topo_cmd =
   let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead.") in
   let run kind switches dot trace metrics =
     let obs = make_sink ~trace ~metrics in
-    let g = make_topology kind switches in
+    let g, pods = make_topology_pods kind switches in
     if dot then print_string (Topo.Graph.to_dot g)
     else begin
     Format.printf "%a@." Topo.Graph.pp g;
+    (match pods with
+     | None -> ()
+     | Some p ->
+       let pod_size =
+         if Topo.Pods.n_pods p = 0 then 0
+         else List.length (Topo.Pods.members p 0)
+       in
+       Format.printf "pods=%d pod-size=%d core-switches=%d@."
+         (Topo.Pods.n_pods p) pod_size
+         (List.length (Topo.Pods.core p));
+       if Topo.Graph.switch_count g <= 96 then
+         Format.printf "%a@." Topo.Pods.pp p);
     let tree = Topo.Spanning.bfs g ~root:0 in
     let orientation = Topo.Updown.orient g tree in
     Format.printf
@@ -497,6 +539,15 @@ let e2e_cmd =
   let hops_arg =
     Arg.(value & opt int 3 & info [ "hops" ] ~docv:"H" ~doc:"Chain length.")
   in
+  let e2e_topo_arg =
+    let doc =
+      "Topology to run over (default a $(b,--hops)-switch chain). Any \
+       $(b,topo) kind works, e.g. fat-tree:8; kinds that already carry \
+       hosts route between the first and last host (on a fat-tree these \
+       sit in different pods), others get a host pair at the ends."
+    in
+    Arg.(value & opt string "linear" & info [ "topo"; "kind" ] ~docv:"KIND" ~doc)
+  in
   let cbr_arg =
     Arg.(value & opt int 8
          & info [ "cbr" ] ~docv:"CELLS" ~doc:"Guaranteed cells/frame (0 = none).")
@@ -510,14 +561,20 @@ let e2e_cmd =
   let ms_arg =
     Arg.(value & opt int 10 & info [ "duration-ms" ] ~docv:"MS" ~doc:"Run length.")
   in
-  let run hops cbr be packets ms partitions par_domains sweep jobs seed trace
-      metrics heartbeat heartbeat_ms =
+  let run topo hops cbr be packets ms partitions par_domains sweep jobs seed
+      trace metrics heartbeat heartbeat_ms =
     (* Everything is rebuilt from the seed inside [once] so sweep jobs
        share no state. *)
     let once ~obs ?heartbeat seed =
       let frame = 128 in
-      let g = Topo.Build.linear hops in
-      let h1, h2 = Topo.Build.with_host_pair g in
+      let g =
+        if topo = "linear" then Topo.Build.linear hops
+        else make_topology topo hops
+      in
+      let h1, h2 =
+        if Topo.Graph.host_count g >= 2 then (0, Topo.Graph.host_count g - 1)
+        else Topo.Build.with_host_pair g
+      in
       let net = An2.Network.create ~frame g in
       let bwc = An2.Bandwidth_central.create ~obs net in
       let sources = ref [] in
@@ -631,7 +688,7 @@ let e2e_cmd =
   let doc = "End-to-end run over a chain: guaranteed + best-effort traffic." in
   Cmd.v (Cmd.info "e2e" ~doc)
     Term.(
-      const run $ hops_arg $ cbr_arg $ be_arg $ packets_arg $ ms_arg
+      const run $ e2e_topo_arg $ hops_arg $ cbr_arg $ be_arg $ packets_arg $ ms_arg
       $ partitions_arg $ par_domains_arg $ sweep_arg $ jobs_arg $ seed_arg
       $ trace_arg $ metrics_arg $ heartbeat_arg $ heartbeat_ms_arg)
 

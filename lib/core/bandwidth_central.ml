@@ -21,7 +21,8 @@ let pp_denial fmt = function
 let create ?(obs = Obs.Sink.null) net =
   {
     net;
-    reserved = Hashtbl.create 64;
+    reserved =
+      Hashtbl.create (max 64 (Topo.Graph.link_count (Network.graph net)));
     obs;
     c_requests = Obs.Sink.counter obs "bwc.requests";
     c_granted = Obs.Sink.counter obs "bwc.granted";

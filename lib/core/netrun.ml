@@ -228,8 +228,15 @@ let run ?(obs = Obs.Sink.null) ?heartbeat ?(partitions = 1) ?(domains = 1) net
   (* Buffers at switches: (switch, vc) -> queued (cell, position), in
      the owning partition's table. The position j in 1..k says the
      cell sits at the j-th switch of its path. *)
+  (* Size the per-partition tables from the circuit load: entries are
+     keyed by (place, vc) along each circuit's path, so total
+     switch-hops bounds the population. *)
+  let hops_total =
+    List.fold_left (fun a (_, st) -> a + Array.length st.switches) 0 states
+  in
+  let part_tbl_size = max 64 (hops_total / max 1 parts) in
   let buffers : (int * int, (simcell * int) Queue.t) Hashtbl.t array =
-    Array.init parts (fun _ -> Hashtbl.create 64)
+    Array.init parts (fun _ -> Hashtbl.create part_tbl_size)
   in
   let buffer_q s vcid =
     let tbl = buffers.(part.(s)) in
@@ -244,7 +251,7 @@ let run ?(obs = Obs.Sink.null) ?heartbeat ?(partitions = 1) ?(domains = 1) net
      partition of the link's upstream endpoint on that circuit — the
      only partition that ever touches it. *)
   let credits : (int * int, Flow.Credit.Upstream.t) Hashtbl.t array =
-    Array.init parts (fun _ -> Hashtbl.create 64)
+    Array.init parts (fun _ -> Hashtbl.create part_tbl_size)
   in
   let credit pt lid vcid =
     let tbl = credits.(pt) in
@@ -259,9 +266,11 @@ let run ?(obs = Obs.Sink.null) ?heartbeat ?(partitions = 1) ?(domains = 1) net
      Built before the engines start and (cluster runs reject events)
      only read afterwards, so one shared table is safe; the round-robin
      cursors are written per slot, hence per partition. *)
-  let gmap : (int * int * int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let gmap : (int * int * int, int list ref) Hashtbl.t =
+    Hashtbl.create (max 64 hops_total)
+  in
   let grr : (int * int * int, int ref) Hashtbl.t array =
-    Array.init parts (fun _ -> Hashtbl.create 64)
+    Array.init parts (fun _ -> Hashtbl.create part_tbl_size)
   in
   let rebuild_gmap () =
     Hashtbl.reset gmap;
@@ -293,7 +302,7 @@ let run ?(obs = Obs.Sink.null) ?heartbeat ?(partitions = 1) ?(domains = 1) net
   rebuild_be ();
   (* Guaranteed backlog per (switch, in_link) line card. *)
   let gbacklog : (int * int, int ref) Hashtbl.t array =
-    Array.init parts (fun _ -> Hashtbl.create 64)
+    Array.init parts (fun _ -> Hashtbl.create part_tbl_size)
   in
   let max_gbacklog = Array.make parts 0 in
   let gbacklog_adj s in_l d =

@@ -7,7 +7,9 @@ let is_switch_link g lid =
 let working g lid = (Topo.Graph.link g lid).Topo.Graph.state = Topo.Graph.Working
 
 let load_table net =
-  let loads = Hashtbl.create 64 in
+  let loads =
+    Hashtbl.create (max 64 (Topo.Graph.link_count (Network.graph net)))
+  in
   Network.iter_vcs net (fun vc ->
       match vc.Network.cls with
       | Network.Guaranteed _ -> ()

@@ -150,8 +150,8 @@ let run ?(obs = Obs.Sink.null) ~graph p =
 
   (* Reconfiguration rounds: declared transitions coalesce into one
      nested protocol run per batch. *)
-  let monitors = Hashtbl.create 16 in
-  let dirty = Hashtbl.create 16 in
+  let monitors = Hashtbl.create (max 16 (Topo.Graph.link_count graph)) in
+  let dirty = Hashtbl.create (max 16 (Topo.Graph.switch_count graph)) in
   let reconfig_pending = ref false in
   let transitions = ref 0 in
   let reconfigs = ref 0 in

@@ -63,8 +63,8 @@ let run ?(obs = Obs.Sink.null) g p =
     | None -> [ src ]
   in
   let routes = Array.init p.circuits mk_circuit in
-  (* Directed links, keyed by (from, to). *)
-  let dlinks = Hashtbl.create 64 in
+  (* Directed links, keyed by (from, to): at most two per physical link. *)
+  let dlinks = Hashtbl.create (max 64 (2 * Topo.Graph.link_count g)) in
   let dlink u v =
     match Hashtbl.find_opt dlinks (u, v) with
     | Some id -> id

@@ -1,0 +1,49 @@
+type strategy =
+  | Pod_local of int
+  | Global
+
+type outcome = {
+  strategy : strategy;
+  converged : bool;
+  participants : int;
+  total_switches : int;
+  messages : int;
+  elapsed : Netsim.Time.t;
+  correct : bool;
+}
+
+let repair ?(params = Runner.default_params)
+    ?(detection_delay = Netsim.Time.ms 100) ?(obs = Obs.Sink.null) g pods
+    ~fail =
+  match Topo.Pods.scope_of_link pods g fail with
+  | Topo.Pods.Pod pod ->
+    let o =
+      Local.run_after_failure ~proc_delay:params.Runner.proc_delay
+        ~radius:max_int
+        ~scope:(Topo.Pods.in_pod pods ~pod)
+        ~obs g ~fail
+    in
+    {
+      strategy = Pod_local pod;
+      converged = o.Local.converged;
+      participants = o.Local.participants;
+      total_switches = o.Local.total_switches;
+      messages = o.Local.messages;
+      elapsed =
+        (if o.Local.converged then o.Local.elapsed + detection_delay else 0);
+      correct = o.Local.region_correct;
+    }
+  | Topo.Pods.Global ->
+    let o =
+      Runner.run_after_failure ~params ~detection_delay ~obs g
+        ~fail:(`Link fail)
+    in
+    {
+      strategy = Global;
+      converged = o.Runner.converged;
+      participants = Topo.Graph.switch_count g;
+      total_switches = Topo.Graph.switch_count g;
+      messages = o.Runner.messages;
+      elapsed = o.Runner.elapsed;
+      correct = o.Runner.topology_correct;
+    }

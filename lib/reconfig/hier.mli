@@ -1,0 +1,46 @@
+(** Hierarchical reconfiguration: pod-local repair with global
+    escalation.
+
+    The paper's later-versions remark — "it should often be possible
+    to restrict participation to switches near the failing component"
+    — becomes an explicit two-level policy on a Clos/fat-tree fabric:
+    a cut whose endpoints lie inside one pod is repaired by a
+    reconfiguration scoped to that pod's membership ({!Local} with a
+    membership scope instead of a TTL), while a cut that touches a
+    core switch or crosses pods escalates to the fabric-wide protocol
+    ({!Runner.run_after_failure}). Pod-local repair involves O(pod)
+    switches and O(pod-links) messages regardless of fabric size,
+    which is what keeps convergence flat across three decades of
+    switch count. *)
+
+type strategy =
+  | Pod_local of int  (** repaired within this pod *)
+  | Global  (** escalated to a fabric-wide reconfiguration *)
+
+type outcome = {
+  strategy : strategy;
+  converged : bool;
+  participants : int;  (** switches that took part in the repair *)
+  total_switches : int;
+  messages : int;
+  elapsed : Netsim.Time.t;  (** failure to last completion, including
+                                [detection_delay] *)
+  correct : bool;
+      (** pod-local: every participant's merged view equals the true
+          topology; global: the agreed topology is correct *)
+}
+
+val repair :
+  ?params:Runner.params ->
+  ?detection_delay:Netsim.Time.t ->
+  ?obs:Obs.Sink.t ->
+  Topo.Graph.t ->
+  Topo.Pods.t ->
+  fail:int ->
+  outcome
+(** [repair g pods ~fail] classifies link [fail] with
+    {!Topo.Pods.scope_of_link}, kills it, and runs the matching
+    repair. [params] drives the escalated global run (and supplies
+    [proc_delay] to the pod-local one); [detection_delay] (default the
+    global runner's 100 ms) is charged to both paths so their elapsed
+    times compare. The link must be working. *)

@@ -54,15 +54,23 @@ let fresh_part parent =
   }
 
 let run_after_failure ?(proc_delay = Netsim.Time.us 100) ?(radius = 2)
-    ?(obs = Obs.Sink.null) g ~fail =
+    ?(scope = fun (_ : int) -> true) ?(obs = Obs.Sink.null) g ~fail =
   let link = Topo.Graph.link g fail in
-  let a, b =
+  (* A host attachment has one switch endpoint, so one initiator. *)
+  let initiators =
     match (link.Topo.Graph.a.node, link.Topo.Graph.b.node) with
-    | Topo.Graph.Switch a, Topo.Graph.Switch b -> (a, b)
-    | _ -> invalid_arg "Local.run_after_failure: not a switch-to-switch link"
+    | Topo.Graph.Switch a, Topo.Graph.Switch b -> [ a; b ]
+    | Topo.Graph.Switch s, Topo.Graph.Host _
+    | Topo.Graph.Host _, Topo.Graph.Switch s -> [ s ]
+    | _ -> invalid_arg "Local.run_after_failure: not a switch link"
   in
   if link.Topo.Graph.state <> Topo.Graph.Working then
     invalid_arg "Local.run_after_failure: link already dead";
+  List.iter
+    (fun s ->
+      if not (scope s) then
+        invalid_arg "Local.run_after_failure: initiator outside scope")
+    initiators;
   let prior = whole_topology g in
   Topo.Graph.fail_link g fail;
   let truth = whole_topology g in
@@ -79,30 +87,43 @@ let run_after_failure ?(proc_delay = Netsim.Time.us 100) ?(radius = 2)
   (* Merged topology view per switch, initialized to the prior one. *)
   let view = Array.make n prior in
   let last_done = ref 0 in
-  let neighbors s = List.map fst (Topo.Graph.switch_neighbors g s) in
+  let neighbors s =
+    let acc = ref [] in
+    Topo.Graph.iter_switch_neighbors g s (fun s' _ -> acc := s' :: !acc);
+    List.rev !acc
+  in
   let local_edges s =
-    List.map (fun (s', _) -> Proto.Sw_edge (s, s')) (Topo.Graph.switch_neighbors g s)
-    @ List.map (fun (h, _) -> Proto.Host_edge (s, h)) (Topo.Graph.hosts_of_switch g s)
+    let sw = ref [] and ho = ref [] in
+    Topo.Graph.iter_switch_neighbors g s (fun s' _ ->
+        sw := Proto.Sw_edge (s, s') :: !sw);
+    Topo.Graph.iter_hosts_of_switch g s (fun h _ ->
+        ho := Proto.Host_edge (s, h) :: !ho);
+    List.rev_append !sw (List.rev !ho)
   in
   let latency s dst =
-    match
-      List.find_opt (fun (s', _) -> s' = dst) (Topo.Graph.switch_neighbors g s)
-    with
-    | Some (_, lid) -> Some (Topo.Graph.link g lid).Topo.Graph.latency
+    match Topo.Graph.switch_link g s dst with
+    | Some lid -> Some (Topo.Graph.link g lid).Topo.Graph.latency
     | None -> None
   in
   (* The merge: re-derive every participant's adjacency from the
-     collected edges, keep everything else from the previous view. *)
+     collected edges, keep everything else from the previous view.
+     Membership tests go through a scratch bool array so one merge is
+     O(view + members), not O(view * members) — at fat-tree scale the
+     view is the whole fabric and the naive product dominates the
+     run. The engine is single-threaded, so one scratch is safe. *)
+  let in_members = Array.make n false in
   let apply_merge s edges members =
+    List.iter (fun m -> in_members.(m) <- true) members;
     let touched e =
       match Proto.normalize_edge e with
-      | Proto.Sw_edge (x, y) -> List.mem x members || List.mem y members
-      | Proto.Host_edge (x, _) -> List.mem x members
+      | Proto.Sw_edge (x, y) -> in_members.(x) || in_members.(y)
+      | Proto.Host_edge (x, _) -> in_members.(x)
     in
     view.(s) <-
       List.sort_uniq Proto.compare_edge
         (List.filter (fun e -> not (touched e)) view.(s)
         @ List.map Proto.normalize_edge edges);
+    List.iter (fun m -> in_members.(m) <- false) members;
     last_done := Netsim.Engine.now engine
   in
   let rec send ~cfg ~src ~dst msg =
@@ -136,7 +157,9 @@ let run_after_failure ?(proc_delay = Netsim.Time.us 100) ?(radius = 2)
       let p = fresh_part (Some from) in
       Hashtbl.add state.(self) cfg p;
       send ~cfg ~src:self ~dst:from (Ack true);
-      let others = List.filter (fun s -> s <> from) (neighbors self) in
+      let others =
+        List.filter (fun s -> s <> from && scope s) (neighbors self)
+      in
       if ttl = 0 || others = [] then begin
         (* Boundary leaf: contribute own adjacency, invite no one. *)
         p.acks_done <- true;
@@ -178,7 +201,7 @@ let run_after_failure ?(proc_delay = Netsim.Time.us 100) ?(radius = 2)
   let initiate cfg =
     let p = fresh_part None in
     Hashtbl.add state.(cfg) cfg p;
-    let others = neighbors cfg in
+    let others = List.filter scope (neighbors cfg) in
     if others = [] || radius = 0 then begin
       p.acks_done <- true;
       finish_collection ~cfg ~self:cfg p
@@ -190,8 +213,7 @@ let run_after_failure ?(proc_delay = Netsim.Time.us 100) ?(radius = 2)
         others
     end
   in
-  initiate a;
-  initiate b;
+  List.iter initiate initiators;
   Netsim.Engine.run engine;
   (* Evaluate. *)
   let all_participants =

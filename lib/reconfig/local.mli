@@ -36,13 +36,24 @@ type outcome = {
 val run_after_failure :
   ?proc_delay:Netsim.Time.t ->
   ?radius:int ->
+  ?scope:(int -> bool) ->
   ?obs:Obs.Sink.t ->
   Topo.Graph.t ->
   fail:int ->
   outcome
-(** [run_after_failure g ~fail] kills link [fail] (which must join two
-    switches and be working) and runs one scoped reconfiguration from
-    each endpoint with the given [radius] (default 2). Every switch is
-    assumed to hold the correct pre-failure topology (as a completed
-    global reconfiguration leaves it). [proc_delay] defaults to the
-    global runner's 100 us per message. *)
+(** [run_after_failure g ~fail] kills link [fail] (which must be
+    working and have at least one switch endpoint; a host attachment
+    has a single initiator, a switch-to-switch link two) and runs one
+    scoped reconfiguration from each initiating endpoint with the
+    given [radius] (default 2). Every switch is assumed to hold the
+    correct pre-failure topology (as a completed global
+    reconfiguration leaves it). [proc_delay] defaults to the global
+    runner's 100 us per message.
+
+    [scope] (default: everyone) restricts participation by membership
+    rather than distance: switches outside it are never invited, as if
+    every link to them were a region boundary. Pod-local repair is
+    [~scope:(Pods.in_pod pods ~pod) ~radius:max_int] — the flood
+    covers the pod and stops at its edge, whatever the pod's diameter.
+    Raises [Invalid_argument] if an initiator itself is out of
+    scope. *)

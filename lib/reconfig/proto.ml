@@ -29,9 +29,11 @@ type node = {
   mutable tag : Tag.t;
   mutable parent : int option;
   mutable children : int list;
+  mutable n_children : int;  (* length of [children], kept as a counter *)
   mutable pending_acks : int;
   mutable acks_done : bool;
   mutable reported_children : int list;
+  mutable n_reported : int;
   mutable collected : edge list;
   mutable sent_report : bool;
   mutable completed : (Tag.t * edge list) option;
@@ -43,9 +45,11 @@ let create_node ~id =
     tag = Tag.zero;
     parent = None;
     children = [];
+    n_children = 0;
     pending_acks = 0;
     acks_done = false;
     reported_children = [];
+    n_reported = 0;
     collected = [];
     sent_report = false;
     completed = None;
@@ -62,7 +66,7 @@ type action =
   | Completed of Tag.t
 
 type env = {
-  neighbors : unit -> int list;
+  neighbors : unit -> int array;
   local_edges : unit -> edge list;
 }
 
@@ -70,9 +74,11 @@ let reset_for n tag parent =
   n.tag <- tag;
   n.parent <- parent;
   n.children <- [];
+  n.n_children <- 0;
   n.pending_acks <- 0;
   n.acks_done <- false;
   n.reported_children <- [];
+  n.n_reported <- 0;
   n.collected <- [];
   n.sent_report <- false
 
@@ -81,17 +87,21 @@ let dedup_edges edges = List.sort_uniq compare_edge (List.map normalize_edge edg
 (* Collection is finished once every invitation has been answered and
    every accepted child has reported. *)
 let collection_done n =
-  n.acks_done
-  && List.length n.reported_children = List.length n.children
-  && not n.sent_report
+  n.acks_done && n.n_reported = n.n_children && not n.sent_report
 
 let finish_collection n env =
   n.sent_report <- true;
-  let full = dedup_edges (env.local_edges () @ n.collected) in
+  (* Delta reports: an interior node passes its own adjacency plus its
+     children's fragments up unsorted — O(degree) list work per node —
+     and only the root pays for one global sort/dedup. (Duplicates from
+     doubly-reported switch-to-switch edges ride along; they vanish in
+     the root's dedup.) *)
   match n.parent with
-  | Some p -> [ Send { dst = p; msg = Report (n.tag, full) } ]
+  | Some p ->
+    [ Send { dst = p; msg = Report (n.tag, env.local_edges () @ n.collected) } ]
   | None ->
     (* Root: topology acquisition complete; distribute down the tree. *)
+    let full = dedup_edges (env.local_edges () @ n.collected) in
     n.completed <- Some (n.tag, full);
     List.map (fun c -> Send { dst = c; msg = Distribute (n.tag, full) }) n.children
     @ [ Completed n.tag ]
@@ -103,14 +113,18 @@ let after_acks n env =
 let initiate_from n env base =
   let tag = Tag.next base ~initiator:n.id in
   reset_for n tag None;
-  match env.neighbors () with
-  | [] ->
+  let neighbors = env.neighbors () in
+  if Array.length neighbors = 0 then begin
     (* Isolated switch: it alone is the topology. *)
     n.acks_done <- true;
     finish_collection n env
-  | neighbors ->
-    n.pending_acks <- List.length neighbors;
-    List.map (fun s -> Send { dst = s; msg = Invite tag }) neighbors
+  end
+  else begin
+    n.pending_acks <- Array.length neighbors;
+    Array.fold_right
+      (fun s acc -> Send { dst = s; msg = Invite tag } :: acc)
+      neighbors []
+  end
 
 let initiate n env = initiate_from n env n.tag
 
@@ -119,11 +133,18 @@ let handle_invite n env ~from tag =
     (* Abort whatever configuration we were in and join this one as a
        child of the inviter. *)
     reset_for n tag (Some from);
-    let others = List.filter (fun s -> s <> from) (env.neighbors ()) in
-    n.pending_acks <- List.length others;
+    let neighbors = env.neighbors () in
+    let others = ref 0 in
+    Array.iter (fun s -> if s <> from then incr others) neighbors;
+    n.pending_acks <- !others;
     let accept = Send { dst = from; msg = Ack (tag, true) } in
-    let invites = List.map (fun s -> Send { dst = s; msg = Invite tag }) others in
-    let follow_up = if others = [] then after_acks n env else [] in
+    let invites =
+      Array.fold_right
+        (fun s acc ->
+          if s <> from then Send { dst = s; msg = Invite tag } :: acc else acc)
+        neighbors []
+    in
+    let follow_up = if !others = 0 then after_acks n env else [] in
     (accept :: invites) @ follow_up
   end
   else if Tag.equal tag n.tag then [ Send { dst = from; msg = Ack (tag, false) } ]
@@ -147,7 +168,10 @@ let handle_reject n env ~stale ~newer =
 
 let handle_ack n env ~from tag accepted =
   if Tag.equal tag n.tag && not n.acks_done && n.pending_acks > 0 then begin
-    if accepted then n.children <- from :: n.children;
+    if accepted then begin
+      n.children <- from :: n.children;
+      n.n_children <- n.n_children + 1
+    end;
     n.pending_acks <- n.pending_acks - 1;
     if n.pending_acks = 0 then after_acks n env else []
   end
@@ -160,6 +184,7 @@ let handle_report n env ~from tag edges =
     && not (List.mem from n.reported_children)
   then begin
     n.reported_children <- from :: n.reported_children;
+    n.n_reported <- n.n_reported + 1;
     n.collected <- edges @ n.collected;
     if collection_done n then finish_collection n env else []
   end

@@ -61,9 +61,12 @@ type action =
   | Completed of Tag.t
 
 type env = {
-  neighbors : unit -> int list;
+  neighbors : unit -> int array;
       (** switches adjacent over working links, per this node's local
-          knowledge at this instant *)
+          knowledge at this instant, in ascending (neighbor, link)
+          order with parallel links repeated. The node reads the array
+          during the call and never retains it, so the environment may
+          hand back a cached or shared buffer. *)
   local_edges : unit -> edge list;
       (** this node's own working adjacency (switch links and host
           attachments) *)

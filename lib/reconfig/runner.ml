@@ -1,5 +1,6 @@
 type params = {
   proc_delay : Netsim.Time.t;
+  edge_cost : Netsim.Time.t;
   horizon : Netsim.Time.t;
   control_loss : float;
   retransmit_after : Netsim.Time.t;
@@ -9,6 +10,7 @@ type params = {
 let default_params =
   {
     proc_delay = Netsim.Time.us 100;
+    edge_cost = 0;
     horizon = Netsim.Time.s 1;
     control_loss = 0.0;
     retransmit_after = Netsim.Time.ms 1;
@@ -56,34 +58,146 @@ let true_topology g ~root =
   Queue.add root queue;
   while not (Queue.is_empty queue) do
     let s = Queue.pop queue in
-    List.iter
-      (fun (s', _) ->
+    Topo.Graph.iter_switch_neighbors g s (fun s' _ ->
         if not in_component.(s') then begin
           in_component.(s') <- true;
           Queue.add s' queue
         end)
-      (Topo.Graph.switch_neighbors g s)
   done;
   let edges = ref [] in
   for s = 0 to n - 1 do
     if in_component.(s) then begin
-      List.iter
-        (fun (s', _) -> edges := Proto.Sw_edge (s, s') :: !edges)
-        (Topo.Graph.switch_neighbors g s);
-      List.iter
-        (fun (h, _) -> edges := Proto.Host_edge (s, h) :: !edges)
-        (Topo.Graph.hosts_of_switch g s)
+      Topo.Graph.iter_switch_neighbors g s (fun s' _ ->
+          edges := Proto.Sw_edge (s, s') :: !edges);
+      Topo.Graph.iter_hosts_of_switch g s (fun h _ ->
+          edges := Proto.Host_edge (s, h) :: !edges)
     end
   done;
   ( in_component,
     List.sort_uniq Proto.compare_edge (List.map Proto.normalize_edge !edges) )
 
+(* Truth oracle with a per-graph-version cache. [completed] actions
+   judge each switch's learned topology against its component's truth;
+   recomputing that per completion is O(V + E) each time — the scaling
+   killer on a fat-tree where every switch completes. One instance
+   labels components once per graph version and derives each
+   component's edge list once, so N completions between topology
+   changes cost one O(V + E) pass total. Each instance is single-owner:
+   the classic path makes one, the cluster path one per partition
+   (completions run on partition domains) plus one for the final
+   evaluation. *)
+let make_truth g =
+  let n = Topo.Graph.switch_count g in
+  let stamp = ref (-1) in
+  let comp = Array.make (max n 1) (-1) in
+  let edges : (int, Proto.edge list) Hashtbl.t = Hashtbl.create 8 in
+  let relabel () =
+    Array.fill comp 0 n (-1);
+    Hashtbl.reset edges;
+    let next = ref 0 in
+    let queue = Queue.create () in
+    for s0 = 0 to n - 1 do
+      if comp.(s0) < 0 then begin
+        let c = !next in
+        incr next;
+        comp.(s0) <- c;
+        Queue.add s0 queue;
+        while not (Queue.is_empty queue) do
+          let s = Queue.pop queue in
+          Topo.Graph.iter_switch_neighbors g s (fun s' _ ->
+              if comp.(s') < 0 then begin
+                comp.(s') <- c;
+                Queue.add s' queue
+              end)
+        done
+      end
+    done
+  in
+  fun ~root ->
+    let v = Topo.Graph.version g in
+    if v <> !stamp then begin
+      stamp := v;
+      relabel ()
+    end;
+    let c = comp.(root) in
+    match Hashtbl.find_opt edges c with
+    | Some es -> es
+    | None ->
+      let acc = ref [] in
+      for s = 0 to n - 1 do
+        if comp.(s) = c then begin
+          Topo.Graph.iter_switch_neighbors g s (fun s' _ ->
+              acc := Proto.Sw_edge (s, s') :: !acc);
+          Topo.Graph.iter_hosts_of_switch g s (fun h _ ->
+              acc := Proto.Host_edge (s, h) :: !acc)
+        end
+      done;
+      let es =
+        List.sort_uniq Proto.compare_edge (List.map Proto.normalize_edge !acc)
+      in
+      Hashtbl.add edges c es;
+      es
+
+(* Per-switch protocol environments over cached neighbor arrays: the
+   protocol reads its working neighbors on every invite, and
+   re-deriving a list from the graph per message is O(links) in
+   aggregate. The arrays are rebuilt per switch only when the graph
+   version moves (a mid-run [event]); between changes every env read
+   is O(1). Single-owner like [make_truth]: each switch's env is only
+   exercised from the engine that owns the switch, and the graph only
+   changes while engines are quiescent. *)
+let make_envs g =
+  let n = Topo.Graph.switch_count g in
+  let stamp = Array.make (max n 1) (-1) in
+  let arrays = Array.make (max n 1) [||] in
+  let neighbors_of id =
+    let v = Topo.Graph.version g in
+    if stamp.(id) <> v then begin
+      let deg = Topo.Graph.switch_degree g id in
+      let a = Array.make deg 0 in
+      let i = ref 0 in
+      Topo.Graph.iter_switch_neighbors g id (fun s' _ ->
+          a.(!i) <- s';
+          incr i);
+      arrays.(id) <- a;
+      stamp.(id) <- v
+    end;
+    arrays.(id)
+  in
+  fun id ->
+    {
+      Proto.neighbors = (fun () -> neighbors_of id);
+      local_edges =
+        (fun () ->
+          (* switch links then host attachments, each ascending — the
+             order the list-based env always produced *)
+          let sw = ref [] and ho = ref [] in
+          Topo.Graph.iter_switch_neighbors g id (fun s' _ ->
+              sw := Proto.Sw_edge (id, s') :: !sw);
+          Topo.Graph.iter_hosts_of_switch g id (fun h _ ->
+              ho := Proto.Host_edge (id, h) :: !ho);
+          List.rev_append !sw (List.rev !ho));
+    }
+
+(* Line-card handling time of one message: the flat per-message cost
+   plus, when the caller models payload-dependent processing
+   ([edge_cost] > 0), a per-edge cost for the topology fragments in
+   Report/Distribute payloads. The default [edge_cost = 0] keeps the
+   historical timing byte-for-byte. *)
+let handling_delay params msg =
+  if params.edge_cost = 0 then params.proc_delay
+  else
+    match msg with
+    | Proto.Report (_, es) | Proto.Distribute (_, es) ->
+      params.proc_delay + (params.edge_cost * List.length es)
+    | Proto.Invite _ | Proto.Ack _ | Proto.Reject _ -> params.proc_delay
+
 (* Post-run judgment, shared by the single-engine and cluster paths:
    everything it reads is quiescent by the time it runs on the calling
    domain. [find_join] abstracts where the per-(switch, tag) first-join
    times live (one table classically, one per partition clustered). *)
-let evaluate ~obs ~g ~nodes ~first_trigger ~completion ~find_join ~messages
-    ~wire_transmissions ~completions =
+let evaluate ~obs ~g ~truth ~nodes ~first_trigger ~completion ~find_join
+    ~messages ~wire_transmissions ~completions =
   let n = Topo.Graph.switch_count g in
   let obs_on = obs.Obs.Sink.enabled in
   let c_wire = Obs.Sink.counter obs "reconfig.wire_transmissions" in
@@ -97,7 +211,7 @@ let evaluate ~obs ~g ~nodes ~first_trigger ~completion ~find_join ~messages
       Tag.zero nodes
   in
   let root = final_tag.Tag.initiator in
-  let in_component, truth = true_topology g ~root in
+  let in_component, winner_truth = true_topology g ~root in
   let all_done = ref true
   and last_done = ref first_trigger
   and agreement = ref true
@@ -109,7 +223,7 @@ let evaluate ~obs ~g ~nodes ~first_trigger ~completion ~find_join ~messages
         if at > !last_done then last_done := at;
         (match Proto.completed nodes.(s) with
          | Some (_, topo) ->
-           if topo <> truth then begin
+           if topo <> winner_truth then begin
              agreement := false;
              topology_correct := false
            end
@@ -173,7 +287,7 @@ let evaluate ~obs ~g ~nodes ~first_trigger ~completion ~find_join ~messages
         let view_tag = Proto.current_tag nodes.(s) in
         match (Proto.completed nodes.(s), completion.(s)) with
         | Some (t, topo), Some (t', at) when Tag.equal t t' ->
-          let _, truth_s = true_topology g ~root:s in
+          let truth_s = truth ~root:s in
           {
             view_tag;
             view_completed = Some t;
@@ -231,25 +345,16 @@ let run_single ~params ~obs ~heartbeat ~events g ~triggers =
   let c_completed = Obs.Sink.counter obs "reconfig.switches.completed" in
   let completion = Array.make n None in
   (* First time each switch joined each configuration (for the phase
-     breakdown of the winning one). *)
-  let joins : (int * Tag.t, Netsim.Time.t) Hashtbl.t = Hashtbl.create 64 in
-  let env_of id =
-    {
-      Proto.neighbors =
-        (fun () -> List.map fst (Topo.Graph.switch_neighbors g id));
-      local_edges =
-        (fun () ->
-          List.map (fun (s', _) -> Proto.Sw_edge (id, s'))
-            (Topo.Graph.switch_neighbors g id)
-          @ List.map (fun (h, _) -> Proto.Host_edge (id, h))
-              (Topo.Graph.hosts_of_switch g id));
-    }
+     breakdown of the winning one). Sized for a few configurations per
+     switch. *)
+  let joins : (int * Tag.t, Netsim.Time.t) Hashtbl.t =
+    Hashtbl.create (max 64 (4 * n))
   in
+  let truth = make_truth g in
+  let env_of = make_envs g in
   let link_latency src dst =
-    match
-      List.find_opt (fun (s', _) -> s' = dst) (Topo.Graph.switch_neighbors g src)
-    with
-    | Some (_, lid) -> Some (Topo.Graph.link g lid).Topo.Graph.latency
+    match Topo.Graph.switch_link g src dst with
+    | Some lid -> Some (Topo.Graph.link g lid).Topo.Graph.latency
     | None -> None
   in
   (* All control traffic crosses the wire through a reliable go-back-N
@@ -257,8 +362,9 @@ let run_single ~params ~obs ~heartbeat ~events g ~triggers =
      assumes); with [control_loss = 0] it degenerates to a plain
      latency. *)
   let loss_rng = Netsim.Rng.create params.seed in
+  (* one channel per directed link in steady state: ~4 per switch *)
   let channels : (int * int, Proto.message Reliable.t) Hashtbl.t =
-    Hashtbl.create 64
+    Hashtbl.create (max 64 (4 * n))
   in
   let rec channel ~src ~dst latency =
     match Hashtbl.find_opt channels (src, dst) with
@@ -276,7 +382,7 @@ let run_single ~params ~obs ~heartbeat ~events g ~triggers =
           ~deliver:(fun msg ->
             (* Line-card software handles the message after its
                processing delay. *)
-            Netsim.Engine.post engine ~delay:params.proc_delay
+            Netsim.Engine.post engine ~delay:(handling_delay params msg)
               (fun () ->
                 incr messages;
                 deliver ~src ~dst msg))
@@ -295,9 +401,7 @@ let run_single ~params ~obs ~heartbeat ~events g ~triggers =
              this configuration was discovering. *)
           let ok =
             match Proto.completed nodes.(src) with
-            | Some (t, topo) when Tag.equal t tag ->
-              let _, truth = true_topology g ~root:src in
-              topo = truth
+            | Some (t, topo) when Tag.equal t tag -> topo = truth ~root:src
             | _ -> false
           in
           completions_log := (src, tag, at, ok) :: !completions_log;
@@ -365,7 +469,7 @@ let run_single ~params ~obs ~heartbeat ~events g ~triggers =
   let wire_transmissions =
     Hashtbl.fold (fun _ ch acc -> acc + Reliable.transmissions ch) channels 0
   in
-  evaluate ~obs ~g ~nodes ~first_trigger ~completion
+  evaluate ~obs ~g ~truth ~nodes ~first_trigger ~completion
     ~find_join:(fun s tag -> Hashtbl.find_opt joins (s, tag))
     ~messages:!messages ~wire_transmissions
     ~completions:(List.rev !completions_log)
@@ -419,7 +523,7 @@ let run_cluster ~params ~obs ~heartbeat ~events ~partitions ~domains g
   let completions_log = Array.make parts [] in
   let completion = Array.make n None in
   let joins : (int * Tag.t, Netsim.Time.t) Hashtbl.t array =
-    Array.init parts (fun _ -> Hashtbl.create 64)
+    Array.init parts (fun _ -> Hashtbl.create (max 64 (4 * n / parts)))
   in
   (* Independent loss stream per partition: a partition's draws happen
      in its own deterministic event order, so the streams stay stable
@@ -429,8 +533,17 @@ let run_cluster ~params ~obs ~heartbeat ~events ~partitions ~domains g
         Netsim.Rng.create (params.seed + ((p + 1) * 0x2545f4914f6cdd1)))
   in
   let channels : (int * int, Proto.message Reliable.t) Hashtbl.t array =
-    Array.init parts (fun _ -> Hashtbl.create 64)
+    Array.init parts (fun _ -> Hashtbl.create (max 64 (4 * n / parts)))
   in
+  (* Per-partition truth oracles (completion-time judgments run on
+     partition domains; each oracle's cache is single-owner) and one
+     shared env factory — its per-switch slots are only ever touched by
+     the partition that owns the switch. The graph's adjacency index is
+     warmed here, before workers spawn: fail/restore events never
+     invalidate it, so no domain rebuilds it mid-run. *)
+  (if n > 0 then ignore (Topo.Graph.switch_degree g 0));
+  let truths = Array.init parts (fun _ -> make_truth g) in
+  let env_of = make_envs g in
   let pcounter name = Array.map (fun s -> Obs.Sink.counter s name) sinks in
   let c_messages = pcounter "reconfig.messages" in
   let c_invite = pcounter "reconfig.msg.invite" in
@@ -439,23 +552,9 @@ let run_cluster ~params ~obs ~heartbeat ~events ~partitions ~domains g
   let c_distribute = pcounter "reconfig.msg.distribute" in
   let c_reject = pcounter "reconfig.msg.reject" in
   let c_completed = pcounter "reconfig.switches.completed" in
-  let env_of id =
-    {
-      Proto.neighbors =
-        (fun () -> List.map fst (Topo.Graph.switch_neighbors g id));
-      local_edges =
-        (fun () ->
-          List.map (fun (s', _) -> Proto.Sw_edge (id, s'))
-            (Topo.Graph.switch_neighbors g id)
-          @ List.map (fun (h, _) -> Proto.Host_edge (id, h))
-              (Topo.Graph.hosts_of_switch g id));
-    }
-  in
   let link_latency src dst =
-    match
-      List.find_opt (fun (s', _) -> s' = dst) (Topo.Graph.switch_neighbors g src)
-    with
-    | Some (_, lid) -> Some (Topo.Graph.link g lid).Topo.Graph.latency
+    match Topo.Graph.switch_link g src dst with
+    | Some lid -> Some (Topo.Graph.link g lid).Topo.Graph.latency
     | None -> None
   in
   (* Control messages cross partitions through the cluster's send
@@ -489,7 +588,7 @@ let run_cluster ~params ~obs ~heartbeat ~events ~partitions ~domains g
         Reliable.create_over ~wire ~retransmit_after:params.retransmit_after
           ~window:32
           ~deliver:(fun msg ->
-            Netsim.Engine.post engines.(dp) ~delay:params.proc_delay
+            Netsim.Engine.post engines.(dp) ~delay:(handling_delay params msg)
               (fun () ->
                 messages.(dp) <- messages.(dp) + 1;
                 deliver ~src ~dst msg))
@@ -506,8 +605,7 @@ let run_cluster ~params ~obs ~heartbeat ~events ~partitions ~domains g
           let ok =
             match Proto.completed nodes.(src) with
             | Some (t, topo) when Tag.equal t tag ->
-              let _, truth = true_topology g ~root:src in
-              topo = truth
+              topo = truths.(sp) ~root:src
             | _ -> false
           in
           completions_log.(sp) <- (src, tag, at, ok) :: completions_log.(sp);
@@ -593,7 +691,7 @@ let run_cluster ~params ~obs ~heartbeat ~events ~partitions ~domains g
         | c -> c)
       (List.concat_map List.rev (Array.to_list completions_log))
   in
-  evaluate ~obs ~g ~nodes ~first_trigger ~completion
+  evaluate ~obs ~g ~truth:(make_truth g) ~nodes ~first_trigger ~completion
     ~find_join:(fun s tag -> Hashtbl.find_opt joins.(part.(s)) (s, tag))
     ~messages:messages_total ~wire_transmissions ~completions
 

@@ -6,6 +6,14 @@
 type params = {
   proc_delay : Netsim.Time.t;
       (** line-card software time to handle one protocol message *)
+  edge_cost : Netsim.Time.t;
+      (** additional handling time {e per edge} carried in a Report or
+          Distribute payload, modelling payload-proportional line-card
+          work (parse, validate, install). [0] (the default) keeps every
+          message at the flat [proc_delay] — historical behavior,
+          byte-for-byte. At scale this is what separates hierarchical
+          from global repair: a global reconfiguration's payloads grow
+          with the fabric, a pod-scoped one's do not. *)
   horizon : Netsim.Time.t;  (** give up after this much simulated time *)
   control_loss : float;
       (** drop probability per control-cell transmission; the {!Reliable}

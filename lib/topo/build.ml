@@ -130,6 +130,105 @@ let src_lan ?(hosts = 24) () =
   done;
   g
 
+(* k-ary fat-tree with dual-homed hosts.
+
+   Layout (all ids deterministic):
+   - pod [p] owns switches [p*k .. p*k + k - 1]: the first k/2 are edge
+     (ToR) switches, the last k/2 aggregation switches;
+   - core switches are [k^2 .. k^2 + (k/2)^2 - 1]; aggregation switch
+     number [j] of every pod connects to core group [j], i.e. cores
+     [j*(k/2) .. j*(k/2) + k/2 - 1];
+   - each pod carries (k/2)^2 hosts; host m of edge switch e is
+     dual-homed to edge e (primary) and edge (e+1) mod k/2 (secondary)
+     of the same pod.
+
+   Link ids come in three contiguous bands, which experiments rely on:
+   [0 .. k^3/4)       intra-pod edge-aggregation links (pod-scoped)
+   [k^3/4 .. k^3/2)   aggregation-core links (global)
+   [k^3/2 .. k^3)     host attachments (pod-scoped)
+
+   Counts: 5k^2/4 switches, k^3/4 hosts, k^3 links. *)
+let fat_tree ~k =
+  if k < 4 || k mod 2 <> 0 then
+    invalid_arg "Build.fat_tree: k must be even and >= 4";
+  let half = k / 2 in
+  let n_core = half * half in
+  let n_switches = (k * k) + n_core in
+  let g = Graph.create ~ports_per_switch:(3 * half) ~ports_per_host:2 () in
+  Graph.add_switches g n_switches;
+  let edge p e = (p * k) + e in
+  let agg p j = (p * k) + half + j in
+  let core_id j c = (k * k) + (j * half) + c in
+  (* Band 1: intra-pod edge-to-aggregation meshes. *)
+  for p = 0 to k - 1 do
+    for e = 0 to half - 1 do
+      for j = 0 to half - 1 do
+        ignore (Graph.connect g (Switch (edge p e)) (Switch (agg p j)))
+      done
+    done
+  done;
+  (* Band 2: aggregation-to-core. *)
+  for p = 0 to k - 1 do
+    for j = 0 to half - 1 do
+      for c = 0 to half - 1 do
+        ignore (Graph.connect g (Switch (agg p j)) (Switch (core_id j c)))
+      done
+    done
+  done;
+  (* Band 3: dual-homed hosts. *)
+  for p = 0 to k - 1 do
+    for e = 0 to half - 1 do
+      for _ = 0 to half - 1 do
+        let h = Graph.add_host g in
+        ignore (Graph.connect g (Host h) (Switch (edge p e)));
+        ignore (Graph.connect g (Host h) (Switch (edge p ((e + 1) mod half))))
+      done
+    done
+  done;
+  let pod_of = Array.make n_switches (-1) in
+  for p = 0 to k - 1 do
+    for i = 0 to k - 1 do
+      pod_of.((p * k) + i) <- p
+    done
+  done;
+  (g, Pods.make ~pod_of ~n_pods:k)
+
+(* Two-tier folded Clos (leaf-spine) with pods = leaf pairs: leaves are
+   switches [0 .. radix - 1], spines [radix .. radix + radix/2 - 1];
+   every leaf links to every spine (in leaf-major order), then radix/2
+   hosts per leaf are added dual-homed across the leaf's pair. All
+   leaf-spine links are global — a two-tier fabric has no pod-internal
+   switch links — so pod-scoped repair only covers host attachments. *)
+let folded_clos ~radix ~tiers =
+  match tiers with
+  | 3 -> fat_tree ~k:radix
+  | 2 ->
+    if radix < 4 || radix mod 2 <> 0 then
+      invalid_arg "Build.folded_clos: radix must be even and >= 4";
+    let half = radix / 2 in
+    let n_switches = radix + half in
+    let g = Graph.create ~ports_per_switch:(3 * half) ~ports_per_host:2 () in
+    Graph.add_switches g n_switches;
+    for leaf = 0 to radix - 1 do
+      for spine = 0 to half - 1 do
+        ignore (Graph.connect g (Switch leaf) (Switch (radix + spine)))
+      done
+    done;
+    for leaf = 0 to radix - 1 do
+      let buddy = if leaf mod 2 = 0 then leaf + 1 else leaf - 1 in
+      for _ = 0 to half - 1 do
+        let h = Graph.add_host g in
+        ignore (Graph.connect g (Host h) (Switch leaf));
+        ignore (Graph.connect g (Host h) (Switch buddy))
+      done
+    done;
+    let pod_of = Array.make n_switches (-1) in
+    for leaf = 0 to radix - 1 do
+      pod_of.(leaf) <- leaf / 2
+    done;
+    (g, Pods.make ~pod_of ~n_pods:half)
+  | _ -> invalid_arg "Build.folded_clos: tiers must be 2 or 3"
+
 let with_host_pair g =
   let n = Graph.switch_count g in
   if n = 0 then invalid_arg "Build.with_host_pair: no switches";

@@ -43,6 +43,22 @@ val src_lan : ?hosts:int -> unit -> Graph.t
     and [hosts] (default 24) hosts dual-homed to two adjacent edge
     switches. 10 switches total, AN1-like redundancy. *)
 
+val fat_tree : k:int -> Graph.t * Pods.t
+(** k-ary fat-tree ([k] even, >= 4): [5k^2/4] switches (k pods of k/2
+    edge + k/2 aggregation switches, plus [(k/2)^2] core), [k^3/4]
+    hosts each dual-homed to two distinct edge switches of its pod,
+    [k^3] links. Ids are deterministic: pod [p] owns switches
+    [p*k .. p*k+k-1] (edge first), core switches come last; link ids
+    fall in three contiguous bands — intra-pod edge-aggregation links
+    in [0, k^3/4), global aggregation-core links in [k^3/4, k^3/2),
+    host attachments in [k^3/2, k^3). *)
+
+val folded_clos : radix:int -> tiers:int -> Graph.t * Pods.t
+(** Folded-Clos fabric. [tiers = 3] is {!fat_tree}[ ~k:radix];
+    [tiers = 2] is a leaf-spine with [radix] leaves, [radix/2] spines,
+    pods formed by adjacent leaf pairs and [radix/2] dual-homed hosts
+    per leaf. Other tier counts are rejected. *)
+
 val with_host_pair : Graph.t -> int * int
 (** Attach one host to the lowest-numbered switch and one to the
     highest-numbered switch; returns their host ids. Convenient for

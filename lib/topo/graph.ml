@@ -32,56 +32,80 @@ type link = {
   mutable fail_causes : int;
 }
 
-type node_info = { n_ports : int; mutable used_ports : int list }
+(* Struct-of-arrays storage. Nodes are just used-port counters (ports
+   are allocated lowest-first and never freed, so the count IS the next
+   free port); links live in a dense array indexed by link id; the
+   working/dead state is mirrored into bitset words ([Bits.max_size]
+   link bits per word) so link-state tests and scans touch one int.
+
+   Adjacency is a CSR (compressed sparse row) built lazily: [sw_adj]
+   holds link ids grouped per switch between offsets [sw_off.(s)] and
+   [sw_off.(s+1)], each group sorted by (other-node kind, other id,
+   link id) — switch neighbors first, then host attachments, each in
+   the (other, link) order the list API documents. Structural changes
+   (add/connect) only mark the CSR dirty; fail/restore never touch it,
+   so failure churn on a frozen topology is allocation-free. *)
+
+let word_bits = Netsim.Bits.max_size
 
 type t = {
   sw_ports : int;
   host_ports : int;
-  mutable switches : node_info array;
   mutable n_switches : int;
-  mutable hosts : node_info array;
+  mutable sw_used : int array;  (* used (= next free) port per switch *)
   mutable n_hosts : int;
-  mutable link_list : link list;  (* reverse creation order *)
+  mutable host_used : int array;
   mutable n_links : int;
-  link_tbl : (int, link) Hashtbl.t;
-  (* incident links per node, by id *)
-  sw_incident : (int, int list ref) Hashtbl.t;
-  host_incident : (int, int list ref) Hashtbl.t;
+  mutable link_arr : link array;  (* index = link id; dense prefix *)
+  mutable working : int array;  (* bitset words over link ids *)
+  mutable version : int;  (* bumped on any mutation, keys caches *)
+  mutable csr_valid : bool;
+  mutable sw_off : int array;  (* n_switches + 1 offsets into sw_adj *)
+  mutable sw_adj : int array;  (* link ids, per-switch sorted groups *)
+  mutable host_off : int array;
+  mutable host_adj : int array;
 }
 
 let create ?(ports_per_switch = 16) ?(ports_per_host = 2) () =
   {
     sw_ports = ports_per_switch;
     host_ports = ports_per_host;
-    switches = [||];
     n_switches = 0;
-    hosts = [||];
+    sw_used = [||];
     n_hosts = 0;
-    link_list = [];
+    host_used = [||];
     n_links = 0;
-    link_tbl = Hashtbl.create 64;
-    sw_incident = Hashtbl.create 64;
-    host_incident = Hashtbl.create 64;
+    link_arr = [||];
+    working = [||];
+    version = 0;
+    csr_valid = false;
+    sw_off = [| 0 |];
+    sw_adj = [||];
+    host_off = [| 0 |];
+    host_adj = [||];
   }
 
-let push_node arr n info =
+let version t = t.version
+
+let push_int arr n v =
   let cap = Array.length arr in
   if n = cap then begin
-    let ncap = if cap = 0 then 8 else cap * 2 in
-    let narr = Array.make ncap info in
+    let narr = Array.make (if cap = 0 then 8 else cap * 2) 0 in
     Array.blit arr 0 narr 0 n;
-    narr.(n) <- info;
+    narr.(n) <- v;
     narr
-  end else begin
-    arr.(n) <- info;
+  end
+  else begin
+    arr.(n) <- v;
     arr
   end
 
 let add_switch t =
   let id = t.n_switches in
-  t.switches <- push_node t.switches id { n_ports = t.sw_ports; used_ports = [] };
+  t.sw_used <- push_int t.sw_used id 0;
   t.n_switches <- id + 1;
-  Hashtbl.add t.sw_incident id (ref []);
+  t.csr_valid <- false;
+  t.version <- t.version + 1;
   id
 
 let add_switches t n =
@@ -91,34 +115,41 @@ let add_switches t n =
 
 let add_host t =
   let id = t.n_hosts in
-  t.hosts <- push_node t.hosts id { n_ports = t.host_ports; used_ports = [] };
+  t.host_used <- push_int t.host_used id 0;
   t.n_hosts <- id + 1;
-  Hashtbl.add t.host_incident id (ref []);
+  t.csr_valid <- false;
+  t.version <- t.version + 1;
   id
 
-let node_info t = function
+let check_node t = function
+  | Switch s -> if s < 0 || s >= t.n_switches then invalid_arg "Graph: bad switch id"
+  | Host h -> if h < 0 || h >= t.n_hosts then invalid_arg "Graph: bad host id"
+
+(* Next free port of a node, or None when the node is full. *)
+let free_port t = function
   | Switch s ->
-    if s < 0 || s >= t.n_switches then invalid_arg "Graph: bad switch id";
-    t.switches.(s)
+    let p = t.sw_used.(s) in
+    if p >= t.sw_ports then None else Some p
   | Host h ->
-    if h < 0 || h >= t.n_hosts then invalid_arg "Graph: bad host id";
-    t.hosts.(h)
+    let p = t.host_used.(h) in
+    if p >= t.host_ports then None else Some p
 
-let free_port info =
-  let rec find p = if List.mem p info.used_ports then find (p + 1) else p in
-  let p = find 0 in
-  if p >= info.n_ports then None else Some p
+let take_port t = function
+  | Switch s -> t.sw_used.(s) <- t.sw_used.(s) + 1
+  | Host h -> t.host_used.(h) <- t.host_used.(h) + 1
 
-let incident t = function
-  | Switch s -> Hashtbl.find t.sw_incident s
-  | Host h -> Hashtbl.find t.host_incident h
+let set_working_bit t id on =
+  let w = id / word_bits and b = id mod word_bits in
+  if on then t.working.(w) <- t.working.(w) lor (1 lsl b)
+  else t.working.(w) <- t.working.(w) land lnot (1 lsl b)
 
 let connect ?(latency = Netsim.Time.us 1) t n1 n2 =
-  let i1 = node_info t n1 and i2 = node_info t n2 in
-  match (free_port i1, free_port i2) with
+  check_node t n1;
+  check_node t n2;
+  match (free_port t n1, free_port t n2) with
   | Some p1, Some p2 ->
-    i1.used_ports <- p1 :: i1.used_ports;
-    i2.used_ports <- p2 :: i2.used_ports;
+    take_port t n1;
+    take_port t n2;
     let id = t.n_links in
     let link =
       {
@@ -130,12 +161,23 @@ let connect ?(latency = Netsim.Time.us 1) t n1 n2 =
         fail_causes = 0;
       }
     in
+    let cap = Array.length t.link_arr in
+    if id = cap then begin
+      let narr = Array.make (if cap = 0 then 16 else cap * 2) link in
+      Array.blit t.link_arr 0 narr 0 id;
+      t.link_arr <- narr
+    end
+    else t.link_arr.(id) <- link;
     t.n_links <- id + 1;
-    t.link_list <- link :: t.link_list;
-    Hashtbl.add t.link_tbl id link;
-    let r1 = incident t n1 and r2 = incident t n2 in
-    r1 := id :: !r1;
-    r2 := id :: !r2;
+    let words = (t.n_links + word_bits - 1) / word_bits in
+    if words > Array.length t.working then begin
+      let nw = Array.make (max words (2 * Array.length t.working)) 0 in
+      Array.blit t.working 0 nw 0 (Array.length t.working);
+      t.working <- nw
+    end;
+    set_working_bit t id true;
+    t.csr_valid <- false;
+    t.version <- t.version + 1;
     id
   | None, _ -> Format.kasprintf failwith "Graph.connect: no free port on %a" pp_node n1
   | _, None -> Format.kasprintf failwith "Graph.connect: no free port on %a" pp_node n2
@@ -146,31 +188,110 @@ let link_count t = t.n_links
 let ports_per_switch t = t.sw_ports
 
 let link t id =
-  match Hashtbl.find_opt t.link_tbl id with
-  | Some l -> l
-  | None -> invalid_arg (Printf.sprintf "Graph.link: unknown link %d" id)
+  if id < 0 || id >= t.n_links then
+    invalid_arg (Printf.sprintf "Graph.link: unknown link %d" id);
+  t.link_arr.(id)
 
-let links t = List.rev t.link_list
+let links t = List.init t.n_links (fun i -> t.link_arr.(i))
 
-let add_cause l c =
+let other_end l node =
+  if l.a.node = node then l.b
+  else if l.b.node = node then l.a
+  else invalid_arg "Graph.other_end: node not on link"
+
+(* CSR (re)build: count degrees, prefix-sum into offsets, fill, then
+   sort each group. Cost O(V + E log maxdeg), paid once per batch of
+   structural changes — a query after N connects rebuilds once. *)
+
+(* Sort key of incident link [lid] seen from [node]: switch neighbors
+   before host attachments, then by other id, then by link id — the
+   order the list API has always returned. Node and link ids fit
+   comfortably in the shifted fields on 64-bit. *)
+let adj_key t node lid =
+  let l = t.link_arr.(lid) in
+  let kind, other =
+    match (other_end l node).node with
+    | Switch s -> (0, s)
+    | Host h -> (1, h)
+  in
+  (((kind lsl 30) lor other) lsl 31) lor lid
+
+let sort_group t node adj lo hi =
+  (* insertion sort: groups are node degrees, small and mostly sorted *)
+  for i = lo + 1 to hi - 1 do
+    let v = adj.(i) in
+    let k = adj_key t node v in
+    let j = ref (i - 1) in
+    while !j >= lo && adj_key t node adj.(!j) > k do
+      adj.(!j + 1) <- adj.(!j);
+      decr j
+    done;
+    adj.(!j + 1) <- v
+  done
+
+let rebuild_csr t =
+  let ns = t.n_switches and nh = t.n_hosts in
+  let sw_off = Array.make (ns + 1) 0 in
+  let host_off = Array.make (nh + 1) 0 in
+  let bump = function
+    | Switch s -> sw_off.(s + 1) <- sw_off.(s + 1) + 1
+    | Host h -> host_off.(h + 1) <- host_off.(h + 1) + 1
+  in
+  for i = 0 to t.n_links - 1 do
+    let l = t.link_arr.(i) in
+    bump l.a.node;
+    bump l.b.node
+  done;
+  for s = 1 to ns do
+    sw_off.(s) <- sw_off.(s) + sw_off.(s - 1)
+  done;
+  for h = 1 to nh do
+    host_off.(h) <- host_off.(h) + host_off.(h - 1)
+  done;
+  let sw_adj = Array.make sw_off.(ns) 0 in
+  let host_adj = Array.make host_off.(nh) 0 in
+  let sw_fill = Array.copy sw_off and host_fill = Array.copy host_off in
+  let place lid = function
+    | Switch s ->
+      sw_adj.(sw_fill.(s)) <- lid;
+      sw_fill.(s) <- sw_fill.(s) + 1
+    | Host h ->
+      host_adj.(host_fill.(h)) <- lid;
+      host_fill.(h) <- host_fill.(h) + 1
+  in
+  for i = 0 to t.n_links - 1 do
+    let l = t.link_arr.(i) in
+    place i l.a.node;
+    place i l.b.node
+  done;
+  for s = 0 to ns - 1 do
+    sort_group t (Switch s) sw_adj sw_off.(s) sw_off.(s + 1)
+  done;
+  for h = 0 to nh - 1 do
+    sort_group t (Host h) host_adj host_off.(h) host_off.(h + 1)
+  done;
+  t.sw_off <- sw_off;
+  t.sw_adj <- sw_adj;
+  t.host_off <- host_off;
+  t.host_adj <- host_adj;
+  t.csr_valid <- true
+
+let ensure_csr t = if not t.csr_valid then rebuild_csr t
+
+let add_cause t l c =
   l.fail_causes <- l.fail_causes lor c;
-  l.state <- Dead
+  l.state <- Dead;
+  set_working_bit t l.link_id false;
+  t.version <- t.version + 1
 
-let remove_cause l c =
+let remove_cause t l c =
   l.fail_causes <- l.fail_causes land lnot c;
-  l.state <- (if l.fail_causes = 0 then Working else Dead)
+  l.state <- (if l.fail_causes = 0 then Working else Dead);
+  set_working_bit t l.link_id (l.state = Working);
+  t.version <- t.version + 1
 
-let fail_link t id = add_cause (link t id) cause_explicit
-let restore_link t id = remove_cause (link t id) cause_explicit
-
-let incident_links t node =
-  match
-    match node with
-    | Switch s -> Hashtbl.find_opt t.sw_incident s
-    | Host h -> Hashtbl.find_opt t.host_incident h
-  with
-  | Some r -> !r
-  | None -> invalid_arg "Graph: unknown node"
+let fail_link t id = add_cause t (link t id) cause_explicit
+let restore_link t id = remove_cause t (link t id) cause_explicit
 
 (* The crash cause for switch [s] on link [l]: which endpoint it is. *)
 let crash_cause l s =
@@ -178,59 +299,79 @@ let crash_cause l s =
   else if l.b.node = Switch s then cause_crash_b
   else invalid_arg "Graph: switch not on link"
 
+let iter_incident t node f =
+  check_node t node;
+  ensure_csr t;
+  match node with
+  | Switch s ->
+    for i = t.sw_off.(s) to t.sw_off.(s + 1) - 1 do
+      f t.sw_adj.(i)
+    done
+  | Host h ->
+    for i = t.host_off.(h) to t.host_off.(h + 1) - 1 do
+      f t.host_adj.(i)
+    done
+
 let fail_switch t s =
-  List.iter
-    (fun id ->
-      let l = link t id in
-      add_cause l (crash_cause l s))
-    (incident_links t (Switch s))
+  iter_incident t (Switch s) (fun id ->
+      let l = t.link_arr.(id) in
+      add_cause t l (crash_cause l s))
 
 let restore_switch t s =
-  List.iter
-    (fun id ->
-      let l = link t id in
-      remove_cause l (crash_cause l s))
-    (incident_links t (Switch s))
+  iter_incident t (Switch s) (fun id ->
+      let l = t.link_arr.(id) in
+      remove_cause t l (crash_cause l s))
 
 let link_working t id = (link t id).state = Working
 
-let other_end l node =
-  if l.a.node = node then l.b
-  else if l.b.node = node then l.a
-  else invalid_arg "Graph.other_end: node not on link"
+let working_unchecked t id =
+  t.working.(id / word_bits) land (1 lsl (id mod word_bits)) <> 0
 
-let switch_neighbors t s =
-  incident_links t (Switch s)
-  |> List.filter_map (fun id ->
-      let l = link t id in
-      if l.state <> Working then None
-      else
+let iter_switch_neighbors t s f =
+  iter_incident t (Switch s) (fun id ->
+      if working_unchecked t id then
+        let l = t.link_arr.(id) in
         match (other_end l (Switch s)).node with
-        | Switch s' -> Some (s', id)
-        | Host _ -> None)
-  |> List.sort compare
+        | Switch s' -> f s' id
+        | Host _ -> ())
 
-let host_links t h =
-  incident_links t (Host h)
-  |> List.filter_map (fun id ->
-      let l = link t id in
-      if l.state <> Working then None
-      else
+let iter_hosts_of_switch t s f =
+  iter_incident t (Switch s) (fun id ->
+      if working_unchecked t id then
+        let l = t.link_arr.(id) in
+        match (other_end l (Switch s)).node with
+        | Host h -> f h id
+        | Switch _ -> ())
+
+let iter_host_links t h f =
+  iter_incident t (Host h) (fun id ->
+      if working_unchecked t id then
+        let l = t.link_arr.(id) in
         match (other_end l (Host h)).node with
-        | Switch s -> Some (s, id)
-        | Host _ -> None)
-  |> List.sort compare
+        | Switch s -> f s id
+        | Host _ -> ())
 
-let hosts_of_switch t s =
-  incident_links t (Switch s)
-  |> List.filter_map (fun id ->
-      let l = link t id in
-      if l.state <> Working then None
-      else
-        match (other_end l (Switch s)).node with
-        | Host h -> Some (h, id)
-        | Switch _ -> None)
-  |> List.sort compare
+let switch_degree t s =
+  let n = ref 0 in
+  iter_switch_neighbors t s (fun _ _ -> incr n);
+  !n
+
+let switch_link t s s' =
+  let found = ref None in
+  iter_switch_neighbors t s (fun o id ->
+      if o = s' && !found = None then found := Some id);
+  !found
+
+(* CSR groups are already in (other, link) order, so collecting
+   front-to-back and reversing once reproduces the sorted lists. *)
+let collect iter =
+  let acc = ref [] in
+  iter (fun a b -> acc := (a, b) :: !acc);
+  List.rev !acc
+
+let switch_neighbors t s = collect (iter_switch_neighbors t s)
+let host_links t h = collect (iter_host_links t h)
+let hosts_of_switch t s = collect (iter_hosts_of_switch t s)
 
 let reachable_switches t start =
   if t.n_switches = 0 then 0
@@ -243,13 +384,11 @@ let reachable_switches t start =
     while not (Queue.is_empty queue) do
       let s = Queue.pop queue in
       incr count;
-      List.iter
-        (fun (s', _) ->
+      iter_switch_neighbors t s (fun s' _ ->
           if not seen.(s') then begin
             seen.(s') <- true;
             Queue.add s' queue
           end)
-        (switch_neighbors t s)
     done;
     !count
   end
@@ -260,12 +399,12 @@ let switch_connected t =
 let pp fmt t =
   Format.fprintf fmt "@[<v>topology: %d switches, %d hosts, %d links@,"
     t.n_switches t.n_hosts t.n_links;
-  List.iter
-    (fun l ->
-      if l.state = Working then
-        Format.fprintf fmt "  %a.%d -- %a.%d (%a)@," pp_node l.a.node l.a.port
-          pp_node l.b.node l.b.port Netsim.Time.pp l.latency)
-    (links t);
+  for i = 0 to t.n_links - 1 do
+    let l = t.link_arr.(i) in
+    if l.state = Working then
+      Format.fprintf fmt "  %a.%d -- %a.%d (%a)@," pp_node l.a.node l.a.port
+        pp_node l.b.node l.b.port Netsim.Time.pp l.latency
+  done;
   Format.fprintf fmt "@]"
 
 let to_dot t =
@@ -279,16 +418,16 @@ let to_dot t =
     Buffer.add_string buf
       (Printf.sprintf "  h%d [shape=ellipse, fontsize=10];\n" h)
   done;
-  List.iter
-    (fun l ->
-      let name = function Switch s -> Printf.sprintf "s%d" s | Host h -> Printf.sprintf "h%d" h in
-      let attrs =
-        match l.state with
-        | Working -> ""
-        | Dead -> " [style=dashed, color=red]"
-      in
-      Buffer.add_string buf
-        (Printf.sprintf "  %s -- %s%s;\n" (name l.a.node) (name l.b.node) attrs))
-    (links t);
+  for i = 0 to t.n_links - 1 do
+    let l = t.link_arr.(i) in
+    let name = function Switch s -> Printf.sprintf "s%d" s | Host h -> Printf.sprintf "h%d" h in
+    let attrs =
+      match l.state with
+      | Working -> ""
+      | Dead -> " [style=dashed, color=red]"
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  %s -- %s%s;\n" (name l.a.node) (name l.b.node) attrs)
+  done;
   Buffer.add_string buf "}\n";
   Buffer.contents buf

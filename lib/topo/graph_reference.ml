@@ -1,0 +1,294 @@
+type node_id =
+  | Switch of int
+  | Host of int
+
+let pp_node fmt = function
+  | Switch s -> Format.fprintf fmt "s%d" s
+  | Host h -> Format.fprintf fmt "h%d" h
+
+type endpoint = { node : node_id; port : int }
+
+type link_state =
+  | Working
+  | Dead
+
+(* Why a link is dead, as a bitmask. A link can be dead for up to three
+   independent reasons at once: an explicit [fail_link], and a crash of
+   the switch at either endpoint. Fail/restore operations add and
+   remove causes; the link works again only when every cause has been
+   cleared, so overlapping failures compose ([fail_link L; fail_switch
+   S; restore_switch S] leaves [L] dead). Each operation is idempotent:
+   failing twice from the same cause needs only one restore. *)
+let cause_explicit = 1
+let cause_crash_a = 2
+let cause_crash_b = 4
+
+type link = {
+  link_id : int;
+  a : endpoint;
+  b : endpoint;
+  latency : Netsim.Time.t;
+  mutable state : link_state;
+  mutable fail_causes : int;
+}
+
+type node_info = { n_ports : int; mutable used_ports : int list }
+
+type t = {
+  sw_ports : int;
+  host_ports : int;
+  mutable switches : node_info array;
+  mutable n_switches : int;
+  mutable hosts : node_info array;
+  mutable n_hosts : int;
+  mutable link_list : link list;  (* reverse creation order *)
+  mutable n_links : int;
+  link_tbl : (int, link) Hashtbl.t;
+  (* incident links per node, by id *)
+  sw_incident : (int, int list ref) Hashtbl.t;
+  host_incident : (int, int list ref) Hashtbl.t;
+}
+
+let create ?(ports_per_switch = 16) ?(ports_per_host = 2) () =
+  {
+    sw_ports = ports_per_switch;
+    host_ports = ports_per_host;
+    switches = [||];
+    n_switches = 0;
+    hosts = [||];
+    n_hosts = 0;
+    link_list = [];
+    n_links = 0;
+    link_tbl = Hashtbl.create 64;
+    sw_incident = Hashtbl.create 64;
+    host_incident = Hashtbl.create 64;
+  }
+
+let push_node arr n info =
+  let cap = Array.length arr in
+  if n = cap then begin
+    let ncap = if cap = 0 then 8 else cap * 2 in
+    let narr = Array.make ncap info in
+    Array.blit arr 0 narr 0 n;
+    narr.(n) <- info;
+    narr
+  end else begin
+    arr.(n) <- info;
+    arr
+  end
+
+let add_switch t =
+  let id = t.n_switches in
+  t.switches <- push_node t.switches id { n_ports = t.sw_ports; used_ports = [] };
+  t.n_switches <- id + 1;
+  Hashtbl.add t.sw_incident id (ref []);
+  id
+
+let add_switches t n =
+  for _ = 1 to n do
+    ignore (add_switch t)
+  done
+
+let add_host t =
+  let id = t.n_hosts in
+  t.hosts <- push_node t.hosts id { n_ports = t.host_ports; used_ports = [] };
+  t.n_hosts <- id + 1;
+  Hashtbl.add t.host_incident id (ref []);
+  id
+
+let node_info t = function
+  | Switch s ->
+    if s < 0 || s >= t.n_switches then invalid_arg "Graph: bad switch id";
+    t.switches.(s)
+  | Host h ->
+    if h < 0 || h >= t.n_hosts then invalid_arg "Graph: bad host id";
+    t.hosts.(h)
+
+let free_port info =
+  let rec find p = if List.mem p info.used_ports then find (p + 1) else p in
+  let p = find 0 in
+  if p >= info.n_ports then None else Some p
+
+let incident t = function
+  | Switch s -> Hashtbl.find t.sw_incident s
+  | Host h -> Hashtbl.find t.host_incident h
+
+let connect ?(latency = Netsim.Time.us 1) t n1 n2 =
+  let i1 = node_info t n1 and i2 = node_info t n2 in
+  match (free_port i1, free_port i2) with
+  | Some p1, Some p2 ->
+    i1.used_ports <- p1 :: i1.used_ports;
+    i2.used_ports <- p2 :: i2.used_ports;
+    let id = t.n_links in
+    let link =
+      {
+        link_id = id;
+        a = { node = n1; port = p1 };
+        b = { node = n2; port = p2 };
+        latency;
+        state = Working;
+        fail_causes = 0;
+      }
+    in
+    t.n_links <- id + 1;
+    t.link_list <- link :: t.link_list;
+    Hashtbl.add t.link_tbl id link;
+    let r1 = incident t n1 and r2 = incident t n2 in
+    r1 := id :: !r1;
+    r2 := id :: !r2;
+    id
+  | None, _ -> Format.kasprintf failwith "Graph.connect: no free port on %a" pp_node n1
+  | _, None -> Format.kasprintf failwith "Graph.connect: no free port on %a" pp_node n2
+
+let switch_count t = t.n_switches
+let host_count t = t.n_hosts
+let link_count t = t.n_links
+let ports_per_switch t = t.sw_ports
+
+let link t id =
+  match Hashtbl.find_opt t.link_tbl id with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Graph.link: unknown link %d" id)
+
+let links t = List.rev t.link_list
+
+let add_cause l c =
+  l.fail_causes <- l.fail_causes lor c;
+  l.state <- Dead
+
+let remove_cause l c =
+  l.fail_causes <- l.fail_causes land lnot c;
+  l.state <- (if l.fail_causes = 0 then Working else Dead)
+
+let fail_link t id = add_cause (link t id) cause_explicit
+let restore_link t id = remove_cause (link t id) cause_explicit
+
+let incident_links t node =
+  match
+    match node with
+    | Switch s -> Hashtbl.find_opt t.sw_incident s
+    | Host h -> Hashtbl.find_opt t.host_incident h
+  with
+  | Some r -> !r
+  | None -> invalid_arg "Graph: unknown node"
+
+(* The crash cause for switch [s] on link [l]: which endpoint it is. *)
+let crash_cause l s =
+  if l.a.node = Switch s then cause_crash_a
+  else if l.b.node = Switch s then cause_crash_b
+  else invalid_arg "Graph: switch not on link"
+
+let fail_switch t s =
+  List.iter
+    (fun id ->
+      let l = link t id in
+      add_cause l (crash_cause l s))
+    (incident_links t (Switch s))
+
+let restore_switch t s =
+  List.iter
+    (fun id ->
+      let l = link t id in
+      remove_cause l (crash_cause l s))
+    (incident_links t (Switch s))
+
+let link_working t id = (link t id).state = Working
+
+let other_end l node =
+  if l.a.node = node then l.b
+  else if l.b.node = node then l.a
+  else invalid_arg "Graph.other_end: node not on link"
+
+let switch_neighbors t s =
+  incident_links t (Switch s)
+  |> List.filter_map (fun id ->
+      let l = link t id in
+      if l.state <> Working then None
+      else
+        match (other_end l (Switch s)).node with
+        | Switch s' -> Some (s', id)
+        | Host _ -> None)
+  |> List.sort compare
+
+let host_links t h =
+  incident_links t (Host h)
+  |> List.filter_map (fun id ->
+      let l = link t id in
+      if l.state <> Working then None
+      else
+        match (other_end l (Host h)).node with
+        | Switch s -> Some (s, id)
+        | Host _ -> None)
+  |> List.sort compare
+
+let hosts_of_switch t s =
+  incident_links t (Switch s)
+  |> List.filter_map (fun id ->
+      let l = link t id in
+      if l.state <> Working then None
+      else
+        match (other_end l (Switch s)).node with
+        | Host h -> Some (h, id)
+        | Switch _ -> None)
+  |> List.sort compare
+
+let reachable_switches t start =
+  if t.n_switches = 0 then 0
+  else begin
+    let seen = Array.make t.n_switches false in
+    let queue = Queue.create () in
+    seen.(start) <- true;
+    Queue.add start queue;
+    let count = ref 0 in
+    while not (Queue.is_empty queue) do
+      let s = Queue.pop queue in
+      incr count;
+      List.iter
+        (fun (s', _) ->
+          if not seen.(s') then begin
+            seen.(s') <- true;
+            Queue.add s' queue
+          end)
+        (switch_neighbors t s)
+    done;
+    !count
+  end
+
+let switch_connected t =
+  t.n_switches = 0 || reachable_switches t 0 = t.n_switches
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>topology: %d switches, %d hosts, %d links@,"
+    t.n_switches t.n_hosts t.n_links;
+  List.iter
+    (fun l ->
+      if l.state = Working then
+        Format.fprintf fmt "  %a.%d -- %a.%d (%a)@," pp_node l.a.node l.a.port
+          pp_node l.b.node l.b.port Netsim.Time.pp l.latency)
+    (links t);
+  Format.fprintf fmt "@]"
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph an2 {\n  layout=neato;\n  overlap=false;\n";
+  for s = 0 to t.n_switches - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  s%d [shape=box, style=filled, fillcolor=lightblue];\n" s)
+  done;
+  for h = 0 to t.n_hosts - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  h%d [shape=ellipse, fontsize=10];\n" h)
+  done;
+  List.iter
+    (fun l ->
+      let name = function Switch s -> Printf.sprintf "s%d" s | Host h -> Printf.sprintf "h%d" h in
+      let attrs =
+        match l.state with
+        | Working -> ""
+        | Dead -> " [style=dashed, color=red]"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -- %s%s;\n" (name l.a.node) (name l.b.node) attrs))
+    (links t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -99,32 +99,6 @@ val host_links : t -> int -> (int * int) list
 val hosts_of_switch : t -> int -> (int * int) list
 (** [(host, link_id)] pairs of working host attachments at a switch. *)
 
-val iter_switch_neighbors : t -> int -> (int -> int -> unit) -> unit
-(** [iter_switch_neighbors t s f] applies [f neighbor link_id] over
-    working switch-to-switch links at [s], in the same (neighbor,
-    link) order as {!switch_neighbors}, without allocating. *)
-
-val iter_hosts_of_switch : t -> int -> (int -> int -> unit) -> unit
-(** [f host link_id] over working host attachments at a switch, in
-    {!hosts_of_switch} order, without allocating. *)
-
-val iter_host_links : t -> int -> (int -> int -> unit) -> unit
-(** [f switch link_id] over working links at a host, in {!host_links}
-    order, without allocating. *)
-
-val switch_degree : t -> int -> int
-(** Number of working switch-to-switch links at a switch (counting
-    parallel links), without allocating. *)
-
-val switch_link : t -> int -> int -> int option
-(** [switch_link t s s'] is the lowest-id working link joining the two
-    switches, if any — O(degree of [s]), no allocation. *)
-
-val version : t -> int
-(** A counter bumped by every mutation (structural or fail/restore).
-    Lets callers key caches of derived topology state: equal versions
-    guarantee an identical graph. *)
-
 val other_end : link -> node_id -> endpoint
 (** The endpoint of the link that is not at the given node. *)
 

@@ -57,7 +57,7 @@ let tag_compare_total_order =
 let test_proto_isolated_node () =
   let n = Reconfig.Proto.create_node ~id:7 in
   let env =
-    { Reconfig.Proto.neighbors = (fun () -> []); local_edges = (fun () -> [ Reconfig.Proto.Host_edge (7, 0) ]) }
+    { Reconfig.Proto.neighbors = (fun () -> [||]); local_edges = (fun () -> [ Reconfig.Proto.Host_edge (7, 0) ]) }
   in
   let actions = Reconfig.Proto.initiate n env in
   (match actions with
@@ -73,11 +73,11 @@ let test_proto_two_nodes_by_hand () =
   let a = Reconfig.Proto.create_node ~id:0 in
   let b = Reconfig.Proto.create_node ~id:1 in
   let env_a =
-    { Reconfig.Proto.neighbors = (fun () -> [ 1 ]);
+    { Reconfig.Proto.neighbors = (fun () -> [| 1 |]);
       local_edges = (fun () -> [ Reconfig.Proto.Sw_edge (0, 1) ]) }
   in
   let env_b =
-    { Reconfig.Proto.neighbors = (fun () -> [ 0 ]);
+    { Reconfig.Proto.neighbors = (fun () -> [| 0 |]);
       local_edges = (fun () -> [ Reconfig.Proto.Sw_edge (1, 0) ]) }
   in
   (* a initiates -> invite to b *)
@@ -118,7 +118,7 @@ let test_proto_two_nodes_by_hand () =
 let test_proto_stale_invite_rejected () =
   let n = Reconfig.Proto.create_node ~id:3 in
   let env =
-    { Reconfig.Proto.neighbors = (fun () -> [ 0 ]); local_edges = (fun () -> []) }
+    { Reconfig.Proto.neighbors = (fun () -> [| 0 |]); local_edges = (fun () -> []) }
   in
   (* Join epoch 5 first. *)
   ignore
@@ -151,7 +151,7 @@ let test_proto_reject_reinitiates () =
      the reject still refers to its current attempt. *)
   let n = Reconfig.Proto.create_node ~id:2 in
   let env =
-    { Reconfig.Proto.neighbors = (fun () -> [ 0; 1 ]);
+    { Reconfig.Proto.neighbors = (fun () -> [| 0; 1 |]);
       local_edges = (fun () -> []) }
   in
   let mine =
@@ -549,7 +549,8 @@ let test_local_validation () =
     (try ignore (Reconfig.Local.run_after_failure g ~fail:3); false
      with Invalid_argument _ -> true);
   let g2 = Topo.Build.src_lan () in
-  (* A host link is not a valid scoped-reconfiguration trigger. *)
+  (* A host attachment is a valid trigger with a single initiator: the
+     switch end detects the loss and repairs the region. *)
   let host_link =
     List.find_map
       (fun (l : Topo.Graph.link) ->
@@ -558,12 +559,56 @@ let test_local_validation () =
         | _ -> None)
       (Topo.Graph.links g2)
   in
-  match host_link with
-  | None -> Alcotest.fail "src_lan has host links"
-  | Some lid ->
-    Alcotest.(check bool) "host link rejected" true
-      (try ignore (Reconfig.Local.run_after_failure g2 ~fail:lid); false
-       with Invalid_argument _ -> true)
+  (match host_link with
+   | None -> Alcotest.fail "src_lan has host links"
+   | Some lid ->
+     let o = Reconfig.Local.run_after_failure g2 ~fail:lid in
+     Alcotest.(check bool) "host-link repair converges" true o.converged;
+     Alcotest.(check bool) "host-link repair correct" true o.region_correct);
+  (* An out-of-scope initiator is rejected. *)
+  let g3 = Topo.Build.src_lan () in
+  Alcotest.(check bool) "out-of-scope initiator rejected" true
+    (try
+       ignore
+         (Reconfig.Local.run_after_failure ~scope:(fun s -> s > 5) g3 ~fail:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical repair *)
+
+let test_hier_pod_local () =
+  let k = 4 in
+  let g, pods = Topo.Build.fat_tree ~k in
+  (* Link 0 joins an edge and an aggregation switch of pod 0. *)
+  let o = Reconfig.Hier.repair g pods ~fail:0 in
+  Alcotest.(check bool) "pod strategy" true
+    (o.strategy = Reconfig.Hier.Pod_local 0);
+  Alcotest.(check bool) "converged" true o.converged;
+  Alcotest.(check bool) "correct" true o.correct;
+  Alcotest.(check int) "only the pod participates" k o.participants;
+  Alcotest.(check int) "fabric untouched" (5 * k * k / 4) o.total_switches
+
+let test_hier_escalates () =
+  let k = 4 in
+  let g, pods = Topo.Build.fat_tree ~k in
+  (* The first aggregation-core link crosses the pod boundary. *)
+  let o = Reconfig.Hier.repair g pods ~fail:(k * k * k / 4) in
+  Alcotest.(check bool) "global strategy" true
+    (o.strategy = Reconfig.Hier.Global);
+  Alcotest.(check bool) "converged" true o.converged;
+  Alcotest.(check bool) "correct" true o.correct;
+  Alcotest.(check int) "everyone participates" (5 * k * k / 4) o.participants
+
+let test_hier_host_attachment () =
+  let k = 4 in
+  let g, pods = Topo.Build.fat_tree ~k in
+  (* Host attachments inherit their switch's pod. *)
+  let o = Reconfig.Hier.repair g pods ~fail:(k * k * k / 2) in
+  Alcotest.(check bool) "pod strategy for host link" true
+    (o.strategy = Reconfig.Hier.Pod_local 0);
+  Alcotest.(check bool) "converged" true o.converged;
+  Alcotest.(check bool) "correct" true o.correct
 
 (* ------------------------------------------------------------------ *)
 (* Skeptic *)
@@ -807,6 +852,13 @@ let () =
           Alcotest.test_case "partitioning failure" `Quick
             test_local_partitioning_failure;
           Alcotest.test_case "validation" `Quick test_local_validation;
+        ] );
+      ( "hier",
+        [
+          Alcotest.test_case "pod-local repair" `Quick test_hier_pod_local;
+          Alcotest.test_case "inter-pod escalates" `Quick test_hier_escalates;
+          Alcotest.test_case "host attachment stays local" `Quick
+            test_hier_host_attachment;
         ] );
       ( "skeptic",
         [

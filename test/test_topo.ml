@@ -485,6 +485,223 @@ let test_dependency_acyclic_on_tree () =
     (Topo.Updown.dependency_acyclic (Topo.Build.tree ~arity:2 ~depth:3)
        ~restricted:None)
 
+(* ------------------------------------------------------------------ *)
+(* Fat-tree / Clos builders and pod metadata *)
+
+let fat_tree_k_gen =
+  QCheck.make
+    ~print:(fun k -> Printf.sprintf "k=%d" k)
+    QCheck.Gen.(map (fun i -> 2 * i) (int_range 2 8))
+
+let test_fat_tree_counts =
+  qtest ~count:50 "fat-tree closed-form counts" fat_tree_k_gen (fun k ->
+      let g, pods = Topo.Build.fat_tree ~k in
+      Topo.Graph.switch_count g = 5 * k * k / 4
+      && Topo.Graph.host_count g = k * k * k / 4
+      && Topo.Graph.link_count g = k * k * k
+      && Topo.Pods.n_pods pods = k
+      && List.length (Topo.Pods.core pods) = k / 2 * (k / 2)
+      && Topo.Graph.switch_connected g)
+
+let test_fat_tree_dual_homed =
+  qtest ~count:50 "fat-tree hosts dual-homed to distinct same-pod ToRs"
+    fat_tree_k_gen (fun k ->
+      let g, pods = Topo.Build.fat_tree ~k in
+      let ok = ref true in
+      for h = 0 to Topo.Graph.host_count g - 1 do
+        match Topo.Graph.host_links g h with
+        | [ (s1, _); (s2, _) ] ->
+          (* two working attachments, to different edge switches of
+             one pod *)
+          if s1 = s2 then ok := false;
+          (match
+             (Topo.Pods.pod_of_switch pods s1, Topo.Pods.pod_of_switch pods s2)
+           with
+           | Some p1, Some p2 ->
+             if p1 <> p2 then ok := false;
+             (* edge switches are the first k/2 ids of their pod *)
+             if s1 mod k >= k / 2 || s2 mod k >= k / 2 then ok := false
+           | _ -> ok := false)
+        | _ -> ok := false
+      done;
+      !ok)
+
+let test_fat_tree_updown_deadlock_free =
+  qtest ~count:20 "up*/down* on fat-tree is deadlock-free" fat_tree_k_gen
+    (fun k ->
+      let g, _ = Topo.Build.fat_tree ~k in
+      (* Root the spanning tree at a core switch, the natural "up". *)
+      let o = Topo.Updown.orient g (Topo.Spanning.bfs g ~root:(k * k)) in
+      Topo.Updown.dependency_acyclic g ~restricted:(Some o))
+
+let test_clos_updown_deadlock_free () =
+  List.iter
+    (fun (radix, tiers) ->
+      let g, _ = Topo.Build.folded_clos ~radix ~tiers in
+      let root = Topo.Graph.switch_count g - 1 in
+      let o = Topo.Updown.orient g (Topo.Spanning.bfs g ~root) in
+      Alcotest.(check bool)
+        (Printf.sprintf "clos:%d:%d acyclic" radix tiers)
+        true
+        (Topo.Updown.dependency_acyclic g ~restricted:(Some o)))
+    [ (4, 2); (8, 2); (4, 3); (8, 3) ]
+
+let test_partition_balance_on_pods () =
+  (* With parts = pod count and 4 | k, the switch count divides evenly
+     and the partitioner must balance to the switch. *)
+  List.iter
+    (fun k ->
+      let g, pods = Topo.Build.fat_tree ~k in
+      let parts = Topo.Pods.n_pods pods in
+      let part = Topo.Partition.assign g ~parts in
+      let sizes = Array.make parts 0 in
+      Array.iter (fun p -> sizes.(p) <- sizes.(p) + 1) part;
+      let mn = Array.fold_left min max_int sizes in
+      let mx = Array.fold_left max 0 sizes in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d balanced +-1 (min %d max %d)" k mn mx)
+        true
+        (mx - mn <= 1))
+    [ 4; 8 ]
+
+let test_pods_scope () =
+  let k = 4 in
+  let g, pods = Topo.Build.fat_tree ~k in
+  let band = k * k * k / 4 in
+  Alcotest.(check bool) "edge-agg link is pod-scoped" true
+    (Topo.Pods.scope_of_link pods g 0 = Topo.Pods.Pod 0);
+  Alcotest.(check bool) "agg-core link is global" true
+    (Topo.Pods.scope_of_link pods g band = Topo.Pods.Global);
+  Alcotest.(check bool) "host attachment inherits the pod" true
+    (Topo.Pods.scope_of_link pods g (2 * band) = Topo.Pods.Pod 0);
+  Alcotest.(check int) "pod 0 has k members" k
+    (List.length (Topo.Pods.members pods 0));
+  Alcotest.(check bool) "core switch has no pod" true
+    (Topo.Pods.pod_of_switch pods (k * k) = None)
+
+(* ------------------------------------------------------------------ *)
+(* SoA Graph vs the retained reference implementation *)
+
+(* Drive both implementations through the same random op sequence and
+   demand every observer agrees. Connects avoid self-loops (the two
+   implementations allocate the two ports of a self-loop in a
+   different order; no builder creates one). *)
+let test_graph_differential =
+  qtest ~count:200 "SoA graph == reference graph"
+    (QCheck.make
+       ~print:(fun (seed, k) -> Printf.sprintf "seed=%d ops=%d" seed k)
+       QCheck.Gen.(pair (int_range 0 100_000) (int_range 1 80)))
+    (fun (seed, k) ->
+      let rng = Netsim.Rng.create seed in
+      let g = Topo.Graph.create ~ports_per_switch:5 ~ports_per_host:2 () in
+      let r =
+        Topo.Graph_reference.create ~ports_per_switch:5 ~ports_per_host:2 ()
+      in
+      Topo.Graph.add_switches g 2;
+      Topo.Graph_reference.add_switches r 2;
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      for _ = 1 to k do
+        (match Netsim.Rng.int rng 8 with
+         | 0 ->
+           Topo.Graph.add_switches g 1;
+           Topo.Graph_reference.add_switches r 1
+         | 1 -> check (Topo.Graph.add_host g = Topo.Graph_reference.add_host r)
+         | 2 | 3 ->
+           let n = Topo.Graph.switch_count g in
+           let a = Netsim.Rng.int rng n in
+           let b = (a + 1 + Netsim.Rng.int rng (max 1 (n - 1))) mod n in
+           if a <> b then begin
+             let c1 =
+               try
+                 Some (Topo.Graph.connect g (Switch a) (Switch b))
+               with Failure _ -> None
+             in
+             let c2 =
+               try
+                 Some (Topo.Graph_reference.connect r (Switch a) (Switch b))
+               with Failure _ -> None
+             in
+             check (c1 = c2)
+           end
+         | 4 ->
+           if Topo.Graph.host_count g > 0 then begin
+             let h = Netsim.Rng.int rng (Topo.Graph.host_count g) in
+             let s = Netsim.Rng.int rng (Topo.Graph.switch_count g) in
+             let c1 =
+               try Some (Topo.Graph.connect g (Host h) (Switch s))
+               with Failure _ -> None
+             in
+             let c2 =
+               try Some (Topo.Graph_reference.connect r (Host h) (Switch s))
+               with Failure _ -> None
+             in
+             check (c1 = c2)
+           end
+         | 5 ->
+           if Topo.Graph.link_count g > 0 then begin
+             let l = Netsim.Rng.int rng (Topo.Graph.link_count g) in
+             Topo.Graph.fail_link g l;
+             Topo.Graph_reference.fail_link r l
+           end
+         | 6 ->
+           if Topo.Graph.link_count g > 0 then begin
+             let l = Netsim.Rng.int rng (Topo.Graph.link_count g) in
+             Topo.Graph.restore_link g l;
+             Topo.Graph_reference.restore_link r l
+           end
+         | _ ->
+           let s = Netsim.Rng.int rng (Topo.Graph.switch_count g) in
+           if Netsim.Rng.int rng 2 = 0 then begin
+             Topo.Graph.fail_switch g s;
+             Topo.Graph_reference.fail_switch r s
+           end
+           else begin
+             Topo.Graph.restore_switch g s;
+             Topo.Graph_reference.restore_switch r s
+           end);
+        (* Observers must agree after every op. *)
+        check (Topo.Graph.switch_count g = Topo.Graph_reference.switch_count r);
+        check (Topo.Graph.host_count g = Topo.Graph_reference.host_count r);
+        check (Topo.Graph.link_count g = Topo.Graph_reference.link_count r);
+        check
+          (Topo.Graph.switch_connected g
+          = Topo.Graph_reference.switch_connected r);
+        for s = 0 to Topo.Graph.switch_count g - 1 do
+          check
+            (Topo.Graph.switch_neighbors g s
+            = Topo.Graph_reference.switch_neighbors r s);
+          check
+            (Topo.Graph.hosts_of_switch g s
+            = Topo.Graph_reference.hosts_of_switch r s);
+          check
+            (Topo.Graph.reachable_switches g s
+            = Topo.Graph_reference.reachable_switches r s)
+        done;
+        for h = 0 to Topo.Graph.host_count g - 1 do
+          check (Topo.Graph.host_links g h = Topo.Graph_reference.host_links r h)
+        done;
+        for l = 0 to Topo.Graph.link_count g - 1 do
+          check
+            (Topo.Graph.link_working g l = Topo.Graph_reference.link_working r l);
+          let a = Topo.Graph.link g l and b = Topo.Graph_reference.link r l in
+          let end_eq (x : Topo.Graph.endpoint)
+              (y : Topo.Graph_reference.endpoint) =
+            x.port = y.port
+            && (match (x.node, y.node) with
+                | Topo.Graph.Switch i, Topo.Graph_reference.Switch j
+                | Topo.Graph.Host i, Topo.Graph_reference.Host j -> i = j
+                | _ -> false)
+          in
+          check
+            (a.link_id = b.link_id && a.latency = b.latency
+            && end_eq a.a b.a && end_eq a.b b.b
+            && (a.state = Topo.Graph.Working)
+               = (b.state = Topo.Graph_reference.Working))
+        done
+      done;
+      !ok)
+
 let () =
   Alcotest.run "topo"
     [
@@ -548,5 +765,17 @@ let () =
           Alcotest.test_case "unrestricted cyclic" `Quick
             test_dependency_cyclic_unrestricted;
           Alcotest.test_case "tree acyclic" `Quick test_dependency_acyclic_on_tree;
+        ] );
+      ( "scale",
+        [
+          test_fat_tree_counts;
+          test_fat_tree_dual_homed;
+          test_fat_tree_updown_deadlock_free;
+          Alcotest.test_case "clos up*/down* acyclic" `Quick
+            test_clos_updown_deadlock_free;
+          Alcotest.test_case "partition balance on pods" `Quick
+            test_partition_balance_on_pods;
+          Alcotest.test_case "pod link scopes" `Quick test_pods_scope;
+          test_graph_differential;
         ] );
     ]
