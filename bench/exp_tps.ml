@@ -1,0 +1,221 @@
+(* E35: control-plane saturation — the circuit-setup TPS wall.
+
+   An open-loop workload (Poisson base + diurnal ramp + heavy-tail
+   bursts) drives Lifecycle setups and sharded Bandwidth_central
+   admissions at a swept offered rate; the knee is the highest rate
+   the control plane sustains before its backlog diverges, found the
+   way tezos' bin_tps_evaluation measures chain TPS. Each family runs
+   twice: the pre-PR baseline structure (one admission shard, no path
+   cache, unbatched table writes) and this PR's control plane (4
+   shards + escrow, version-keyed path cache, batched writes), under
+   the same cost model. The bench asserts the improved knee is >= 2x
+   the baseline knee on every family, and that a rate point replays
+   byte-identically across domains.
+
+   Usage: dune exec bench/exp_tps.exe [-- --smoke] [-- --out FILE] *)
+
+let profile duration_ms =
+  { An2.Workload.default_profile with duration = Netsim.Time.ms duration_ms }
+
+type cell = {
+  config_name : string;
+  knee_tps : float;
+  p50_us : float;  (* at the knee *)
+  p99_us : float;
+  established : int;
+  granted : int;
+  denied : int;
+  cross_shard : int;
+  escrow_conflicts : int;
+  cache_hits : int;
+  cache_misses : int;
+  points : Faults.Tps.point list;
+  seconds : float;
+}
+
+type family = {
+  family_name : string;
+  switches : int;
+  hosts : int;
+  baseline : cell;
+  improved : cell;
+  ratio : float;
+}
+
+let run_cell ~config_name ~mk_graph ~config ~profile =
+  let t0 = Unix.gettimeofday () in
+  let knee, points = Faults.Tps.find_knee ~mk_graph config profile in
+  let seconds = Unix.gettimeofday () -. t0 in
+  (* The knee is always a probed, sustained rate; report its point. *)
+  let at_knee =
+    match List.find_opt (fun p -> p.Faults.Tps.rate = knee) points with
+    | Some p -> p
+    | None -> List.hd points
+  in
+  {
+    config_name;
+    knee_tps = knee;
+    p50_us = at_knee.Faults.Tps.p50_us;
+    p99_us = at_knee.Faults.Tps.p99_us;
+    established = at_knee.Faults.Tps.established;
+    granted = at_knee.Faults.Tps.granted;
+    denied = at_knee.Faults.Tps.denied;
+    cross_shard = at_knee.Faults.Tps.cross_shard;
+    escrow_conflicts = at_knee.Faults.Tps.escrow_conflicts;
+    cache_hits = at_knee.Faults.Tps.cache_hits;
+    cache_misses = at_knee.Faults.Tps.cache_misses;
+    points;
+    seconds;
+  }
+
+let run_family ~name ~mk_graph ~profile =
+  let g = mk_graph () in
+  let baseline =
+    run_cell ~config_name:"baseline" ~mk_graph
+      ~config:Faults.Tps.baseline_config ~profile
+  in
+  Printf.printf
+    "E35 %-12s baseline: knee %7.0f tps, p99 %8.0f us at knee (%.1fs)\n%!"
+    name baseline.knee_tps baseline.p99_us baseline.seconds;
+  let improved =
+    run_cell ~config_name:"improved" ~mk_graph
+      ~config:Faults.Tps.improved_config ~profile
+  in
+  Printf.printf
+    "E35 %-12s improved: knee %7.0f tps, p99 %8.0f us at knee (%.1fs)  \
+     ratio %.2fx\n%!"
+    name improved.knee_tps improved.p99_us improved.seconds
+    (improved.knee_tps /. baseline.knee_tps);
+  {
+    family_name = name;
+    switches = Topo.Graph.switch_count g;
+    hosts = Topo.Graph.host_count g;
+    baseline;
+    improved;
+    ratio = improved.knee_tps /. baseline.knee_tps;
+  }
+
+let json_point oc last p =
+  let open Faults.Tps in
+  Printf.fprintf oc
+    "      {\"rate\": %.0f, \"offered\": %.1f, \"arrivals\": %d, \
+     \"established\": %d, \"failed\": %d, \"granted\": %d, \"denied\": %d, \
+     \"p50_us\": %.1f, \"p99_us\": %.1f, \"final_backlog\": %d, \
+     \"peak_backlog\": %d, \"diverged\": %b, \"cross_shard\": %d, \
+     \"escrow_conflicts\": %d, \"cache_hits\": %d, \"cache_misses\": %d, \
+     \"sim_events\": %d,\n       \"backlog_curve\": [%s]}%s\n"
+    p.rate p.offered_rate p.arrivals p.established p.failed p.granted p.denied
+    p.p50_us p.p99_us p.final_backlog p.peak_backlog p.diverged p.cross_shard
+    p.escrow_conflicts p.cache_hits p.cache_misses p.sim_events
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (fun (t, b) -> Printf.sprintf "[%.3f, %d]" t b)
+             p.backlog_curve)))
+    (if last then "" else ",")
+
+let json_cell oc last c =
+  Printf.fprintf oc
+    "    {\"config\": \"%s\", \"knee_tps\": %.0f, \"p50_us_at_knee\": %.1f, \
+     \"p99_us_at_knee\": %.1f,\n\
+    \     \"established\": %d, \"granted\": %d, \"denied\": %d, \
+     \"cross_shard\": %d, \"escrow_conflicts\": %d,\n\
+    \     \"cache_hits\": %d, \"cache_misses\": %d, \"seconds\": %.2f,\n\
+    \     \"points\": [\n"
+    c.config_name c.knee_tps c.p50_us c.p99_us c.established c.granted
+    c.denied c.cross_shard c.escrow_conflicts c.cache_hits c.cache_misses
+    c.seconds;
+  List.iteri
+    (fun i p -> json_point oc (i = List.length c.points - 1) p)
+    c.points;
+  Printf.fprintf oc "    ]}%s\n" (if last then "" else ",")
+
+let write_json ~file ~smoke ~families ~deterministic =
+  let oc = open_out file in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"benchmark\": \"tps\",\n";
+  p "  \"smoke\": %b,\n" smoke;
+  p "  \"deterministic\": %b,\n" deterministic;
+  p "  \"e35_knee\": [\n";
+  List.iteri
+    (fun i f ->
+      p "   {\"family\": \"%s\", \"switches\": %d, \"hosts\": %d, \
+         \"knee_ratio\": %.3f,\n\
+        \    \"cells\": [\n"
+        f.family_name f.switches f.hosts f.ratio;
+      json_cell oc false f.baseline;
+      json_cell oc true f.improved;
+      p "   ]}%s\n" (if i = List.length families - 1 then "" else ",")
+    )
+    families;
+  p "  ]\n";
+  p "}\n";
+  close_out oc
+
+let () =
+  let smoke = ref false
+  and out = ref "BENCH_tps.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse rest
+    | "--out" :: file :: rest ->
+      out := file;
+      parse rest
+    | [ "--out" ] ->
+      prerr_endline "exp_tps: --out requires a value";
+      exit 2
+    | arg :: _ ->
+      Printf.eprintf
+        "exp_tps: unknown argument %s (usage: exp_tps [--smoke] [--out \
+         FILE])\n"
+        arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let profile = profile (if !smoke then 200 else 500) in
+  let specs =
+    if !smoke then
+      [
+        ("src-lan", fun () -> Topo.Build.src_lan ());
+        ("fat-tree:8", fun () -> fst (Topo.Build.fat_tree ~k:8));
+      ]
+    else
+      [
+        ("src-lan", fun () -> Topo.Build.src_lan ());
+        ("fat-tree:16", fun () -> fst (Topo.Build.fat_tree ~k:16));
+      ]
+  in
+  let families =
+    List.map
+      (fun (name, mk_graph) -> run_family ~name ~mk_graph ~profile)
+      specs
+  in
+  (* Determinism, measured: the same rate point across profile seeds,
+     one domain vs many — byte-identical results required. *)
+  let job seed =
+    Faults.Tps.run_point
+      ~graph:(Topo.Build.src_lan ())
+      Faults.Tps.improved_config
+      (An2.Workload.scale (An2.Workload.with_seed profile seed) ~rate:4000.0)
+  in
+  let seed_list = [ 1; 2; 3 ] in
+  let seq = Netsim.Sweep.map ~domains:1 ~seeds:seed_list job in
+  let par = Netsim.Sweep.map ~seeds:seed_list job in
+  let deterministic = seq = par in
+  Printf.printf "seq/par deterministic: %b\n%!" deterministic;
+  write_json ~file:!out ~smoke:!smoke ~families ~deterministic;
+  Printf.printf "wrote %s\n" !out;
+  (* The acceptance gate: the knee-raisers must actually raise it. *)
+  let floor = if !smoke then 1.0 else 2.0 in
+  let raised = List.for_all (fun f -> f.ratio >= floor) families in
+  if not raised then
+    List.iter
+      (fun f ->
+        if f.ratio < floor then
+          Printf.eprintf "E35 %s: knee ratio %.2f below %.1fx floor\n"
+            f.family_name f.ratio floor)
+      families;
+  if not (deterministic && raised) then exit 1

@@ -1239,6 +1239,158 @@ let partition_cmd =
       $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
+(* tps: control-plane saturation — offered circuit-setup rate vs the
+   signaling/admission backlog, and the knee where it diverges. *)
+
+let tps_cmd =
+  let rate_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Offered circuit-setup rate per simulated second. 0 searches \
+             for the knee (highest sustained rate) instead.")
+  in
+  let duration_arg =
+    Arg.(
+      value
+      & opt (positive_int "--duration-ms") 500
+      & info [ "duration-ms" ] ~docv:"MS"
+          ~doc:"Offered-load interval in milliseconds; the run then drains.")
+  in
+  let shards_arg =
+    Arg.(
+      value
+      & opt (positive_int "--shards") 4
+      & info [ "shards" ] ~docv:"S"
+          ~doc:"Admission shards (contiguous link-id ranges).")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the version-keyed legal-path cache.")
+  in
+  let no_batch_arg =
+    Arg.(
+      value & flag
+      & info [ "no-batch" ]
+          ~doc:"Write routing-table entries inline instead of batched.")
+  in
+  let baseline_arg =
+    Arg.(
+      value & flag
+      & info [ "baseline" ]
+          ~doc:
+            "Pre-PR control plane under the same cost model: one admission \
+             shard, no path cache, unbatched table writes (overrides \
+             $(b,--shards), $(b,--no-cache) and $(b,--no-batch)).")
+  in
+  let run kind switches rate duration_ms shards no_cache no_batch baseline
+      sweep jobs seed trace metrics =
+    let config =
+      if baseline then Faults.Tps.baseline_config
+      else begin
+        let lifecycle =
+          if no_cache then
+            { Faults.Tps.tuned_lifecycle with An2.Lifecycle.path_cache = false }
+          else Faults.Tps.tuned_lifecycle
+        in
+        let service =
+          if no_batch then
+            { An2.Bandwidth_central.Service.default_params with flush_every = 0 }
+          else An2.Bandwidth_central.Service.default_params
+        in
+        { Faults.Tps.improved_config with lifecycle; service; shards }
+      end
+    in
+    let profile s =
+      An2.Workload.with_seed
+        {
+          An2.Workload.default_profile with
+          duration = Netsim.Time.ms duration_ms;
+        }
+        s
+    in
+    let print_point pre (p : Faults.Tps.point) =
+      Format.printf
+        "%srate %.0f/s (offered %.0f/s): %d arrivals, %d established, %d \
+         failed, %d granted, %d denied@."
+        pre p.rate p.offered_rate p.arrivals p.established p.failed p.granted
+        p.denied;
+      Format.printf
+        "%s  setup p50 %.0fus p99 %.0fus max %.0fus; backlog peak %d final \
+         %d; diverged=%b drained=%b@."
+        pre p.p50_us p.p99_us p.max_us p.peak_backlog p.final_backlog
+        p.diverged p.drained;
+      Format.printf
+        "%s  route cache %d hits / %d misses; cross-shard %d, escrow \
+         conflicts %d, flushes %d; %d events@."
+        pre p.cache_hits p.cache_misses p.cross_shard p.escrow_conflicts
+        p.batch_flushes p.sim_events
+    in
+    if sweep > 0 then begin
+      if rate <= 0.0 then
+        Fmt.failwith
+          "an2sim tps: --sweep needs an explicit --rate (knee search per \
+           seed would be a bench, not a sweep)";
+      let seeds = List.init sweep (fun i -> seed + i) in
+      let results =
+        sweep_metrics ~jobs ~seeds ~trace ~metrics (fun s sink ->
+            Faults.Tps.run_point ~obs:sink
+              ~graph:(make_topology kind switches)
+              config
+              (An2.Workload.scale (profile s) ~rate))
+      in
+      List.iter
+        (fun (s, p) ->
+          Format.printf "seed %d:@." s;
+          print_point "  " p)
+        results;
+      let outs = List.map snd results in
+      Format.printf
+        "sweep of %d seeds at %.0f/s: mean established %.1f, mean p99 \
+         %.0fus, none diverged %b, all drained %b@."
+        sweep rate
+        (mean_over outs (fun p -> float_of_int p.Faults.Tps.established))
+        (mean_over outs (fun p -> p.Faults.Tps.p99_us))
+        (List.for_all (fun p -> not p.Faults.Tps.diverged) outs)
+        (List.for_all (fun p -> p.Faults.Tps.drained) outs)
+    end
+    else begin
+      let obs = make_sink ~trace ~metrics in
+      (if rate > 0.0 then
+         print_point ""
+           (Faults.Tps.run_point ~obs
+              ~graph:(make_topology kind switches)
+              config
+              (An2.Workload.scale (profile seed) ~rate))
+       else begin
+         let knee, points =
+           Faults.Tps.find_knee ~obs
+             ~mk_graph:(fun () -> make_topology kind switches)
+             config (profile seed)
+         in
+         List.iter (print_point "") points;
+         Format.printf "knee: %.0f setups/s sustained@." knee
+       end);
+      finish_obs obs ~trace ~metrics
+    end
+  in
+  let doc =
+    "Control-plane saturation: drive an open-loop workload of circuit \
+     setups (Poisson base + diurnal ramp + heavy-tail bursts) through \
+     signaling and sharded admission at $(b,--rate), or sweep the rate to \
+     the knee where the setup backlog diverges."
+  in
+  Cmd.v (Cmd.info "tps" ~doc)
+    Term.(
+      const run $ kind_arg $ switches_arg $ rate_arg $ duration_arg
+      $ shards_arg $ no_cache_arg $ no_batch_arg $ baseline_arg $ sweep_arg
+      $ jobs_arg $ seed_arg $ trace_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
 (* report: render a metrics / heartbeat / trace bundle produced by the
    other subcommands into a human-readable run summary. *)
 
@@ -1452,5 +1604,5 @@ let () =
           [
             topo_cmd; fabric_cmd; reconfig_cmd; local_reconfig_cmd; flow_cmd;
             deadlock_cmd; e2e_cmd; multicast_cmd; adaptive_cmd; signaling_cmd;
-            rebalance_cmd; churn_cmd; partition_cmd; report_cmd;
+            rebalance_cmd; churn_cmd; partition_cmd; tps_cmd; report_cmd;
           ]))

@@ -1,6 +1,17 @@
+exception Underflow of { link : int; have : int; released : int }
+
 type t = {
   net : Network.t;
-  reserved : (int, int) Hashtbl.t;  (* link id -> cells per frame *)
+  mutable res : int array;  (* link id -> cells per frame reserved *)
+  shards : int;
+  shard_range : int;  (* links per shard (by link-id range) *)
+  (* BFS scratch, reused across requests. [bfs_seen] holds stamps, so a
+     new request invalidates the previous one by bumping [bfs_stamp]
+     instead of clearing; the arrays grow if the graph does. *)
+  mutable bfs_prev : int array;
+  mutable bfs_seen : int array;
+  mutable bfs_queue : int array;
+  mutable bfs_stamp : int;
   obs : Obs.Sink.t;
   c_requests : Obs.Metrics.Counter.t;
   c_granted : Obs.Metrics.Counter.t;
@@ -8,6 +19,7 @@ type t = {
   c_denied_no_capacity : Obs.Metrics.Counter.t;
   c_releases : Obs.Metrics.Counter.t;
   c_reroutes : Obs.Metrics.Counter.t;
+  c_underflows : Obs.Metrics.Counter.t;
 }
 
 type denial =
@@ -18,11 +30,18 @@ let pp_denial fmt = function
   | No_route -> Format.pp_print_string fmt "no route"
   | No_capacity -> Format.pp_print_string fmt "insufficient capacity"
 
-let create ?(obs = Obs.Sink.null) net =
+let create ?(obs = Obs.Sink.null) ?(shards = 1) net =
+  if shards < 1 then invalid_arg "Bandwidth_central.create: shards must be >= 1";
+  let lc = Topo.Graph.link_count (Network.graph net) in
   {
     net;
-    reserved =
-      Hashtbl.create (max 64 (Topo.Graph.link_count (Network.graph net)));
+    res = Array.make (max 64 lc) 0;
+    shards;
+    shard_range = max 1 ((lc + shards - 1) / shards);
+    bfs_prev = [||];
+    bfs_seen = [||];
+    bfs_queue = [||];
+    bfs_stamp = 0;
     obs;
     c_requests = Obs.Sink.counter obs "bwc.requests";
     c_granted = Obs.Sink.counter obs "bwc.granted";
@@ -30,6 +49,7 @@ let create ?(obs = Obs.Sink.null) net =
     c_denied_no_capacity = Obs.Sink.counter obs "bwc.denied_no_capacity";
     c_releases = Obs.Sink.counter obs "bwc.releases";
     c_reroutes = Obs.Sink.counter obs "bwc.reroutes";
+    c_underflows = Obs.Sink.counter obs "bwc.underflows";
   }
 
 let obs_on t = t.obs.Obs.Sink.enabled
@@ -38,13 +58,55 @@ let count_denial t = function
   | No_route -> Obs.Metrics.Counter.incr t.c_denied_no_route
   | No_capacity -> Obs.Metrics.Counter.incr t.c_denied_no_capacity
 
-let reserved t lid =
-  match Hashtbl.find_opt t.reserved lid with Some c -> c | None -> 0
+let shards t = t.shards
+
+let shard_of t lid = min (t.shards - 1) (lid / t.shard_range)
+
+let reserved t lid = if lid < Array.length t.res then t.res.(lid) else 0
+
+let ensure_res t lid =
+  let n = Array.length t.res in
+  if lid >= n then begin
+    let grown = Array.make (max (lid + 1) (2 * n)) 0 in
+    Array.blit t.res 0 grown 0 n;
+    t.res <- grown
+  end
+
+let add_reserved t lid cells =
+  ensure_res t lid;
+  t.res.(lid) <- t.res.(lid) + cells
+
+(* Double releases used to be clamped with [max 0], silently absorbing
+   accounting corruption; now they are loud. *)
+let sub_reserved t lid cells =
+  let have = reserved t lid in
+  if have < cells then begin
+    if obs_on t then Obs.Metrics.Counter.incr t.c_underflows;
+    raise (Underflow { link = lid; have; released = cells })
+  end;
+  t.res.(lid) <- have - cells
+
+let reservations t =
+  let acc = ref [] in
+  for lid = Array.length t.res - 1 downto 0 do
+    if t.res.(lid) > 0 then acc := (lid, t.res.(lid)) :: !acc
+  done;
+  !acc
 
 let headroom t lid = Network.frame_length t.net - reserved t lid
 
+let ensure_scratch t n =
+  if Array.length t.bfs_seen < n then begin
+    let cap = max n (2 * Array.length t.bfs_seen) in
+    t.bfs_prev <- Array.make cap (-1);
+    t.bfs_seen <- Array.make cap 0;
+    t.bfs_queue <- Array.make cap 0
+  end
+
 (* Shortest switch path where every link (host links included) has
-   [cells] of headroom. BFS with a per-link capacity filter. *)
+   [cells] of headroom. BFS with a per-link capacity filter, over the
+   reused scratch arrays (each switch enters the ring at most once, so
+   an [switch_count]-sized array is a sufficient queue). *)
 let capacity_route t ~src_host ~dst_host ~cells =
   let g = Network.graph t.net in
   match
@@ -56,23 +118,28 @@ let capacity_route t ~src_host ~dst_host ~cells =
       Error No_capacity
     else begin
       let n = Topo.Graph.switch_count g in
-      let prev = Array.make n (-1) in
-      let seen = Array.make n false in
-      seen.(a) <- true;
-      let queue = Queue.create () in
-      Queue.add a queue;
-      while not (Queue.is_empty queue) do
-        let s = Queue.pop queue in
-        List.iter
-          (fun (s', lid) ->
-            if (not seen.(s')) && headroom t lid >= cells then begin
-              seen.(s') <- true;
+      ensure_scratch t n;
+      t.bfs_stamp <- t.bfs_stamp + 1;
+      let stamp = t.bfs_stamp in
+      let prev = t.bfs_prev
+      and seen = t.bfs_seen
+      and queue = t.bfs_queue in
+      seen.(a) <- stamp;
+      queue.(0) <- a;
+      let head = ref 0
+      and tail = ref 1 in
+      while !head < !tail do
+        let s = queue.(!head) in
+        incr head;
+        Topo.Graph.iter_switch_neighbors g s (fun s' lid ->
+            if seen.(s') <> stamp && headroom t lid >= cells then begin
+              seen.(s') <- stamp;
               prev.(s') <- s;
-              Queue.add s' queue
+              queue.(!tail) <- s';
+              incr tail
             end)
-          (Topo.Graph.switch_neighbors g s)
       done;
-      if not seen.(b) then
+      if seen.(b) <> stamp then
         (* Distinguish "physically disconnected" from "saturated". *)
         if Topo.Paths.route g ~src:a ~dst:b = None then Error No_route
         else Error No_capacity
@@ -81,9 +148,6 @@ let capacity_route t ~src_host ~dst_host ~cells =
         Ok (walk [] b)
       end
     end
-
-let add_reserved t lid cells =
-  Hashtbl.replace t.reserved lid (reserved t lid + cells)
 
 let install_schedules t vc cells =
   List.iter
@@ -135,9 +199,7 @@ let release t vc =
   | Network.Best_effort -> invalid_arg "Bandwidth_central.release: not guaranteed"
   | Network.Guaranteed cells ->
     if obs_on t then Obs.Metrics.Counter.incr t.c_releases;
-    List.iter
-      (fun lid -> Hashtbl.replace t.reserved lid (max 0 (reserved t lid - cells)))
-      vc.Network.links;
+    List.iter (fun lid -> sub_reserved t lid cells) vc.Network.links;
     Network.teardown t.net vc
 
 (* Undo a circuit's schedule slots (the reverse of install_schedules),
@@ -162,9 +224,7 @@ let reroute_after_failure t vc =
     (* Free the dead path's resources but keep the circuit's identity:
        re-admission must rewire this record, or line cards holding it
        (and the hosts) would keep talking into the old path. *)
-    List.iter
-      (fun lid -> Hashtbl.replace t.reserved lid (max 0 (reserved t lid - cells)))
-      vc.Network.links;
+    List.iter (fun lid -> sub_reserved t lid cells) vc.Network.links;
     remove_schedules t vc cells;
     Network.uninstall t.net vc;
     let dissolve d =
@@ -192,3 +252,293 @@ let reroute_after_failure t vc =
           List.iter (fun lid -> add_reserved t lid cells) links;
           install_schedules t vc cells;
           Ok ()))
+
+(* Aliases usable inside [Service], where the names are shadowed. *)
+let core_create = create
+let core_release = release
+
+module Service = struct
+  type params = {
+    route_cost : Netsim.Time.t;
+    admit_cost : Netsim.Time.t;
+    escrow_cost : Netsim.Time.t;
+    write_cost : Netsim.Time.t;
+    write_unit : Netsim.Time.t;
+    flush_every : Netsim.Time.t;
+    release_cost : Netsim.Time.t;
+  }
+
+  let default_params =
+    {
+      route_cost = Netsim.Time.us 80;
+      admit_cost = Netsim.Time.us 40;
+      escrow_cost = Netsim.Time.us 25;
+      write_cost = Netsim.Time.us 20;
+      write_unit = Netsim.Time.us 2;
+      flush_every = Netsim.Time.us 500;
+      release_cost = Netsim.Time.us 30;
+    }
+
+  type stats = {
+    submitted : int;
+    granted : int;
+    denied_no_route : int;
+    denied_no_capacity : int;
+    released : int;
+    cross_shard : int;
+    escrow_conflicts : int;
+    batch_flushes : int;
+    batched_writes : int;
+    worst_backlog : int;
+  }
+
+  type nonrec t = {
+    core : t;
+    engine : Netsim.Engine.t;
+    params : params;
+    (* Per-shard serialized admission processor, mirroring the
+       per-switch signaling processors of {!Lifecycle}. *)
+    busy_until : Netsim.Time.t array;
+    queue_len : int array;
+    pending_writes : Network.vc list array;  (* per coordinator shard *)
+    flush_armed : bool array;
+    mutable worst_backlog : int;
+    mutable in_flight : int;
+    mutable submitted : int;
+    mutable granted : int;
+    mutable denied_no_route : int;
+    mutable denied_no_capacity : int;
+    mutable released : int;
+    mutable cross_shard : int;
+    mutable escrow_conflicts : int;
+    mutable batch_flushes : int;
+    mutable batched_writes : int;
+    c_cross_shard : Obs.Metrics.Counter.t;
+    c_escrow_conflicts : Obs.Metrics.Counter.t;
+    c_batch_flushes : Obs.Metrics.Counter.t;
+  }
+
+  let create ?(obs = Obs.Sink.null) ~engine ?shards net params =
+    let core = core_create ~obs ?shards net in
+    let n = core.shards in
+    {
+      core;
+      engine;
+      params;
+      busy_until = Array.make n 0;
+      queue_len = Array.make n 0;
+      pending_writes = Array.make n [];
+      flush_armed = Array.make n false;
+      worst_backlog = 0;
+      in_flight = 0;
+      submitted = 0;
+      granted = 0;
+      denied_no_route = 0;
+      denied_no_capacity = 0;
+      released = 0;
+      cross_shard = 0;
+      escrow_conflicts = 0;
+      batch_flushes = 0;
+      batched_writes = 0;
+      c_cross_shard = Obs.Sink.counter obs "bwc.cross_shard";
+      c_escrow_conflicts = Obs.Sink.counter obs "bwc.escrow_conflicts";
+      c_batch_flushes = Obs.Sink.counter obs "bwc.batch_flushes";
+    }
+
+  let in_flight t = t.in_flight
+  let reserved t lid = reserved t.core lid
+  let reservations t = reservations t.core
+
+  let stats t =
+    {
+      submitted = t.submitted;
+      granted = t.granted;
+      denied_no_route = t.denied_no_route;
+      denied_no_capacity = t.denied_no_capacity;
+      released = t.released;
+      cross_shard = t.cross_shard;
+      escrow_conflicts = t.escrow_conflicts;
+      batch_flushes = t.batch_flushes;
+      batched_writes = t.batched_writes;
+      worst_backlog = t.worst_backlog;
+    }
+
+  let coordinator t src_host = src_host mod t.core.shards
+
+  (* Occupy shard [sh]'s admission processor for [cost]; [k] runs when
+     the processor gets to it. The queue includes the work in service. *)
+  let occupy t sh ~cost k =
+    t.queue_len.(sh) <- t.queue_len.(sh) + 1;
+    if t.queue_len.(sh) > t.worst_backlog then t.worst_backlog <- t.queue_len.(sh);
+    let start = max (Netsim.Engine.now t.engine) t.busy_until.(sh) in
+    let finish = start + cost in
+    t.busy_until.(sh) <- finish;
+    Netsim.Engine.post_at t.engine ~at:finish (fun () ->
+        t.queue_len.(sh) <- t.queue_len.(sh) - 1;
+        k ())
+
+  let batched t = t.params.flush_every > 0
+
+  (* One deferred routing-table flush per coordinator shard: entries of
+     circuits admitted since the last flush install in one batch, a
+     single [write_cost] plus [write_unit] per entry instead of a full
+     [write_cost] per entry. Circuits released (or dissolved) before
+     the flush are skipped — their identity is gone. *)
+  let arm_flush t sh =
+    if not t.flush_armed.(sh) then begin
+      t.flush_armed.(sh) <- true;
+      Netsim.Engine.post t.engine ~delay:t.params.flush_every (fun () ->
+          t.flush_armed.(sh) <- false;
+          let vcs = List.rev t.pending_writes.(sh) in
+          t.pending_writes.(sh) <- [];
+          t.batch_flushes <- t.batch_flushes + 1;
+          if obs_on t.core then Obs.Metrics.Counter.incr t.c_batch_flushes;
+          let entries =
+            List.fold_left
+              (fun acc vc -> acc + List.length vc.Network.switches)
+              0 vcs
+          in
+          occupy t sh
+            ~cost:(t.params.write_cost + (entries * t.params.write_unit))
+            (fun () ->
+              List.iter
+                (fun vc ->
+                  match Network.find_vc t.core.net vc.Network.vc_id with
+                  | Some vc' when vc' == vc ->
+                    Network.install t.core.net vc;
+                    t.batched_writes <-
+                      t.batched_writes + List.length vc.Network.switches
+                  | _ -> ())
+                vcs))
+    end
+
+  let submit t ~src_host ~dst_host ~cells ~on_done =
+    if cells < 1 || cells > Network.frame_length t.core.net then
+      invalid_arg "Bandwidth_central.Service.submit: bad cell count";
+    t.submitted <- t.submitted + 1;
+    t.in_flight <- t.in_flight + 1;
+    if obs_on t.core then Obs.Metrics.Counter.incr t.core.c_requests;
+    let co = coordinator t src_host in
+    let deny d =
+      (match d with
+       | No_route -> t.denied_no_route <- t.denied_no_route + 1
+       | No_capacity -> t.denied_no_capacity <- t.denied_no_capacity + 1);
+      if obs_on t.core then count_denial t.core d;
+      t.in_flight <- t.in_flight - 1;
+      on_done (Error d)
+    in
+    occupy t co ~cost:t.params.route_cost (fun () ->
+        match capacity_route t.core ~src_host ~dst_host ~cells with
+        | Error d -> deny d
+        | Ok switches ->
+          (match
+             Network.links_of_switch_path t.core.net ~src_host ~dst_host
+               switches
+           with
+           | Error _ -> deny No_route
+           | Ok links ->
+             (* Partition the route's links by owning shard. Foreign
+                shards are visited in ascending order — a total escrow
+                order, so concurrent cross-shard admissions cannot
+                deadlock and replay deterministically. *)
+             let per = Array.make t.core.shards [] in
+             List.iter
+               (fun lid ->
+                 let sh = shard_of t.core lid in
+                 per.(sh) <- lid :: per.(sh))
+               links;
+             let foreign = ref [] in
+             for sh = t.core.shards - 1 downto 0 do
+               if sh <> co && per.(sh) <> [] then foreign := sh :: !foreign
+             done;
+             if !foreign <> [] then begin
+               t.cross_shard <- t.cross_shard + 1;
+               if obs_on t.core then Obs.Metrics.Counter.incr t.c_cross_shard
+             end;
+             let escrowed = ref [] in
+             (* Compensation: return every escrowed shard's cells. *)
+             let undo () =
+               List.iter
+                 (fun sh ->
+                   List.iter
+                     (fun lid -> sub_reserved t.core lid cells)
+                     per.(sh))
+                 !escrowed
+             in
+             let conflict () =
+               undo ();
+               t.escrow_conflicts <- t.escrow_conflicts + 1;
+               if obs_on t.core then
+                 Obs.Metrics.Counter.incr t.c_escrow_conflicts;
+               deny No_capacity
+             in
+             let commit () =
+               let writes =
+                 if batched t then 0
+                 else List.length switches * t.params.write_cost
+               in
+               occupy t co ~cost:(t.params.admit_cost + writes) (fun () ->
+                   (* Re-validate the coordinator's own links: another
+                      admission may have landed since the route was
+                      computed. *)
+                   if
+                     List.exists
+                       (fun lid -> headroom t.core lid < cells)
+                       per.(co)
+                   then conflict ()
+                   else begin
+                     List.iter
+                       (fun lid -> add_reserved t.core lid cells)
+                       per.(co);
+                     let vc =
+                       Network.register_guaranteed
+                         ~install:(not (batched t)) t.core.net ~src_host
+                         ~dst_host ~cells ~switches ~links
+                     in
+                     install_schedules t.core vc cells;
+                     if batched t then begin
+                       t.pending_writes.(co) <- vc :: t.pending_writes.(co);
+                       arm_flush t co
+                     end;
+                     t.granted <- t.granted + 1;
+                     if obs_on t.core then
+                       Obs.Metrics.Counter.incr t.core.c_granted;
+                     t.in_flight <- t.in_flight - 1;
+                     on_done (Ok vc)
+                   end)
+             in
+             let rec escrow = function
+               | [] -> commit ()
+               | sh :: rest ->
+                 occupy t sh ~cost:t.params.escrow_cost (fun () ->
+                     if
+                       List.exists
+                         (fun lid -> headroom t.core lid < cells)
+                         per.(sh)
+                     then conflict ()
+                     else begin
+                       List.iter
+                         (fun lid -> add_reserved t.core lid cells)
+                         per.(sh);
+                       escrowed := sh :: !escrowed;
+                       escrow rest
+                     end)
+             in
+             escrow !foreign))
+
+  let release t vc =
+    match vc.Network.cls with
+    | Network.Best_effort ->
+      invalid_arg "Bandwidth_central.Service.release: not guaranteed"
+    | Network.Guaranteed _ ->
+      let co = coordinator t vc.Network.src_host in
+      occupy t co ~cost:t.params.release_cost (fun () ->
+          (* The circuit may have been dissolved (reroute denial, an
+             earlier release) between the request and the processor
+             getting to it; a stale release is dropped, not applied. *)
+          match Network.find_vc t.core.net vc.Network.vc_id with
+          | Some vc' when vc' == vc ->
+            t.released <- t.released + 1;
+            core_release t.core vc
+          | _ -> ())
+end

@@ -12,6 +12,9 @@ type params = {
   pace : Netsim.Time.t;
   routing : routing;
   seed : int;
+  route_cost : Netsim.Time.t;
+  route_cost_cached : Netsim.Time.t;
+  path_cache : bool;
 }
 
 let default_params =
@@ -25,6 +28,9 @@ let default_params =
     pace = Netsim.Time.us 500;
     routing = Shortest;
     seed = 0;
+    route_cost = 0;
+    route_cost_cached = 0;
+    path_cache = true;
   }
 
 type stats = {
@@ -38,6 +44,8 @@ type stats = {
   worst_backlog : int;
   gc_reclaimed : int;
   gc_runs : int;
+  route_cache_hits : int;
+  route_cache_misses : int;
 }
 
 type t = {
@@ -59,6 +67,16 @@ type t = {
   mutable retries : int;
   mutable gc_reclaimed : int;
   mutable gc_runs : int;
+  (* Legal-path cache, keyed by the graph-version counter: any
+     mutation (structural or fail/restore) bumps the version, which
+     empties both tables on the next lookup. Pure memoization —
+     [route_for] is a function of the graph state alone, so cached
+     runs replay byte-identically to uncached ones. *)
+  mutable cache_version : int;
+  route_cache : (int, (int list * int list, string) result) Hashtbl.t;
+  orient_cache : (int, Topo.Updown.t) Hashtbl.t;
+  mutable route_cache_hits : int;
+  mutable route_cache_misses : int;
   obs : Obs.Sink.t;
   c_established : Obs.Metrics.Counter.t;
   c_failed : Obs.Metrics.Counter.t;
@@ -67,6 +85,8 @@ type t = {
   c_timeouts : Obs.Metrics.Counter.t;
   c_retries : Obs.Metrics.Counter.t;
   c_gc_reclaimed : Obs.Metrics.Counter.t;
+  c_route_hits : Obs.Metrics.Counter.t;
+  c_route_misses : Obs.Metrics.Counter.t;
   g_backlog : Obs.Metrics.Gauge.t;
   h_setup_latency : Obs.Histogram.t;
   h_backlog : Obs.Histogram.t;
@@ -92,6 +112,11 @@ let create ?(obs = Obs.Sink.null) ~engine net params =
     retries = 0;
     gc_reclaimed = 0;
     gc_runs = 0;
+    cache_version = min_int;
+    route_cache = Hashtbl.create 256;
+    orient_cache = Hashtbl.create 16;
+    route_cache_hits = 0;
+    route_cache_misses = 0;
     obs;
     c_established = Obs.Sink.counter obs "lifecycle.established";
     c_failed = Obs.Sink.counter obs "lifecycle.failed";
@@ -100,6 +125,8 @@ let create ?(obs = Obs.Sink.null) ~engine net params =
     c_timeouts = Obs.Sink.counter obs "lifecycle.timeouts";
     c_retries = Obs.Sink.counter obs "lifecycle.retries";
     c_gc_reclaimed = Obs.Sink.counter obs "lifecycle.gc_reclaimed";
+    c_route_hits = Obs.Sink.counter obs "lifecycle.route_cache_hits";
+    c_route_misses = Obs.Sink.counter obs "lifecycle.route_cache_misses";
     g_backlog = Obs.Sink.gauge obs "lifecycle.worst_signaling_backlog";
     h_setup_latency = Obs.Sink.histogram obs "lifecycle.setup_latency_us";
     h_backlog = Obs.Sink.histogram obs "lifecycle.signaling_backlog";
@@ -119,16 +146,25 @@ let stats t =
     worst_backlog = t.worst_backlog;
     gc_reclaimed = t.gc_reclaimed;
     gc_runs = t.gc_runs;
+    route_cache_hits = t.route_cache_hits;
+    route_cache_misses = t.route_cache_misses;
   }
 
 let obs_on t = t.obs.Obs.Sink.enabled
 
 (* A switch participates in signaling while it has any working link;
-   fail_switch kills them all, so a crashed switch is silent. *)
+   fail_switch kills them all, so a crashed switch is silent. This is
+   checked per signaling cell, so it must not allocate neighbor
+   lists. *)
 let switch_alive g s =
-  Topo.Graph.switch_neighbors g s <> [] || Topo.Graph.hosts_of_switch g s <> []
+  Topo.Graph.switch_degree g s > 0
+  ||
+  let any = ref false in
+  Topo.Graph.iter_hosts_of_switch g s (fun _ _ -> any := true);
+  !any
 
-let route_for t ~src_host ~dst_host =
+(* Recompute a host pair's route on the current topology. *)
+let compute_route t ~src_host ~dst_host =
   let g = Network.graph t.net in
   match
     ( Network.host_attachment t.net src_host,
@@ -142,8 +178,16 @@ let route_for t ~src_host ~dst_host =
       | Updown ->
         (* Orientation rooted at the source attachment: any root gives
            a deadlock-free up*/down* discipline, and the source is
-           always in its own component. *)
-        let orient = Topo.Updown.orient g (Topo.Spanning.bfs g ~root:a) in
+           always in its own component. The orientation depends only
+           on the graph, so it shares the version-keyed cache. *)
+        let orient =
+          match Hashtbl.find_opt t.orient_cache a with
+          | Some o -> o
+          | None ->
+            let o = Topo.Updown.orient g (Topo.Spanning.bfs g ~root:a) in
+            if t.params.path_cache then Hashtbl.add t.orient_cache a o;
+            o
+        in
         Topo.Updown.route g orient ~src:a ~dst:b
     in
     (match path with
@@ -152,6 +196,35 @@ let route_for t ~src_host ~dst_host =
        (match Network.links_of_switch_path t.net ~src_host ~dst_host switches with
         | Error e -> Error e
         | Ok links -> Ok (switches, links)))
+
+(* [route_for] additionally reports whether the answer came from the
+   cache, so the caller can charge the cached or uncached route cost. *)
+let route_for t ~src_host ~dst_host =
+  if not t.params.path_cache then begin
+    t.route_cache_misses <- t.route_cache_misses + 1;
+    if obs_on t then Obs.Metrics.Counter.incr t.c_route_misses;
+    (compute_route t ~src_host ~dst_host, false)
+  end
+  else begin
+    let v = Topo.Graph.version (Network.graph t.net) in
+    if v <> t.cache_version then begin
+      Hashtbl.reset t.route_cache;
+      Hashtbl.reset t.orient_cache;
+      t.cache_version <- v
+    end;
+    let key = (src_host lsl 24) lor dst_host in
+    match Hashtbl.find_opt t.route_cache key with
+    | Some r ->
+      t.route_cache_hits <- t.route_cache_hits + 1;
+      if obs_on t then Obs.Metrics.Counter.incr t.c_route_hits;
+      (r, true)
+    | None ->
+      t.route_cache_misses <- t.route_cache_misses + 1;
+      if obs_on t then Obs.Metrics.Counter.incr t.c_route_misses;
+      let r = compute_route t ~src_host ~dst_host in
+      Hashtbl.add t.route_cache key r;
+      (r, false)
+  end
 
 (* One in-progress setup. [epoch] stamps the current attempt: events
    belonging to an abandoned attempt (timeout fired, source moved on)
@@ -169,9 +242,9 @@ type pending = {
   mutable resolved : bool;
 }
 
-(* Occupy switch [s]'s signaling processor for one cell; [k] runs when
+(* Occupy switch [s]'s signaling processor for [cost]; [k] runs when
    the processor gets to it. The queue includes the cell in service. *)
-let process_at t s k =
+let process_for t s ~cost k =
   t.queue_len.(s) <- t.queue_len.(s) + 1;
   if obs_on t then
     Obs.Histogram.add t.h_backlog (float_of_int t.queue_len.(s));
@@ -180,11 +253,14 @@ let process_at t s k =
     if obs_on t then Obs.Metrics.Gauge.set t.g_backlog (float_of_int t.worst_backlog)
   end;
   let start = max (Netsim.Engine.now t.engine) t.busy_until.(s) in
-  let finish = start + t.params.proc_delay in
+  let finish = start + cost in
   t.busy_until.(s) <- finish;
   Netsim.Engine.post_at t.engine ~at:finish (fun () ->
       t.queue_len.(s) <- t.queue_len.(s) - 1;
       k ())
+
+(* One signaling cell's worth of processing. *)
+let process_at t s k = process_for t s ~cost:t.params.proc_delay k
 
 let latency g lid = (Topo.Graph.link g lid).Topo.Graph.latency
 
@@ -231,11 +307,11 @@ let rec start_attempt t p =
     match
       route_for t ~src_host:p.vc.Network.src_host ~dst_host:p.vc.Network.dst_host
     with
-    | Error _ ->
+    | Error _, _ ->
       (* No route right now (partition, dead attachment). The topology
          may heal before we run out of attempts. *)
       retry t p
-    | Ok (switches, links) ->
+    | Ok (switches, links), cached ->
       Network.assign_route t.net p.vc ~switches ~links;
       p.path_switches <- Array.of_list switches;
       p.path_links <- Array.of_list links;
@@ -245,10 +321,23 @@ let rec start_attempt t p =
             on_timeout t p epoch);
       let g = Network.graph t.net in
       (* The setup cell leaves the source host over its attachment. *)
-      if Topo.Graph.link_working g p.path_links.(0) then
-        Netsim.Engine.post t.engine ~delay:(latency g p.path_links.(0))
-          (fun () -> setup_arrives t p epoch 0)
-      (* else: dead attachment mid-flight; the timeout recovers. *)
+      let launch () =
+        if Topo.Graph.link_working g p.path_links.(0) then
+          Netsim.Engine.post t.engine ~delay:(latency g p.path_links.(0))
+            (fun () -> setup_arrives t p epoch 0)
+        (* else: dead attachment mid-flight; the timeout recovers. *)
+      in
+      (* Route computation is charged to the ingress switch's
+         signaling processor — the line card resolving the source
+         route. A zero cost (the default) launches inline, leaving
+         the legacy event sequence untouched. *)
+      let cost =
+        if cached then t.params.route_cost_cached else t.params.route_cost
+      in
+      if cost = 0 then launch ()
+      else
+        process_for t p.path_switches.(0) ~cost (fun () ->
+            if (not p.resolved) && p.epoch = epoch then launch ())
   end
 
 and retry t p =
@@ -420,13 +509,19 @@ let orphan_entries t =
   let n = Topo.Graph.switch_count g in
   let orphans = ref [] in
   let broken = ref [] in
+  (* Hashed id set: membership per table binding must be O(1), or the
+     sweep goes quadratic in broken circuits at TPS scale. *)
+  let broken_ids = Hashtbl.create 64 in
   Network.iter_vcs t.net (fun vc ->
       if
         (not vc.Network.paged_out)
         && not
              (vc.Network.links <> []
              && List.for_all (Topo.Graph.link_working g) vc.Network.links)
-      then broken := vc :: !broken);
+      then begin
+        broken := vc :: !broken;
+        Hashtbl.replace broken_ids vc.Network.vc_id ()
+      end);
   for s = 0 to n - 1 do
     List.iter
       (fun (vc_id, entry) ->
@@ -435,7 +530,7 @@ let orphan_entries t =
           | None -> false
           | Some vc ->
             (not vc.Network.paged_out)
-            && (not (List.exists (fun b -> b.Network.vc_id = vc_id) !broken))
+            && (not (Hashtbl.mem broken_ids vc_id))
             && List.exists
                  (fun (s', e) -> s' = s && e = entry)
                  (Network.table_entries vc)

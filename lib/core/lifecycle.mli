@@ -52,11 +52,24 @@ type params = {
           storm, everything at once *)
   routing : routing;
   seed : int;  (** jitter randomness *)
+  route_cost : Netsim.Time.t;
+      (** per-attempt route computation charged to the ingress
+          switch's signaling processor; [0] (the default) keeps route
+          lookup free and the event timeline exactly as before this
+          field existed *)
+  route_cost_cached : Netsim.Time.t;
+      (** route cost when the legal-path cache answers *)
+  path_cache : bool;
+      (** memoize {!params.routing} results keyed by the graph-version
+          counter (pure memoization: any topology mutation empties the
+          cache, so cached and uncached runs are byte-identical apart
+          from the charged cost) *)
 }
 
 val default_params : params
 (** 100 us/hop, 20 ms timeout, 8 attempts, 1 ms backoff doubling to a
-    100 ms cap, 20% jitter, 500 us pacing, shortest-path routing. *)
+    100 ms cap, 20% jitter, 500 us pacing, shortest-path routing, free
+    cached routing ([route_cost = 0], cache on). *)
 
 type stats = {
   setups : int;  (** circuits handed to the layer (fresh + readmitted) *)
@@ -71,6 +84,10 @@ type stats = {
           and ack cells included *)
   gc_reclaimed : int;  (** orphaned table entries swept, total *)
   gc_runs : int;
+  route_cache_hits : int;  (** attempts answered by the path cache *)
+  route_cache_misses : int;
+      (** attempts that recomputed the route (every attempt, when
+          [path_cache] is off) *)
 }
 
 type t

@@ -158,7 +158,8 @@ let remove_entry t ~switch ~vc_id = Hashtbl.remove t.tables.(switch) vc_id
 let table_bindings t s =
   List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tables.(s) [])
 
-let register_guaranteed t ~src_host ~dst_host ~cells ~switches ~links =
+let register_guaranteed ?install:(install_now = true) t ~src_host ~dst_host
+    ~cells ~switches ~links =
   let vc =
     {
       vc_id = t.next_vc;
@@ -172,7 +173,7 @@ let register_guaranteed t ~src_host ~dst_host ~cells ~switches ~links =
   in
   t.next_vc <- t.next_vc + 1;
   Hashtbl.add t.vcs vc.vc_id vc;
-  install t vc;
+  if install_now then install t vc;
   vc
 
 (* Port on switch [s] at which link [lid] terminates. *)

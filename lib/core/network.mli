@@ -76,6 +76,7 @@ val table_bindings : t -> int -> (int * (int * int)) list
     what {!Lifecycle.gc} sweeps for. *)
 
 val register_guaranteed :
+  ?install:bool ->
   t ->
   src_host:int ->
   dst_host:int ->
@@ -84,8 +85,10 @@ val register_guaranteed :
   links:int list ->
   vc
 (** Record a guaranteed circuit whose route was chosen by
-    {!Bandwidth_central} and install its table entries. The caller is
-    responsible for capacity and schedule bookkeeping. *)
+    {!Bandwidth_central} and install its table entries ([install],
+    default [true]; {!Bandwidth_central.Service} passes [false] when
+    batching table writes and installs later via {!install}). The
+    caller is responsible for capacity and schedule bookkeeping. *)
 
 val teardown : t -> vc -> unit
 (** Remove the circuit's table entries (and schedule reservations, for
