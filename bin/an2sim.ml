@@ -1391,6 +1391,245 @@ let tps_cmd =
       $ jobs_arg $ seed_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
+(* soak *)
+
+let soak_cmd =
+  let hours_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "hours" ] ~docv:"H"
+          ~doc:
+            "Simulated lifetime in hours (fractions fine). 0 keeps the \
+             default 60 s shakeout lifetime.")
+  in
+  let every_arg =
+    Arg.(
+      value
+      & opt (positive_int "--checkpoint-every") 5000
+      & info [ "checkpoint-every" ] ~docv:"MS"
+          ~doc:"Simulated milliseconds per checkpoint window.")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Store a snapshot per window ($(b,ckpt-N.snap), plus \
+             $(b,final.snap) at completion) in $(docv); created if missing. \
+             Required for $(b,--resume) round-trips and $(b,--bisect).")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Restore every module from this checkpoint and continue; the \
+             continuation is byte-identical to the uninterrupted run.")
+  in
+  let stop_after_arg =
+    Arg.(
+      value
+      & opt (some (positive_int "--stop-after")) None
+      & info [ "stop-after" ] ~docv:"W"
+          ~doc:
+            "End the run after $(docv) completed windows — the \"kill\" \
+             half of a resume-equality check.")
+  in
+  let bisect_arg =
+    Arg.(
+      value & flag
+      & info [ "bisect" ]
+          ~doc:
+            "On an audited violation, binary-search the stored checkpoints \
+             (restore-and-audit probes) to the offending window and replay \
+             just that window with tracing attached. Needs $(b,--dir).")
+  in
+  let audit_every_arg =
+    Arg.(
+      value
+      & opt (positive_int "--audit-every") 4
+      & info [ "audit-every" ] ~docv:"N"
+          ~doc:"Run the invariant audit at every Nth checkpoint.")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt float 200.0
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Offered circuit-setup rate per simulated second.")
+  in
+  let churn_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "churn" ] ~docv:"N"
+          ~doc:"Link-failure injections per window (0 disables churn).")
+  in
+  let partition_every_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "partition-every" ] ~docv:"N"
+          ~doc:"Separator cut-and-heal every Nth window (0 = never).")
+  in
+  let inject_at_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "inject-at" ] ~docv:"S"
+          ~doc:
+            "Plant a reservation leak at this simulated time (seconds) — \
+             the seeded invariant violation the audit must catch.")
+  in
+  let inject_link_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "inject-link" ] ~docv:"L"
+          ~doc:"Link the planted leak inflates.")
+  in
+  let inject_cells_arg =
+    Arg.(
+      value
+      & opt (positive_int "--inject-cells") 3
+      & info [ "inject-cells" ] ~docv:"C"
+          ~doc:"Cells the planted leak inflates the reservation by.")
+  in
+  let print_report pre (r : Faults.Soak.report) =
+    Format.printf
+      "%s%d windows over %.1f s simulated: %d arrivals, %d established, %d \
+       failed, %d granted, %d denied@."
+      pre r.windows
+      (Netsim.Time.to_s r.sim_time)
+      r.arrivals r.established r.failed r.granted r.denied;
+    Format.printf
+      "%s  churn: %d link failures, %d repairs, %d partitions; %d/%d \
+       reconfigurations converged; %d rerouted, %d dissolved, %d readmitted@."
+      pre r.link_failures r.link_repairs r.partitions r.reconfigs_converged
+      r.reconfigs r.rerouted r.dissolved r.readmitted;
+    let n_ck = List.length r.checkpoints in
+    let bytes =
+      match List.rev r.checkpoints with
+      | last :: _ -> last.Faults.Soak.ck_bytes
+      | [] -> 0
+    in
+    let write_ms =
+      List.fold_left
+        (fun a c -> a +. float_of_int c.Faults.Soak.ck_write_ns)
+        0.0 r.checkpoints
+      /. float_of_int (max 1 n_ck)
+      /. 1e6
+    in
+    Format.printf
+      "%s  %d checkpoints (%d bytes each, %.2f ms mean write); audits %d \
+       run / %d clean; digest %08x@."
+      pre n_ck bytes write_ms r.audits_run r.audits_clean
+      (r.final_digest land 0xFFFFFFFF);
+    match r.violation with
+    | None -> ()
+    | Some (w, viols) ->
+      Format.printf "%s  VIOLATION at window %d:@." pre w;
+      List.iter (fun v -> Format.printf "%s    %s@." pre v) viols
+  in
+  let run kind switches hours every_ms dir resume stop_after bisect
+      audit_every rate churn partition_every inject_at inject_link
+      inject_cells sweep jobs seed trace metrics =
+    let cfg =
+      {
+        Faults.Soak.default_config with
+        every = Netsim.Time.ms every_ms;
+        total =
+          (if hours > 0.0 then
+             Netsim.Time.s (max 1 (int_of_float (hours *. 3600.0)))
+           else Faults.Soak.default_config.total);
+        rate;
+        churn_per_window = max 0 churn;
+        partition_every = max 0 partition_every;
+        audit_every;
+        inject =
+          (match inject_at with
+          | Some at_s ->
+            Some
+              ( int_of_float (at_s *. 1e9) (* seconds -> Time.t ns *),
+                inject_link,
+                inject_cells )
+          | None -> None);
+        seed;
+      }
+    in
+    let mk_graph () =
+      let g = make_topology kind switches in
+      (* every switch gets at least one host so circuits can land
+         anywhere, as the partition scenario does *)
+      for s = 0 to Topo.Graph.switch_count g - 1 do
+        if Topo.Graph.hosts_of_switch g s = [] then begin
+          let h = Topo.Graph.add_host g in
+          ignore (Topo.Graph.connect g (Topo.Graph.Switch s) (Topo.Graph.Host h))
+        end
+      done;
+      g
+    in
+    if sweep > 0 then begin
+      (* independent soaks, one per seed, fanned over domains — the
+         seq-vs-par equality CI asserts --jobs does not change a byte *)
+      let seeds = List.init sweep (fun i -> seed + i) in
+      let results =
+        sweep_metrics ~jobs ~seeds ~trace ~metrics (fun s sink ->
+            Faults.Soak.run ~obs:sink ~mk_graph
+              { cfg with Faults.Soak.seed = s })
+      in
+      List.iter
+        (fun (s, (r : Faults.Soak.report)) ->
+          Format.printf
+            "seed %d: %d windows, digest %08x, audits %d/%d clean, %d \
+             arrivals, %d established, violation=%b@."
+            s r.windows
+            (r.final_digest land 0xFFFFFFFF)
+            r.audits_clean r.audits_run r.arrivals r.established
+            (r.violation <> None))
+        results
+    end
+    else begin
+      let obs = make_sink ~trace ~metrics in
+      (match dir with
+      | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
+      | _ -> ());
+      let r = Faults.Soak.run ~obs ?dir ?resume ?stop_after ~mk_graph cfg in
+      print_report "" r;
+      (match (r.violation, bisect, dir) with
+      | Some (detected, _), true, Some d ->
+        let b = Faults.Soak.bisect ~obs ~dir:d cfg ~detected in
+        Format.printf
+          "bisected to window %d (detected at %d) in %d probes + 1 traced \
+           window, %.2f s wall:@."
+          b.offending_window b.detected_window b.probes b.bisect_wall_s;
+        List.iter (Format.printf "  %s@.") b.replay_violations
+      | Some _, true, None ->
+        prerr_endline "an2sim soak: --bisect needs --dir (stored checkpoints)"
+      | _ -> ());
+      finish_obs obs ~trace ~metrics
+    end
+  in
+  let doc =
+    "Endurance soak: hours of simulated lifetime composing the TPS \
+     workload, link churn with skeptic-gated repair, and partition \
+     episodes; a byte-exact snapshot per window, conservation audits at \
+     every $(b,--audit-every)th checkpoint, resume from any checkpoint \
+     ($(b,--resume)) byte-identical to the uninterrupted run, and \
+     automatic bisection of a violation to its window ($(b,--bisect))."
+  in
+  Cmd.v (Cmd.info "soak" ~doc)
+    Term.(
+      const run $ kind_arg $ switches_arg $ hours_arg $ every_arg $ dir_arg
+      $ resume_arg $ stop_after_arg $ bisect_arg $ audit_every_arg $ rate_arg
+      $ churn_arg $ partition_every_arg $ inject_at_arg $ inject_link_arg
+      $ inject_cells_arg $ sweep_arg $ jobs_arg $ seed_arg $ trace_arg
+      $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
 (* report: render a metrics / heartbeat / trace bundle produced by the
    other subcommands into a human-readable run summary. *)
 
@@ -1604,5 +1843,6 @@ let () =
           [
             topo_cmd; fabric_cmd; reconfig_cmd; local_reconfig_cmd; flow_cmd;
             deadlock_cmd; e2e_cmd; multicast_cmd; adaptive_cmd; signaling_cmd;
-            rebalance_cmd; churn_cmd; partition_cmd; tps_cmd; report_cmd;
+            rebalance_cmd; churn_cmd; partition_cmd; tps_cmd; soak_cmd;
+            report_cmd;
           ]))

@@ -253,9 +253,58 @@ let reroute_after_failure t vc =
           install_schedules t vc cells;
           Ok ()))
 
+(* Fault injection for the soak harness: silently inflate a link's
+   reservation count without touching any circuit. Invisible to every
+   code path except the reserved-vs-live-circuits audit — exactly the
+   kind of slow accounting corruption endurance runs exist to catch. *)
+let inject_leak t ~link ~cells =
+  if cells < 1 then invalid_arg "Bandwidth_central.inject_leak: bad cells";
+  add_reserved t link cells
+
+(* Snapshots. The core's persistent state is the shard layout and the
+   reservation counters; BFS scratch is stampable scratch and the obs
+   counters are instrumentation, neither is saved. Canonical: the res
+   array is written as the exact link-count prefix. *)
+
+let snapshot_section = "an2-bwc"
+let snapshot_version = 1
+
+module Snap = Netsim.Snapshot
+
+let write_core w t =
+  let lc = Topo.Graph.link_count (Network.graph t.net) in
+  Snap.W.int w t.shards;
+  Snap.W.int_array w (Array.init lc (fun lid -> reserved t lid))
+
+let read_core ?obs net r =
+  let shards = Snap.R.int r in
+  let res = Snap.R.int_array r in
+  if shards < 1 then Snap.R.corrupt "Bandwidth_central: bad shard count";
+  if Array.length res <> Topo.Graph.link_count (Network.graph net) then
+    Snap.R.corrupt "Bandwidth_central: reservation count does not match graph";
+  let frame = Network.frame_length net in
+  Array.iter
+    (fun c ->
+      if c < 0 || c > frame then
+        Snap.R.corrupt "Bandwidth_central: reservation out of range")
+    res;
+  let t = create ?obs ~shards net in
+  Array.iteri (fun lid c -> if c > 0 then add_reserved t lid c) res;
+  t
+
+let save t =
+  Snap.make ~name:snapshot_section ~version:snapshot_version (fun w ->
+      write_core w t)
+
+let restore ?obs net section =
+  Snap.read section ~name:snapshot_section ~version:snapshot_version
+    (read_core ?obs net)
+
 (* Aliases usable inside [Service], where the names are shadowed. *)
 let core_create = create
 let core_release = release
+let core_reroute_after_failure = reroute_after_failure
+let core_inject_leak = inject_leak
 
 module Service = struct
   type params = {
@@ -541,4 +590,90 @@ module Service = struct
             t.released <- t.released + 1;
             core_release t.core vc
           | _ -> ())
+
+  (* Synchronous repair entry point for failure handlers (the soak
+     harness): delegates straight to the core — repair is a
+     reconfiguration-time action, not a queued admission. *)
+  let reroute_after_failure t vc = core_reroute_after_failure t.core vc
+
+  let headroom t lid = headroom t.core lid
+  let inject_leak t ~link ~cells = core_inject_leak t.core ~link ~cells
+
+  (* Snapshots. Legal only at quiescence: no in-flight admissions, no
+     pending batched writes, no armed flush timers (all of those hold
+     engine closures). What persists is the core's reservations plus
+     the per-shard processor horizons and the cumulative stats. *)
+
+  let snapshot_section = "an2-bwc-service"
+  let snapshot_version = 1
+
+  let quiescent t =
+    t.in_flight = 0
+    && Array.for_all (fun q -> q = 0) t.queue_len
+    && Array.for_all (fun l -> l = []) t.pending_writes
+    && Array.for_all not t.flush_armed
+
+  let save t =
+    if not (quiescent t) then
+      invalid_arg
+        (Printf.sprintf
+           "Bandwidth_central.Service.save: not quiescent (%d in flight)"
+           t.in_flight);
+    Snap.make ~name:snapshot_section ~version:snapshot_version (fun w ->
+        write_core w t.core;
+        Snap.W.int_array w t.busy_until;
+        Snap.W.int w t.worst_backlog;
+        Snap.W.int w t.submitted;
+        Snap.W.int w t.granted;
+        Snap.W.int w t.denied_no_route;
+        Snap.W.int w t.denied_no_capacity;
+        Snap.W.int w t.released;
+        Snap.W.int w t.cross_shard;
+        Snap.W.int w t.escrow_conflicts;
+        Snap.W.int w t.batch_flushes;
+        Snap.W.int w t.batched_writes)
+
+  let restore ?obs ~engine net params section =
+    Snap.read section ~name:snapshot_section ~version:snapshot_version
+      (fun r ->
+        let core = read_core ?obs net r in
+        let busy_until = Snap.R.int_array r in
+        if Array.length busy_until <> core.shards then
+          Snap.R.corrupt "Service: busy_until length does not match shards";
+        (* Record fields evaluate in unspecified order, so the payload
+           reads are sequenced by lets. *)
+        let worst_backlog = Snap.R.int r in
+        let submitted = Snap.R.int r in
+        let granted = Snap.R.int r in
+        let denied_no_route = Snap.R.int r in
+        let denied_no_capacity = Snap.R.int r in
+        let released = Snap.R.int r in
+        let cross_shard = Snap.R.int r in
+        let escrow_conflicts = Snap.R.int r in
+        let batch_flushes = Snap.R.int r in
+        let batched_writes = Snap.R.int r in
+        let sink = Option.value obs ~default:Obs.Sink.null in
+        {
+          core;
+          engine;
+          params;
+          busy_until;
+          queue_len = Array.make core.shards 0;
+          pending_writes = Array.make core.shards [];
+          flush_armed = Array.make core.shards false;
+          worst_backlog;
+          in_flight = 0;
+          submitted;
+          granted;
+          denied_no_route;
+          denied_no_capacity;
+          released;
+          cross_shard;
+          escrow_conflicts;
+          batch_flushes;
+          batched_writes;
+          c_cross_shard = Obs.Sink.counter sink "bwc.cross_shard";
+          c_escrow_conflicts = Obs.Sink.counter sink "bwc.escrow_conflicts";
+          c_batch_flushes = Obs.Sink.counter sink "bwc.batch_flushes";
+        })
 end

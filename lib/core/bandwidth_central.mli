@@ -80,6 +80,22 @@ val reroute_after_failure : t -> Network.vc -> (unit, denial) result
     denial the circuit is dissolved — its resources were already
     returned and it no longer exists. *)
 
+val inject_leak : t -> link:int -> cells:int -> unit
+(** Fault injection for endurance testing: silently inflate a link's
+    reservation counter without touching any circuit. Invisible to
+    every code path except the reserved-vs-live-circuits audit — the
+    seeded slow-corruption fault the soak harness bisects to. *)
+
+val save : t -> Netsim.Snapshot.section
+(** Serialize the shard layout and reservation counters (BFS scratch
+    and obs counters are not state). Canonical: equal reservations
+    yield equal bytes. *)
+
+val restore : ?obs:Obs.Sink.t -> Network.t -> Netsim.Snapshot.section -> t
+(** Rebuild a core over an already-restored network. Raises
+    {!Netsim.Snapshot.Corrupt} on damage, including reservation counts
+    that do not match the network's link count or exceed its frame. *)
+
 (** Sharded, engine-timed admission: bandwidth central as a service
     under load rather than an instantaneous oracle. *)
 module Service : sig
@@ -157,6 +173,36 @@ module Service : sig
   (** Submitted admissions not yet resolved. *)
 
   val reserved : t -> int -> int
+  val headroom : t -> int -> int
   val reservations : t -> (int * int) list
   val stats : t -> stats
+
+  val reroute_after_failure : t -> Network.vc -> (unit, denial) result
+  (** Synchronous repair of a guaranteed circuit whose path died —
+      delegates to the core's {!reroute_after_failure}. Repair is a
+      reconfiguration-time action driven by failure handlers, not a
+      queued admission, so it bypasses the timed processors. *)
+
+  val inject_leak : t -> link:int -> cells:int -> unit
+  (** Delegates to the core's {!inject_leak}: the seeded invariant
+      violation the soak harness's audits must catch. *)
+
+  val quiescent : t -> bool
+  (** No in-flight admissions, queued work, pending batched writes or
+      armed flush timers — the only state in which {!save} is legal. *)
+
+  val save : t -> Netsim.Snapshot.section
+  (** Serialize the core's reservations plus the per-shard processor
+      horizons and cumulative stats. Raises [Invalid_argument] if
+      [not (quiescent t)]. *)
+
+  val restore :
+    ?obs:Obs.Sink.t ->
+    engine:Netsim.Engine.t ->
+    Network.t ->
+    params ->
+    Netsim.Snapshot.section ->
+    t
+  (** Rebuild the service over an already-restored network and engine.
+      Raises {!Netsim.Snapshot.Corrupt} on damage. *)
 end

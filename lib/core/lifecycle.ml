@@ -564,3 +564,73 @@ let dark t =
   let acc = ref [] in
   Network.iter_vcs t.net (fun vc -> if vc.Network.paged_out then acc := vc :: !acc);
   List.sort (fun a b -> compare a.Network.vc_id b.Network.vc_id) !acc
+
+(* Drop the legal-path cache. The cache is pure memoization — route
+   answers are a function of the graph alone — but cache *warmth*
+   shows through the timed layer (route_cost vs route_cost_cached), so
+   checkpoint/restore equality needs both the writing run and the
+   resumed run to stand at the same (cold) cache state at every
+   checkpoint boundary. The soak harness calls this at each boundary;
+   [save] correspondingly never serializes cache contents. *)
+let flush_cache t =
+  Hashtbl.reset t.route_cache;
+  Hashtbl.reset t.orient_cache;
+  t.cache_version <- min_int
+
+(* Snapshots. Legal only with no setups in flight (a pending setup is
+   a web of engine closures). The cache is flushed, not serialized —
+   see [flush_cache]; hit/miss totals are carried as plain stats. *)
+
+let snapshot_section = "an2-lifecycle"
+let snapshot_version = 1
+
+module Snap = Netsim.Snapshot
+
+let quiescent t = t.in_flight = 0
+
+let save t =
+  if not (quiescent t) then
+    invalid_arg
+      (Printf.sprintf "Lifecycle.save: %d setups in flight" t.in_flight);
+  Snap.make ~name:snapshot_section ~version:snapshot_version (fun w ->
+      Netsim.Rng.write w t.rng;
+      Snap.W.int_array w t.busy_until;
+      Snap.W.int_array w t.queue_len;
+      Snap.W.int w t.worst_backlog;
+      Snap.W.int w t.setups;
+      Snap.W.int w t.established;
+      Snap.W.int w t.failed;
+      Snap.W.int w t.attempts;
+      Snap.W.int w t.crankbacks;
+      Snap.W.int w t.timeouts;
+      Snap.W.int w t.retries;
+      Snap.W.int w t.gc_reclaimed;
+      Snap.W.int w t.gc_runs;
+      Snap.W.int w t.route_cache_hits;
+      Snap.W.int w t.route_cache_misses)
+
+let restore ?obs ~engine net params section =
+  Snap.read section ~name:snapshot_section ~version:snapshot_version (fun r ->
+      let rng = Netsim.Rng.read r in
+      let busy_until = Snap.R.int_array r in
+      let queue_len = Snap.R.int_array r in
+      let n = Topo.Graph.switch_count (Network.graph net) in
+      if Array.length busy_until <> n || Array.length queue_len <> n then
+        Snap.R.corrupt "Lifecycle: processor array length mismatch";
+      let t = create ?obs ~engine net params in
+      Netsim.Rng.blit ~src:rng ~dst:t.rng;
+      Array.blit busy_until 0 t.busy_until 0 n;
+      Array.blit queue_len 0 t.queue_len 0 n;
+      t.worst_backlog <- Snap.R.int r;
+      t.setups <- Snap.R.int r;
+      t.established <- Snap.R.int r;
+      t.failed <- Snap.R.int r;
+      t.attempts <- Snap.R.int r;
+      t.crankbacks <- Snap.R.int r;
+      t.timeouts <- Snap.R.int r;
+      t.retries <- Snap.R.int r;
+      t.gc_reclaimed <- Snap.R.int r;
+      t.gc_runs <- Snap.R.int r;
+      t.route_cache_hits <- Snap.R.int r;
+      t.route_cache_misses <- Snap.R.int r;
+      t)

@@ -143,3 +143,29 @@ val in_flight : t -> int
 (** Setups started but not yet resolved. *)
 
 val stats : t -> stats
+
+val flush_cache : t -> unit
+(** Drop the legal-path cache (routes and up*/down* orientations). The
+    cache is pure memoization, but its {e warmth} shows through the
+    timed layer ([route_cost] vs [route_cost_cached]), so
+    checkpoint-based harnesses flush at every boundary to make the
+    writing run and a resumed run stand at the same cold-cache state. *)
+
+val quiescent : t -> bool
+(** No setups in flight — the only state in which {!save} is legal. *)
+
+val save : t -> Netsim.Snapshot.section
+(** Serialize the retry RNG stream, per-switch signaling-processor
+    horizons and queue depths, and cumulative stats. Cache contents
+    are deliberately not serialized (see {!flush_cache}). Raises
+    [Invalid_argument] if [not (quiescent t)]. *)
+
+val restore :
+  ?obs:Obs.Sink.t ->
+  engine:Netsim.Engine.t ->
+  Network.t ->
+  params ->
+  Netsim.Snapshot.section ->
+  t
+(** Rebuild over an already-restored network and engine; the path
+    cache starts cold. Raises {!Netsim.Snapshot.Corrupt} on damage. *)

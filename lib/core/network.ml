@@ -258,6 +258,140 @@ let page_out t vc =
     vc.paged_out <- true
   end
 
+(* Snapshots. Canonical by construction: circuits are written in
+   ascending vc-id order, table bindings via the already-sorted
+   [table_bindings], and schedules as sparse (slot, input, output)
+   triples in (slot, input) order — so equal network state always
+   encodes to equal bytes regardless of Hashtbl history. The graph is
+   snapshotted separately ({!Topo.Graph.save}) and supplied to
+   [restore]; reservations live in [Bandwidth_central]. *)
+
+let snapshot_section = "an2-network"
+let snapshot_version = 1
+
+module Snap = Netsim.Snapshot
+
+let sorted_vcs t =
+  List.sort
+    (fun a b -> compare a.vc_id b.vc_id)
+    (Hashtbl.fold (fun _ vc acc -> vc :: acc) t.vcs [])
+
+let save t =
+  Snap.make ~name:snapshot_section ~version:snapshot_version (fun w ->
+      let n = Array.length t.tables in
+      Snap.W.int w t.frame;
+      Snap.W.int w t.next_vc;
+      Snap.W.int w n;
+      let vcs = sorted_vcs t in
+      Snap.W.int w (List.length vcs);
+      List.iter
+        (fun vc ->
+          Snap.W.int w vc.vc_id;
+          Snap.W.int w vc.src_host;
+          Snap.W.int w vc.dst_host;
+          (match vc.cls with
+           | Best_effort -> Snap.W.int w (-1)
+           | Guaranteed cells -> Snap.W.int w cells);
+          Snap.W.bool w vc.paged_out;
+          Snap.W.int_list w vc.switches;
+          Snap.W.int_list w vc.links)
+        vcs;
+      for s = 0 to n - 1 do
+        let bindings = table_bindings t s in
+        Snap.W.int w (List.length bindings);
+        List.iter
+          (fun (vc_id, (in_link, out_link)) ->
+            Snap.W.int w vc_id;
+            Snap.W.int w in_link;
+            Snap.W.int w out_link)
+          bindings
+      done;
+      for s = 0 to n - 1 do
+        let sched = t.schedules.(s) in
+        let triples = ref [] in
+        let count = ref 0 in
+        for slot = Frame.Schedule.frame sched - 1 downto 0 do
+          for input = Frame.Schedule.n sched - 1 downto 0 do
+            match Frame.Schedule.output_of sched ~slot ~input with
+            | Some output ->
+              triples := (slot, input, output) :: !triples;
+              incr count
+            | None -> ()
+          done
+        done;
+        Snap.W.int w !count;
+        List.iter
+          (fun (slot, input, output) ->
+            Snap.W.int w slot;
+            Snap.W.int w input;
+            Snap.W.int w output)
+          !triples
+      done)
+
+let restore ~graph section =
+  Snap.read section ~name:snapshot_section ~version:snapshot_version (fun r ->
+      let frame = Snap.R.int r in
+      let next_vc = Snap.R.int r in
+      let n = Snap.R.int r in
+      if frame <= 0 || next_vc < 1 then
+        Snap.R.corrupt "Network: bad frame/next_vc";
+      if n <> Topo.Graph.switch_count graph then
+        Snap.R.corrupt "Network: switch count does not match graph";
+      let t = create ~frame graph in
+      t.next_vc <- next_vc;
+      let n_vcs = Snap.R.int r in
+      if n_vcs < 0 then Snap.R.corrupt "Network: negative vc count";
+      let prev_id = ref 0 in
+      for _ = 1 to n_vcs do
+        let vc_id = Snap.R.int r in
+        let src_host = Snap.R.int r in
+        let dst_host = Snap.R.int r in
+        let cls_code = Snap.R.int r in
+        let paged_out = Snap.R.bool r in
+        let switches = Snap.R.int_list r in
+        let links = Snap.R.int_list r in
+        if vc_id <= !prev_id || vc_id >= next_vc then
+          Snap.R.corrupt "Network: vc ids not ascending below next_vc";
+        prev_id := vc_id;
+        let cls =
+          if cls_code = -1 then Best_effort
+          else if cls_code >= 0 then Guaranteed cls_code
+          else Snap.R.corrupt "Network: bad traffic class"
+        in
+        List.iter
+          (fun lid ->
+            if lid < 0 || lid >= Topo.Graph.link_count graph then
+              Snap.R.corrupt "Network: vc link out of range")
+          links;
+        Hashtbl.add t.vcs vc_id
+          { vc_id; src_host; dst_host; cls; switches; links; paged_out }
+      done;
+      for s = 0 to n - 1 do
+        let n_bindings = Snap.R.int r in
+        if n_bindings < 0 then Snap.R.corrupt "Network: negative table size";
+        for _ = 1 to n_bindings do
+          let vc_id = Snap.R.int r in
+          let in_link = Snap.R.int r in
+          let out_link = Snap.R.int r in
+          if not (Hashtbl.mem t.vcs vc_id) then
+            Snap.R.corrupt "Network: table entry for unknown circuit";
+          Hashtbl.replace t.tables.(s) vc_id (in_link, out_link)
+        done
+      done;
+      for s = 0 to n - 1 do
+        let n_cells = Snap.R.int r in
+        if n_cells < 0 then Snap.R.corrupt "Network: negative schedule size";
+        for _ = 1 to n_cells do
+          let slot = Snap.R.int r in
+          let input = Snap.R.int r in
+          let output = Snap.R.int r in
+          try Frame.Schedule.place t.schedules.(s) ~slot ~input ~output
+          with Invalid_argument _ | Failure _ ->
+            Snap.R.corrupt "Network: inadmissible schedule entry"
+        done
+      done;
+      t)
+
 let page_in t vc =
   if not vc.paged_out then Ok ()
   else

@@ -148,3 +148,17 @@ val port_at : t -> int -> int -> int
 
 val table_entries : vc -> (int * (int * int)) list
 (** [(switch, (in_link, out_link))] along the circuit's path. *)
+
+(** {1 Snapshots} *)
+
+val save : t -> Netsim.Snapshot.section
+(** Serialize circuits, routing tables and frame schedules in
+    canonical order (ascending vc ids, sorted bindings, sparse
+    schedule triples), so equal state yields equal bytes regardless
+    of hash-table history. The topology is saved separately with
+    {!Topo.Graph.save}; reservations with {!Bandwidth_central}. *)
+
+val restore : graph:Topo.Graph.t -> Netsim.Snapshot.section -> t
+(** Rebuild a network over an already-restored graph. Raises
+    {!Netsim.Snapshot.Corrupt} on damage (including schedule entries
+    that are inadmissible against the declared frame). *)

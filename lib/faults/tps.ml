@@ -49,6 +49,24 @@ let baseline_config =
     shards = 1;
   }
 
+(* Divergence thresholds, parameterized so long-horizon harnesses
+   (soak) can tighten or loosen drift detection. The defaults encode
+   exactly the historical test:
+   (final > 32 && 2*final > 3*mid) || failed*100 > n_arrivals.
+   The float comparisons below are exact at the defaults — backlogs
+   and counts are small ints, exactly representable in doubles. *)
+type thresholds = {
+  final_backlog_min : int;
+      (** backlog depth below which the curve test never fires *)
+  final_over_mid : float;
+      (** final > this × midpoint ⇒ still growing, not a plateau *)
+  terminal_failure_pct : float;
+      (** terminal setup failures as % of arrivals *)
+}
+
+let default_thresholds =
+  { final_backlog_min = 32; final_over_mid = 1.5; terminal_failure_pct = 1.0 }
+
 type point = {
   rate : float;  (** offered rate the profile was scaled to *)
   offered_rate : float;  (** measured: arrivals / duration *)
@@ -85,7 +103,7 @@ let percentile sorted q =
     sorted.(max 0 (min (n - 1) (rank - 1)))
   end
 
-let run_point ?obs ~graph config profile =
+let run_point ?obs ?(thresholds = default_thresholds) ~graph config profile =
   let engine = Netsim.Engine.create ?obs () in
   let net = Network.create ~frame:config.frame graph in
   let lc = Lifecycle.create ?obs ~engine net config.lifecycle in
@@ -166,7 +184,10 @@ let run_point ?obs ~graph config profile =
      bounded, so failures, not queue depth, are the signal there. *)
   let failed = ls.Lifecycle.failed in
   let diverged =
-    (final > 32 && 2 * final > 3 * mid) || failed * 100 > n_arrivals
+    (final > thresholds.final_backlog_min
+    && float_of_int final > thresholds.final_over_mid *. float_of_int mid)
+    || float_of_int failed *. 100.0
+       > thresholds.terminal_failure_pct *. float_of_int n_arrivals
   in
   {
     rate = profile.Workload.base_rate;
@@ -199,12 +220,12 @@ let run_point ?obs ~graph config profile =
    Every probe runs on a fresh graph from [mk_graph], so points are
    independent and the whole search is a pure function of its
    arguments. *)
-let find_knee ?obs ?(rate_start = 2000.0) ?(bisect_steps = 3)
+let find_knee ?obs ?thresholds ?(rate_start = 2000.0) ?(bisect_steps = 3)
     ?(max_doublings = 10) ~mk_graph config profile =
   let points = ref [] in
   let probe rate =
     let pt =
-      run_point ?obs ~graph:(mk_graph ()) config
+      run_point ?obs ?thresholds ~graph:(mk_graph ()) config
         (Workload.scale profile ~rate)
     in
     points := pt :: !points;

@@ -37,6 +37,22 @@ val baseline_config : config
     unbatched writes, no path cache — what the knee ratio in
     [BENCH_tps.json] is measured against. *)
 
+type thresholds = {
+  final_backlog_min : int;
+      (** backlog depth below which the curve test never fires *)
+  final_over_mid : float;
+      (** final > this × midpoint ⇒ still growing, not a plateau *)
+  terminal_failure_pct : float;
+      (** terminal setup failures as % of arrivals *)
+}
+(** What counts as divergence. Long-horizon harnesses (soak) tune
+    these: tighter for slow-drift detection, looser where churn makes
+    transient failure bursts expected. *)
+
+val default_thresholds : thresholds
+(** The historical test, exactly: final backlog > 32 and > 1.5× the
+    midpoint sample, or terminal failures > 1% of arrivals. *)
+
 type point = {
   rate : float;  (** offered rate the profile was scaled to *)
   offered_rate : float;  (** measured: arrivals / duration *)
@@ -61,24 +77,32 @@ type point = {
   peak_backlog : int;
   final_backlog : int;  (** at the end of the offered-load interval *)
   diverged : bool;
-      (** the control plane stopped keeping up: the final backlog
-          sample is > 32 and more than 1.5× the midpoint sample (a
-          saturated queue grows linearly, final ≈ 2× mid), or over 1%
-          of arrivals failed terminally (timeout storms — past deep
-          saturation the backlog plateaus because attempts are
-          bounded, and failures become the signal) *)
+      (** the control plane stopped keeping up, per the {!thresholds}
+          in force (defaults: the final backlog sample is > 32 and
+          more than 1.5× the midpoint sample — a saturated queue grows
+          linearly, final ≈ 2× mid — or over 1% of arrivals failed
+          terminally: timeout storms; past deep saturation the backlog
+          plateaus because attempts are bounded, and failures become
+          the signal) *)
   drained : bool;  (** everything resolved once arrivals stopped *)
   sim_events : int;
 }
 
 val run_point :
-  ?obs:Obs.Sink.t -> graph:Topo.Graph.t -> config -> An2.Workload.profile -> point
+  ?obs:Obs.Sink.t ->
+  ?thresholds:thresholds ->
+  graph:Topo.Graph.t ->
+  config ->
+  An2.Workload.profile ->
+  point
 (** Run the profile's full arrival timeline on a fresh network over
     [graph] and let it drain. The graph is mutated by [schedule]
-    faults (if any); pass a fresh graph per point. *)
+    faults (if any); pass a fresh graph per point. [thresholds]
+    (default {!default_thresholds}) governs the [diverged] verdict. *)
 
 val find_knee :
   ?obs:Obs.Sink.t ->
+  ?thresholds:thresholds ->
   ?rate_start:float ->
   ?bisect_steps:int ->
   ?max_doublings:int ->

@@ -259,11 +259,9 @@ let run ?(domains = 1) t ~horizon =
     let pending_wait = ref 0 in
     let await_timed () =
       if t.obs_on then begin
-        let w0 = Unix.gettimeofday () in
+        let w0 = Time.monotonic_ns () in
         await t;
-        pending_wait :=
-          !pending_wait
-          + int_of_float ((Unix.gettimeofday () -. w0) *. 1e9)
+        pending_wait := !pending_wait + (Time.monotonic_ns () - w0)
       end
       else await t
     in
@@ -295,11 +293,9 @@ let run ?(domains = 1) t ~horizon =
             end;
             let start_ts = Engine.now e in
             let d0 = Engine.dispatched e in
-            let w0 = Unix.gettimeofday () in
+            let w0 = Time.monotonic_ns () in
             (try Engine.run_until e end_ with ex -> poison t ex);
-            let busy_ns =
-              int_of_float ((Unix.gettimeofday () -. w0) *. 1e9)
-            in
+            let busy_ns = Time.monotonic_ns () - w0 in
             Obs.Parprof.window t.prof ~part:!p ~start_ts ~end_ts:end_
               ~busy_ns
               ~dispatched:(Engine.dispatched e - d0)

@@ -39,3 +39,13 @@ val popped_time : t -> int
     first successful pop. *)
 
 val clear : t -> unit
+
+(** {1 Snapshot access}
+
+    The tie-breaking counter and last-popped key are part of the
+    engine's deterministic state, so checkpoints must carry them. Only
+    [Engine.save]/[Engine.restore] should call the setters. *)
+
+val next_seq : t -> int
+val set_next_seq : t -> int -> unit
+val set_popped_time : t -> int -> unit

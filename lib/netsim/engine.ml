@@ -197,6 +197,72 @@ let step t =
 
 let run t = while step t do () done
 
+(* Snapshots. Thunks are closures and cannot be serialized, so a
+   checkpoint is only legal when the engine is fully drained: no live
+   events AND an empty heap. The heap must be empty (not merely
+   corpse-only) because popping a cancelled corpse still advances the
+   clock — a corpse left behind would change post-restore timing. What
+   remains is the deterministic skeleton: clock, dispatch count, the
+   heap's tie-break counter, and the pool's free-list threading and
+   generations (future slot/id assignment depends on both). *)
+
+let quiescent t = t.live = 0 && Eheap.is_empty t.queue
+
+let snapshot_section = "netsim-engine"
+let snapshot_version = 1
+
+let save t =
+  if not (quiescent t) then
+    invalid_arg
+      (Printf.sprintf
+         "Engine.save: not quiescent (%d live events, heap length %d)" t.live
+         (Eheap.length t.queue));
+  Snapshot.make ~name:snapshot_section ~version:snapshot_version (fun w ->
+      Snapshot.W.int w t.clock;
+      Snapshot.W.int w t.dispatched_total;
+      Snapshot.W.int w (Eheap.next_seq t.queue);
+      Snapshot.W.int w t.free_head;
+      Snapshot.W.int_array w t.free_next;
+      Snapshot.W.int_array w t.gen)
+
+let restore ?obs section =
+  Snapshot.read section ~name:snapshot_section ~version:snapshot_version
+    (fun r ->
+      let clock = Snapshot.R.int r in
+      let dispatched_total = Snapshot.R.int r in
+      let next_seq = Snapshot.R.int r in
+      let free_head = Snapshot.R.int r in
+      let free_next = Snapshot.R.int_array r in
+      let gen = Snapshot.R.int_array r in
+      let cap = Array.length free_next in
+      if Array.length gen <> cap then
+        Snapshot.R.corrupt "Engine: free_next/gen length mismatch";
+      if clock < 0 || dispatched_total < 0 || next_seq < 0 then
+        Snapshot.R.corrupt "Engine: negative counter";
+      if free_head < -1 || free_head >= cap then
+        Snapshot.R.corrupt "Engine: free_head out of range";
+      Array.iter
+        (fun v ->
+          if v < -1 || v >= cap then
+            Snapshot.R.corrupt "Engine: free_next link out of range")
+        free_next;
+      Array.iter
+        (fun g ->
+          if g < 0 || g > gen_mask then
+            Snapshot.R.corrupt "Engine: generation out of range")
+        gen;
+      let t = create ?obs () in
+      t.clock <- clock;
+      t.dispatched_total <- dispatched_total;
+      Eheap.set_next_seq t.queue next_seq;
+      t.thunks <- Array.make cap noop;
+      t.born <- Array.make cap 0;
+      t.gen <- gen;
+      t.state <- Array.make cap st_free;
+      t.free_next <- free_next;
+      t.free_head <- free_head;
+      t)
+
 let run_until t horizon =
   let continue = ref true in
   while !continue do

@@ -82,3 +82,27 @@ val run : t -> unit
 val run_until : t -> Time.t -> unit
 (** [run_until t horizon] dispatches all events with time [<= horizon],
     then advances the clock to [horizon]. *)
+
+(** {1 Snapshots}
+
+    Event thunks are closures and cannot be serialized, so checkpoints
+    are only legal at {e quiescent} points: no live events and an empty
+    heap (a cancelled corpse still advances the clock when popped, so
+    the heap must be truly empty). What a snapshot carries is the
+    deterministic skeleton — clock, dispatch count, the heap's FIFO
+    tie-break counter, and the pool's free-list threading and slot
+    generations — so a restored engine assigns future slots, ids and
+    tie-breaks exactly as the original would have. *)
+
+val quiescent : t -> bool
+(** True when the engine holds no events at all — the only state in
+    which {!save} is legal. *)
+
+val save : t -> Snapshot.section
+(** Serialize a quiescent engine. Raises [Invalid_argument] if
+    [not (quiescent t)]. *)
+
+val restore : ?obs:Obs.Sink.t -> Snapshot.section -> t
+(** Rebuild an engine from {!save}'s section. The obs sink is supplied
+    fresh (instrumentation is deliberately not snapshotted). Raises
+    {!Snapshot.Corrupt} on damage. *)

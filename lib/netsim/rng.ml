@@ -199,6 +199,34 @@ let select_bit t m =
   (8 * j)
   + Char.code (String.unsafe_get Bits.select8_tab ((byte * 8) + (k - before)))
 
+(* Snapshot support: the full generator state is the four limbs. *)
+let write w t =
+  Snapshot.W.int w t.hi;
+  Snapshot.W.int w t.lo;
+  Snapshot.W.int w t.zhi;
+  Snapshot.W.int w t.zlo
+
+let read r =
+  let hi = Snapshot.R.int r in
+  let lo = Snapshot.R.int r in
+  let zhi = Snapshot.R.int r in
+  let zlo = Snapshot.R.int r in
+  let check name v =
+    if v < 0 || v > mask32 then
+      Snapshot.R.corrupt ("Rng limb out of range: " ^ name)
+  in
+  check "hi" hi;
+  check "lo" lo;
+  check "zhi" zhi;
+  check "zlo" zlo;
+  { hi; lo; zhi; zlo }
+
+let blit ~src ~dst =
+  dst.hi <- src.hi;
+  dst.lo <- src.lo;
+  dst.zhi <- src.zhi;
+  dst.zlo <- src.zlo
+
 let shuffle_in_place t a =
   for i = Array.length a - 1 downto 1 do
     let j = int t (i + 1) in

@@ -60,3 +60,18 @@ val select_bit : t -> int -> int
 val shuffle_in_place : t -> 'a array -> unit
 (** Fisher-Yates shuffle. *)
 
+(** {1 Snapshots}
+
+    The entire generator state is four integer limbs, so a snapshotted
+    stream resumes exactly where it left off. *)
+
+val write : Snapshot.W.t -> t -> unit
+(** Append the generator state to a snapshot payload. *)
+
+val read : Snapshot.R.t -> t
+(** Inverse of {!write}; raises {!Snapshot.Corrupt} on damage. *)
+
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst]'s state with [src]'s — for restoring a stream into
+    a generator held in an immutable record field. *)
+

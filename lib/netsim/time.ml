@@ -9,6 +9,22 @@ let to_us t = float_of_int t /. 1e3
 let to_ms t = float_of_int t /. 1e6
 let to_s t = float_of_int t /. 1e9
 
+(* Wall-clock sampling for profilers must never go backwards: a
+   negative busy/wait interval from an NTP step poisons parprof series
+   on runs long enough to see one (exactly the soak case). The stdlib
+   exposes no CLOCK_MONOTONIC, so monotonize gettimeofday per domain —
+   each domain holds a high-water mark in domain-local storage and
+   clamps samples to it. Within one domain, intervals are then
+   non-negative by construction. *)
+let mono_key = Domain.DLS.new_key (fun () -> ref min_int)
+
+let monotonic_ns () =
+  let last = Domain.DLS.get mono_key in
+  let now = int_of_float (Unix.gettimeofday () *. 1e9) in
+  let v = if now > !last then now else !last in
+  last := v;
+  v
+
 let pp fmt t =
   if t < 1_000 then Format.fprintf fmt "%dns" t
   else if t < 1_000_000 then Format.fprintf fmt "%.2fus" (to_us t)

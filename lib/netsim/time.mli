@@ -19,3 +19,10 @@ val to_s : t -> float
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable rendering, scaled to ns/us/ms/s as appropriate. *)
+
+val monotonic_ns : unit -> int
+(** Wall-clock nanoseconds for measuring real elapsed intervals
+    (profilers, benchmarks) — {e not} simulated time. Per-domain
+    monotonized: each domain clamps samples to its own high-water
+    mark, so an interval between two calls on the same domain is never
+    negative even if the system clock steps backwards mid-run. *)

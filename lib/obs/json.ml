@@ -54,10 +54,48 @@ let parse (s : string) : t =
          | 'f' -> Buffer.add_char b '\012'
          | 'u' ->
            advance ();
-           let code = int_of_string ("0x" ^ String.sub s (!pos) 4) in
-           pos := !pos + 3;
-           (* Exporters only \u-escape control characters. *)
-           Buffer.add_char b (Char.chr (code land 0xff))
+           (* Four hex digits, validated by hand: [int_of_string]
+              would also accept underscores and signs. *)
+           let hex4 () =
+             if !pos + 4 > n then fail "truncated \\u escape";
+             let v = ref 0 in
+             for i = !pos to !pos + 3 do
+               let d =
+                 match s.[i] with
+                 | '0' .. '9' as c -> Char.code c - Char.code '0'
+                 | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                 | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                 | _ -> fail "bad \\u escape"
+               in
+               v := (!v lsl 4) lor d
+             done;
+             pos := !pos + 4;
+             !v
+           in
+           let code = hex4 () in
+           let cp =
+             if code >= 0xD800 && code <= 0xDBFF then begin
+               (* High surrogate: must pair with a following \uDC00-
+                  \uDFFF; the pair names one astral code point. *)
+               if
+                 !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+               then begin
+                 pos := !pos + 2;
+                 let lo = hex4 () in
+                 if lo < 0xDC00 || lo > 0xDFFF then
+                   fail "unpaired high surrogate";
+                 0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00)
+               end
+               else fail "unpaired high surrogate"
+             end
+             else if code >= 0xDC00 && code <= 0xDFFF then
+               fail "unpaired low surrogate"
+             else code
+           in
+           Buffer.add_utf_8_uchar b (Uchar.of_int cp);
+           (* The shared [advance] below expects the cursor on the
+              escape's last consumed character. *)
+           pos := !pos - 1
          | c -> fail (Printf.sprintf "bad escape %c" c));
         advance ();
         loop ()

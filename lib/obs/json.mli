@@ -5,9 +5,11 @@
     [an2sim report] renderer parse it back with this. Supports
     exactly what Chrome-trace / metrics / heartbeat JSON needs:
     objects, arrays, strings with escapes, numbers, true/false/null.
-    Not a general-purpose parser (e.g. [\uXXXX] escapes above 0xff
-    are truncated — the exporters only emit them for control
-    characters). *)
+    [\uXXXX] escapes decode to UTF-8 across the full range, surrogate
+    pairs included, so snapshot and flight-recorder artifacts with
+    non-Latin payloads round-trip; unpaired surrogates are rejected.
+    Still not a general-purpose parser (no duplicate-key or number
+    grammar pedantry). *)
 
 type t =
   | Null

@@ -34,3 +34,25 @@ let recovery_wait t ~now =
   let l = level t ~now in
   let factor = 1 lsl min l 30 in
   t.params.base_wait * factor
+
+let write w t =
+  Netsim.Snapshot.W.int w t.params.base_wait;
+  Netsim.Snapshot.W.int w t.params.max_level;
+  Netsim.Snapshot.W.int w t.params.decay;
+  Netsim.Snapshot.W.int w t.raw_level;
+  Netsim.Snapshot.W.int w t.last_failure;
+  Netsim.Snapshot.W.bool w t.any_failure
+
+let read r =
+  let base_wait = Netsim.Snapshot.R.int r in
+  let max_level = Netsim.Snapshot.R.int r in
+  let decay = Netsim.Snapshot.R.int r in
+  let raw_level = Netsim.Snapshot.R.int r in
+  let last_failure = Netsim.Snapshot.R.int r in
+  let any_failure = Netsim.Snapshot.R.bool r in
+  if base_wait < 0 || max_level < 0 || decay < 0 || last_failure < 0 then
+    Netsim.Snapshot.R.corrupt "Skeptic: negative field";
+  if raw_level < 0 || raw_level > max_level then
+    Netsim.Snapshot.R.corrupt "Skeptic: raw_level out of range";
+  { params = { base_wait; max_level; decay }; raw_level; last_failure;
+    any_failure }

@@ -28,3 +28,10 @@ val note_failure : t -> now:Netsim.Time.t -> unit
 
 val recovery_wait : t -> now:Netsim.Time.t -> Netsim.Time.t
 (** Probation the link must now serve: [base_wait * 2^level]. *)
+
+val write : Netsim.Snapshot.W.t -> t -> unit
+(** Append the full skeptic state (params and suspicion history) to a
+    snapshot payload. *)
+
+val read : Netsim.Snapshot.R.t -> t
+(** Inverse of {!write}; raises {!Netsim.Snapshot.Corrupt} on damage. *)

@@ -13,3 +13,13 @@ let equal a b = compare a b = 0
 let next t ~initiator = { epoch = t.epoch + 1; initiator }
 
 let pp fmt t = Format.fprintf fmt "(e%d,s%d)" t.epoch t.initiator
+
+let write w t =
+  Netsim.Snapshot.W.int w t.epoch;
+  Netsim.Snapshot.W.int w t.initiator
+
+let read r =
+  let epoch = Netsim.Snapshot.R.int r in
+  let initiator = Netsim.Snapshot.R.int r in
+  if epoch < 0 then Netsim.Snapshot.R.corrupt "Tag: negative epoch";
+  { epoch; initiator }

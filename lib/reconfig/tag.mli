@@ -19,3 +19,9 @@ val next : t -> initiator:int -> t
     has seen, with itself as initiator. *)
 
 val pp : Format.formatter -> t -> unit
+
+val write : Netsim.Snapshot.W.t -> t -> unit
+(** Append the tag to a snapshot payload. *)
+
+val read : Netsim.Snapshot.R.t -> t
+(** Inverse of {!write}; raises {!Netsim.Snapshot.Corrupt} on damage. *)

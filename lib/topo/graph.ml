@@ -396,6 +396,124 @@ let reachable_switches t start =
 let switch_connected t =
   t.n_switches = 0 || reachable_switches t 0 = t.n_switches
 
+(* Snapshots. A graph serializes as its construction parameters plus
+   the per-link records; derived state (working bitset, CSR) is
+   rebuilt on restore, and the version counter is carried verbatim so
+   version-keyed caches (Lifecycle's path cache) stay correctly keyed
+   across a restore. Canonical by construction: links are written in
+   link-id order from the dense prefix. *)
+
+let snapshot_section = "topo-graph"
+let snapshot_version = 1
+
+module Snap = Netsim.Snapshot
+
+let node_code = function Switch s -> (0, s) | Host h -> (1, h)
+
+let write_endpoint w (e : endpoint) =
+  let kind, id = node_code e.node in
+  Snap.W.int w kind;
+  Snap.W.int w id;
+  Snap.W.int w e.port
+
+let save t =
+  Snap.make ~name:snapshot_section ~version:snapshot_version (fun w ->
+      Snap.W.int w t.sw_ports;
+      Snap.W.int w t.host_ports;
+      Snap.W.int w t.version;
+      Snap.W.int_array w (Array.sub t.sw_used 0 t.n_switches);
+      Snap.W.int_array w (Array.sub t.host_used 0 t.n_hosts);
+      Snap.W.int w t.n_links;
+      for i = 0 to t.n_links - 1 do
+        let l = t.link_arr.(i) in
+        write_endpoint w l.a;
+        write_endpoint w l.b;
+        Snap.W.int w l.latency;
+        Snap.W.int w l.fail_causes
+      done)
+
+let all_causes = cause_explicit lor cause_crash_a lor cause_crash_b
+
+let restore section =
+  Snap.read section ~name:snapshot_section ~version:snapshot_version (fun r ->
+      let sw_ports = Snap.R.int r in
+      let host_ports = Snap.R.int r in
+      let version = Snap.R.int r in
+      let sw_used = Snap.R.int_array r in
+      let host_used = Snap.R.int_array r in
+      let n_switches = Array.length sw_used in
+      let n_hosts = Array.length host_used in
+      let n_links = Snap.R.int r in
+      if sw_ports < 0 || host_ports < 0 || n_links < 0 || version < 0 then
+        Snap.R.corrupt "Graph: negative header field";
+      let read_endpoint () =
+        let kind = Snap.R.int r in
+        let id = Snap.R.int r in
+        let port = Snap.R.int r in
+        let node =
+          match kind with
+          | 0 ->
+            if id < 0 || id >= n_switches then
+              Snap.R.corrupt "Graph: endpoint switch id out of range";
+            Switch id
+          | 1 ->
+            if id < 0 || id >= n_hosts then
+              Snap.R.corrupt "Graph: endpoint host id out of range";
+            Host id
+          | _ -> Snap.R.corrupt "Graph: bad endpoint kind"
+        in
+        if port < 0 then Snap.R.corrupt "Graph: negative port";
+        { node; port }
+      in
+      (* An explicit loop (not Array.init): the payload reads must
+         happen in link-id order. *)
+      let rev_links = ref [] in
+      for link_id = 0 to n_links - 1 do
+        let a = read_endpoint () in
+        let b = read_endpoint () in
+        let latency = Snap.R.int r in
+        let fail_causes = Snap.R.int r in
+        if latency < 0 then Snap.R.corrupt "Graph: negative latency";
+        if fail_causes land lnot all_causes <> 0 then
+          Snap.R.corrupt "Graph: unknown fail cause bits";
+        rev_links :=
+          {
+            link_id;
+            a;
+            b;
+            latency;
+            state = (if fail_causes = 0 then Working else Dead);
+            fail_causes;
+          }
+          :: !rev_links
+      done;
+      let link_arr = Array.of_list (List.rev !rev_links) in
+      let words = (n_links + word_bits - 1) / word_bits in
+      let working = Array.make words 0 in
+      let t =
+        {
+          sw_ports;
+          host_ports;
+          n_switches;
+          sw_used;
+          n_hosts;
+          host_used;
+          n_links;
+          link_arr;
+          working;
+          version;
+          csr_valid = false;
+          sw_off = [| 0 |];
+          sw_adj = [||];
+          host_off = [| 0 |];
+          host_adj = [||];
+        }
+      in
+      Array.iter
+        (fun l -> set_working_bit t l.link_id (l.fail_causes = 0))
+        link_arr;
+      t)
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>topology: %d switches, %d hosts, %d links@,"
     t.n_switches t.n_hosts t.n_links;

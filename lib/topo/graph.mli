@@ -144,3 +144,16 @@ val to_dot : t -> string
 (** Graphviz rendering: switches as boxes, hosts as ellipses, dead
     links dashed red. Pipe into [dot -Tsvg] to draw Figure-1-style
     diagrams of any topology. *)
+
+(** {1 Snapshots} *)
+
+val save : t -> Netsim.Snapshot.section
+(** Serialize the full graph: construction parameters, per-link
+    endpoints/latency/cause bitmasks, and the version counter — so
+    version-keyed caches of derived state stay correctly keyed across
+    a restore. Canonical: equal graphs yield equal bytes. *)
+
+val restore : Netsim.Snapshot.section -> t
+(** Rebuild a graph from {!save}'s section. Derived state (working
+    bitset, CSR adjacency) is reconstructed; raises
+    {!Netsim.Snapshot.Corrupt} on damage. *)
